@@ -1,0 +1,109 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! oracle horizon cost, per-task window size, exact vs streaming
+//! percentiles in RC-like, and machine-level vs task-level aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_core::config::SimConfig;
+use oc_core::oracle::machine_oracle;
+use oc_core::predictor::PredictorSpec;
+use oc_core::sim::simulate_machine;
+use oc_stats::P2Quantile;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::gen::WorkloadGenerator;
+use oc_trace::ids::MachineId;
+use oc_trace::sample::UsageMetric;
+use oc_trace::time::TICKS_PER_HOUR;
+use std::hint::black_box;
+
+fn week_machine() -> oc_trace::MachineTrace {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = 1;
+    WorkloadGenerator::new(cell)
+        .unwrap()
+        .generate_machine(MachineId(0))
+        .unwrap()
+}
+
+/// Horizon cost: thanks to the segment tree, the oracle is near-constant
+/// in the horizon — the accuracy trade-off of Figure 7(b) is therefore
+/// free to resolve on accuracy alone.
+fn ablation_oracle_horizon(c: &mut Criterion) {
+    let trace = week_machine();
+    let mut g = c.benchmark_group("ablations/oracle_horizon");
+    g.sample_size(20);
+    for h in [3u64, 12, 24, 72, 168] {
+        g.bench_with_input(BenchmarkId::new("hours", h), &h, |b, &h| {
+            b.iter(|| black_box(machine_oracle(&trace, UsageMetric::P90, h * TICKS_PER_HOUR)))
+        });
+    }
+    g.finish();
+}
+
+/// Window size: the node agent's memory/CPU vs accuracy knob
+/// (`max_num_samples`). Cost grows with the window because RC-like sorts
+/// it per task per tick.
+fn ablation_window_size(c: &mut Criterion) {
+    let trace = week_machine();
+    let mut g = c.benchmark_group("ablations/window_size");
+    g.sample_size(10);
+    for hours in [2.0f64, 10.0, 24.0] {
+        let cfg = SimConfig::default().with_history_hours(hours);
+        let predictors = vec![PredictorSpec::paper_max().build().unwrap()];
+        g.bench_with_input(
+            BenchmarkId::new("history_hours", hours as u64),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(simulate_machine(&trace, cfg, &predictors).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+/// Exact sort-based percentile vs the constant-memory P² estimator — the
+/// trade the node agent would face with much larger windows.
+fn ablation_percentile_estimator(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..120)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0)
+        .collect();
+    let mut g = c.benchmark_group("ablations/percentile");
+    g.bench_function("exact_sort_120", |b| {
+        b.iter(|| black_box(oc_stats::percentile_slice(&xs, 99.0).unwrap()))
+    });
+    g.bench_function("p2_streaming_120", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.99).unwrap();
+            for &x in &xs {
+                q.push(x);
+            }
+            black_box(q.estimate().unwrap())
+        })
+    });
+    g.finish();
+}
+
+/// Machine-level aggregation (N-sigma) vs task-level aggregation
+/// (RC-like): the per-tick cost difference of the two statistical bases.
+fn ablation_aggregation_level(c: &mut Criterion) {
+    let trace = week_machine();
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("ablations/aggregation");
+    g.sample_size(10);
+    for spec in [
+        PredictorSpec::NSigma { n: 5.0 },
+        PredictorSpec::RcLike { percentile: 99.0 },
+    ] {
+        let predictors = vec![spec.build().unwrap()];
+        g.bench_with_input(BenchmarkId::new("replay", spec.name()), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_machine(&trace, cfg, &predictors).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_oracle_horizon,
+    ablation_window_size,
+    ablation_percentile_estimator,
+    ablation_aggregation_level
+);
+criterion_main!(benches);

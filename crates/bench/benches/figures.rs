@@ -1,0 +1,262 @@
+//! One reduced-scale benchmark per paper table/figure.
+//!
+//! Each bench times the computational core behind the corresponding
+//! artifact of the evaluation section, at a miniature scale (2 machines,
+//! 1 simulated day) so the whole suite runs in minutes. The full-scale
+//! reproduction lives in the `repro` binary (`cargo run -p
+//! oc-experiments --release -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oc_core::config::SimConfig;
+use oc_core::oracle::{machine_oracle, task_future_peak};
+use oc_core::predictor::PredictorSpec;
+use oc_core::runner::run_cell_streaming;
+use oc_qos::LatencyModel;
+use oc_scheduler::ab::{run_ab, AbConfig};
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::gen::{submission_counts, WorkloadGenerator};
+use oc_trace::sample::UsageMetric;
+use oc_trace::time::TICKS_PER_HOUR;
+use std::hint::black_box;
+
+/// Mini cell: 2 machines, 1 day.
+fn mini(preset: CellPreset) -> WorkloadGenerator {
+    let mut cell = CellConfig::preset(preset);
+    cell.machines = 2;
+    cell.duration_ticks = 288;
+    WorkloadGenerator::new(cell).unwrap()
+}
+
+fn fig1_pooling(c: &mut Criterion) {
+    let machines = mini(CellPreset::A).generate_cell().unwrap();
+    c.bench_function("figures/fig1_pooling_effect", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &machines {
+                let po = machine_oracle(m, UsageMetric::P90, 288);
+                acc += po.iter().sum::<f64>();
+                for task in &m.tasks {
+                    acc += task_future_peak(task, UsageMetric::P90, 288)
+                        .first()
+                        .copied()
+                        .unwrap_or(0.0);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table1_inventory(c: &mut Criterion) {
+    c.bench_function("figures/table1_prod_inventory", |b| {
+        b.iter(|| {
+            let mut tasks = 0usize;
+            for preset in [CellPreset::Prod2, CellPreset::Prod5] {
+                let gen = mini(preset);
+                tasks += gen
+                    .generate_cell()
+                    .unwrap()
+                    .iter()
+                    .map(|m| m.task_count())
+                    .sum::<usize>();
+            }
+            black_box(tasks)
+        })
+    });
+}
+
+fn fig3_qos_link(c: &mut Criterion) {
+    let gen = mini(CellPreset::Prod5);
+    let cfg = SimConfig::default().with_series();
+    let model = LatencyModel::default();
+    c.bench_function("figures/fig3_violations_vs_latency", |b| {
+        b.iter(|| {
+            let run = run_cell_streaming(&gen, &cfg, &[PredictorSpec::borg_default()], 1).unwrap();
+            let mut acc = 0.0;
+            for r in &run.results {
+                let s = r.series.as_ref().unwrap();
+                let lat = model.machine_series(&s.true_peak, r.capacity, u64::from(r.machine.0));
+                acc += oc_stats::percentile_slice(&lat, 99.0).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig4_submission_rate(c: &mut Criterion) {
+    let gen = mini(CellPreset::A);
+    let machines = gen.generate_cell().unwrap();
+    c.bench_function("figures/fig4_submission_rate", |b| {
+        b.iter(|| black_box(submission_counts(&machines, 288)))
+    });
+}
+
+fn fig6_percentile_estimators(c: &mut Criterion) {
+    let machines = mini(CellPreset::A).generate_cell().unwrap();
+    c.bench_function("figures/fig6_percentile_vs_peak", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &machines {
+                for t in m.horizon.iter() {
+                    let approx: f64 = m
+                        .tasks_at(t)
+                        .filter_map(|task| task.sample_at(t))
+                        .map(|s| UsageMetric::interpolate(s, 90.0))
+                        .sum();
+                    acc += approx - m.true_peak_at(t).unwrap();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig7_exploration(c: &mut Criterion) {
+    let machines = mini(CellPreset::A).generate_cell().unwrap();
+    c.bench_function("figures/fig7_runtime_horizon_ratio", |b| {
+        b.iter(|| {
+            // (a) runtimes, (b) horizon sweep, (c) usage-to-limit ratios.
+            let mut acc = 0.0;
+            for m in &machines {
+                for task in &m.tasks {
+                    acc += task.spec.runtime_hours();
+                    acc += task
+                        .samples
+                        .first()
+                        .map(|s| s.avg / task.spec.limit)
+                        .unwrap_or(0.0);
+                }
+                for h in [3u64, 24] {
+                    acc += machine_oracle(m, UsageMetric::P90, h * TICKS_PER_HOUR)
+                        .iter()
+                        .sum::<f64>();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig8_nsigma_sweep(c: &mut Criterion) {
+    let gen = mini(CellPreset::A);
+    c.bench_function("figures/fig8_nsigma_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in [2.0, 5.0] {
+                let run = run_cell_streaming(
+                    &gen,
+                    &SimConfig::default(),
+                    &[PredictorSpec::NSigma { n }],
+                    1,
+                )
+                .unwrap();
+                acc += run.reports(0).map(|r| r.violations).sum::<u64>();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig9_rc_sweep(c: &mut Criterion) {
+    let gen = mini(CellPreset::A);
+    c.bench_function("figures/fig9_rc_like_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for pct in [80.0, 99.0] {
+                let run = run_cell_streaming(
+                    &gen,
+                    &SimConfig::default(),
+                    &[PredictorSpec::RcLike { percentile: pct }],
+                    1,
+                )
+                .unwrap();
+                acc += run.reports(0).map(|r| r.violations).sum::<u64>();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig10_comparison(c: &mut Criterion) {
+    let gen = mini(CellPreset::A);
+    let specs = PredictorSpec::comparison_set();
+    c.bench_function("figures/fig10_predictor_comparison", |b| {
+        b.iter(|| {
+            black_box(
+                run_cell_streaming(&gen, &SimConfig::default().with_series(), &specs, 1).unwrap(),
+            )
+        })
+    });
+}
+
+fn fig11_across_cells(c: &mut Criterion) {
+    c.bench_function("figures/fig11_max_across_cells", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for preset in [CellPreset::B, CellPreset::G] {
+                let gen = mini(preset);
+                let run = run_cell_streaming(
+                    &gen,
+                    &SimConfig::default(),
+                    &[PredictorSpec::paper_max()],
+                    1,
+                )
+                .unwrap();
+                acc += run.reports(0).map(|r| r.violations).sum::<u64>();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig12_across_weeks(c: &mut Criterion) {
+    // Two "weeks" of 1 day each, sliced from one run.
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = 2;
+    cell.duration_ticks = 2 * 288;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    c.bench_function("figures/fig12_max_across_weeks", |b| {
+        b.iter(|| {
+            black_box(
+                run_cell_streaming(
+                    &gen,
+                    &SimConfig::default().with_series(),
+                    &[PredictorSpec::paper_max()],
+                    1,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn fig13_ab(c: &mut Criterion) {
+    let mut cell = CellConfig::preset(CellPreset::Prod2);
+    cell.machines = 4;
+    let mut cfg = AbConfig::paper_default(cell, 0.2);
+    cfg.duration_ticks = 288;
+    cfg.replay_threads = 1;
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig13_fig14_ab_experiment", |b| {
+        b.iter(|| black_box(run_ab(&cfg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_pooling,
+    table1_inventory,
+    fig3_qos_link,
+    fig4_submission_rate,
+    fig6_percentile_estimators,
+    fig7_exploration,
+    fig8_nsigma_sweep,
+    fig9_rc_sweep,
+    fig10_comparison,
+    fig11_across_cells,
+    fig12_across_weeks,
+    fig13_ab
+);
+criterion_main!(benches);

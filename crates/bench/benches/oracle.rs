@@ -1,0 +1,78 @@
+//! Benchmarks for the peak oracle: sliding max, segment tree, and the
+//! scheduled-tasks oracle on generated machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oc_core::oracle::{future_peak, machine_oracle};
+use oc_core::segtree::MaxTree;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::gen::WorkloadGenerator;
+use oc_trace::ids::MachineId;
+use oc_trace::sample::UsageMetric;
+use oc_trace::time::TICKS_PER_HOUR;
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(48271) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+fn bench_future_peak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/future_peak");
+    for n in [2016usize, 8640] {
+        let s = series(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sliding_max", n), &s, |b, s| {
+            b.iter(|| black_box(future_peak(s, 288)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_segtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/segtree");
+    let n = 8640usize;
+    g.bench_function("add_query_8640", |b| {
+        b.iter(|| {
+            let mut t = MaxTree::new(n);
+            let mut acc = 0.0;
+            for i in 0..n {
+                t.add(i, (i % 97) as f64 / 97.0);
+                if i % 8 == 0 {
+                    acc += t.range_max(i.saturating_sub(288), i + 1);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine_oracle(c: &mut Criterion) {
+    // One week of a generated machine, the per-figure workhorse.
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = 1;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    let trace = gen.generate_machine(MachineId(0)).unwrap();
+
+    let mut g = c.benchmark_group("oracle/machine_oracle");
+    g.throughput(Throughput::Elements(trace.horizon.len()));
+    for horizon_h in [3u64, 24, 72] {
+        g.bench_with_input(
+            BenchmarkId::new("one_week_machine", format!("{horizon_h}h")),
+            &horizon_h,
+            |b, &h| {
+                b.iter(|| black_box(machine_oracle(&trace, UsageMetric::P90, h * TICKS_PER_HOUR)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_future_peak,
+    bench_segtree,
+    bench_machine_oracle
+);
+criterion_main!(benches);

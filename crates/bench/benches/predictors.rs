@@ -1,0 +1,74 @@
+//! Benchmarks for predictor evaluation cost — the paper requires node
+//! agents to be "lightweight, in both CPU and memory footprint".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_core::config::SimConfig;
+use oc_core::predictor::PredictorSpec;
+use oc_core::view::MachineView;
+use oc_trace::ids::{JobId, TaskId};
+use oc_trace::time::Tick;
+use std::hint::black_box;
+
+/// A warmed view hosting `tasks` tasks with a full 10 h history.
+fn loaded_view(tasks: usize) -> MachineView {
+    let cfg = SimConfig::default();
+    let mut view = MachineView::new(1.0, &cfg);
+    for t in 0..cfg.max_num_samples as u64 + 8 {
+        view.observe(
+            Tick(t),
+            (0..tasks).map(|i| {
+                let limit = 0.05 + (i % 7) as f64 * 0.01;
+                let usage = limit * (0.3 + 0.2 * ((t as f64 / 12.0 + i as f64).sin()));
+                (TaskId::new(JobId(i as u64 + 1), 0), limit, usage)
+            }),
+        );
+    }
+    view
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors/predict");
+    for tasks in [10usize, 30, 100] {
+        let view = loaded_view(tasks);
+        for spec in [
+            PredictorSpec::borg_default(),
+            PredictorSpec::RcLike { percentile: 99.0 },
+            PredictorSpec::NSigma { n: 5.0 },
+            PredictorSpec::paper_max(),
+        ] {
+            let predictor = spec.build().unwrap();
+            g.bench_with_input(BenchmarkId::new(spec.name(), tasks), &view, |b, view| {
+                b.iter(|| black_box(predictor.predict(view)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    // The per-tick node-agent bookkeeping cost.
+    let mut g = c.benchmark_group("predictors/observe");
+    for tasks in [10usize, 100] {
+        g.bench_with_input(BenchmarkId::new("tick", tasks), &tasks, |b, &tasks| {
+            let cfg = SimConfig::default();
+            b.iter_batched(
+                || (MachineView::new(1.0, &cfg), 0u64),
+                |(mut view, mut t)| {
+                    for _ in 0..50 {
+                        view.observe(
+                            Tick(t),
+                            (0..tasks).map(|i| (TaskId::new(JobId(i as u64 + 1), 0), 0.05, 0.02)),
+                        );
+                        t += 1;
+                    }
+                    black_box(view.total_limit())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_observe);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks for the live cluster: admission, placement, and whole-tick
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_core::config::SimConfig;
+use oc_core::predictor::PredictorSpec;
+use oc_scheduler::{run_cluster, ClusterConfig, PlacementPolicy};
+use oc_trace::cell::{CellConfig, CellPreset};
+use std::hint::black_box;
+
+fn cfg(machines: usize, placement: PlacementPolicy) -> ClusterConfig {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = machines;
+    ClusterConfig {
+        cell,
+        jobs_per_tick: 0.05 * machines as f64,
+        duration_ticks: 96,
+        sim: SimConfig::default(),
+        predictor: PredictorSpec::paper_max(),
+        placement,
+        arrival_seed: 5,
+    }
+}
+
+fn bench_cluster_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/cluster_8h");
+    g.sample_size(10);
+    for machines in [8usize, 32] {
+        let cfg = cfg(machines, PlacementPolicy::WorstFit);
+        g.bench_with_input(BenchmarkId::new("machines", machines), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_cluster(cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_placement_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/placement");
+    g.sample_size(10);
+    for placement in [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::BestFit,
+        PlacementPolicy::WorstFit,
+        PlacementPolicy::RandomK(5),
+    ] {
+        let cfg = cfg(16, placement);
+        g.bench_with_input(
+            BenchmarkId::new("policy", placement.name()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(run_cluster(cfg).unwrap().stats.admitted)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster_day, bench_placement_policies);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end benchmarks: workload generation and the fortune-teller
+//! replay loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oc_core::config::SimConfig;
+use oc_core::predictor::PredictorSpec;
+use oc_core::runner::run_cell_streaming;
+use oc_core::sim::simulate_machine;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::gen::WorkloadGenerator;
+use oc_trace::ids::MachineId;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/generate_machine");
+    g.sample_size(20);
+    for days in [1u64, 7] {
+        let mut cell = CellConfig::preset(CellPreset::A);
+        cell.duration_ticks = days * 288;
+        let gen = WorkloadGenerator::new(cell).unwrap();
+        g.throughput(Throughput::Elements(days * 288));
+        g.bench_with_input(BenchmarkId::new("days", days), &gen, |b, gen| {
+            b.iter(|| black_box(gen.generate_machine(MachineId(0)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.duration_ticks = 7 * 288;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    let trace = gen.generate_machine(MachineId(0)).unwrap();
+    let predictors: Vec<_> = PredictorSpec::comparison_set()
+        .iter()
+        .map(|s| s.build().unwrap())
+        .collect();
+    let cfg = SimConfig::default();
+
+    let mut g = c.benchmark_group("simulation/replay_machine");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(trace.horizon.len()));
+    g.bench_function("one_week_4_predictors", |b| {
+        b.iter(|| black_box(simulate_machine(&trace, &cfg, &predictors).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_cell_run(c: &mut Criterion) {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = 8;
+    cell.duration_ticks = 288;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    let specs = [PredictorSpec::paper_max()];
+    let cfg = SimConfig::default();
+
+    let mut g = c.benchmark_group("simulation/cell_streaming");
+    g.sample_size(10);
+    g.bench_function("8_machines_1_day", |b| {
+        b.iter(|| black_box(run_cell_streaming(&gen, &cfg, &specs, 2).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_replay, bench_cell_run);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks for the statistics substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oc_stats::{percentile_slice, Ecdf, MovingWindow, P2Quantile, Welford};
+use std::hint::black_box;
+
+fn data(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 10_000) as f64 / 10_000.0)
+        .collect()
+}
+
+fn bench_welford(c: &mut Criterion) {
+    let xs = data(10_000);
+    let mut g = c.benchmark_group("stats/welford");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("push_10k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.push(x);
+            }
+            black_box(w.population_std())
+        })
+    });
+    g.finish();
+}
+
+fn bench_moving_window(c: &mut Criterion) {
+    let xs = data(10_000);
+    let mut g = c.benchmark_group("stats/moving_window");
+    for capacity in [24usize, 120, 288] {
+        g.bench_with_input(
+            BenchmarkId::new("push_mean_std", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut w = MovingWindow::new(cap).unwrap();
+                    let mut acc = 0.0;
+                    for &x in &xs {
+                        w.push(x);
+                        acc += w.mean();
+                    }
+                    black_box(acc + w.population_std())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats/percentile");
+    for n in [120usize, 2016] {
+        let xs = data(n);
+        g.bench_with_input(BenchmarkId::new("exact_p99", n), &xs, |b, xs| {
+            b.iter(|| black_box(percentile_slice(xs, 99.0).unwrap()))
+        });
+    }
+    let xs = data(10_000);
+    g.bench_function("p2_streaming_p99_10k", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.99).unwrap();
+            for &x in &xs {
+                q.push(x);
+            }
+            black_box(q.estimate().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let xs = data(20_000);
+    c.bench_function("stats/ecdf_build_query_20k", |b| {
+        b.iter(|| {
+            let e = Ecdf::new(xs.clone()).unwrap();
+            black_box(e.quantile(0.95).unwrap() + e.prob_le(0.5))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_welford,
+    bench_moving_window,
+    bench_percentiles,
+    bench_ecdf
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate (benches live under `benches/`).

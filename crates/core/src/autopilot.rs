@@ -1,0 +1,263 @@
+//! An Autopilot-style vertical limit autoscaler (companion system).
+//!
+//! The paper positions its machine-level overcommit as *orthogonal* to
+//! Autopilot's per-task limit tuning (Section 2.2): Autopilot shrinks the
+//! usage-to-limit gap of each task, yet "even a perfect system, which
+//! always set tasks' resource limits equal to the tasks' peak resource
+//! usage, has room to safely overcommit machines" because tasks do not
+//! co-peak. This module implements the Autopilot side of that argument so
+//! the claim can be tested end-to-end (the `autopilot` experiment).
+//!
+//! The recommender follows the published Autopilot recipe in miniature:
+//! the limit tracks a high percentile of the task's recent usage with a
+//! safety margin, changes at most a few times per day (limit bumps can
+//! trigger evictions), never drops below current usage, and starts from
+//! the user-declared limit until enough samples exist.
+
+use crate::error::CoreError;
+use oc_trace::task::TaskTrace;
+use oc_trace::time::{TICKS_PER_DAY, TICKS_PER_HOUR};
+
+/// Configuration of the limit recommender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutopilotConfig {
+    /// Usage percentile the limit tracks (the paper quotes the 98th).
+    pub percentile: f64,
+    /// Multiplicative safety margin on top of the percentile.
+    pub margin: f64,
+    /// History window the percentile is computed over, in ticks.
+    pub window_ticks: usize,
+    /// Minimum ticks between limit changes ("no more than a few changes
+    /// a day are desirable").
+    pub update_interval_ticks: u64,
+    /// Samples required before the first recommendation.
+    pub warmup_ticks: usize,
+    /// Smallest limit ever recommended.
+    pub min_limit: f64,
+}
+
+impl Default for AutopilotConfig {
+    /// p98 over one day, 10 % margin, at most three changes per day.
+    fn default() -> Self {
+        AutopilotConfig {
+            percentile: 98.0,
+            margin: 1.10,
+            window_ticks: TICKS_PER_DAY as usize,
+            update_interval_ticks: 8 * TICKS_PER_HOUR,
+            warmup_ticks: (2 * TICKS_PER_HOUR) as usize,
+            min_limit: 0.005,
+        }
+    }
+}
+
+impl AutopilotConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for out-of-domain parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fail = |what: &str| {
+            Err(CoreError::InvalidConfig {
+                what: format!("autopilot: {what}"),
+            })
+        };
+        if !(0.0 < self.percentile && self.percentile <= 100.0) {
+            return fail("percentile out of (0, 100]");
+        }
+        if self.margin < 1.0 {
+            return fail("margin must be >= 1 (limits below usage evict tasks)");
+        }
+        if self.window_ticks == 0 {
+            return fail("window must be positive");
+        }
+        if self.update_interval_ticks == 0 {
+            return fail("update interval must be positive");
+        }
+        if !(self.min_limit > 0.0) {
+            return fail("min limit must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// Per-tick recommended limits for one task.
+///
+/// `out[i]` is the limit in force during tick `spec.start + i`. Until
+/// `warmup_ticks` samples exist the user-declared limit stands; after
+/// that the limit re-evaluates every `update_interval_ticks`, tracking
+/// `margin · perc(usage window)` but never dropping below the tick's own
+/// usage (Autopilot never throttles a running task below what it uses).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] from config validation.
+pub fn recommend_limits(task: &TaskTrace, cfg: &AutopilotConfig) -> Result<Vec<f64>, CoreError> {
+    cfg.validate()?;
+    let usage: Vec<f64> = task.samples.iter().map(|s| s.max).collect();
+    let mut out = Vec::with_capacity(usage.len());
+    let mut current = task.spec.limit;
+    let mut last_update: Option<u64> = None;
+    for i in 0..usage.len() {
+        let due = match last_update {
+            None => i >= cfg.warmup_ticks,
+            Some(at) => i as u64 - at >= cfg.update_interval_ticks,
+        };
+        if due {
+            let lo = i.saturating_sub(cfg.window_ticks - 1);
+            let pct = oc_stats::percentile_slice(&usage[lo..=i], cfg.percentile)?;
+            current = (cfg.margin * pct).max(cfg.min_limit);
+            last_update = Some(i as u64);
+        }
+        // Never below what the task is using right now.
+        out.push(current.max(usage[i]));
+    }
+    Ok(out)
+}
+
+/// Mean relative slack `(limit − usage) / limit` of one task under a
+/// per-tick limit series ("Autopilot reports an average usage-to-limit
+/// gap, which they call the relative slack, of 23 %").
+pub fn relative_slack(task: &TaskTrace, limits: &[f64]) -> f64 {
+    if task.samples.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (s, &l) in task.samples.iter().zip(limits.iter()) {
+        if l > 0.0 {
+            total += (l - s.avg) / l;
+        }
+    }
+    total / task.samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_trace::ids::{JobId, TaskId};
+    use oc_trace::sample::UsageSample;
+    use oc_trace::task::{SchedulingClass, TaskSpec};
+    use oc_trace::time::Tick;
+
+    fn flat(v: f64) -> UsageSample {
+        UsageSample {
+            avg: v,
+            p50: v,
+            p90: v,
+            p95: v,
+            p99: v,
+            max: v,
+        }
+    }
+
+    fn task(usage: &[f64], declared_limit: f64) -> TaskTrace {
+        let spec = TaskSpec {
+            id: TaskId::new(JobId(1), 0),
+            limit: declared_limit,
+            memory_limit: 0.0,
+            start: Tick(0),
+            end: Tick(usage.len() as u64),
+            class: SchedulingClass::Class2,
+            priority: 200,
+        };
+        TaskTrace::new(spec, usage.iter().map(|&u| flat(u)).collect()).unwrap()
+    }
+
+    fn quick_cfg() -> AutopilotConfig {
+        AutopilotConfig {
+            warmup_ticks: 4,
+            update_interval_ticks: 6,
+            window_ticks: 12,
+            ..AutopilotConfig::default()
+        }
+    }
+
+    #[test]
+    fn shrinks_oversized_limits() {
+        // A task declared at 1.0 but using 0.2 gets its limit pulled near
+        // margin × 0.2 after warm-up.
+        let t = task(&[0.2; 40], 1.0);
+        let limits = recommend_limits(&t, &quick_cfg()).unwrap();
+        assert_eq!(limits[0], 1.0, "warm-up keeps the declared limit");
+        let settled = limits[20];
+        assert!(
+            (settled - 0.22).abs() < 0.02,
+            "limit should settle near margin × usage: {settled}"
+        );
+    }
+
+    #[test]
+    fn never_below_current_usage() {
+        let usage: Vec<f64> = (0..60).map(|i| 0.1 + 0.01 * (i % 9) as f64).collect();
+        let t = task(&usage, 0.5);
+        let limits = recommend_limits(&t, &quick_cfg()).unwrap();
+        for (i, (&l, &u)) in limits.iter().zip(usage.iter()).enumerate() {
+            assert!(l + 1e-12 >= u, "tick {i}: limit {l} below usage {u}");
+        }
+    }
+
+    #[test]
+    fn update_cadence_is_bounded() {
+        let usage: Vec<f64> = (0..100)
+            .map(|i| 0.1 + 0.05 * ((i / 7) % 3) as f64)
+            .collect();
+        let t = task(&usage, 1.0);
+        let cfg = quick_cfg();
+        let limits = recommend_limits(&t, &cfg).unwrap();
+        // Count distinct change points, ignoring the never-below-usage
+        // floor (compare at update boundaries only).
+        let mut changes = 0;
+        for w in limits.windows(2) {
+            if (w[0] - w[1]).abs() > 1e-12 {
+                changes += 1;
+            }
+        }
+        // At most one change per interval, plus floor adjustments; with
+        // interval 6 over 100 ticks this must stay well under 100.
+        assert!(changes <= 100 / 6 + 20, "too many changes: {changes}");
+    }
+
+    #[test]
+    fn tracks_a_growing_task() {
+        let usage: Vec<f64> = (0..80).map(|i| 0.1 + 0.005 * i as f64).collect();
+        let t = task(&usage, 0.2);
+        let limits = recommend_limits(&t, &quick_cfg()).unwrap();
+        // By the end, the limit follows usage up even though the declared
+        // limit was 0.2.
+        assert!(limits[79] >= usage[79]);
+        assert!(limits[79] > 0.4);
+    }
+
+    #[test]
+    fn slack_of_constant_task() {
+        let t = task(&[0.2; 40], 1.0);
+        let limits = vec![0.25; 40];
+        let slack = relative_slack(&t, &limits);
+        assert!((slack - 0.2).abs() < 1e-9, "slack {slack}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let t = task(&[0.2; 10], 1.0);
+        for bad in [
+            AutopilotConfig {
+                percentile: 0.0,
+                ..AutopilotConfig::default()
+            },
+            AutopilotConfig {
+                margin: 0.9,
+                ..AutopilotConfig::default()
+            },
+            AutopilotConfig {
+                window_ticks: 0,
+                ..AutopilotConfig::default()
+            },
+            AutopilotConfig {
+                min_limit: 0.0,
+                ..AutopilotConfig::default()
+            },
+        ] {
+            assert!(recommend_limits(&t, &bad).is_err(), "{bad:?}");
+        }
+    }
+}

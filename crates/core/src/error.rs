@@ -1,0 +1,67 @@
+//! Error type for simulator configuration and execution.
+
+use std::fmt;
+
+/// Errors produced by the overcommit simulator.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: String,
+    },
+    /// The input trace was rejected.
+    Trace(oc_trace::TraceError),
+    /// A numerical routine failed.
+    Stats(oc_stats::StatsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            CoreError::Trace(e) => write!(f, "trace error: {e}"),
+            CoreError::Stats(e) => write!(f, "stats error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Trace(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<oc_trace::TraceError> for CoreError {
+    fn from(e: oc_trace::TraceError) -> Self {
+        CoreError::Trace(e)
+    }
+}
+
+impl From<oc_stats::StatsError> for CoreError {
+    fn from(e: oc_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::InvalidConfig {
+            what: "horizon must be positive".into(),
+        };
+        assert!(e.to_string().contains("horizon"));
+        assert!(e.source().is_none());
+
+        let e = CoreError::from(oc_stats::StatsError::Empty);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's practical peak predictors.
+
+mod borg_default;
+mod limit_sum;
+mod max_peak;
+mod n_sigma;
+mod rc_like;
+mod seasonal;
+
+pub use borg_default::BorgDefault;
+pub use limit_sum::LimitSum;
+pub use max_peak::MaxPeak;
+pub use n_sigma::NSigma;
+pub use rc_like::RcLike;
+pub use seasonal::Seasonal;
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    //! Shared fixtures for predictor tests.
+
+    use crate::config::SimConfig;
+    use crate::view::MachineView;
+    use oc_trace::ids::{JobId, TaskId};
+    use oc_trace::time::Tick;
+
+    /// A view with `min_num_samples = 3`, `max_num_samples = 8`.
+    pub fn small_view() -> (MachineView, SimConfig) {
+        let mut cfg = SimConfig::default();
+        cfg.min_num_samples = 3;
+        cfg.max_num_samples = 8;
+        (MachineView::new(1.0, &cfg), cfg)
+    }
+
+    /// Feeds `ticks` observations of constant usage for tasks
+    /// `(limit, usage)` so every task ends warm (if `ticks >= 3`).
+    pub fn feed_constant(view: &mut MachineView, tasks: &[(f64, f64)], ticks: u64) {
+        for t in 0..ticks {
+            view.observe(
+                Tick(t),
+                tasks.iter().enumerate().map(|(i, &(limit, usage))| {
+                    (TaskId::new(JobId(i as u64 + 1), 0), limit, usage)
+                }),
+            );
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The fortune-teller: replaying one machine against its oracle.
+//!
+//! This mirrors the paper's simulator core (Figure 5): for each instant
+//! `τ`, the predictor sees only the history `U[t], t ≤ τ` through its
+//! [`MachineView`], while the oracle sees the future `U[t], t ≥ τ`. The two
+//! are compared tick by tick and accumulated into [`MachineReport`]s.
+
+use crate::config::SimConfig;
+use crate::error::CoreError;
+use crate::metrics::{MachineReport, MachineSeries, SimResult};
+use crate::oracle::machine_oracle;
+use crate::predictor::PeakPredictor;
+use crate::view::MachineView;
+use oc_trace::time::Tick;
+use oc_trace::MachineTrace;
+
+/// Simulates one machine against a set of predictors.
+///
+/// For every tick of the machine's horizon the view is fed the tick's
+/// observations, each predictor produces its estimate, and prediction,
+/// oracle, and Σ limits are recorded.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `cfg` or
+/// [`CoreError::Trace`] if the machine trace fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use oc_core::config::SimConfig;
+/// use oc_core::predictor::PredictorSpec;
+/// use oc_core::sim::simulate_machine;
+/// use oc_trace::cell::{CellConfig, CellPreset};
+/// use oc_trace::gen::WorkloadGenerator;
+/// use oc_trace::ids::MachineId;
+///
+/// let mut cell = CellConfig::preset(CellPreset::A);
+/// cell.duration_ticks = 96;
+/// let gen = WorkloadGenerator::new(cell).unwrap();
+/// let trace = gen.generate_machine(MachineId(0)).unwrap();
+/// let predictors = vec![PredictorSpec::borg_default().build().unwrap()];
+/// let result = simulate_machine(&trace, &SimConfig::default(), &predictors).unwrap();
+/// assert_eq!(result.reports.len(), 1);
+/// assert_eq!(result.reports[0].ticks, 96);
+/// ```
+pub fn simulate_machine(
+    trace: &MachineTrace,
+    cfg: &SimConfig,
+    predictors: &[Box<dyn PeakPredictor>],
+) -> Result<SimResult, CoreError> {
+    cfg.validate()?;
+    trace.validate()?;
+
+    let oracle = machine_oracle(trace, cfg.metric, cfg.oracle_horizon_ticks);
+    let mut view = MachineView::new(trace.capacity, cfg);
+    let mut reports: Vec<MachineReport> = predictors
+        .iter()
+        .map(|p| MachineReport::new(trace.machine, p.name()))
+        .collect();
+    let n_ticks = trace.horizon.len() as usize;
+    let mut series = cfg.record_series.then(|| MachineSeries {
+        limit: Vec::with_capacity(n_ticks),
+        oracle: oracle.clone(),
+        true_peak: trace.true_peak.clone(),
+        avg_usage: trace.avg_usage.clone(),
+        predictions: vec![Vec::with_capacity(n_ticks); predictors.len()],
+    });
+
+    // Pre-index tasks by start tick so each tick touches only live tasks.
+    // Machines host dozens of tasks at a time but thousands over a month.
+    let mut live: Vec<usize> = Vec::new();
+    let mut next_task = 0usize;
+
+    for (i, t) in trace.horizon.iter().enumerate() {
+        // Admit tasks starting at `t` (tasks are sorted by start tick).
+        while next_task < trace.tasks.len() && trace.tasks[next_task].spec.start <= t {
+            if trace.tasks[next_task].spec.alive_at(t) {
+                live.push(next_task);
+            }
+            next_task += 1;
+        }
+        live.retain(|&idx| trace.tasks[idx].spec.alive_at(t));
+
+        view.observe(
+            t,
+            live.iter().map(|&idx| {
+                let task = &trace.tasks[idx];
+                let usage = task.sample_at(t).map(|s| cfg.metric.of(s)).unwrap_or(0.0);
+                (task.spec.id, task.spec.limit, usage)
+            }),
+        );
+
+        let po = oracle[i];
+        let limit = view.total_limit();
+        for (j, predictor) in predictors.iter().enumerate() {
+            let p = predictor.predict(&view);
+            reports[j].record(p, po, limit);
+            if let Some(series) = series.as_mut() {
+                series.predictions[j].push(p);
+            }
+        }
+        if let Some(series) = series.as_mut() {
+            series.limit.push(limit);
+        }
+    }
+
+    Ok(SimResult {
+        machine: trace.machine,
+        capacity: trace.capacity,
+        reports,
+        series,
+    })
+}
+
+/// Convenience: the oracle series for one machine at a given horizon.
+///
+/// Used by oracle-horizon experiments (Figure 7(b)).
+pub fn oracle_series(
+    trace: &MachineTrace,
+    metric: oc_trace::sample::UsageMetric,
+    horizon_ticks: u64,
+) -> Vec<f64> {
+    machine_oracle(trace, metric, horizon_ticks)
+}
+
+/// Returns the tick with the largest oracle-minus-prediction gap for one
+/// predictor, for diagnostics. `None` if the predictor never violates.
+pub fn worst_violation_tick(
+    trace: &MachineTrace,
+    cfg: &SimConfig,
+    predictor: &crate::predictor::PredictorSpec,
+) -> Result<Option<(Tick, f64)>, CoreError> {
+    let built = predictor.build()?;
+    let result = simulate_machine(
+        trace,
+        &cfg.clone().with_series(),
+        std::slice::from_ref(&built),
+    )?;
+    let series = result.series.expect("series recording was enabled");
+    let mut worst: Option<(Tick, f64)> = None;
+    for (i, t) in trace.horizon.iter().enumerate() {
+        let gap = series.oracle[i] - series.predictions[0][i];
+        if gap > 0.0 && worst.map(|(_, g)| gap > g).unwrap_or(true) {
+            worst = Some((t, gap));
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorSpec;
+    use oc_trace::cell::{CellConfig, CellPreset};
+    use oc_trace::gen::WorkloadGenerator;
+    use oc_trace::ids::MachineId;
+
+    fn trace() -> MachineTrace {
+        let mut cell = CellConfig::preset(CellPreset::A);
+        cell.duration_ticks = 288; // 1 day.
+        WorkloadGenerator::new(cell)
+            .unwrap()
+            .generate_machine(MachineId(0))
+            .unwrap()
+    }
+
+    fn build(specs: &[PredictorSpec]) -> Vec<Box<dyn PeakPredictor>> {
+        specs.iter().map(|s| s.build().unwrap()).collect()
+    }
+
+    #[test]
+    fn limit_sum_is_safe_and_saves_nothing() {
+        let t = trace();
+        let result = simulate_machine(
+            &t,
+            &SimConfig::default(),
+            &build(&[PredictorSpec::LimitSum]),
+        )
+        .unwrap();
+        let r = &result.reports[0];
+        assert_eq!(r.violations, 0, "limit-sum must never violate the oracle");
+        assert!(r.mean_savings().abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_dominates_predictions_constraints() {
+        // For every tick: oracle <= Σ limits (usage is capped per task).
+        let t = trace();
+        let cfg = SimConfig::default().with_series();
+        let result = simulate_machine(&t, &cfg, &build(&[PredictorSpec::LimitSum])).unwrap();
+        let s = result.series.unwrap();
+        for i in 0..s.limit.len() {
+            assert!(
+                s.oracle[i] <= s.limit[i] + 1e-9,
+                "tick {i}: oracle {} above limits {}",
+                s.oracle[i],
+                s.limit[i]
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_set_orders_as_expected() {
+        // The max predictor violates at most as often as its weakest
+        // component... not guaranteed per-tick, but its prediction always
+        // dominates each component's, so violations are a subset.
+        let t = trace();
+        let specs = [
+            PredictorSpec::NSigma { n: 5.0 },
+            PredictorSpec::RcLike { percentile: 99.0 },
+            PredictorSpec::paper_max(),
+        ];
+        let result = simulate_machine(&t, &SimConfig::default(), &build(&specs)).unwrap();
+        let [n_sigma, rc, max] = &result.reports[..] else {
+            panic!("3 reports")
+        };
+        assert!(max.violations <= n_sigma.violations);
+        assert!(max.violations <= rc.violations);
+        assert!(max.mean_savings() <= n_sigma.mean_savings() + 1e-12);
+        assert!(max.mean_savings() <= rc.mean_savings() + 1e-12);
+    }
+
+    #[test]
+    fn series_lengths_match() {
+        let t = trace();
+        let cfg = SimConfig::default().with_series();
+        let result = simulate_machine(&t, &cfg, &build(&PredictorSpec::comparison_set())).unwrap();
+        let s = result.series.unwrap();
+        let n = t.horizon.len() as usize;
+        assert_eq!(s.limit.len(), n);
+        assert_eq!(s.oracle.len(), n);
+        assert_eq!(s.predictions.len(), 4);
+        for p in &s.predictions {
+            assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let t = trace();
+        let mut cfg = SimConfig::default();
+        cfg.oracle_horizon_ticks = 0;
+        assert!(simulate_machine(&t, &cfg, &build(&[PredictorSpec::LimitSum])).is_err());
+    }
+
+    #[test]
+    fn worst_violation_is_found_for_aggressive_predictor() {
+        let t = trace();
+        let p = PredictorSpec::BorgDefault { phi: 0.01 };
+        let worst = worst_violation_tick(&t, &SimConfig::default(), &p).unwrap();
+        // A 1 % predictor must violate somewhere on a loaded machine.
+        assert!(worst.is_some());
+    }
+}

@@ -1,0 +1,278 @@
+//! The machine-local state practical predictors operate on.
+//!
+//! The paper's predictors run in the Borglet, on the machine, with strictly
+//! bounded state: for every task a moving window of its most recent usage
+//! samples (`max_num_samples`), an age counter for warm-up accounting, and
+//! the task's limit. [`MachineView`] is exactly that state. It is fed one
+//! observation per 5-minute tick — by the trace replayer in simulation or
+//! by the live cluster in the scheduler — and predictors read it without
+//! seeing anything a real node agent would not have.
+//!
+//! Warm-up semantics follow Section 4: a task with fewer than
+//! `min_num_samples` observed samples is *cold*; predictions are made over
+//! warm tasks only and the limits of cold tasks are added on top. The
+//! machine-level aggregate window used by the N-sigma predictor records,
+//! per tick, the summed usage of the tasks that were warm at that tick.
+
+use crate::config::SimConfig;
+use oc_stats::MovingWindow;
+use oc_trace::ids::TaskId;
+use oc_trace::time::Tick;
+use std::collections::BTreeMap;
+
+/// Per-task state maintained by the node agent.
+#[derive(Debug, Clone)]
+pub struct TaskView {
+    limit: f64,
+    window: MovingWindow,
+    age: usize,
+}
+
+impl TaskView {
+    /// The task's resource limit.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    /// Window of the most recent usage samples (oldest first).
+    pub fn window(&self) -> &MovingWindow {
+        &self.window
+    }
+
+    /// Number of samples observed over the task's lifetime (may exceed the
+    /// window capacity).
+    pub fn age(&self) -> usize {
+        self.age
+    }
+}
+
+/// One machine's predictor-visible state.
+///
+/// # Examples
+///
+/// ```
+/// use oc_core::config::SimConfig;
+/// use oc_core::view::MachineView;
+/// use oc_trace::ids::{JobId, TaskId};
+/// use oc_trace::time::Tick;
+///
+/// let cfg = SimConfig::default();
+/// let mut view = MachineView::new(1.0, &cfg);
+/// let task = TaskId::new(JobId(1), 0);
+/// view.observe(Tick(0), [(task, 0.4, 0.1)]);
+/// assert_eq!(view.total_limit(), 0.4);
+/// // One sample < 24-sample warm-up: the task is still cold.
+/// assert_eq!(view.cold_limit_sum(), 0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineView {
+    capacity: f64,
+    now: Tick,
+    min_num_samples: usize,
+    max_num_samples: usize,
+    tasks: BTreeMap<TaskId, TaskView>,
+    /// Per-tick summed usage of then-warm tasks.
+    warm_window: MovingWindow,
+    /// Current Σ limits over cold tasks.
+    cold_limit_sum: f64,
+    /// Current Σ limits over all tasks.
+    total_limit: f64,
+}
+
+impl MachineView {
+    /// Creates an empty view for a machine of the given capacity.
+    pub fn new(capacity: f64, cfg: &SimConfig) -> MachineView {
+        let cap = cfg.max_num_samples.max(1);
+        MachineView {
+            capacity,
+            now: Tick::ZERO,
+            min_num_samples: cfg.min_num_samples,
+            max_num_samples: cap,
+            tasks: BTreeMap::new(),
+            warm_window: MovingWindow::new(cap).expect("capacity >= 1"),
+            cold_limit_sum: 0.0,
+            total_limit: 0.0,
+        }
+    }
+
+    /// Feeds one tick of observations: `(task, limit, usage)` for every
+    /// task alive on the machine this tick. Departed tasks (present before,
+    /// absent now) are dropped, new tasks are registered, and the aggregate
+    /// warm-usage window advances by one sample.
+    pub fn observe(&mut self, t: Tick, alive: impl IntoIterator<Item = (TaskId, f64, f64)>) {
+        self.now = t;
+        let mut seen: Vec<TaskId> = Vec::new();
+        let mut warm_total = 0.0;
+        for (id, limit, usage) in alive {
+            seen.push(id);
+            let entry = self.tasks.entry(id).or_insert_with(|| TaskView {
+                limit,
+                window: MovingWindow::new(self.max_num_samples).expect("capacity >= 1"),
+                age: 0,
+            });
+            entry.limit = limit;
+            entry.window.push(usage);
+            entry.age += 1;
+            if entry.age >= self.min_num_samples {
+                warm_total += usage;
+            }
+        }
+        seen.sort_unstable();
+        self.tasks.retain(|id, _| seen.binary_search(id).is_ok());
+        self.warm_window.push(warm_total);
+
+        self.total_limit = self.tasks.values().map(|t| t.limit).sum();
+        self.cold_limit_sum = self
+            .tasks
+            .values()
+            .filter(|t| t.age < self.min_num_samples)
+            .map(|t| t.limit)
+            .sum();
+    }
+
+    /// The machine's physical capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The tick of the most recent observation.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The warm-up threshold in samples.
+    pub fn min_num_samples(&self) -> usize {
+        self.min_num_samples
+    }
+
+    /// The per-task window capacity in samples.
+    pub fn max_num_samples(&self) -> usize {
+        self.max_num_samples
+    }
+
+    /// Number of tasks currently alive.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Σ limits over all alive tasks — the conservative no-overcommit peak.
+    pub fn total_limit(&self) -> f64 {
+        self.total_limit
+    }
+
+    /// Σ limits over tasks still in warm-up.
+    pub fn cold_limit_sum(&self) -> f64 {
+        self.cold_limit_sum
+    }
+
+    /// Iterates over warm tasks (those past the warm-up threshold).
+    pub fn warm_tasks(&self) -> impl Iterator<Item = (&TaskId, &TaskView)> {
+        self.tasks
+            .iter()
+            .filter(|(_, t)| t.age >= self.min_num_samples)
+    }
+
+    /// Iterates over all alive tasks.
+    pub fn tasks(&self) -> impl Iterator<Item = (&TaskId, &TaskView)> {
+        self.tasks.iter()
+    }
+
+    /// The machine-level aggregate usage window (per tick, Σ usage over the
+    /// tasks that were warm at that tick).
+    pub fn warm_aggregate(&self) -> &MovingWindow {
+        &self.warm_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_trace::ids::JobId;
+
+    fn tid(j: u64, i: u32) -> TaskId {
+        TaskId::new(JobId(j), i)
+    }
+
+    fn small_cfg() -> SimConfig {
+        let mut c = SimConfig::default();
+        c.min_num_samples = 3;
+        c.max_num_samples = 5;
+        c
+    }
+
+    #[test]
+    fn warmup_transitions() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        for k in 0..5u64 {
+            v.observe(Tick(k), [(tid(1, 0), 0.4, 0.1)]);
+            let warm = v.warm_tasks().count();
+            if k < 2 {
+                assert_eq!(warm, 0, "tick {k}");
+                assert_eq!(v.cold_limit_sum(), 0.4);
+            } else {
+                assert_eq!(warm, 1, "tick {k}");
+                assert_eq!(v.cold_limit_sum(), 0.0);
+            }
+        }
+        assert_eq!(v.total_limit(), 0.4);
+        assert_eq!(v.now(), Tick(4));
+    }
+
+    #[test]
+    fn departed_tasks_are_dropped() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        v.observe(Tick(0), [(tid(1, 0), 0.4, 0.1), (tid(2, 0), 0.2, 0.05)]);
+        assert_eq!(v.task_count(), 2);
+        v.observe(Tick(1), [(tid(2, 0), 0.2, 0.05)]);
+        assert_eq!(v.task_count(), 1);
+        assert_eq!(v.total_limit(), 0.2);
+    }
+
+    #[test]
+    fn aggregate_window_counts_only_then_warm_tasks() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        // Tick 0-1: task cold, aggregate records 0.
+        v.observe(Tick(0), [(tid(1, 0), 0.4, 0.10)]);
+        v.observe(Tick(1), [(tid(1, 0), 0.4, 0.20)]);
+        assert_eq!(v.warm_aggregate().last(), Some(0.0));
+        // Tick 2: third sample — warm from now on.
+        v.observe(Tick(2), [(tid(1, 0), 0.4, 0.30)]);
+        assert_eq!(v.warm_aggregate().last(), Some(0.30));
+        assert_eq!(v.warm_aggregate().len(), 3);
+    }
+
+    #[test]
+    fn window_capacity_is_bounded() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        for k in 0..50u64 {
+            v.observe(Tick(k), [(tid(1, 0), 0.4, k as f64)]);
+        }
+        let (_, t) = v.tasks().next().unwrap();
+        assert_eq!(t.window().len(), 5);
+        assert_eq!(t.age(), 50);
+        assert_eq!(t.window().last(), Some(49.0));
+        assert_eq!(v.warm_aggregate().len(), 5);
+    }
+
+    #[test]
+    fn readmitted_task_restarts_cold() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        for k in 0..4u64 {
+            v.observe(Tick(k), [(tid(1, 0), 0.4, 0.1)]);
+        }
+        assert_eq!(v.warm_tasks().count(), 1);
+        v.observe(Tick(4), []); // Departs.
+        v.observe(Tick(5), [(tid(1, 0), 0.4, 0.1)]); // Same id returns.
+        assert_eq!(v.warm_tasks().count(), 0);
+        assert_eq!(v.cold_limit_sum(), 0.4);
+    }
+
+    #[test]
+    fn limit_updates_are_tracked() {
+        // Autopilot-style limit changes must be reflected immediately.
+        let mut v = MachineView::new(1.0, &small_cfg());
+        v.observe(Tick(0), [(tid(1, 0), 0.4, 0.1)]);
+        v.observe(Tick(1), [(tid(1, 0), 0.6, 0.1)]);
+        assert_eq!(v.total_limit(), 0.6);
+    }
+}

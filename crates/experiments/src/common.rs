@@ -1,0 +1,94 @@
+//! Shared experiment options and workload scaling.
+
+use oc_trace::cell::CellConfig;
+use oc_trace::time::TICKS_PER_DAY;
+
+/// Workload scale of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced machine counts and durations; minutes on a laptop.
+    Quick,
+    /// The presets' full (already workstation-scaled) configuration.
+    Full,
+}
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Worker threads.
+    pub threads: usize,
+    /// Directory CSV outputs are written to.
+    pub results: std::path::PathBuf,
+    /// Render terminal CDF plots.
+    pub plot: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: Scale::Quick,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            results: crate::output::results_dir(),
+            plot: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Applies the scale to a cell preset: quick runs shrink machine
+    /// counts 4× and cap durations at `quick_days`.
+    pub fn scaled(&self, mut cell: CellConfig, quick_days: u64) -> CellConfig {
+        if self.scale == Scale::Quick {
+            cell.machines = (cell.machines / 4).max(6);
+            cell.duration_ticks = cell.duration_ticks.min(quick_days * TICKS_PER_DAY);
+        }
+        cell
+    }
+
+    /// Path of a CSV output file.
+    pub fn csv(&self, name: &str) -> std::path::PathBuf {
+        self.results.join(name)
+    }
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===");
+}
+
+/// Prints a paper-vs-measured claim line.
+pub fn claim(what: &str, measured: impl std::fmt::Display, paper: &str) {
+    println!("  [claim] {what}: measured {measured} (paper: {paper})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_trace::cell::CellPreset;
+
+    #[test]
+    fn quick_scale_shrinks() {
+        let opts = Opts {
+            scale: Scale::Quick,
+            ..Opts::default()
+        };
+        let cell = opts.scaled(CellConfig::preset(CellPreset::A), 2);
+        assert_eq!(cell.machines, 25);
+        assert_eq!(cell.duration_ticks, 2 * TICKS_PER_DAY);
+    }
+
+    #[test]
+    fn full_scale_is_identity() {
+        let opts = Opts {
+            scale: Scale::Full,
+            ..Opts::default()
+        };
+        let preset = CellConfig::preset(CellPreset::A);
+        let cell = opts.scaled(preset.clone(), 2);
+        assert_eq!(cell, preset);
+    }
+}

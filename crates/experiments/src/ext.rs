@@ -1,0 +1,162 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * `autopilot` — quantifies the paper's orthogonality argument: even
+//!   after Autopilot-style per-task limit tuning, the pooling effect
+//!   leaves machine-level overcommit headroom (Section 2.2 / Figure 1).
+//! * `seasonal` — evaluates the seasonal daily-peak predictor extension
+//!   against the paper's max predictor on the Figure 10 setup.
+
+use crate::common::{banner, claim, Opts};
+use crate::output::{cdf_header, cdf_row, write_cdf_csv, Table};
+use oc_core::autopilot::{recommend_limits, relative_slack, AutopilotConfig};
+use oc_core::config::SimConfig;
+use oc_core::oracle::machine_oracle;
+use oc_core::predictor::PredictorSpec;
+use oc_core::runner::run_cell_streaming;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::gen::WorkloadGenerator;
+use oc_trace::sample::UsageMetric;
+use std::error::Error;
+
+/// Runs the Autopilot orthogonality experiment.
+///
+/// # Errors
+///
+/// Propagates simulation and I/O errors.
+pub fn run_autopilot(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    banner(
+        "ext-autopilot",
+        "per-task limit tuning vs machine-level overcommit headroom",
+    );
+    let cell = opts.scaled(CellConfig::preset(CellPreset::A), 3);
+    let gen = WorkloadGenerator::new(cell)?;
+    let machines = gen.generate_cell_parallel(opts.threads)?;
+    let cfg = AutopilotConfig::default();
+
+    let mut slack_before = Vec::new();
+    let mut slack_after = Vec::new();
+    let mut headroom_before = Vec::new();
+    let mut headroom_after = Vec::new();
+    for m in &machines {
+        let n = m.horizon.len() as usize;
+        let mut declared = vec![0.0; n];
+        let mut tuned = vec![0.0; n];
+        for task in &m.tasks {
+            // Autopilot only helps tasks that live long enough to profile.
+            let limits = recommend_limits(task, &cfg)?;
+            let start = task.spec.start.index() as usize;
+            if task.samples.len() > cfg.warmup_ticks {
+                slack_before.push(relative_slack(
+                    task,
+                    &vec![task.spec.limit; task.samples.len()],
+                ));
+                slack_after.push(relative_slack(task, &limits));
+            }
+            for (k, &l) in limits.iter().enumerate() {
+                declared[start + k] += task.spec.limit;
+                tuned[start + k] += l;
+            }
+        }
+        // Machine-level headroom left by each limit regime: ΣL / future
+        // peak of the scheduled tasks.
+        let po = machine_oracle(m, UsageMetric::P90, 288);
+        for i in 0..n {
+            if po[i] > 1e-9 {
+                headroom_before.push(declared[i] / po[i]);
+                headroom_after.push(tuned[i] / po[i]);
+            }
+        }
+    }
+
+    let mut t = Table::new(&cdf_header("distribution"));
+    t.row(cdf_row("task slack, declared limits", &slack_before));
+    t.row(cdf_row("task slack, autopilot limits", &slack_after));
+    t.row(cdf_row("ΣL / machine peak, declared", &headroom_before));
+    t.row(cdf_row("ΣL / machine peak, autopilot", &headroom_after));
+    t.print();
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    claim(
+        "mean relative slack after Autopilot",
+        format!(
+            "{:.2} (down from {:.2})",
+            mean(&slack_after),
+            mean(&slack_before)
+        ),
+        "Autopilot leaves ≈23% slack (its own paper)",
+    );
+    claim(
+        "machine-level overcommit headroom surviving Autopilot",
+        format!(
+            "ΣL/peak {:.2}× (down from {:.2}×) — still > 1",
+            mean(&headroom_after),
+            mean(&headroom_before)
+        ),
+        "pooling effect persists: per-task tuning cannot reach it (Fig. 1 argument)",
+    );
+    write_cdf_csv(
+        &opts.csv("ext_autopilot.csv"),
+        &[
+            ("slack_declared".into(), slack_before),
+            ("slack_autopilot".into(), slack_after),
+            ("headroom_declared".into(), headroom_before),
+            ("headroom_autopilot".into(), headroom_after),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Runs the seasonal-predictor extension on the Figure 10 setup.
+///
+/// # Errors
+///
+/// Propagates simulation and I/O errors.
+pub fn run_seasonal(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    banner(
+        "ext-seasonal",
+        "seasonal daily-peak predictor vs the paper's max predictor (cell a)",
+    );
+    let cell = opts.scaled(CellConfig::preset(CellPreset::A), 3);
+    let gen = WorkloadGenerator::new(cell)?;
+    let specs = [
+        PredictorSpec::paper_max(),
+        PredictorSpec::Seasonal {
+            slots: 24,
+            decay: 0.05,
+            horizon_ticks: 288,
+        },
+        PredictorSpec::seasonal_max(),
+    ];
+    let run = run_cell_streaming(
+        &gen,
+        &SimConfig::default().with_series(),
+        &specs,
+        opts.threads,
+    )?;
+
+    let mut viol = Table::new(&cdf_header("predictor (violation rate)"));
+    let mut save = Table::new(&["predictor", "mean cell savings"]);
+    let mut csv = Vec::new();
+    for (i, name) in run.predictors.iter().enumerate() {
+        let rates = run.violation_rates(i);
+        viol.row(cdf_row(name, &rates));
+        let savings = run.cell_savings_series(i).expect("series enabled");
+        save.row(vec![
+            name.clone(),
+            crate::output::f(savings.iter().sum::<f64>() / savings.len().max(1) as f64),
+        ]);
+        csv.push((name.clone(), rates));
+    }
+    viol.print();
+    save.print();
+
+    let p90 =
+        |i: usize| oc_stats::percentile_slice(&run.violation_rates(i), 90.0).unwrap_or(f64::NAN);
+    claim(
+        "adding the seasonal guard to the max composite",
+        format!("p90 violation rate {:.4} → {:.4}", p90(0), p90(2)),
+        "extension: closes the diurnal-trough blind spot at a modest savings cost",
+    );
+    write_cdf_csv(&opts.csv("ext_seasonal.csv"), &csv)?;
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! The reproduction harness: one module per paper table/figure.
+//!
+//! Every experiment prints the paper's rows/series as aligned quantile
+//! tables, emits `[claim]` lines comparing measured values against the
+//! paper's reported ones, and writes the full CDF data as CSV under
+//! `results/`. The `repro` binary dispatches to these modules; integration
+//! tests and benches reuse them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod diag;
+pub mod ext;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod output;
+pub mod plot;
+pub mod sweep;
+pub mod table1;
+pub mod workload;
+
+use common::Opts;
+use std::error::Error;
+
+/// Experiment ids accepted by [`dispatch`], in run order.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "fig1", "table1", "fig3", "fig4", "fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
+    "fig11", "fig12",
+];
+
+/// The A/B experiment id (also run by `all`, listed separately because it
+/// covers two figures).
+pub const AB_EXPERIMENT: &str = "fig13";
+
+/// Runs one experiment by id (`"fig14"` is an alias for the A/B run).
+///
+/// # Errors
+///
+/// Returns an error for unknown ids and propagates experiment failures.
+pub fn dispatch(id: &str, opts: &Opts) -> Result<(), Box<dyn Error>> {
+    match id {
+        "fig1" => fig1::run(opts),
+        "diag" => diag::run(opts),
+        "autopilot" => ext::run_autopilot(opts),
+        "seasonal" => ext::run_seasonal(opts),
+        "workload" => workload::run(opts),
+        "table1" => table1::run(opts),
+        "fig3" => fig3::run(opts),
+        "fig4" => fig4::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig7a" => fig7::run_a(opts),
+        "fig7b" => fig7::run_b(opts),
+        "fig7c" => fig7::run_c(opts),
+        "fig8" => fig8::run(opts),
+        "fig9" => fig9::run(opts),
+        "fig10" => fig10::run(opts),
+        "fig11" => fig11::run(opts),
+        "fig12" => fig12::run(opts),
+        "fig13" | "fig14" | "ab" => fig13::run(opts),
+        "all" => {
+            for id in ALL_EXPERIMENTS {
+                dispatch(id, opts)?;
+            }
+            dispatch(AB_EXPERIMENT, opts)?;
+            dispatch("autopilot", opts)?;
+            dispatch("seasonal", opts)
+        }
+        other => Err(format!(
+            "unknown experiment '{other}'; known: {}, fig13 (= fig14), autopilot, seasonal, workload, diag, all",
+            ALL_EXPERIMENTS.join(", ")
+        )
+        .into()),
+    }
+}

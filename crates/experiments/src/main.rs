@@ -1,0 +1,66 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] [--threads N] [--results DIR] <experiment>...
+//! repro all
+//! ```
+
+use oc_experiments::common::{Opts, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opts = Opts::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => opts.scale = Scale::Full,
+            "--plot" => opts.plot = true,
+            "--quick" => opts.scale = Scale::Quick,
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.threads = n,
+                None => return usage("--threads needs a positive integer"),
+            },
+            "--results" => match args.next() {
+                Some(dir) => opts.results = dir.into(),
+                None => return usage("--results needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => return usage(&format!("unknown flag '{other}'")),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        return usage("no experiment given");
+    }
+    println!(
+        "scale: {:?}, threads: {}, results dir: {}",
+        opts.scale,
+        opts.threads,
+        opts.results.display()
+    );
+    for id in &experiments {
+        if let Err(e) = oc_experiments::dispatch(id, &opts) {
+            eprintln!("error running {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--full] [--plot] [--threads N] [--results DIR] <experiment>...\n\
+         experiments: {}, fig13 (= fig14), all\n\
+         --full runs the presets' full scale; the default is a quick pass",
+        oc_experiments::ALL_EXPERIMENTS.join(", ")
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,209 @@
+//! Output helpers: aligned text tables and CSV files.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// An aligned text table printed to stdout, mirroring the paper's rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 4 significant decimals for table cells.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Writes a CSV file with a header row and one row per record.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    file.flush()
+}
+
+/// CDF quantile probes used in every distribution table.
+pub const CDF_PROBES: [f64; 7] = [5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
+
+/// Quantile row for a CDF table: `[name, q5, q25, q50, q75, q90, q95, q99]`.
+pub fn cdf_row(name: &str, samples: &[f64]) -> Vec<String> {
+    let mut row = vec![name.to_string()];
+    if samples.is_empty() {
+        row.extend(std::iter::repeat_n("-".to_string(), CDF_PROBES.len()));
+        return row;
+    }
+    for p in CDF_PROBES {
+        let q = oc_stats::percentile_slice(samples, p).expect("non-empty samples");
+        row.push(f(q));
+    }
+    row
+}
+
+/// Header for a CDF table.
+pub fn cdf_header(label: &str) -> Vec<&str> {
+    let mut h = vec![label];
+    h.extend(["p5", "p25", "p50", "p75", "p90", "p95", "p99"]);
+    h
+}
+
+/// Writes a named set of sample vectors as long-format CSV
+/// (`series,x,cdf`) so external tools can re-plot the figure.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_cdf_csv(path: &Path, series: &[(String, Vec<f64>)]) -> std::io::Result<()> {
+    let rows = series.iter().flat_map(|(name, samples)| {
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        sorted.into_iter().enumerate().map(move |(i, x)| {
+            vec![
+                name.clone(),
+                format!("{x}"),
+                format!("{}", (i + 1) as f64 / n as f64),
+            ]
+        })
+    });
+    write_csv(path, &["series", "x", "cdf"], rows)
+}
+
+/// Resolves the results directory (`results/` under the workspace root by
+/// default, overridable via `REPRO_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("REPRO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn cdf_row_quantiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let row = cdf_row("s", &samples);
+        assert_eq!(row.len(), 8);
+        assert_eq!(row[0], "s");
+        // Median of 1..=100 is 50.5.
+        assert_eq!(row[3], "50.5000");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("oc-experiments-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], vec![vec!["1".into(), "2".into()]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cdf_csv_is_monotone() {
+        let dir = std::env::temp_dir().join("oc-experiments-test");
+        let path = dir.join("cdf.csv");
+        write_cdf_csv(&path, &[("s".into(), vec![3.0, 1.0, 2.0])]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("s,1,"));
+        assert!(lines[3].starts_with("s,3,1"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

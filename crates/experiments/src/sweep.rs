@@ -1,0 +1,97 @@
+//! Shared machinery for the Figure 8 / Figure 9 parameter sweeps.
+
+use crate::common::Opts;
+use crate::output::{cdf_header, cdf_row, f, write_cdf_csv, Table};
+use oc_core::config::SimConfig;
+use oc_core::predictor::PredictorSpec;
+use oc_core::runner::run_cell_streaming;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::gen::WorkloadGenerator;
+use std::error::Error;
+
+/// One sweep configuration: a label, a predictor, and node-agent knobs.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Row label.
+    pub label: String,
+    /// The predictor under test.
+    pub spec: PredictorSpec,
+    /// Warm-up in hours.
+    pub warmup_hours: f64,
+    /// History window in hours.
+    pub history_hours: f64,
+}
+
+/// Result of one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Row label.
+    pub label: String,
+    /// Per-machine violation rates.
+    pub violation_rates: Vec<f64>,
+    /// Mean cell-level savings `1 − ΣP/ΣL` over ticks.
+    pub mean_cell_savings: f64,
+}
+
+/// Runs each sweep point on trace cell `a` and returns per-point metrics.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_sweep(opts: &Opts, points: &[SweepPoint]) -> Result<Vec<SweepResult>, Box<dyn Error>> {
+    let cell = opts.scaled(CellConfig::preset(CellPreset::A), 3);
+    let gen = WorkloadGenerator::new(cell)?;
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        let cfg = SimConfig::default()
+            .with_warmup_hours(p.warmup_hours)
+            .with_history_hours(p.history_hours)
+            .with_series();
+        let run = run_cell_streaming(&gen, &cfg, std::slice::from_ref(&p.spec), opts.threads)?;
+        let savings = run
+            .cell_savings_series(0)
+            .expect("series recording enabled");
+        out.push(SweepResult {
+            label: p.label.clone(),
+            violation_rates: run.violation_rates(0),
+            mean_cell_savings: savings.iter().sum::<f64>() / savings.len().max(1) as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Prints a violation-rate CDF table plus a savings column and writes the
+/// CDF CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn report(
+    opts: &Opts,
+    panel: &str,
+    csv_name: &str,
+    results: &[SweepResult],
+    with_savings: bool,
+) -> Result<(), Box<dyn Error>> {
+    println!("{panel}");
+    let mut t = Table::new(&cdf_header("config (violation rate)"));
+    for r in results {
+        t.row(cdf_row(&r.label, &r.violation_rates));
+    }
+    t.print();
+    if with_savings {
+        let mut s = Table::new(&["config", "mean cell savings (1 − ΣP/ΣL)"]);
+        for r in results {
+            s.row(vec![r.label.clone(), f(r.mean_cell_savings)]);
+        }
+        s.print();
+    }
+    write_cdf_csv(
+        &opts.csv(csv_name),
+        &results
+            .iter()
+            .map(|r| (r.label.clone(), r.violation_rates.clone()))
+            .collect::<Vec<_>>(),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Per-machine QoS summaries and SLO accounting.
+
+use oc_stats::{percentile_slice, StatsError};
+
+/// Summary of one machine's CPU scheduling latency over a period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosReport {
+    /// Mean latency.
+    pub mean: f64,
+    /// Median latency.
+    pub p50: f64,
+    /// 90th-percentile latency (the production tail metric of Figure 14(b)).
+    pub p90: f64,
+    /// 99th-percentile latency (the tail metric of Figure 3(d)).
+    pub p99: f64,
+    /// Largest single-tick latency.
+    pub max: f64,
+}
+
+impl QosReport {
+    /// Summarizes a latency series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty series.
+    pub fn from_series(latency: &[f64]) -> Result<QosReport, StatsError> {
+        if latency.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        Ok(QosReport {
+            mean: latency.iter().sum::<f64>() / latency.len() as f64,
+            p50: percentile_slice(latency, 50.0)?,
+            p90: percentile_slice(latency, 90.0)?,
+            p99: percentile_slice(latency, 99.0)?,
+            max: latency.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Returns a copy with every field divided by `unit` (for the paper's
+    /// "normalized to the mean latency at zero violations" plots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `unit` is not positive.
+    pub fn normalized(&self, unit: f64) -> Result<QosReport, StatsError> {
+        if !(unit > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                what: "normalization unit must be positive",
+            });
+        }
+        Ok(QosReport {
+            mean: self.mean / unit,
+            p50: self.p50 / unit,
+            p90: self.p90 / unit,
+            p99: self.p99 / unit,
+            max: self.max / unit,
+        })
+    }
+}
+
+/// Fraction of ticks whose latency exceeds an SLO threshold.
+pub fn slo_miss_rate(latency: &[f64], threshold: f64) -> f64 {
+    if latency.is_empty() {
+        return 0.0;
+    }
+    latency.iter().filter(|&&l| l > threshold).count() as f64 / latency.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_percentiles() {
+        let series: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let r = QosReport::from_series(&series).unwrap();
+        assert!((r.mean - 50.5).abs() < 1e-9);
+        assert!((r.p50 - 50.5).abs() < 1e-9);
+        assert!(r.p90 > r.p50 && r.p99 > r.p90);
+        assert_eq!(r.max, 100.0);
+    }
+
+    #[test]
+    fn empty_series_is_an_error() {
+        assert!(QosReport::from_series(&[]).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let r = QosReport::from_series(&[2.0, 4.0]).unwrap();
+        let n = r.normalized(2.0).unwrap();
+        assert!((n.mean - 1.5).abs() < 1e-12);
+        assert_eq!(n.max, 2.0);
+        assert!(r.normalized(0.0).is_err());
+    }
+
+    #[test]
+    fn slo_misses() {
+        let series = [1.0, 2.0, 3.0, 10.0];
+        assert!((slo_miss_rate(&series, 2.5) - 0.5).abs() < 1e-12);
+        assert_eq!(slo_miss_rate(&[], 1.0), 0.0);
+    }
+}

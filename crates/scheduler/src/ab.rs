@@ -1,0 +1,332 @@
+//! The production A/B experiment harness (Section 6 of the paper).
+//!
+//! The paper samples ≈24,000 machines *within shared production cells*,
+//! deploys `max(N-sigma, RC-like)` to half (the experiment group) and
+//! leaves the tuned borg-default policy on the other half (the control
+//! group). Both groups serve the same task stream under the same
+//! scheduler; only the machines' advertised free capacity differs. The
+//! harness reproduces that design exactly: one cluster, one arrival
+//! stream, predictors assigned to machines by parity. Every downstream
+//! difference — how much workload a group attracts, how balanced it is,
+//! how contended its machines get — is attributable to the policy.
+
+use crate::cluster::{run_cluster_assigned, ClusterConfig, ClusterOutcome};
+use crate::error::SchedulerError;
+use crate::placement::PlacementPolicy;
+use oc_core::config::SimConfig;
+use oc_core::predictor::PredictorSpec;
+use oc_core::runner::{run_cell, CellRun};
+use oc_qos::{LatencyModel, QosReport};
+use oc_stats::percentile_slice;
+use oc_trace::cell::CellConfig;
+use oc_trace::ids::CellId;
+use oc_trace::MachineTrace;
+
+/// Configuration of one A/B experiment.
+#[derive(Debug, Clone)]
+pub struct AbConfig {
+    /// Workload models and *total* machine count (both groups combined).
+    pub cell: CellConfig,
+    /// Mean job submissions per tick offered to the shared cluster.
+    pub jobs_per_tick: f64,
+    /// Experiment length in ticks (the paper runs 32 days).
+    pub duration_ticks: u64,
+    /// Node-agent configuration.
+    pub sim: SimConfig,
+    /// Policy of the control group (the paper: tuned borg-default).
+    pub control: PredictorSpec,
+    /// Policy of the experiment group (the paper: max(3σ, p80)).
+    pub experiment: PredictorSpec,
+    /// Bin-packing step, shared by the whole cluster.
+    pub placement: PlacementPolicy,
+    /// Arrival-stream seed.
+    pub arrival_seed: u64,
+    /// The contention → latency model.
+    pub latency: LatencyModel,
+    /// Worker threads for the post-hoc oracle replay.
+    pub replay_threads: usize,
+}
+
+impl AbConfig {
+    /// The paper's production setup, scaled down: borg-default(0.9) control
+    /// vs max(N-sigma(3), RC-like(p80)) experiment, 32 simulated days.
+    pub fn paper_default(cell: CellConfig, jobs_per_tick: f64) -> AbConfig {
+        AbConfig {
+            cell,
+            jobs_per_tick,
+            duration_ticks: 32 * oc_trace::time::TICKS_PER_DAY,
+            sim: SimConfig::default(),
+            control: PredictorSpec::borg_default(),
+            experiment: PredictorSpec::production_max(),
+            placement: PlacementPolicy::WorstFit,
+            arrival_seed: 0xAB_2021,
+            latency: LatencyModel::default(),
+            replay_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Per-tick group aggregates extracted from the mixed cluster.
+#[derive(Debug, Clone, Default)]
+pub struct GroupStats {
+    /// Per tick: Σ limits / Σ capacity over the group (Figure 13(d)).
+    pub alloc_ratio: Vec<f64>,
+    /// Per tick: Σ realized usage / Σ capacity (Figure 13(e)).
+    pub usage_ratio: Vec<f64>,
+    /// Per tick: relative savings `(ΣL − ΣP)/ΣL` (Figure 13(c)).
+    pub savings: Vec<f64>,
+}
+
+/// Everything measured for one group.
+#[derive(Debug)]
+pub struct GroupOutcome {
+    /// Group label (`"control"` / `"exp"`).
+    pub name: String,
+    /// Per-tick group aggregates.
+    pub stats: GroupStats,
+    /// Post-hoc oracle replay: per-machine violation rates, severities and
+    /// savings under the group's own policy.
+    pub replay: CellRun,
+    /// Per-machine CPU scheduling latency series.
+    pub latency: Vec<Vec<f64>>,
+    /// Per-machine latency summaries.
+    pub qos: Vec<QosReport>,
+    /// Per-task mean latency over each task's lifetime (Figure 14(a)).
+    pub task_latency: Vec<f64>,
+    /// Per-machine median utilization (Figure 14(c)).
+    pub util_p50: Vec<f64>,
+    /// Per-machine mean utilization (Figure 14(d)).
+    pub util_avg: Vec<f64>,
+    /// Per-machine 99th-percentile utilization (Figure 14(e)).
+    pub util_p99: Vec<f64>,
+}
+
+/// Control and experiment outcomes side by side.
+#[derive(Debug)]
+pub struct AbOutcome {
+    /// The control group (even machine indices).
+    pub control: GroupOutcome,
+    /// The experiment group (odd machine indices).
+    pub experiment: GroupOutcome,
+    /// Fraction of offered tasks the shared cluster admitted.
+    pub admission_rate: f64,
+}
+
+/// Runs the A/B experiment: one mixed cluster, groups split by machine
+/// parity (even = control, odd = experiment).
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors.
+pub fn run_ab(cfg: &AbConfig) -> Result<AbOutcome, SchedulerError> {
+    let cluster_cfg = ClusterConfig {
+        cell: cfg.cell.clone(),
+        jobs_per_tick: cfg.jobs_per_tick,
+        duration_ticks: cfg.duration_ticks,
+        sim: cfg.sim.clone(),
+        predictor: cfg.control.clone(),
+        placement: cfg.placement,
+        arrival_seed: cfg.arrival_seed,
+    };
+    let outcome = run_cluster_assigned(&cluster_cfg, |i| {
+        if i % 2 == 0 {
+            cfg.control.clone()
+        } else {
+            cfg.experiment.clone()
+        }
+    })?;
+    let admission_rate = outcome.stats.admission_rate();
+    let control = extract_group(cfg, &outcome, "control", &cfg.control, 0)?;
+    let experiment = extract_group(cfg, &outcome, "exp", &cfg.experiment, 1)?;
+    Ok(AbOutcome {
+        control,
+        experiment,
+        admission_rate,
+    })
+}
+
+/// Derives one group's metrics from the mixed-cluster outcome.
+fn extract_group(
+    cfg: &AbConfig,
+    outcome: &ClusterOutcome,
+    name: &str,
+    predictor: &PredictorSpec,
+    parity: usize,
+) -> Result<GroupOutcome, SchedulerError> {
+    let idx: Vec<usize> = (0..outcome.traces.len())
+        .filter(|i| i % 2 == parity)
+        .collect();
+    let traces: Vec<MachineTrace> = idx.iter().map(|&i| outcome.traces[i].clone()).collect();
+    let capacity: f64 = traces.iter().map(|m| m.capacity).sum();
+    let n_ticks = cfg.duration_ticks as usize;
+
+    // Per-tick group aggregates.
+    let mut stats = GroupStats {
+        alloc_ratio: vec![0.0; n_ticks],
+        usage_ratio: vec![0.0; n_ticks],
+        savings: vec![0.0; n_ticks],
+    };
+    let mut pred_sum = vec![0.0; n_ticks];
+    let mut limit_sum = vec![0.0; n_ticks];
+    for &i in &idx {
+        for t in 0..n_ticks {
+            limit_sum[t] += outcome.machine_limit[i][t];
+            pred_sum[t] += outcome.machine_prediction[i][t];
+            stats.usage_ratio[t] += outcome.machine_usage[i][t];
+        }
+    }
+    for t in 0..n_ticks {
+        stats.alloc_ratio[t] = limit_sum[t] / capacity;
+        stats.usage_ratio[t] /= capacity;
+        stats.savings[t] = if limit_sum[t] > 0.0 {
+            (limit_sum[t] - pred_sum[t]) / limit_sum[t]
+        } else {
+            0.0
+        };
+    }
+
+    // Post-hoc oracle replay for violation metrics.
+    let replay = run_cell(
+        CellId::new(name),
+        &traces,
+        &cfg.sim,
+        std::slice::from_ref(predictor),
+        cfg.replay_threads,
+    )?;
+
+    // QoS from uncapped demand.
+    let mut latency = Vec::with_capacity(traces.len());
+    let mut qos = Vec::with_capacity(traces.len());
+    for (&i, m) in idx.iter().zip(traces.iter()) {
+        let series =
+            cfg.latency
+                .machine_series(&outcome.demand_peak[i], m.capacity, u64::from(m.machine.0));
+        qos.push(QosReport::from_series(&series).map_err(oc_core::CoreError::Stats)?);
+        latency.push(series);
+    }
+
+    // Per-task mean latency over each task's lifetime. As in the paper's
+    // production evaluation, only latency-sensitive serving tasks count —
+    // batch tasks have no CPU-latency SLO.
+    let mut task_latency = Vec::new();
+    for (m, lat) in traces.iter().zip(latency.iter()) {
+        for task in &m.tasks {
+            if !task.spec.class.is_latency_sensitive() {
+                continue;
+            }
+            let s = task.spec.start.index() as usize;
+            let e = (task.spec.end.index() as usize).min(lat.len());
+            if s < e {
+                task_latency.push(lat[s..e].iter().sum::<f64>() / (e - s) as f64);
+            }
+        }
+    }
+
+    // Per-machine utilization percentiles.
+    let mut util_p50 = Vec::with_capacity(traces.len());
+    let mut util_avg = Vec::with_capacity(traces.len());
+    let mut util_p99 = Vec::with_capacity(traces.len());
+    for m in &traces {
+        let util: Vec<f64> = m.avg_usage.iter().map(|&u| u / m.capacity).collect();
+        util_p50.push(percentile_slice(&util, 50.0).map_err(oc_core::CoreError::Stats)?);
+        util_avg.push(util.iter().sum::<f64>() / util.len().max(1) as f64);
+        util_p99.push(percentile_slice(&util, 99.0).map_err(oc_core::CoreError::Stats)?);
+    }
+
+    Ok(GroupOutcome {
+        name: name.into(),
+        stats,
+        replay,
+        latency,
+        qos,
+        task_latency,
+        util_p50,
+        util_avg,
+        util_p99,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_trace::cell::CellPreset;
+
+    fn tiny_ab() -> AbConfig {
+        let mut cell = CellConfig::preset(CellPreset::A);
+        cell.machines = 6;
+        let mut cfg = AbConfig::paper_default(cell, 0.5);
+        cfg.duration_ticks = 240;
+        cfg.replay_threads = 2;
+        cfg
+    }
+
+    #[test]
+    fn ab_runs_and_reports() {
+        let out = run_ab(&tiny_ab()).unwrap();
+        assert_eq!(out.control.name, "control");
+        assert_eq!(out.experiment.name, "exp");
+        assert!((0.0..=1.0).contains(&out.admission_rate));
+        for g in [&out.control, &out.experiment] {
+            assert_eq!(g.qos.len(), 3);
+            assert_eq!(g.util_p50.len(), 3);
+            assert_eq!(g.replay.results.len(), 3);
+            assert!(!g.task_latency.is_empty());
+            assert_eq!(g.stats.alloc_ratio.len(), 240);
+            assert_eq!(g.stats.savings.len(), 240);
+            for (p50, (avg, p99)) in g
+                .util_p50
+                .iter()
+                .zip(g.util_avg.iter().zip(g.util_p99.iter()))
+            {
+                assert!(p50 <= p99, "median utilization above p99");
+                assert!(*avg >= 0.0 && *avg <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_cluster() {
+        let out = run_ab(&tiny_ab()).unwrap();
+        // Machines split by parity: ids 0,2,4 control; 1,3,5 experiment.
+        let c: Vec<u32> = out
+            .control
+            .replay
+            .results
+            .iter()
+            .map(|r| r.machine.0)
+            .collect();
+        let e: Vec<u32> = out
+            .experiment
+            .replay
+            .results
+            .iter()
+            .map(|r| r.machine.0)
+            .collect();
+        assert_eq!(c, vec![0, 2, 4]);
+        assert_eq!(e, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn control_savings_are_borg_shaped() {
+        // Once loaded, the control group's savings sit at exactly 10 %
+        // (borg-default 0.9): its predictions are always 0.9 ΣL.
+        let out = run_ab(&tiny_ab()).unwrap();
+        let s = &out.control.stats.savings;
+        for (i, v) in s.iter().enumerate().skip(10) {
+            assert!((v - 0.1).abs() < 1e-9, "tick {i}: control savings {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_ab(&tiny_ab()).unwrap();
+        let b = run_ab(&tiny_ab()).unwrap();
+        assert_eq!(
+            a.experiment.stats.usage_ratio,
+            b.experiment.stats.usage_ratio
+        );
+        assert_eq!(a.admission_rate, b.admission_rate);
+    }
+}

@@ -1,0 +1,223 @@
+//! Cell-wide task arrival stream for the live scheduler.
+//!
+//! Unlike the trace generator (which refills each machine independently to
+//! a target, replaying fixed placements), the live scheduler receives a
+//! single cluster-wide stream of job submissions and must *place* them.
+//! The stream reuses the trace substrate's workload models — runtime
+//! mixture, limit distribution, usage-process parameters, job structure —
+//! so that both evaluation modes see the same kind of workload.
+//!
+//! The stream is deterministic given its seed and is independent of what
+//! the scheduler admits, which is what makes A/B experiments fair: the
+//! control and experiment clusters are offered byte-identical submissions.
+
+use oc_trace::cell::CellConfig;
+use oc_trace::gen::{dist, splitmix};
+use oc_trace::ids::{JobId, TaskId};
+use oc_trace::task::SchedulingClass;
+use oc_trace::time::{Tick, TICKS_PER_HOUR};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One task submission offered to the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRequest {
+    /// Task identity.
+    pub id: TaskId,
+    /// CPU limit in normalized machine-capacity units.
+    pub limit: f64,
+    /// Requested runtime in ticks (the scheduler learns this only by the
+    /// task finishing; it is carried here for bookkeeping).
+    pub runtime_ticks: u64,
+    /// Latency-sensitivity class.
+    pub class: SchedulingClass,
+    /// Priority.
+    pub priority: u16,
+    /// Shared per-job seed for the usage process (sibling correlation).
+    pub job_seed: u64,
+    /// Shared per-job diurnal phase.
+    pub job_phase: f64,
+    /// Shared per-job base utilization level.
+    pub job_util_base: f64,
+}
+
+/// Deterministic cluster-wide arrival stream.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    cfg: CellConfig,
+    /// Mean job submissions per tick.
+    jobs_per_tick: f64,
+    rng: SmallRng,
+    next_job: u64,
+}
+
+impl ArrivalStream {
+    /// Creates a stream drawing workload models from `cfg`, offering on
+    /// average `jobs_per_tick` job submissions per tick.
+    pub fn new(cfg: CellConfig, jobs_per_tick: f64, seed: u64) -> ArrivalStream {
+        ArrivalStream {
+            rng: SmallRng::seed_from_u64(splitmix(seed ^ 0x0A88_14A1)),
+            cfg,
+            jobs_per_tick: jobs_per_tick.max(0.0),
+            next_job: 0,
+        }
+    }
+
+    /// The mean job submissions per tick.
+    pub fn jobs_per_tick(&self) -> f64 {
+        self.jobs_per_tick
+    }
+
+    /// Draws the submissions for tick `t` (possibly empty). The arrival
+    /// intensity follows the cell's diurnal amplitude, as in Figure 4.
+    pub fn tick(&mut self, t: Tick) -> Vec<TaskRequest> {
+        let diurnal =
+            1.0 + self.cfg.arrival_diurnal_amp * (std::f64::consts::TAU * t.day_fraction()).sin();
+        let mean = self.jobs_per_tick * diurnal;
+        let jobs = dist::poisson(&mut self.rng, mean);
+        let mut out = Vec::new();
+        for _ in 0..jobs {
+            self.draw_job(&mut out);
+        }
+        out
+    }
+
+    /// Draws one job's task submissions into `out`.
+    fn draw_job(&mut self, out: &mut Vec<TaskRequest>) {
+        let cfg = &self.cfg;
+        self.next_job += 1;
+        let id = JobId(self.next_job);
+        let count = self
+            .rng
+            .random_range(cfg.tasks_per_job.0..=cfg.tasks_per_job.1);
+        let limit = dist::lognormal(&mut self.rng, cfg.limits.log_mean, cfg.limits.log_sigma)
+            .clamp(cfg.limits.min, cfg.limits.max);
+        let serving = self.rng.random::<f64>() < cfg.serving_fraction;
+        let (class, priority) = if serving {
+            if self.rng.random::<f64>() < 0.5 {
+                (SchedulingClass::Class2, 200)
+            } else {
+                (SchedulingClass::Class3, 360)
+            }
+        } else if self.rng.random::<f64>() < 0.5 {
+            (SchedulingClass::Class0, 25)
+        } else {
+            (SchedulingClass::Class1, 100)
+        };
+        let job_seed = splitmix(cfg.seed ^ splitmix(id.0));
+        let job_phase =
+            cfg.diurnal_phase + dist::normal(&mut self.rng, 0.0, cfg.usage.diurnal_phase_jitter);
+        let job_util_base = oc_trace::gen::usage::draw_job_base(&mut self.rng, &cfg.usage);
+        for index in 0..count {
+            let runtime = self.draw_runtime_ticks();
+            out.push(TaskRequest {
+                id: TaskId::new(id, index),
+                limit,
+                runtime_ticks: runtime,
+                class,
+                priority,
+                job_seed,
+                job_phase,
+                job_util_base,
+            });
+        }
+    }
+
+    /// Draws a runtime from the cell's two-component lognormal mixture.
+    fn draw_runtime_ticks(&mut self) -> u64 {
+        let m = &self.cfg.runtime;
+        let hours = if self.rng.random::<f64>() < m.short_frac {
+            dist::lognormal(&mut self.rng, m.short_median_hours.ln(), m.short_sigma)
+        } else {
+            dist::lognormal(&mut self.rng, m.long_median_hours.ln(), m.long_sigma)
+        };
+        let hours = hours.min(m.max_hours);
+        ((hours * TICKS_PER_HOUR as f64).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_trace::cell::CellPreset;
+
+    fn stream(jobs_per_tick: f64, seed: u64) -> ArrivalStream {
+        ArrivalStream::new(CellConfig::preset(CellPreset::A), jobs_per_tick, seed)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = stream(2.0, 7);
+        let mut b = stream(2.0, 7);
+        for t in 0..50u64 {
+            assert_eq!(a.tick(Tick(t)), b.tick(Tick(t)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = stream(2.0, 7);
+        let mut b = stream(2.0, 8);
+        let all_a: Vec<_> = (0..50).flat_map(|t| a.tick(Tick(t))).collect();
+        let all_b: Vec<_> = (0..50).flat_map(|t| b.tick(Tick(t))).collect();
+        assert_ne!(all_a, all_b);
+    }
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let mut s = stream(3.0, 1);
+        let mut jobs = std::collections::HashSet::new();
+        let ticks = 2000u64;
+        for t in 0..ticks {
+            for req in s.tick(Tick(t)) {
+                jobs.insert(req.id.job);
+            }
+        }
+        let rate = jobs.len() as f64 / ticks as f64;
+        assert!((rate - 3.0).abs() < 0.3, "job rate {rate}");
+    }
+
+    #[test]
+    fn siblings_share_job_parameters() {
+        let mut s = stream(5.0, 3);
+        let mut saw_multi_task_job = false;
+        for t in 0..20u64 {
+            let reqs = s.tick(Tick(t));
+            let mut by_job: std::collections::HashMap<_, Vec<&TaskRequest>> =
+                std::collections::HashMap::new();
+            for r in &reqs {
+                by_job.entry(r.id.job).or_default().push(r);
+            }
+            for sibs in by_job.values().filter(|v| v.len() > 1) {
+                saw_multi_task_job = true;
+                let first = sibs[0];
+                for sib in &sibs[1..] {
+                    assert_eq!(sib.limit, first.limit);
+                    assert_eq!(sib.class, first.class);
+                    assert_eq!(sib.job_seed, first.job_seed);
+                    assert_eq!(sib.job_phase, first.job_phase);
+                }
+            }
+        }
+        assert!(saw_multi_task_job, "no multi-task job in 20 ticks");
+    }
+
+    #[test]
+    fn zero_rate_produces_nothing() {
+        let mut s = stream(0.0, 1);
+        for t in 0..100u64 {
+            assert!(s.tick(Tick(t)).is_empty());
+        }
+    }
+
+    #[test]
+    fn task_requests_are_valid() {
+        let mut s = stream(4.0, 9);
+        for t in 0..200u64 {
+            for req in s.tick(Tick(t)) {
+                assert!(req.limit > 0.0 && req.limit <= 1.0);
+                assert!(req.runtime_ticks >= 1);
+            }
+        }
+    }
+}

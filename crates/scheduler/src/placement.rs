@@ -1,0 +1,148 @@
+//! Placement policies: picking one machine among the feasible candidates.
+//!
+//! The paper's contribution sits in the *feasibility* step — deciding
+//! which machines have room, via the peak predictor — and is explicitly
+//! orthogonal to the bin-packing step. These policies implement the
+//! bin-packing side so the A/B harness has a realistic scheduler around
+//! the predictor: classic first/best/worst-fit plus Borg-style relaxed
+//! randomized scoring over a bounded candidate sample.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How the scheduler picks among machines that pass the feasibility check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Lowest machine index first (deterministic, packs the head).
+    FirstFit,
+    /// Least remaining free capacity (tight packing).
+    BestFit,
+    /// Most remaining free capacity (load spreading).
+    WorstFit,
+    /// Examine a random sample of up to `k` feasible machines and take the
+    /// best fit among them (Borg's relaxed randomization).
+    RandomK(
+        /// Sample size.
+        usize,
+    ),
+}
+
+impl PlacementPolicy {
+    /// Chooses among `(machine index, free capacity)` candidates.
+    ///
+    /// Returns `None` when `candidates` is empty. Ties resolve to the
+    /// lower machine index, making every policy deterministic given the
+    /// RNG state.
+    pub fn choose(&self, candidates: &[(usize, f64)], rng: &mut SmallRng) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            PlacementPolicy::FirstFit => candidates.iter().map(|&(i, _)| i).min(),
+            PlacementPolicy::BestFit => pick(candidates, |a, b| a < b),
+            PlacementPolicy::WorstFit => pick(candidates, |a, b| a > b),
+            PlacementPolicy::RandomK(k) => {
+                let k = (*k).max(1).min(candidates.len());
+                // Sample k distinct candidate positions via partial
+                // Fisher-Yates on an index vector.
+                let mut idx: Vec<usize> = (0..candidates.len()).collect();
+                for i in 0..k {
+                    let j = rng.random_range(i..idx.len());
+                    idx.swap(i, j);
+                }
+                let sample: Vec<(usize, f64)> = idx[..k].iter().map(|&p| candidates[p]).collect();
+                pick(&sample, |a, b| a < b)
+            }
+        }
+    }
+
+    /// A short stable name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            PlacementPolicy::FirstFit => "first-fit".into(),
+            PlacementPolicy::BestFit => "best-fit".into(),
+            PlacementPolicy::WorstFit => "worst-fit".into(),
+            PlacementPolicy::RandomK(k) => format!("random-{k}"),
+        }
+    }
+}
+
+/// Picks the candidate whose free capacity wins under `better`, breaking
+/// ties toward the lower machine index.
+fn pick(candidates: &[(usize, f64)], better: impl Fn(f64, f64) -> bool) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &(i, free) in candidates {
+        match best {
+            None => best = Some((i, free)),
+            Some((bi, bf)) => {
+                if better(free, bf) || (free == bf && i < bi) {
+                    best = Some((i, free));
+                }
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    const CANDS: &[(usize, f64)] = &[(2, 0.5), (5, 0.1), (7, 0.9), (9, 0.1)];
+
+    #[test]
+    fn empty_candidates() {
+        for p in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::BestFit,
+            PlacementPolicy::WorstFit,
+            PlacementPolicy::RandomK(3),
+        ] {
+            assert_eq!(p.choose(&[], &mut rng()), None);
+        }
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_index() {
+        assert_eq!(PlacementPolicy::FirstFit.choose(CANDS, &mut rng()), Some(2));
+    }
+
+    #[test]
+    fn best_fit_takes_least_free_breaking_ties_low() {
+        assert_eq!(PlacementPolicy::BestFit.choose(CANDS, &mut rng()), Some(5));
+    }
+
+    #[test]
+    fn worst_fit_takes_most_free() {
+        assert_eq!(PlacementPolicy::WorstFit.choose(CANDS, &mut rng()), Some(7));
+    }
+
+    #[test]
+    fn random_k_picks_a_feasible_machine() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let c = PlacementPolicy::RandomK(2).choose(CANDS, &mut r).unwrap();
+            assert!(CANDS.iter().any(|&(i, _)| i == c));
+        }
+    }
+
+    #[test]
+    fn random_full_sample_equals_best_fit() {
+        let mut r = rng();
+        assert_eq!(
+            PlacementPolicy::RandomK(CANDS.len()).choose(CANDS, &mut r),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PlacementPolicy::RandomK(5).name(), "random-5");
+        assert_eq!(PlacementPolicy::WorstFit.name(), "worst-fit");
+    }
+}

@@ -1,0 +1,171 @@
+//! Bucketed error-bar summaries of paired data.
+//!
+//! Figure 3(d) of the paper groups machines into violation-rate buckets of
+//! width 0.005 and plots the mean ± std of normalized tail latency per
+//! bucket, cutting the x-axis at the first bucket with fewer than 50
+//! machines. [`Bucketed`] reproduces exactly that transformation.
+
+use crate::error::StatsError;
+use crate::welford::Welford;
+
+/// Summary of one x-axis bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketStat {
+    /// Left edge of the bucket (inclusive).
+    pub lo: f64,
+    /// Right edge of the bucket (exclusive).
+    pub hi: f64,
+    /// Number of pairs falling in the bucket.
+    pub count: u64,
+    /// Mean of the y values in the bucket.
+    pub mean: f64,
+    /// Population standard deviation of the y values in the bucket.
+    pub std: f64,
+}
+
+impl BucketStat {
+    /// Bucket midpoint, the conventional x coordinate for error-bar plots.
+    pub fn mid(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Groups `(x, y)` pairs into fixed-width x buckets starting at `origin`.
+#[derive(Debug, Clone)]
+pub struct Bucketed {
+    origin: f64,
+    width: f64,
+    buckets: Vec<Welford>,
+}
+
+impl Bucketed {
+    /// Creates an empty bucketing with buckets `[origin + k·width,
+    /// origin + (k+1)·width)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `width > 0` and both
+    /// arguments are finite.
+    pub fn new(origin: f64, width: f64) -> Result<Self, StatsError> {
+        if !(width > 0.0) || !origin.is_finite() || !width.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "bucket width must be positive and finite",
+            });
+        }
+        Ok(Bucketed {
+            origin,
+            width,
+            buckets: Vec::new(),
+        })
+    }
+
+    /// Adds a pair; `x` below `origin` clamps into the first bucket.
+    pub fn push(&mut self, x: f64, y: f64) {
+        let idx = if x <= self.origin {
+            0
+        } else {
+            ((x - self.origin) / self.width).floor() as usize
+        };
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Welford::new());
+        }
+        self.buckets[idx].push(y);
+    }
+
+    /// Adds every pair in the iterator.
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = (f64, f64)>) {
+        for (x, y) in pairs {
+            self.push(x, y);
+        }
+    }
+
+    /// Summaries of all non-empty-prefix buckets, in x order. Trailing empty
+    /// buckets cannot exist by construction; interior empty buckets are
+    /// reported with `count == 0`.
+    pub fn stats(&self) -> Vec<BucketStat> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, w)| BucketStat {
+                lo: self.origin + i as f64 * self.width,
+                hi: self.origin + (i + 1) as f64 * self.width,
+                count: w.count(),
+                mean: w.mean(),
+                std: w.population_std(),
+            })
+            .collect()
+    }
+
+    /// Summaries up to (excluding) the first bucket with fewer than
+    /// `min_count` pairs — the paper's "limit the x-axis range to the first
+    /// bucket containing less than 50 machines" rule.
+    pub fn stats_until_sparse(&self, min_count: u64) -> Vec<BucketStat> {
+        let all = self.stats();
+        let cut = all
+            .iter()
+            .position(|b| b.count < min_count)
+            .unwrap_or(all.len());
+        all.into_iter().take(cut).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(Bucketed::new(0.0, 0.0).is_err());
+        assert!(Bucketed::new(0.0, -1.0).is_err());
+        assert!(Bucketed::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn pairs_land_in_expected_buckets() {
+        let mut b = Bucketed::new(0.0, 0.5).unwrap();
+        b.extend([(0.1, 1.0), (0.4, 3.0), (0.6, 10.0)]);
+        let stats = b.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].mean, 2.0);
+        assert_eq!(stats[1].count, 1);
+        assert_eq!(stats[1].mean, 10.0);
+        assert_eq!(stats[0].mid(), 0.25);
+    }
+
+    #[test]
+    fn below_origin_clamps() {
+        let mut b = Bucketed::new(0.0, 1.0).unwrap();
+        b.push(-5.0, 7.0);
+        let stats = b.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].count, 1);
+        assert_eq!(stats[0].mean, 7.0);
+    }
+
+    #[test]
+    fn boundary_goes_to_upper_bucket() {
+        let mut b = Bucketed::new(0.0, 1.0).unwrap();
+        b.push(1.0, 2.0);
+        let stats = b.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].count, 0);
+        assert_eq!(stats[1].count, 1);
+    }
+
+    #[test]
+    fn sparse_cutoff_matches_paper_rule() {
+        let mut b = Bucketed::new(0.0, 1.0).unwrap();
+        // Bucket 0: 3 pairs, bucket 1: 1 pair, bucket 2: 3 pairs.
+        for _ in 0..3 {
+            b.push(0.5, 1.0);
+        }
+        b.push(1.5, 1.0);
+        for _ in 0..3 {
+            b.push(2.5, 1.0);
+        }
+        let kept = b.stats_until_sparse(2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].count, 3);
+    }
+}

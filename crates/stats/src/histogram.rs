@@ -1,0 +1,154 @@
+//! Fixed-width histograms.
+
+use crate::error::StatsError;
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+///
+/// Used for quick distribution sanity checks in the trace generator tests
+/// and for compact textual output in the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lo < hi`, both are
+    /// finite, and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() || bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram needs finite lo < hi and at least one bin",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records every observation in the iterator.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Per-bin counts, lowest bin first.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(left_edge, right_edge, count)` for each bin.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins.iter().enumerate().map(move |(i, &c)| {
+            let left = self.lo + i as f64 * width;
+            (left, left + width, c)
+        })
+    }
+
+    /// Fraction of in-range mass at or below the right edge of each bin;
+    /// empty if no in-range observation was recorded.
+    pub fn cumulative_fractions(&self) -> Vec<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return Vec::new();
+        }
+        let mut acc = 0u64;
+        self.bins
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / in_range as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn binning_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.extend([-0.1, 0.0, 0.1, 0.3, 0.6, 0.99, 1.0, 2.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(0.0, 2.0, 2).unwrap();
+        let edges: Vec<_> = h.bins().collect();
+        assert_eq!(edges, vec![(0.0, 1.0, 0), (1.0, 2.0, 0)]);
+    }
+
+    #[test]
+    fn cumulative_fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.extend((0..10).map(|i| i as f64));
+        let cum = h.cumulative_fractions();
+        assert_eq!(cum.len(), 5);
+        assert!((cum[4] - 1.0).abs() < 1e-12);
+        assert!((cum[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cumulative_is_empty() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert!(h.cumulative_fractions().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Statistics substrate for the overcommit reproduction.
+//!
+//! This crate collects the numerical building blocks that the paper's
+//! evaluation relies on, implemented from scratch so the workspace stays
+//! dependency-light:
+//!
+//! * [`Ecdf`] — empirical cumulative distribution functions, the plot type
+//!   used by almost every figure in the paper.
+//! * [`Welford`] — numerically stable streaming mean / variance
+//!   (used by the N-sigma predictor and by metric accumulation).
+//! * [`percentile`] — exact percentiles with linear interpolation, plus the
+//!   streaming [`percentile::P2Quantile`] estimator for constant-memory
+//!   operation on machine agents.
+//! * [`MovingWindow`] — the bounded per-task sample window
+//!   (`max_num_samples` in the paper) with O(1) mean/std.
+//! * [`correlation`] — Pearson and Spearman rank correlation
+//!   (Section 3.3's violation-rate vs. latency analysis).
+//! * [`regression`] — ordinary least squares (the "slope = 14.1" fit).
+//! * [`bucket`] — bucketed error-bar summaries (Figure 3(d)).
+//! * [`Histogram`] — fixed-width histograms for quick distribution checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod correlation;
+pub mod ecdf;
+pub mod error;
+pub mod histogram;
+pub mod moving;
+pub mod percentile;
+pub mod regression;
+pub mod summary;
+pub mod welford;
+
+pub use bucket::{BucketStat, Bucketed};
+pub use correlation::{pearson, spearman};
+pub use ecdf::Ecdf;
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use moving::MovingWindow;
+pub use percentile::{percentile_of_sorted, percentile_slice, P2Quantile};
+pub use regression::{ols, OlsFit};
+pub use summary::Summary;
+pub use welford::Welford;

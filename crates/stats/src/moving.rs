@@ -1,0 +1,226 @@
+//! Bounded moving windows over recent samples.
+
+use crate::error::StatsError;
+use crate::percentile::percentile_of_sorted;
+use std::collections::VecDeque;
+
+/// A fixed-capacity window over the most recent samples.
+///
+/// This is the paper's per-task history buffer: "for each task, we only
+/// maintain a moving window to store the most recent samples; we denote the
+/// window size by `max_num_samples`" (Section 4). Windows are deliberately
+/// small (10 h of 5-minute samples is 120 entries), so the standard
+/// deviation is computed exactly over the buffer with a shifted mean — the
+/// incremental sum-of-squares shortcut loses all precision when the mean is
+/// large relative to the spread, which CPU-usage series routinely are.
+///
+/// The running sum (used for the O(1) mean) is recomputed from scratch
+/// periodically to bound floating-point drift.
+///
+/// # Examples
+///
+/// ```
+/// use oc_stats::MovingWindow;
+///
+/// let mut w = MovingWindow::new(3).unwrap();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// // Window holds [2, 3, 4].
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+    /// Pushes since the last exact refresh of `sum`.
+    since_refresh: usize,
+}
+
+/// Refresh the running sum after this many pushes to bound floating-point
+/// drift from the add/subtract updates.
+const REFRESH_EVERY: usize = 4096;
+
+impl MovingWindow {
+    /// Creates a window retaining the `capacity` most recent samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, StatsError> {
+        if capacity == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "window capacity must be positive",
+            });
+        }
+        Ok(MovingWindow {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            since_refresh: 0,
+        })
+    }
+
+    /// Appends a sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front().expect("window is full");
+            self.sum -= old;
+        }
+        self.buf.push_back(x);
+        self.sum += x;
+        self.since_refresh += 1;
+        if self.since_refresh >= REFRESH_EVERY {
+            self.sum = self.buf.iter().sum();
+            self.since_refresh = 0;
+        }
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of the retained samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Population standard deviation of the retained samples; `0.0` when
+    /// fewer than two samples are held. Exact (two-pass) computation.
+    pub fn population_std(&self) -> f64 {
+        let n = self.buf.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.buf.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        var.sqrt()
+    }
+
+    /// Largest retained sample; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.buf.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `p`-th percentile (0..=100) of the retained samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] when the window is empty or an
+    /// invalid-percentile error from the underlying routine.
+    pub fn percentile(&self, p: f64) -> Result<f64, StatsError> {
+        if self.buf.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        percentile_of_sorted(&sorted, p)
+    }
+
+    /// Iterates over retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(MovingWindow::new(0).is_err());
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut w = MovingWindow::new(2).unwrap();
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        let held: Vec<f64> = w.iter().collect();
+        assert_eq!(held, vec![2.0, 3.0]);
+        assert_eq!(w.last(), Some(3.0));
+        assert_eq!(w.mean(), 2.5);
+    }
+
+    #[test]
+    fn std_matches_welford() {
+        use crate::welford::Welford;
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut w = MovingWindow::new(8).unwrap();
+        let mut wf = Welford::new();
+        for x in data {
+            w.push(x);
+            wf.push(x);
+        }
+        assert!((w.population_std() - wf.population_std()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_after_eviction() {
+        let mut w = MovingWindow::new(3).unwrap();
+        for x in [100.0, 1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        // Window is [1, 2, 3]: mean 2, population var 2/3.
+        assert_eq!(w.mean(), 2.0);
+        assert!((w.population_std() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_and_max() {
+        let mut w = MovingWindow::new(4).unwrap();
+        assert!(w.percentile(50.0).is_err());
+        for x in [4.0, 2.0, 8.0, 6.0] {
+            w.push(x);
+        }
+        assert_eq!(w.percentile(50.0).unwrap(), 5.0);
+        assert_eq!(w.max(), 8.0);
+    }
+
+    #[test]
+    fn no_drift_under_large_offset() {
+        let mut w = MovingWindow::new(16).unwrap();
+        for i in 0..100_000 {
+            w.push(1e9 + (i % 7) as f64);
+        }
+        let exact: Vec<f64> = w.iter().collect();
+        let mean = exact.iter().sum::<f64>() / exact.len() as f64;
+        let var = exact.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / exact.len() as f64;
+        assert!((w.population_std() - var.sqrt()).abs() < 1e-6);
+        assert!((w.mean() - mean).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_window_defaults() {
+        let w = MovingWindow::new(4).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_std(), 0.0);
+        assert_eq!(w.last(), None);
+        assert_eq!(w.capacity(), 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ordinary least squares regression on paired samples.
+
+use crate::error::StatsError;
+
+/// Result of a simple linear regression `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y = slope * x + intercept` by least squares.
+///
+/// Used by the `fig3` experiment to reproduce the paper's "slope of 14.1"
+/// fit of mean tail latency against bucketed violation rate.
+///
+/// # Errors
+///
+/// Returns [`StatsError::MismatchedLengths`] on unequal inputs,
+/// [`StatsError::Empty`] with fewer than two points,
+/// [`StatsError::NonFinite`] on NaN/inf, and
+/// [`StatsError::InvalidParameter`] if all `x` are identical (vertical line).
+pub fn ols(xs: &[f64], ys: &[f64]) -> Result<OlsFit, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::MismatchedLengths {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::Empty);
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "all x values identical; slope undefined",
+        });
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 14.1 * x + 1.0).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 14.1).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 142.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fit_is_reasonable() {
+        // Deterministic symmetric noise leaves slope/intercept untouched.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-3);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(matches!(
+            ols(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        assert_eq!(ols(&[1.0], &[1.0]), Err(StatsError::Empty));
+        assert!(matches!(
+            ols(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::MismatchedLengths { .. })
+        ));
+        assert_eq!(
+            ols(&[1.0, f64::INFINITY], &[1.0, 2.0]),
+            Err(StatsError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn flat_line_r_squared_is_one() {
+        let fit = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

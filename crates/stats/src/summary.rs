@@ -1,0 +1,111 @@
+//! One-shot descriptive summaries of a sample.
+
+use crate::ecdf::Ecdf;
+use crate::error::StatsError;
+use crate::welford::Welford;
+
+/// Descriptive statistics of a finite sample, computed in one pass plus a
+/// sort: count, mean, std, min/max and a standard set of percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use oc_stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.mean, 3.0);
+/// assert_eq!(s.p50, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 50th percentile (median).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] on an empty slice and
+    /// [`StatsError::NonFinite`] on NaN input.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        let ecdf = Ecdf::new(samples.to_vec())?;
+        let mut w = Welford::new();
+        w.extend(samples.iter().copied());
+        Ok(Summary {
+            count: samples.len(),
+            mean: w.mean(),
+            std: w.population_std(),
+            min: ecdf.min(),
+            p50: ecdf.quantile(0.50)?,
+            p90: ecdf.quantile(0.90)?,
+            p95: ecdf.quantile(0.95)?,
+            p99: ecdf.quantile(0.99)?,
+            max: ecdf.max(),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} p50={:.4} p90={:.4} p95={:.4} p99={:.4} max={:.4}",
+            self.count,
+            self.mean,
+            self.std,
+            self.min,
+            self.p50,
+            self.p90,
+            self.p95,
+            self.p99,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Summary::from_samples(&[]).unwrap_err(), StatsError::Empty);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = Summary::from_samples(&[1.0, 2.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.5"));
+    }
+}

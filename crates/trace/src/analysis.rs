@@ -1,0 +1,243 @@
+//! Workload characterization.
+//!
+//! The substitution this crate makes — a statistical generator in place of
+//! the 100 GB public trace — stands or falls on distributional properties.
+//! This module computes the characterization a user needs to check that
+//! claim against the real trace (or against their own workload): size
+//! inventory, utilization and slack distributions, job structure, diurnal
+//! strength, and the temporal autocorrelation of machine load.
+
+use crate::ids::JobId;
+use crate::machine::MachineTrace;
+use crate::sample::UsageMetric;
+use crate::time::{Tick, TICKS_PER_DAY};
+use std::collections::BTreeMap;
+
+/// Distribution summary of a cell's workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellProfile {
+    /// Machines in the cell.
+    pub machines: usize,
+    /// Tasks across all machines.
+    pub tasks: usize,
+    /// Distinct jobs.
+    pub jobs: usize,
+    /// Mean tasks per job.
+    pub tasks_per_job: f64,
+    /// Mean task runtime in hours.
+    pub mean_runtime_hours: f64,
+    /// Fraction of tasks shorter than 24 h.
+    pub frac_under_24h: f64,
+    /// Mean of per-task mean usage-to-limit ratios (1 − relative slack).
+    pub mean_usage_to_limit: f64,
+    /// Mean machine utilization (usage / capacity).
+    pub mean_utilization: f64,
+    /// Mean over machines of `Σ limits / capacity` at the midpoint tick.
+    pub mean_limit_ratio: f64,
+    /// Strength of the daily cycle in cell-level usage, in `[0, 1]`:
+    /// the lag-one-day autocorrelation of the aggregate usage series.
+    pub diurnal_strength: f64,
+    /// Lag-1h autocorrelation of machine-level usage (burstiness memory).
+    pub hourly_autocorrelation: f64,
+}
+
+/// Computes the profile of a set of machines (one cell).
+///
+/// Returns `None` for an empty cell or an empty horizon.
+pub fn profile(machines: &[MachineTrace]) -> Option<CellProfile> {
+    let first = machines.first()?;
+    let n_ticks = first.horizon.len() as usize;
+    if n_ticks == 0 {
+        return None;
+    }
+
+    let mut tasks = 0usize;
+    let mut jobs: BTreeMap<JobId, u32> = BTreeMap::new();
+    let mut runtime_sum = 0.0;
+    let mut under_24 = 0usize;
+    let mut ratio_sum = 0.0;
+    for m in machines {
+        for t in &m.tasks {
+            tasks += 1;
+            *jobs.entry(t.spec.id.job).or_insert(0) += 1;
+            let hours = t.spec.runtime_hours();
+            runtime_sum += hours;
+            if hours < 24.0 {
+                under_24 += 1;
+            }
+            ratio_sum += t.mean_usage() / t.spec.limit;
+        }
+    }
+    if tasks == 0 {
+        return None;
+    }
+
+    // Aggregate cell usage per tick (for the diurnal strength) and mean
+    // machine utilization.
+    let mut cell_usage = vec![0.0f64; n_ticks];
+    let mut capacity = 0.0;
+    for m in machines {
+        capacity += m.capacity;
+        for (i, &u) in m.avg_usage.iter().enumerate() {
+            cell_usage[i] += u;
+        }
+    }
+    let mean_utilization =
+        cell_usage.iter().sum::<f64>() / n_ticks as f64 / capacity;
+
+    let mid = Tick((n_ticks / 2) as u64);
+    let mean_limit_ratio = machines
+        .iter()
+        .map(|m| m.total_limit_at(mid) / m.capacity)
+        .sum::<f64>()
+        / machines.len() as f64;
+
+    let diurnal_strength = autocorrelation(&cell_usage, TICKS_PER_DAY as usize)
+        .unwrap_or(0.0)
+        .max(0.0);
+    // Mean over machines of the lag-1h autocorrelation.
+    let mut hour_ac = 0.0;
+    let mut hour_n = 0usize;
+    for m in machines {
+        if let Some(ac) = autocorrelation(&m.avg_usage, 12) {
+            hour_ac += ac;
+            hour_n += 1;
+        }
+    }
+
+    Some(CellProfile {
+        machines: machines.len(),
+        tasks,
+        jobs: jobs.len(),
+        tasks_per_job: tasks as f64 / jobs.len().max(1) as f64,
+        mean_runtime_hours: runtime_sum / tasks as f64,
+        frac_under_24h: under_24 as f64 / tasks as f64,
+        mean_usage_to_limit: ratio_sum / tasks as f64,
+        mean_utilization,
+        mean_limit_ratio,
+        diurnal_strength,
+        hourly_autocorrelation: if hour_n > 0 { hour_ac / hour_n as f64 } else { 0.0 },
+    })
+}
+
+/// Sample autocorrelation of `series` at `lag`; `None` when the series is
+/// too short or has no variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    if lag == 0 || series.len() <= lag + 1 {
+        return None;
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    if var <= 0.0 {
+        return None;
+    }
+    let cov: f64 = series
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// The pooling-effect ratio of one machine: Σ per-task lifetime peaks over
+/// the machine's lifetime peak (by the chosen metric). Larger means more
+/// statistical multiplexing headroom.
+pub fn pooling_ratio(machine: &MachineTrace, metric: UsageMetric) -> f64 {
+    let task_sum: f64 = machine
+        .tasks
+        .iter()
+        .map(|t| {
+            t.samples
+                .iter()
+                .map(|s| metric.of(s))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    let mut machine_peak = 0.0f64;
+    for t in machine.horizon.iter() {
+        machine_peak = machine_peak.max(machine.total_usage_at(t, metric));
+    }
+    if machine_peak > 0.0 {
+        task_sum / machine_peak
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellConfig, CellPreset};
+    use crate::gen::WorkloadGenerator;
+
+    fn small_cell() -> Vec<MachineTrace> {
+        let mut cfg = CellConfig::preset(CellPreset::A);
+        cfg.machines = 4;
+        cfg.duration_ticks = 3 * TICKS_PER_DAY;
+        WorkloadGenerator::new(cfg)
+            .unwrap()
+            .generate_cell()
+            .unwrap()
+    }
+
+    #[test]
+    fn profile_matches_design_targets() {
+        let machines = small_cell();
+        let p = profile(&machines).unwrap();
+        assert_eq!(p.machines, 4);
+        assert!(p.tasks > 50);
+        assert!(p.jobs > 5);
+        assert!(p.tasks_per_job > 1.0);
+        // The usage-to-limit gap the paper's opportunity rests on.
+        assert!(
+            (0.25..0.80).contains(&p.mean_usage_to_limit),
+            "usage/limit {}",
+            p.mean_usage_to_limit
+        );
+        // Machines are allocated near their target ratio.
+        assert!(
+            (0.75..1.25).contains(&p.mean_limit_ratio),
+            "limit ratio {}",
+            p.mean_limit_ratio
+        );
+        // Serving workloads have visible daily structure and short-term
+        // memory.
+        assert!(p.diurnal_strength > 0.1, "diurnal {}", p.diurnal_strength);
+        assert!(
+            p.hourly_autocorrelation > 0.3,
+            "hourly ac {}",
+            p.hourly_autocorrelation
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(profile(&[]).is_none());
+    }
+
+    #[test]
+    fn autocorrelation_of_sine_and_noise() {
+        let sine: Vec<f64> = (0..2000)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 288.0).sin())
+            .collect();
+        // Perfectly periodic: lag-288 autocorrelation near 1 (the
+        // standard biased ACF estimator shrinks by (n − lag)/n ≈ 0.86).
+        assert!(autocorrelation(&sine, 288).unwrap() > 0.8);
+        // Alternating series: lag-1 autocorrelation near −1.
+        let alt: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1).unwrap() < -0.9);
+        // Degenerate cases.
+        assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_none()); // No variance.
+        assert!(autocorrelation(&[1.0], 5).is_none()); // Too short.
+        assert!(autocorrelation(&[1.0, 2.0], 0).is_none()); // Zero lag.
+    }
+
+    #[test]
+    fn pooling_ratio_exceeds_one_on_generated_machines() {
+        let machines = small_cell();
+        for m in &machines {
+            let r = pooling_ratio(m, UsageMetric::P90);
+            assert!(r > 1.0, "machine {}: pooling ratio {r}", m.machine);
+        }
+    }
+}

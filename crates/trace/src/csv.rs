@@ -1,0 +1,342 @@
+//! CSV-style serialization of machine traces.
+//!
+//! The paper's artifact stores preprocessed traces in BigQuery tables; the
+//! equivalent here is a plain-text, line-oriented format so that generated
+//! workloads can be cached on disk, inspected with standard tools, or fed to
+//! external plotting scripts. One file holds any number of machines.
+//!
+//! The format is four record kinds, one record per line:
+//!
+//! ```text
+//! machine,<id>,<capacity>,<horizon_start>,<horizon_end>
+//! task,<job>,<index>,<limit>,<memory_limit>,<start>,<end>,<class>,<priority>
+//! sample,<job>,<index>,<tick>,<avg>,<p50>,<p90>,<p95>,<p99>,<max>
+//! peak,<tick>,<true_peak>,<avg_usage>
+//! ```
+//!
+//! `task`, `sample` and `peak` records belong to the most recent `machine`
+//! record. Lines starting with `#` are comments.
+
+use crate::error::TraceError;
+use crate::ids::{JobId, MachineId, TaskId};
+use crate::machine::MachineTrace;
+use crate::sample::UsageSample;
+use crate::task::{SchedulingClass, TaskSpec, TaskTrace};
+use crate::time::{Tick, TickRange};
+use std::io::{BufRead, BufWriter, Write};
+
+/// Writes machine traces in the line-oriented CSV format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_machines<W: Write>(out: W, machines: &[MachineTrace]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# overcommit-repro machine trace v1")?;
+    for m in machines {
+        writeln!(
+            w,
+            "machine,{},{},{},{}",
+            m.machine.0,
+            m.capacity,
+            m.horizon.start.index(),
+            m.horizon.end.index()
+        )?;
+        for t in &m.tasks {
+            let s = &t.spec;
+            writeln!(
+                w,
+                "task,{},{},{},{},{},{},{},{}",
+                s.id.job.0,
+                s.id.index,
+                s.limit,
+                s.memory_limit,
+                s.start.index(),
+                s.end.index(),
+                s.class.as_u8(),
+                s.priority
+            )?;
+            for (i, u) in t.samples.iter().enumerate() {
+                writeln!(
+                    w,
+                    "sample,{},{},{},{},{},{},{},{},{}",
+                    s.id.job.0,
+                    s.id.index,
+                    s.start.index() + i as u64,
+                    u.avg,
+                    u.p50,
+                    u.p90,
+                    u.p95,
+                    u.p99,
+                    u.max
+                )?;
+            }
+        }
+        for (i, (&p, &a)) in m.true_peak.iter().zip(m.avg_usage.iter()).enumerate() {
+            writeln!(w, "peak,{},{},{}", m.horizon.start.index() + i as u64, p, a)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// In-progress machine while parsing.
+struct PartialMachine {
+    machine: MachineId,
+    capacity: f64,
+    horizon: TickRange,
+    tasks: Vec<(TaskSpec, Vec<UsageSample>)>,
+    true_peak: Vec<f64>,
+    avg_usage: Vec<f64>,
+}
+
+impl PartialMachine {
+    fn finish(self) -> Result<MachineTrace, TraceError> {
+        let tasks = self
+            .tasks
+            .into_iter()
+            .map(|(spec, samples)| TaskTrace::new(spec, samples))
+            .collect::<Result<Vec<_>, _>>()?;
+        let m = MachineTrace {
+            machine: self.machine,
+            capacity: self.capacity,
+            horizon: self.horizon,
+            tasks,
+            true_peak: self.true_peak,
+            avg_usage: self.avg_usage,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+}
+
+/// Reads machine traces written by [`write_machines`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with a 1-based line number on malformed
+/// input, or [`TraceError::Io`] on read failure.
+pub fn read_machines<R: BufRead>(input: R) -> Result<Vec<MachineTrace>, TraceError> {
+    let mut machines = Vec::new();
+    let mut current: Option<PartialMachine> = None;
+
+    for (line_idx, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = line_idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: String| TraceError::Parse { line: lineno, what };
+        let mut fields = line.split(',');
+        let kind = fields.next().unwrap_or("");
+        let rest: Vec<&str> = fields.collect();
+        match kind {
+            "machine" => {
+                if let Some(m) = current.take() {
+                    machines.push(m.finish()?);
+                }
+                let [id, cap, start, end] = rest[..] else {
+                    return Err(err(format!(
+                        "machine record needs 4 fields, got {}",
+                        rest.len()
+                    )));
+                };
+                current = Some(PartialMachine {
+                    machine: MachineId(parse(id, "machine id", lineno)?),
+                    capacity: parse(cap, "capacity", lineno)?,
+                    horizon: TickRange::new(
+                        Tick(parse(start, "horizon start", lineno)?),
+                        Tick(parse(end, "horizon end", lineno)?),
+                    ),
+                    tasks: Vec::new(),
+                    true_peak: Vec::new(),
+                    avg_usage: Vec::new(),
+                });
+            }
+            "task" => {
+                let m = current
+                    .as_mut()
+                    .ok_or_else(|| err("task record before any machine record".into()))?;
+                let [job, index, limit, mem, start, end, class, priority] = rest[..] else {
+                    return Err(err(format!(
+                        "task record needs 8 fields, got {}",
+                        rest.len()
+                    )));
+                };
+                let spec = TaskSpec {
+                    id: TaskId::new(
+                        JobId(parse(job, "job id", lineno)?),
+                        parse(index, "task index", lineno)?,
+                    ),
+                    limit: parse(limit, "limit", lineno)?,
+                    memory_limit: parse(mem, "memory limit", lineno)?,
+                    start: Tick(parse(start, "start", lineno)?),
+                    end: Tick(parse(end, "end", lineno)?),
+                    class: SchedulingClass::from_u8(parse(class, "class", lineno)?)?,
+                    priority: parse(priority, "priority", lineno)?,
+                };
+                m.tasks.push((spec, Vec::new()));
+            }
+            "sample" => {
+                let m = current
+                    .as_mut()
+                    .ok_or_else(|| err("sample record before any machine record".into()))?;
+                let [job, index, _tick, avg, p50, p90, p95, p99, max] = rest[..] else {
+                    return Err(err(format!(
+                        "sample record needs 9 fields, got {}",
+                        rest.len()
+                    )));
+                };
+                let id = TaskId::new(
+                    JobId(parse(job, "job id", lineno)?),
+                    parse(index, "task index", lineno)?,
+                );
+                let sample = UsageSample {
+                    avg: parse(avg, "avg", lineno)?,
+                    p50: parse(p50, "p50", lineno)?,
+                    p90: parse(p90, "p90", lineno)?,
+                    p95: parse(p95, "p95", lineno)?,
+                    p99: parse(p99, "p99", lineno)?,
+                    max: parse(max, "max", lineno)?,
+                };
+                // Samples follow their task record; look from the back.
+                let slot = m
+                    .tasks
+                    .iter_mut()
+                    .rev()
+                    .find(|(spec, _)| spec.id == id)
+                    .ok_or_else(|| err(format!("sample for unknown task {id}")))?;
+                slot.1.push(sample);
+            }
+            "peak" => {
+                let m = current
+                    .as_mut()
+                    .ok_or_else(|| err("peak record before any machine record".into()))?;
+                let [_tick, peak, avg] = rest[..] else {
+                    return Err(err(format!(
+                        "peak record needs 3 fields, got {}",
+                        rest.len()
+                    )));
+                };
+                m.true_peak.push(parse(peak, "true peak", lineno)?);
+                m.avg_usage.push(parse(avg, "avg usage", lineno)?);
+            }
+            other => {
+                return Err(err(format!("unknown record kind '{other}'")));
+            }
+        }
+    }
+    if let Some(m) = current.take() {
+        machines.push(m.finish()?);
+    }
+    Ok(machines)
+}
+
+/// Writes machines to a file path.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on failure to create or write the file.
+pub fn save_machines(path: &std::path::Path, machines: &[MachineTrace]) -> Result<(), TraceError> {
+    let file = std::fs::File::create(path)?;
+    write_machines(file, machines)
+}
+
+/// Reads machines from a file path.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] / [`TraceError::Parse`] as [`read_machines`].
+pub fn load_machines(path: &std::path::Path) -> Result<Vec<MachineTrace>, TraceError> {
+    let file = std::fs::File::open(path)?;
+    read_machines(std::io::BufReader::new(file))
+}
+
+/// Parses one field, attaching the line number and field name on failure.
+fn parse<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, TraceError> {
+    s.parse().map_err(|_| TraceError::Parse {
+        line,
+        what: format!("invalid {what}: '{s}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellConfig, CellPreset};
+    use crate::gen::WorkloadGenerator;
+
+    fn tiny_cell() -> Vec<MachineTrace> {
+        let mut cfg = CellConfig::preset(CellPreset::A);
+        cfg.machines = 2;
+        cfg.duration_ticks = 48;
+        WorkloadGenerator::new(cfg)
+            .unwrap()
+            .generate_cell()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cell = tiny_cell();
+        let mut buf = Vec::new();
+        write_machines(&mut buf, &cell).unwrap();
+        let back = read_machines(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), cell.len());
+        for (a, b) in cell.iter().zip(back.iter()) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.capacity, b.capacity);
+            assert_eq!(a.horizon, b.horizon);
+            assert_eq!(a.true_peak, b.true_peak);
+            assert_eq!(a.avg_usage, b.avg_usage);
+            assert_eq!(a.tasks.len(), b.tasks.len());
+            for (x, y) in a.tasks.iter().zip(b.tasks.iter()) {
+                assert_eq!(x.spec, y.spec);
+                assert_eq!(x.samples, y.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cell = tiny_cell();
+        let dir = std::env::temp_dir().join("oc-trace-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cell.csv");
+        save_machines(&path, &cell).unwrap();
+        let back = load_machines(&path).unwrap();
+        assert_eq!(back.len(), cell.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_machines("bogus,1,2".as_bytes()).is_err());
+        assert!(read_machines("task,1,2,0.5,0.1,0,4,2,200".as_bytes()).is_err());
+        assert!(read_machines("machine,0,1.0".as_bytes()).is_err());
+        let bad_number = "machine,0,abc,0,4";
+        assert!(matches!(
+            read_machines(bad_number.as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let cell = tiny_cell();
+        let mut buf = Vec::new();
+        write_machines(&mut buf, &cell).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.insert_str(0, "\n# leading comment\n\n");
+        let back = read_machines(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), cell.len());
+    }
+
+    #[test]
+    fn sample_for_unknown_task_is_an_error() {
+        let text = "machine,0,1.0,0,4\nsample,9,9,0,0.1,0.1,0.1,0.1,0.1,0.1";
+        let err = read_machines(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+    }
+}

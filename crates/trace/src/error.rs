@@ -1,0 +1,79 @@
+//! Error type for trace construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by trace construction, generation and I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: String,
+    },
+    /// A task's sample series does not match its lifetime.
+    InconsistentTask {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// Malformed CSV input.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            TraceError::InconsistentTask { what } => write!(f, "inconsistent task: {what}"),
+            TraceError::Parse { line, what } => write!(f, "parse error at line {line}: {what}"),
+            TraceError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TraceError::InvalidConfig {
+            what: "machines must be > 0".into(),
+        };
+        assert!(e.to_string().contains("machines must be > 0"));
+        let e = TraceError::Parse {
+            line: 7,
+            what: "expected 4 fields".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = TraceError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Random-variate samplers built on top of a uniform RNG.
+//!
+//! The workspace deliberately avoids `rand_distr`, so the handful of
+//! distributions the workload generator needs are implemented here:
+//! normal (Box-Muller), lognormal, gamma (Marsaglia-Tsang), beta (via two
+//! gammas) and Poisson (Knuth's product method with a normal approximation
+//! for large means).
+
+use rand::Rng;
+
+/// Draws a standard normal variate via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0) by flooring the first uniform.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `N(mean, std^2)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draws a lognormal variate: `exp(N(log_mean, log_std^2))`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, log_mean: f64, log_std: f64) -> f64 {
+    normal(rng, log_mean, log_std).exp()
+}
+
+/// Draws `Gamma(shape, 1)` for `shape > 0` using Marsaglia & Tsang's
+/// squeeze method (with the standard boost for `shape < 1`).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draws `Beta(alpha, beta)` via two gamma variates.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, b: f64) -> f64 {
+    let x = gamma(rng, alpha);
+    let y = gamma(rng, b);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Draws `Poisson(mean)`; Knuth's method for small means, a clamped normal
+/// approximation above 30 (adequate for arrival counts).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0, "poisson mean must be non-negative");
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Draws a uniform variate in `[lo, hi)`, tolerating `lo == hi`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_stats::Welford;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let mut w = Welford::new();
+        for _ in 0..50_000 {
+            w.push(normal(&mut r, 3.0, 2.0));
+        }
+        assert!((w.mean() - 3.0).abs() < 0.05, "mean {}", w.mean());
+        assert!(
+            (w.population_std() - 2.0).abs() < 0.05,
+            "std {}",
+            w.population_std()
+        );
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut r = rng();
+        let mut vals: Vec<f64> = (0..20_000).map(|_| lognormal(&mut r, 1.0, 0.5)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        // Median of lognormal is exp(mu).
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng();
+        for shape in [0.5, 1.0, 2.5, 9.0] {
+            let mut w = Welford::new();
+            for _ in 0..50_000 {
+                w.push(gamma(&mut r, shape));
+            }
+            // Gamma(shape, 1): mean = shape, var = shape.
+            assert!(
+                (w.mean() - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape} mean {}",
+                w.mean()
+            );
+            assert!(
+                (w.population_variance() - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} var {}",
+                w.population_variance()
+            );
+        }
+    }
+
+    #[test]
+    fn beta_moments_and_support() {
+        let mut r = rng();
+        let (a, b) = (2.0, 5.0);
+        let mut w = Welford::new();
+        for _ in 0..50_000 {
+            let x = beta(&mut r, a, b);
+            assert!((0.0..=1.0).contains(&x));
+            w.push(x);
+        }
+        let expected_mean = a / (a + b);
+        assert!((w.mean() - expected_mean).abs() < 0.01, "mean {}", w.mean());
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut r = rng();
+        for mean in [0.5, 4.0, 50.0] {
+            let mut w = Welford::new();
+            for _ in 0..30_000 {
+                w.push(poisson(&mut r, mean) as f64);
+            }
+            assert!(
+                (w.mean() - mean).abs() < 0.1 * mean.max(1.0),
+                "mean {mean}: got {}",
+                w.mean()
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut r, 5.0, 5.0), 5.0);
+        assert_eq!(uniform(&mut r, 5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

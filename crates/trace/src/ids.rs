@@ -1,0 +1,96 @@
+//! Identifier newtypes for cells, machines, jobs and tasks.
+
+use std::fmt;
+
+/// Identifies a cell (a cluster of machines managed by one scheduler).
+///
+/// The paper uses trace cells `a..h` and five anonymous production cells;
+/// both kinds are just short names here.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub String);
+
+impl CellId {
+    /// Creates a cell id from a name.
+    pub fn new(name: impl Into<String>) -> CellId {
+        CellId(name.into())
+    }
+
+    /// The cell's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies one physical machine within a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifies a job (the trace's "collection"): a batch run or a
+/// continuously-running service composed of tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Identifies one task: an instance index within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId {
+    /// The owning job.
+    pub job: JobId,
+    /// Instance index within the job.
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Creates a task id.
+    pub fn new(job: JobId, index: u32) -> TaskId {
+        TaskId { job, index }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.job, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CellId::new("a").to_string(), "a");
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(JobId(9).to_string(), "j9");
+        assert_eq!(TaskId::new(JobId(9), 2).to_string(), "j9/2");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(TaskId::new(JobId(1), 5) < TaskId::new(JobId(2), 0));
+        assert!(TaskId::new(JobId(1), 1) < TaskId::new(JobId(1), 2));
+    }
+
+    #[test]
+    fn cell_name_access() {
+        let c = CellId::new("prod1");
+        assert_eq!(c.name(), "prod1");
+    }
+}

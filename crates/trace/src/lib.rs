@@ -1,0 +1,53 @@
+//! Cluster-trace substrate for the overcommit reproduction.
+//!
+//! The paper evaluates on the Google cluster trace v3 (tasks' 5-minute CPU
+//! usage windows, limits, priorities, scheduling classes and machine
+//! placements). That trace is ~100 GB of proprietary-adjacent BigQuery data,
+//! so this crate replaces it with a *statistical workload generator* that
+//! emits records of the same shape and with the same distributional features
+//! the paper's results hinge on:
+//!
+//! * a large **usage-to-limit gap** (tasks run well below their limit;
+//!   Autopilot-style relative slack ≈ 23 %),
+//! * **statistical multiplexing** — tasks do not co-peak, so the sum of
+//!   per-task peaks exceeds the machine-level peak (Figure 1 / Figure 6),
+//! * **diurnal** serving load plus bursty noise and occasional spikes
+//!   toward the limit ("a task that sometimes, e.g. 5 % of time, reaches
+//!   its limit, but usually operates at much lower utilization"),
+//! * **heavy-tailed runtimes** with strong per-cell heterogeneity
+//!   (Figure 7(a): 75–98 % of tasks shorter than 24 h depending on cell),
+//! * per-cell parameter presets for the trace cells `a..h` and five
+//!   "production" cells used in Section 3.3.
+//!
+//! Everything is deterministic given a seed: machine `m` of cell `c` always
+//! produces the same task series, which makes experiments, tests and benches
+//! reproducible bit-for-bit.
+//!
+//! The central type is [`MachineTrace`]: every task that ever ran on one
+//! machine, each with per-tick [`UsageSample`] summaries, plus the machine's
+//! ground-truth within-tick peak series (information Borg has internally but
+//! the public trace lacks — see Section 5.1.2 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cell;
+pub mod csv;
+pub mod error;
+pub mod gen;
+pub mod ids;
+pub mod machine;
+pub mod sample;
+pub mod task;
+pub mod time;
+
+pub use analysis::CellProfile;
+pub use cell::{CellConfig, CellPreset};
+pub use error::TraceError;
+pub use gen::WorkloadGenerator;
+pub use ids::{CellId, JobId, MachineId, TaskId};
+pub use machine::MachineTrace;
+pub use sample::UsageSample;
+pub use task::{SchedulingClass, TaskSpec, TaskTrace};
+pub use time::{Tick, TickRange, SUBSAMPLES_PER_TICK, TICKS_PER_DAY, TICKS_PER_HOUR};

@@ -1,0 +1,214 @@
+//! Per-machine traces: all tasks that ran on one machine plus ground truth.
+
+use crate::error::TraceError;
+use crate::ids::MachineId;
+use crate::sample::{UsageMetric, UsageSample};
+use crate::task::TaskTrace;
+use crate::time::{Tick, TickRange};
+
+/// Everything one machine saw over the simulated period.
+///
+/// This is the unit of work of the paper's simulator ("machines are
+/// simulated independently"): the tasks placed on the machine with their
+/// usage series, the machine's capacity, and — because our generator knows
+/// the instantaneous series the summaries were derived from — the
+/// ground-truth within-tick machine peak, which Borg records internally but
+/// the public trace omits (Section 5.1.2).
+#[derive(Debug, Clone)]
+pub struct MachineTrace {
+    /// Machine identity within its cell.
+    pub machine: MachineId,
+    /// Physical CPU capacity in normalized units (1.0 = whole machine).
+    pub capacity: f64,
+    /// Simulated period covered by `true_peak`.
+    pub horizon: TickRange,
+    /// Tasks placed on this machine, sorted by start tick.
+    pub tasks: Vec<TaskTrace>,
+    /// Ground truth: for each tick of `horizon`, the maximum over subsample
+    /// instants of the *sum* of task usage (each task capped at its limit).
+    pub true_peak: Vec<f64>,
+    /// For each tick of `horizon`, the average total usage.
+    pub avg_usage: Vec<f64>,
+}
+
+impl MachineTrace {
+    /// Validates internal consistency (series lengths, task lifetimes inside
+    /// the horizon, peaks at least as large as averages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InconsistentTask`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let n = self.horizon.len() as usize;
+        if self.true_peak.len() != n || self.avg_usage.len() != n {
+            return Err(TraceError::InconsistentTask {
+                what: format!(
+                    "machine {} series lengths ({}, {}) do not match horizon {}",
+                    self.machine,
+                    self.true_peak.len(),
+                    self.avg_usage.len(),
+                    n
+                ),
+            });
+        }
+        if !(self.capacity > 0.0) {
+            return Err(TraceError::InconsistentTask {
+                what: format!("machine {} has non-positive capacity", self.machine),
+            });
+        }
+        for t in &self.tasks {
+            if t.spec.start < self.horizon.start || t.spec.end > self.horizon.end {
+                return Err(TraceError::InconsistentTask {
+                    what: format!(
+                        "task {} lifetime [{}, {}) escapes machine horizon",
+                        t.spec.id, t.spec.start, t.spec.end
+                    ),
+                });
+            }
+        }
+        for (i, (&p, &a)) in self.true_peak.iter().zip(self.avg_usage.iter()).enumerate() {
+            if p + 1e-9 < a {
+                return Err(TraceError::InconsistentTask {
+                    what: format!(
+                        "machine {} tick {i}: true peak {p} below average {a}",
+                        self.machine
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Tasks alive at tick `t` (linear scan; machine task lists are small).
+    pub fn tasks_at(&self, t: Tick) -> impl Iterator<Item = &TaskTrace> {
+        self.tasks.iter().filter(move |task| task.spec.alive_at(t))
+    }
+
+    /// Sum of the limits of tasks alive at `t` — the no-overcommit
+    /// "allocated" figure.
+    pub fn total_limit_at(&self, t: Tick) -> f64 {
+        self.tasks_at(t).map(|task| task.spec.limit).sum()
+    }
+
+    /// Sum over alive tasks of the chosen usage metric at `t`.
+    pub fn total_usage_at(&self, t: Tick, metric: UsageMetric) -> f64 {
+        self.tasks_at(t)
+            .map(|task| {
+                task.sample_at(t)
+                    .map(|s| metric.of(s))
+                    .unwrap_or(UsageSample::ZERO.max)
+            })
+            .sum()
+    }
+
+    /// Ground-truth within-tick machine peak at `t`, if `t` is in the
+    /// horizon.
+    pub fn true_peak_at(&self, t: Tick) -> Option<f64> {
+        if !self.horizon.contains(t) {
+            return None;
+        }
+        Some(self.true_peak[(t.index() - self.horizon.start.index()) as usize])
+    }
+
+    /// Number of tasks ever placed on this machine.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Maximum over the horizon of the ground-truth peak.
+    pub fn lifetime_peak(&self) -> f64 {
+        self.true_peak.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean machine utilization (average usage over capacity) across the
+    /// horizon.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.avg_usage.is_empty() {
+            return 0.0;
+        }
+        self.avg_usage.iter().sum::<f64>() / self.avg_usage.len() as f64 / self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, TaskId};
+    use crate::task::{SchedulingClass, TaskSpec};
+
+    fn flat(v: f64) -> UsageSample {
+        UsageSample {
+            avg: v,
+            p50: v,
+            p90: v,
+            p95: v,
+            p99: v,
+            max: v,
+        }
+    }
+
+    fn task(job: u64, start: u64, end: u64, limit: f64, usage: f64) -> TaskTrace {
+        let spec = TaskSpec {
+            id: TaskId::new(JobId(job), 0),
+            limit,
+            memory_limit: 0.0,
+            start: Tick(start),
+            end: Tick(end),
+            class: SchedulingClass::Class2,
+            priority: 200,
+        };
+        let n = (end - start) as usize;
+        TaskTrace::new(spec, vec![flat(usage); n]).unwrap()
+    }
+
+    fn machine() -> MachineTrace {
+        MachineTrace {
+            machine: MachineId(0),
+            capacity: 1.0,
+            horizon: TickRange::from_len(4),
+            tasks: vec![task(1, 0, 4, 0.5, 0.2), task(2, 2, 4, 0.4, 0.1)],
+            true_peak: vec![0.2, 0.2, 0.3, 0.3],
+            avg_usage: vec![0.2, 0.2, 0.3, 0.3],
+        }
+    }
+
+    #[test]
+    fn valid_machine_passes() {
+        machine().validate().unwrap();
+    }
+
+    #[test]
+    fn length_mismatch_fails() {
+        let mut m = machine();
+        m.true_peak.pop();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn escaping_task_fails() {
+        let mut m = machine();
+        m.tasks.push(task(3, 2, 10, 0.1, 0.05));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn peak_below_average_fails() {
+        let mut m = machine();
+        m.true_peak[0] = 0.1; // Below avg_usage[0] = 0.2.
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = machine();
+        assert_eq!(m.total_limit_at(Tick(0)), 0.5);
+        assert_eq!(m.total_limit_at(Tick(3)), 0.9);
+        assert!((m.total_usage_at(Tick(3), UsageMetric::Avg) - 0.3).abs() < 1e-12);
+        assert_eq!(m.true_peak_at(Tick(2)), Some(0.3));
+        assert_eq!(m.true_peak_at(Tick(9)), None);
+        assert_eq!(m.task_count(), 2);
+        assert_eq!(m.lifetime_peak(), 0.3);
+        assert!((m.mean_utilization() - 0.25).abs() < 1e-12);
+    }
+}

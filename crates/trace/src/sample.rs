@@ -1,0 +1,240 @@
+//! Per-tick usage summaries, mirroring the trace's within-window histogram.
+
+use crate::error::TraceError;
+
+/// Summary of one task's CPU usage within one 5-minute tick.
+///
+/// Trace v3 reports a distribution of instantaneous usage per window rather
+/// than a single number; predictors and oracles pick which field of the
+/// summary to consume (the paper uses the 90th percentile as a conservative
+/// machine-peak estimator, Figure 6). All values are in normalized machine
+/// capacity units and are already capped at the task's limit, as Borg's
+/// machine-level enforcement would do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageSample {
+    /// Mean usage over the window.
+    pub avg: f64,
+    /// Median instantaneous usage.
+    pub p50: f64,
+    /// 90th percentile instantaneous usage.
+    pub p90: f64,
+    /// 95th percentile instantaneous usage.
+    pub p95: f64,
+    /// 99th percentile instantaneous usage.
+    pub p99: f64,
+    /// Maximum instantaneous usage (the task-level within-window peak).
+    pub max: f64,
+}
+
+/// Which field of a [`UsageSample`] a consumer reads.
+///
+/// The simulator's `metric` configuration (the artifact's "choose the metric
+/// a user wants to use for predicting the peak resource usage").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UsageMetric {
+    /// Window average.
+    Avg,
+    /// Median.
+    P50,
+    /// 90th percentile — the paper's default machine-peak estimator.
+    #[default]
+    P90,
+    /// 95th percentile.
+    P95,
+    /// 99th percentile.
+    P99,
+    /// Window maximum.
+    Max,
+}
+
+impl UsageMetric {
+    /// Reads the selected field from a sample.
+    pub fn of(self, s: &UsageSample) -> f64 {
+        match self {
+            UsageMetric::Avg => s.avg,
+            UsageMetric::P50 => s.p50,
+            UsageMetric::P90 => s.p90,
+            UsageMetric::P95 => s.p95,
+            UsageMetric::P99 => s.p99,
+            UsageMetric::Max => s.max,
+        }
+    }
+
+    /// All metric variants, for sweeps.
+    pub fn all() -> [UsageMetric; 6] {
+        [
+            UsageMetric::Avg,
+            UsageMetric::P50,
+            UsageMetric::P90,
+            UsageMetric::P95,
+            UsageMetric::P99,
+            UsageMetric::Max,
+        ]
+    }
+
+    /// A short stable name, used in CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            UsageMetric::Avg => "avg",
+            UsageMetric::P50 => "p50",
+            UsageMetric::P90 => "p90",
+            UsageMetric::P95 => "p95",
+            UsageMetric::P99 => "p99",
+            UsageMetric::Max => "max",
+        }
+    }
+
+    /// Reads an arbitrary percentile `p in [0, 100]` by interpolating the
+    /// stored summary points (0→min treated as p50 floor, 50, 90, 95, 99,
+    /// 100→max). The RC-like predictor sweeps percentiles that may fall
+    /// between stored points.
+    pub fn interpolate(s: &UsageSample, p: f64) -> f64 {
+        // Piecewise-linear through the stored quantiles. Below the median we
+        // only know avg/p50; clamp to p50 which is conservative enough for
+        // the sweeps the paper runs (80..=100).
+        let pts = [
+            (50.0, s.p50),
+            (90.0, s.p90),
+            (95.0, s.p95),
+            (99.0, s.p99),
+            (100.0, s.max),
+        ];
+        if p <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if p <= x1 {
+                let f = (p - x0) / (x1 - x0);
+                return y0 + (y1 - y0) * f;
+            }
+        }
+        s.max
+    }
+}
+
+impl UsageSample {
+    /// A zero sample (task absent or idle).
+    pub const ZERO: UsageSample = UsageSample {
+        avg: 0.0,
+        p50: 0.0,
+        p90: 0.0,
+        p95: 0.0,
+        p99: 0.0,
+        max: 0.0,
+    };
+
+    /// Summarizes a window of instantaneous usage points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InconsistentTask`] if `points` is empty or
+    /// contains a non-finite value.
+    pub fn from_subsamples(points: &[f64]) -> Result<UsageSample, TraceError> {
+        if points.is_empty() {
+            return Err(TraceError::InconsistentTask {
+                what: "usage window has no subsamples".into(),
+            });
+        }
+        if points.iter().any(|p| !p.is_finite()) {
+            return Err(TraceError::InconsistentTask {
+                what: "usage window contains a non-finite subsample".into(),
+            });
+        }
+        let mut sorted = points.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite checked above"));
+        let pct = |p: f64| -> f64 {
+            oc_stats::percentile_of_sorted(&sorted, p).expect("non-empty, valid percentile")
+        };
+        Ok(UsageSample {
+            avg: points.iter().sum::<f64>() / points.len() as f64,
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Whether the summary is internally consistent
+    /// (`0 <= avg <= max`, percentiles monotone).
+    pub fn is_consistent(&self) -> bool {
+        0.0 <= self.avg
+            && self.avg <= self.max
+            && self.p50 <= self.p90
+            && self.p90 <= self.p95
+            && self.p95 <= self.p99
+            && self.p99 <= self.max
+            && self.p50 >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_window() {
+        let pts: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = UsageSample::from_subsamples(&pts).unwrap();
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.avg, 50.5);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(UsageSample::from_subsamples(&[]).is_err());
+        assert!(UsageSample::from_subsamples(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn metric_selection() {
+        let s = UsageSample {
+            avg: 1.0,
+            p50: 2.0,
+            p90: 3.0,
+            p95: 4.0,
+            p99: 5.0,
+            max: 6.0,
+        };
+        assert_eq!(UsageMetric::Avg.of(&s), 1.0);
+        assert_eq!(UsageMetric::P90.of(&s), 3.0);
+        assert_eq!(UsageMetric::Max.of(&s), 6.0);
+        assert_eq!(UsageMetric::default(), UsageMetric::P90);
+    }
+
+    #[test]
+    fn interpolation_hits_anchors_and_midpoints() {
+        let s = UsageSample {
+            avg: 0.0,
+            p50: 10.0,
+            p90: 20.0,
+            p95: 30.0,
+            p99: 40.0,
+            max: 50.0,
+        };
+        assert_eq!(UsageMetric::interpolate(&s, 50.0), 10.0);
+        assert_eq!(UsageMetric::interpolate(&s, 90.0), 20.0);
+        assert_eq!(UsageMetric::interpolate(&s, 100.0), 50.0);
+        assert!((UsageMetric::interpolate(&s, 70.0) - 15.0).abs() < 1e-12);
+        assert!((UsageMetric::interpolate(&s, 97.0) - 35.0).abs() < 1e-12);
+        // Below the median clamps to p50.
+        assert_eq!(UsageMetric::interpolate(&s, 10.0), 10.0);
+    }
+
+    #[test]
+    fn zero_sample_is_consistent() {
+        assert!(UsageSample::ZERO.is_consistent());
+    }
+
+    #[test]
+    fn metric_names_unique() {
+        let names: std::collections::HashSet<_> =
+            UsageMetric::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,271 @@
+//! Task specifications and per-task usage series.
+
+use crate::error::TraceError;
+use crate::ids::TaskId;
+use crate::sample::UsageSample;
+use crate::time::{Tick, TickRange};
+
+/// The trace's scheduling class: how latency-sensitive a task is.
+///
+/// Classes 2 and 3 are the latency-sensitive serving classes the paper's
+/// simulations are restricted to ("we only consider latency sensitive tasks
+/// from the trace, which corresponds to scheduling classes 2 and 3").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchedulingClass {
+    /// Most insensitive (best-effort batch).
+    Class0,
+    /// Batch with some sensitivity.
+    Class1,
+    /// Latency-sensitive serving.
+    Class2,
+    /// Most latency-sensitive serving.
+    Class3,
+}
+
+impl SchedulingClass {
+    /// Whether the paper's simulations include this class.
+    pub fn is_latency_sensitive(self) -> bool {
+        matches!(self, SchedulingClass::Class2 | SchedulingClass::Class3)
+    }
+
+    /// Numeric class (0..=3), matching the trace encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            SchedulingClass::Class0 => 0,
+            SchedulingClass::Class1 => 1,
+            SchedulingClass::Class2 => 2,
+            SchedulingClass::Class3 => 3,
+        }
+    }
+
+    /// Parses a trace encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidConfig`] for values above 3.
+    pub fn from_u8(v: u8) -> Result<SchedulingClass, TraceError> {
+        match v {
+            0 => Ok(SchedulingClass::Class0),
+            1 => Ok(SchedulingClass::Class1),
+            2 => Ok(SchedulingClass::Class2),
+            3 => Ok(SchedulingClass::Class3),
+            _ => Err(TraceError::InvalidConfig {
+                what: format!("scheduling class {v} out of range 0..=3"),
+            }),
+        }
+    }
+}
+
+/// Static properties of a task: identity, lifetime, limit, class, priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Task identity (job + instance index).
+    pub id: TaskId,
+    /// CPU limit in normalized machine-capacity units — the upper bound the
+    /// machine-level infrastructure enforces.
+    pub limit: f64,
+    /// Memory limit (kept for schema fidelity; the paper's experiments
+    /// overcommit CPU).
+    pub memory_limit: f64,
+    /// First tick the task runs in (inclusive).
+    pub start: Tick,
+    /// One past the last tick the task runs in.
+    pub end: Tick,
+    /// Latency sensitivity class.
+    pub class: SchedulingClass,
+    /// Priority (larger is more important), as in the trace.
+    pub priority: u16,
+}
+
+impl TaskSpec {
+    /// The task's lifetime as a half-open tick range.
+    pub fn lifetime(&self) -> TickRange {
+        TickRange::new(self.start, self.end)
+    }
+
+    /// Number of ticks the task runs for.
+    pub fn runtime_ticks(&self) -> u64 {
+        self.lifetime().len()
+    }
+
+    /// Runtime in fractional hours.
+    pub fn runtime_hours(&self) -> f64 {
+        self.runtime_ticks() as f64 / crate::time::TICKS_PER_HOUR as f64
+    }
+
+    /// Whether the task is running at tick `t`.
+    pub fn alive_at(&self, t: Tick) -> bool {
+        self.lifetime().contains(t)
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidConfig`] for an empty lifetime or a
+    /// non-positive / non-finite limit.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.lifetime().is_empty() {
+            return Err(TraceError::InvalidConfig {
+                what: format!("task {} has empty lifetime", self.id),
+            });
+        }
+        if !(self.limit > 0.0) || !self.limit.is_finite() {
+            return Err(TraceError::InvalidConfig {
+                what: format!("task {} has invalid limit {}", self.id, self.limit),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A task together with its usage series, one [`UsageSample`] per alive tick.
+///
+/// `samples[i]` covers tick `spec.start + i`; the series length always
+/// equals the task's runtime in ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskTrace {
+    /// Static task properties.
+    pub spec: TaskSpec,
+    /// One usage summary per tick of the task's lifetime.
+    pub samples: Vec<UsageSample>,
+}
+
+impl TaskTrace {
+    /// Creates a task trace, checking series/lifetime consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InconsistentTask`] if the sample count does not
+    /// match the lifetime, plus any error from [`TaskSpec::validate`].
+    pub fn new(spec: TaskSpec, samples: Vec<UsageSample>) -> Result<TaskTrace, TraceError> {
+        spec.validate()?;
+        if samples.len() as u64 != spec.runtime_ticks() {
+            return Err(TraceError::InconsistentTask {
+                what: format!(
+                    "task {} runs {} ticks but has {} samples",
+                    spec.id,
+                    spec.runtime_ticks(),
+                    samples.len()
+                ),
+            });
+        }
+        Ok(TaskTrace { spec, samples })
+    }
+
+    /// The usage summary at absolute tick `t`, or `None` outside the
+    /// lifetime. (The paper treats completed tasks as zero usage; callers
+    /// that want that convention can default to [`UsageSample::ZERO`].)
+    pub fn sample_at(&self, t: Tick) -> Option<&UsageSample> {
+        if !self.spec.alive_at(t) {
+            return None;
+        }
+        let idx = (t.index() - self.spec.start.index()) as usize;
+        self.samples.get(idx)
+    }
+
+    /// The task's peak usage (max over its lifetime of the window max).
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|s| s.max).fold(0.0, f64::max)
+    }
+
+    /// Mean of window averages over the lifetime.
+    pub fn mean_usage(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.avg).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+
+    fn spec(start: u64, end: u64, limit: f64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId::new(JobId(1), 0),
+            limit,
+            memory_limit: 0.1,
+            start: Tick(start),
+            end: Tick(end),
+            class: SchedulingClass::Class2,
+            priority: 200,
+        }
+    }
+
+    fn flat_sample(v: f64) -> UsageSample {
+        UsageSample {
+            avg: v,
+            p50: v,
+            p90: v,
+            p95: v,
+            p99: v,
+            max: v,
+        }
+    }
+
+    #[test]
+    fn scheduling_class_roundtrip() {
+        for v in 0..=3u8 {
+            assert_eq!(SchedulingClass::from_u8(v).unwrap().as_u8(), v);
+        }
+        assert!(SchedulingClass::from_u8(4).is_err());
+        assert!(SchedulingClass::Class2.is_latency_sensitive());
+        assert!(!SchedulingClass::Class1.is_latency_sensitive());
+    }
+
+    #[test]
+    fn lifetime_queries() {
+        let s = spec(10, 14, 0.5);
+        assert_eq!(s.runtime_ticks(), 4);
+        assert!(s.alive_at(Tick(10)));
+        assert!(s.alive_at(Tick(13)));
+        assert!(!s.alive_at(Tick(14)));
+        assert!(!s.alive_at(Tick(9)));
+        assert!((s.runtime_hours() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(spec(5, 5, 0.5).validate().is_err());
+        assert!(spec(5, 6, 0.0).validate().is_err());
+        assert!(spec(5, 6, f64::NAN).validate().is_err());
+        assert!(spec(5, 6, 0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn trace_requires_matching_lengths() {
+        let s = spec(0, 3, 0.5);
+        assert!(TaskTrace::new(s.clone(), vec![flat_sample(0.1); 2]).is_err());
+        let t = TaskTrace::new(s, vec![flat_sample(0.1); 3]).unwrap();
+        assert_eq!(t.samples.len(), 3);
+    }
+
+    #[test]
+    fn sample_lookup_by_absolute_tick() {
+        let s = spec(5, 8, 0.5);
+        let t = TaskTrace::new(
+            s,
+            vec![flat_sample(0.1), flat_sample(0.2), flat_sample(0.3)],
+        )
+        .unwrap();
+        assert_eq!(t.sample_at(Tick(5)).unwrap().avg, 0.1);
+        assert_eq!(t.sample_at(Tick(7)).unwrap().avg, 0.3);
+        assert!(t.sample_at(Tick(8)).is_none());
+        assert!(t.sample_at(Tick(4)).is_none());
+    }
+
+    #[test]
+    fn peak_and_mean() {
+        let s = spec(0, 3, 1.0);
+        let t = TaskTrace::new(
+            s,
+            vec![flat_sample(0.1), flat_sample(0.5), flat_sample(0.3)],
+        )
+        .unwrap();
+        assert_eq!(t.peak(), 0.5);
+        assert!((t.mean_usage() - 0.3).abs() < 1e-12);
+    }
+}

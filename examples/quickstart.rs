@@ -1,0 +1,62 @@
+//! Quickstart: simulate one machine under the paper's predictors.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a trace-v3-shaped machine from the cell `a` preset, replays
+//! it against the peak oracle, and prints the benefit/risk trade-off of
+//! every built-in overcommit policy.
+
+use overcommit_repro::core::config::SimConfig;
+use overcommit_repro::core::predictor::PredictorSpec;
+use overcommit_repro::core::sim::simulate_machine;
+use overcommit_repro::trace::cell::{CellConfig, CellPreset};
+use overcommit_repro::trace::gen::WorkloadGenerator;
+use overcommit_repro::trace::ids::MachineId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One week of trace cell `a`, machine 0.
+    let cell = CellConfig::preset(CellPreset::A);
+    let gen = WorkloadGenerator::new(cell)?;
+    let trace = gen.generate_machine(MachineId(0))?;
+    println!(
+        "machine 0 of cell a: {} tasks over {} ticks, lifetime peak {:.3} of capacity",
+        trace.task_count(),
+        trace.horizon.len(),
+        trace.lifetime_peak() / trace.capacity
+    );
+
+    // The paper's four policies plus the no-overcommit baseline.
+    let mut specs = vec![PredictorSpec::LimitSum];
+    specs.extend(PredictorSpec::comparison_set());
+    let predictors = specs
+        .iter()
+        .map(PredictorSpec::build)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Replay: predictors see only history, the oracle sees the future.
+    let result = simulate_machine(&trace, &SimConfig::default(), &predictors)?;
+
+    println!(
+        "\n{:>30}  {:>10}  {:>9}  {:>8}",
+        "predictor", "violations", "severity", "savings"
+    );
+    for report in &result.reports {
+        println!(
+            "{:>30}  {:>10.4}  {:>9.4}  {:>8.4}",
+            report.predictor,
+            report.violation_rate(),
+            report.mean_severity(),
+            report.mean_savings()
+        );
+    }
+    println!(
+        "\nReading: savings is extra usable capacity relative to no overcommit;\n\
+         violations are ticks where the policy promised more than the future\n\
+         peak allows. borg-default saves a fixed 10% regardless of the machine;\n\
+         the usage-based predictors adapt — on a hot machine like this one the\n\
+         max predictor saves less but violates far less often."
+    );
+    Ok(())
+}

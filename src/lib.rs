@@ -1,0 +1,31 @@
+//! Peak prediction-driven resource overcommitment — facade crate.
+//!
+//! Reproduction of "Take it to the Limit: Peak Prediction-driven Resource
+//! Overcommitment in Datacenters" (EuroSys '21). This crate re-exports the
+//! workspace's public API so downstream users can depend on a single crate:
+//!
+//! * [`stats`] — numerical building blocks (ECDF, Welford, percentiles, …).
+//! * [`trace`] — trace-v3-shaped synthetic workload generator.
+//! * [`core`] — peak oracle, practical peak predictors, simulator, metrics.
+//! * [`qos`] — CPU scheduling latency model.
+//! * [`scheduler`] — predictor-gated admission, placement, A/B harness.
+//! * [`experiments`] — the table/figure reproduction harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use overcommit_repro::trace::{CellConfig, CellPreset};
+//!
+//! let cfg = CellConfig::preset(CellPreset::A).with_machines(2).with_weeks(1);
+//! assert_eq!(cfg.machines, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oc_core as core;
+pub use oc_experiments as experiments;
+pub use oc_qos as qos;
+pub use oc_scheduler as scheduler;
+pub use oc_stats as stats;
+pub use oc_trace as trace;

@@ -1,0 +1,105 @@
+//! Property-based tests for the Autopilot limit recommender.
+
+use overcommit_repro::core::autopilot::{recommend_limits, relative_slack, AutopilotConfig};
+use overcommit_repro::trace::ids::{JobId, TaskId};
+use overcommit_repro::trace::sample::UsageSample;
+use overcommit_repro::trace::task::{SchedulingClass, TaskSpec, TaskTrace};
+use overcommit_repro::trace::time::Tick;
+use proptest::prelude::*;
+
+fn task_from(usage: &[f64], declared: f64) -> TaskTrace {
+    let spec = TaskSpec {
+        id: TaskId::new(JobId(1), 0),
+        limit: declared,
+        memory_limit: 0.0,
+        start: Tick(0),
+        end: Tick(usage.len() as u64),
+        class: SchedulingClass::Class2,
+        priority: 200,
+    };
+    let samples = usage
+        .iter()
+        .map(|&u| UsageSample {
+            avg: u,
+            p50: u,
+            p90: u,
+            p95: u,
+            p99: u,
+            max: u,
+        })
+        .collect();
+    TaskTrace::new(spec, samples).unwrap()
+}
+
+fn cfg() -> AutopilotConfig {
+    AutopilotConfig {
+        warmup_ticks: 3,
+        update_interval_ticks: 5,
+        window_ticks: 10,
+        ..AutopilotConfig::default()
+    }
+}
+
+proptest! {
+    /// Recommended limits always cover current usage, stay above the
+    /// configured floor, and never exceed
+    /// `max(declared, margin · max usage)`.
+    #[test]
+    fn limits_are_sandwiched(
+        usage in proptest::collection::vec(0.001f64..0.9, 1..120),
+        declared in 0.05f64..1.0,
+    ) {
+        let t = task_from(&usage, declared);
+        let c = cfg();
+        let limits = recommend_limits(&t, &c).unwrap();
+        prop_assert_eq!(limits.len(), usage.len());
+        let max_usage = usage.iter().copied().fold(0.0f64, f64::max);
+        let ceiling = declared.max(c.margin * max_usage).max(c.min_limit) + 1e-9;
+        for (i, (&l, &u)) in limits.iter().zip(usage.iter()).enumerate() {
+            prop_assert!(l + 1e-12 >= u, "tick {i}: limit {l} below usage {u}");
+            prop_assert!(
+                l >= c.min_limit.min(declared.min(u.max(c.min_limit))) - 1e-12,
+                "tick {i}: limit {l} below floor"
+            );
+            prop_assert!(l <= ceiling, "tick {i}: limit {l} above ceiling {ceiling}");
+        }
+    }
+
+    /// Warm-up keeps the declared limit in force.
+    #[test]
+    fn warmup_preserves_declared(
+        usage in proptest::collection::vec(0.001f64..0.2, 5..60),
+        declared in 0.3f64..1.0,
+    ) {
+        let t = task_from(&usage, declared);
+        let c = cfg();
+        let limits = recommend_limits(&t, &c).unwrap();
+        for i in 0..c.warmup_ticks.min(usage.len()) {
+            // Usage below the declared limit cannot raise it during
+            // warm-up, so the declared limit stands.
+            prop_assert_eq!(limits[i], declared, "tick {}", i);
+        }
+    }
+
+    /// Relative slack lies in (-∞, 1] and equals zero when limits track
+    /// usage exactly.
+    #[test]
+    fn slack_bounds(usage in proptest::collection::vec(0.01f64..0.9, 1..80)) {
+        let t = task_from(&usage, 1.0);
+        let exact: Vec<f64> = usage.clone();
+        let s = relative_slack(&t, &exact);
+        prop_assert!(s.abs() < 1e-9, "tracking limits give slack {s}");
+        let loose = vec![2.0; usage.len()];
+        let s = relative_slack(&t, &loose);
+        prop_assert!(s > 0.0 && s <= 1.0);
+    }
+
+    /// Determinism: same inputs, same limits.
+    #[test]
+    fn deterministic(usage in proptest::collection::vec(0.001f64..0.9, 1..60)) {
+        let t = task_from(&usage, 0.5);
+        let a = recommend_limits(&t, &cfg()).unwrap();
+        let b = recommend_limits(&t, &cfg()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end invariants: generator → oracle → predictors → metrics.
+
+use overcommit_repro::core::config::SimConfig;
+use overcommit_repro::core::metrics::VIOLATION_EPS;
+use overcommit_repro::core::predictor::PredictorSpec;
+use overcommit_repro::core::runner::{run_cell, run_cell_streaming};
+use overcommit_repro::trace::cell::{CellConfig, CellPreset};
+use overcommit_repro::trace::gen::WorkloadGenerator;
+
+fn small_gen(preset: CellPreset, machines: usize, ticks: u64) -> WorkloadGenerator {
+    let mut cell = CellConfig::preset(preset);
+    cell.machines = machines;
+    cell.duration_ticks = ticks;
+    WorkloadGenerator::new(cell).unwrap()
+}
+
+/// The theory of Section 3 in executable form: the conservative limit-sum
+/// policy never violates the oracle, on every cell preset.
+#[test]
+fn limit_sum_is_always_safe() {
+    for preset in [
+        CellPreset::A,
+        CellPreset::B,
+        CellPreset::G,
+        CellPreset::Prod5,
+    ] {
+        let gen = small_gen(preset, 3, 288);
+        let run =
+            run_cell_streaming(&gen, &SimConfig::default(), &[PredictorSpec::LimitSum], 2).unwrap();
+        for r in run.reports(0) {
+            assert_eq!(
+                r.violations, 0,
+                "cell {}: limit-sum violated on machine {}",
+                run.cell, r.machine
+            );
+            assert!(r.mean_savings().abs() < 1e-12);
+        }
+    }
+}
+
+/// borg-default's violation severity is structurally capped at `1 − φ`
+/// because the oracle cannot exceed Σ limits (Section 5.4's observation).
+#[test]
+fn borg_default_severity_is_capped() {
+    let gen = small_gen(CellPreset::A, 4, 432);
+    let phi = 0.85;
+    let run = run_cell_streaming(
+        &gen,
+        &SimConfig::default(),
+        &[PredictorSpec::BorgDefault { phi }],
+        2,
+    )
+    .unwrap();
+    for r in run.reports(0) {
+        assert!(
+            r.max_severity() <= (1.0 - phi) + 1e-9,
+            "machine {}: severity {} above cap {}",
+            r.machine,
+            r.max_severity(),
+            1.0 - phi
+        );
+    }
+}
+
+/// The max composite violates at most as often as each component, and its
+/// savings are at most each component's.
+#[test]
+fn max_predictor_violation_subset() {
+    let gen = small_gen(CellPreset::A, 4, 432);
+    let specs = [
+        PredictorSpec::NSigma { n: 5.0 },
+        PredictorSpec::RcLike { percentile: 99.0 },
+        PredictorSpec::paper_max(),
+    ];
+    let run = run_cell_streaming(&gen, &SimConfig::default(), &specs, 2).unwrap();
+    for result in &run.results {
+        let [ns, rc, max] = &result.reports[..] else {
+            panic!("three reports");
+        };
+        assert!(max.violations <= ns.violations);
+        assert!(max.violations <= rc.violations);
+        assert!(max.mean_savings() <= ns.mean_savings() + 1e-12);
+        assert!(max.mean_savings() <= rc.mean_savings() + 1e-12);
+    }
+}
+
+/// A larger oracle horizon can only find more violations (the oracle
+/// grows, predictions stay fixed).
+#[test]
+fn violations_monotone_in_horizon() {
+    let gen = small_gen(CellPreset::A, 3, 576);
+    let spec = [PredictorSpec::NSigma { n: 3.0 }];
+    let short = run_cell_streaming(
+        &gen,
+        &SimConfig::default().with_horizon_hours(3.0),
+        &spec,
+        2,
+    )
+    .unwrap();
+    let long = run_cell_streaming(
+        &gen,
+        &SimConfig::default().with_horizon_hours(24.0),
+        &spec,
+        2,
+    )
+    .unwrap();
+    for (a, b) in short.results.iter().zip(long.results.iter()) {
+        assert!(
+            a.reports[0].violations <= b.reports[0].violations,
+            "machine {}: horizon growth lost violations",
+            a.machine
+        );
+    }
+}
+
+/// Recorded series are consistent with the accumulated reports: recounting
+/// violations from the series gives the report's number.
+#[test]
+fn series_and_reports_agree() {
+    let gen = small_gen(CellPreset::A, 3, 432);
+    let run = run_cell_streaming(
+        &gen,
+        &SimConfig::default().with_series(),
+        &[PredictorSpec::borg_default()],
+        2,
+    )
+    .unwrap();
+    for result in &run.results {
+        let series = result.series.as_ref().unwrap();
+        let recount = series.predictions[0]
+            .iter()
+            .zip(series.oracle.iter())
+            .filter(|(p, po)| **p + VIOLATION_EPS < **po)
+            .count() as u64;
+        assert_eq!(recount, result.reports[0].violations);
+    }
+}
+
+/// Materialized and streaming runs agree bit-for-bit; thread count is
+/// irrelevant; the whole pipeline is deterministic across repetitions.
+#[test]
+fn pipeline_determinism() {
+    let gen = small_gen(CellPreset::D, 4, 288);
+    let specs = PredictorSpec::comparison_set();
+    let cfg = SimConfig::default();
+    let machines = gen.generate_cell().unwrap();
+    let a = run_cell(gen.config().id.clone(), &machines, &cfg, &specs, 1).unwrap();
+    let b = run_cell_streaming(&gen, &cfg, &specs, 4).unwrap();
+    let c = run_cell_streaming(&gen, &cfg, &specs, 2).unwrap();
+    for ((x, y), z) in a.results.iter().zip(b.results.iter()).zip(c.results.iter()) {
+        for i in 0..specs.len() {
+            assert_eq!(x.reports[i].violations, y.reports[i].violations);
+            assert_eq!(y.reports[i].violations, z.reports[i].violations);
+            assert_eq!(
+                x.reports[i].prediction.mean(),
+                y.reports[i].prediction.mean()
+            );
+        }
+    }
+}
+
+/// Metric choice flows through the whole pipeline: judging against the
+/// window max can only produce at least as many violations as judging
+/// against the window average.
+#[test]
+fn stricter_metric_more_violations() {
+    use overcommit_repro::trace::sample::UsageMetric;
+    let gen = small_gen(CellPreset::A, 3, 288);
+    let spec = [PredictorSpec::borg_default()];
+    let avg = run_cell_streaming(
+        &gen,
+        &SimConfig::default().with_metric(UsageMetric::Avg),
+        &spec,
+        2,
+    )
+    .unwrap();
+    let max = run_cell_streaming(
+        &gen,
+        &SimConfig::default().with_metric(UsageMetric::Max),
+        &spec,
+        2,
+    )
+    .unwrap();
+    let total = |run: &overcommit_repro::core::CellRun| -> u64 {
+        run.reports(0).map(|r| r.violations).sum()
+    };
+    assert!(total(&max) >= total(&avg));
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the peak oracle and its supporting kernels.
+
+use overcommit_repro::core::oracle::{future_peak, machine_oracle, task_future_peak};
+use overcommit_repro::core::segtree::MaxTree;
+use overcommit_repro::trace::cell::{CellConfig, CellPreset};
+use overcommit_repro::trace::gen::WorkloadGenerator;
+use overcommit_repro::trace::ids::MachineId;
+use overcommit_repro::trace::sample::UsageMetric;
+use overcommit_repro::trace::time::Tick;
+use proptest::prelude::*;
+
+proptest! {
+    /// The O(n) sliding-window maximum equals the O(n·h) naive scan.
+    #[test]
+    fn future_peak_matches_naive(
+        series in proptest::collection::vec(0.0f64..10.0, 0..200),
+        horizon in 1u64..400,
+    ) {
+        let fast = future_peak(&series, horizon);
+        prop_assert_eq!(fast.len(), series.len());
+        for i in 0..series.len() {
+            let end = (i + horizon as usize).min(series.len());
+            let naive = series[i..end]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(fast[i], naive);
+        }
+    }
+
+    /// A longer horizon never lowers the oracle.
+    #[test]
+    fn horizon_monotonicity(
+        series in proptest::collection::vec(0.0f64..10.0, 1..150),
+        h1 in 1u64..100,
+        h2 in 1u64..100,
+    ) {
+        let (short, long) = (h1.min(h2), h1.max(h2));
+        let a = future_peak(&series, short);
+        let b = future_peak(&series, long);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!(y >= x);
+        }
+    }
+
+    /// The oracle never drops below the present value and never exceeds
+    /// the series maximum.
+    #[test]
+    fn oracle_bounds(
+        series in proptest::collection::vec(0.0f64..10.0, 1..150),
+        horizon in 1u64..300,
+    ) {
+        let po = future_peak(&series, horizon);
+        let global = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for (i, &v) in po.iter().enumerate() {
+            prop_assert!(v >= series[i]);
+            prop_assert!(v <= global);
+        }
+    }
+
+    /// The max segment tree agrees with a naive array under arbitrary
+    /// interleavings of point updates and range queries.
+    #[test]
+    fn segtree_matches_naive(
+        n in 1usize..80,
+        ops in proptest::collection::vec((0usize..80, -5.0f64..5.0, 0usize..80, 0usize..80), 1..100),
+    ) {
+        let mut tree = MaxTree::new(n);
+        let mut naive = vec![0.0f64; n];
+        for (i, delta, lo, hi) in ops {
+            let i = i % n;
+            tree.add(i, delta);
+            naive[i] += delta;
+            let lo = lo % (n + 1);
+            let hi = hi % (n + 1);
+            let expected = if lo >= hi.min(n) {
+                0.0
+            } else {
+                naive[lo..hi.min(n)]
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+            let got = tree.range_max(lo, hi);
+            prop_assert!((got - expected).abs() < 1e-9, "[{lo},{hi}) got {got} want {expected}");
+        }
+    }
+}
+
+/// The scheduled-tasks oracle bounds: current usage ≤ PO ≤ Σ limits, for
+/// every metric and several horizons, on a real generated machine.
+#[test]
+fn machine_oracle_sandwich() {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.duration_ticks = 400;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    let trace = gen.generate_machine(MachineId(3)).unwrap();
+    for metric in [UsageMetric::Avg, UsageMetric::P90, UsageMetric::Max] {
+        for horizon in [1u64, 12, 288, 10_000] {
+            let po = machine_oracle(&trace, metric, horizon);
+            for (i, &v) in po.iter().enumerate() {
+                let t = Tick(i as u64);
+                let now = trace.total_usage_at(t, metric);
+                let limit = trace.total_limit_at(t);
+                assert!(
+                    v + 1e-9 >= now,
+                    "{metric:?} h={horizon} tick {i}: oracle {v} below usage {now}"
+                );
+                assert!(
+                    v <= limit + 1e-9,
+                    "{metric:?} h={horizon} tick {i}: oracle {v} above limits {limit}"
+                );
+            }
+        }
+    }
+}
+
+/// The per-task future peak is the task's own suffix maximum: adding a
+/// task to a machine can only raise the machine oracle.
+#[test]
+fn oracle_superadditive_in_tasks() {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.duration_ticks = 300;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    let trace = gen.generate_machine(MachineId(1)).unwrap();
+    let full = machine_oracle(&trace, UsageMetric::P90, 288);
+
+    let mut reduced = trace.clone();
+    let removed = reduced.tasks.pop().unwrap();
+    let partial = machine_oracle(&reduced, UsageMetric::P90, 288);
+    for i in 0..full.len() {
+        assert!(
+            full[i] + 1e-9 >= partial[i],
+            "tick {i}: removing task {} raised the oracle",
+            removed.spec.id
+        );
+    }
+}
+
+/// Task future peaks at the task's start equal the task's lifetime peak
+/// when the horizon covers the whole lifetime.
+#[test]
+fn task_future_peak_at_start_is_lifetime_peak() {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.duration_ticks = 300;
+    let gen = WorkloadGenerator::new(cell).unwrap();
+    let trace = gen.generate_machine(MachineId(2)).unwrap();
+    for task in trace.tasks.iter().take(30) {
+        let fp = task_future_peak(task, UsageMetric::Max, u64::MAX);
+        assert!((fp[0] - task.peak()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based invariants of the practical peak predictors.
+
+use overcommit_repro::core::config::SimConfig;
+use overcommit_repro::core::predictor::PredictorSpec;
+use overcommit_repro::core::view::MachineView;
+use overcommit_repro::trace::ids::{JobId, TaskId};
+use overcommit_repro::trace::time::Tick;
+use proptest::prelude::*;
+
+/// A randomly generated observation stream: per tick, per task `(limit,
+/// usage ≤ limit)`.
+fn view_from(
+    observations: &[Vec<(f64, f64)>],
+    min_samples: usize,
+    max_samples: usize,
+) -> MachineView {
+    let cfg = SimConfig {
+        min_num_samples: min_samples,
+        max_num_samples: max_samples.max(min_samples).max(1),
+        ..SimConfig::default()
+    };
+    let mut view = MachineView::new(1.0, &cfg);
+    for (t, tasks) in observations.iter().enumerate() {
+        view.observe(
+            Tick(t as u64),
+            tasks.iter().enumerate().map(|(i, &(limit, frac))| {
+                (TaskId::new(JobId(i as u64 + 1), 0), limit, limit * frac)
+            }),
+        );
+    }
+    view
+}
+
+/// Observation-stream strategy: 1–40 ticks of 0–8 tasks.
+fn observations() -> impl Strategy<Value = Vec<Vec<(f64, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0.01f64..0.5, 0.0f64..=1.0), 0..8),
+        1..40,
+    )
+}
+
+proptest! {
+    /// Every built-in predictor stays within `[0, Σ limits]`.
+    #[test]
+    fn predictions_are_actionable(
+        obs in observations(),
+        warmup in 0usize..10,
+        history in 1usize..30,
+    ) {
+        let view = view_from(&obs, warmup, history);
+        let specs = [
+            PredictorSpec::LimitSum,
+            PredictorSpec::borg_default(),
+            PredictorSpec::RcLike { percentile: 95.0 },
+            PredictorSpec::NSigma { n: 5.0 },
+            PredictorSpec::paper_max(),
+        ];
+        for spec in &specs {
+            let p = spec.build().unwrap().predict(&view);
+            prop_assert!(p >= 0.0, "{}: negative prediction {p}", spec.name());
+            prop_assert!(
+                p <= view.total_limit() + 1e-9,
+                "{}: prediction {p} above Σ limits {}",
+                spec.name(),
+                view.total_limit()
+            );
+            prop_assert!(p.is_finite());
+        }
+    }
+
+    /// The max composite dominates each of its components pointwise.
+    #[test]
+    fn max_dominates_components(obs in observations()) {
+        let view = view_from(&obs, 3, 12);
+        let children = [
+            PredictorSpec::NSigma { n: 5.0 },
+            PredictorSpec::RcLike { percentile: 99.0 },
+        ];
+        let max = PredictorSpec::Max(children.to_vec()).build().unwrap();
+        let m = max.predict(&view);
+        for child in &children {
+            let c = child.build().unwrap().predict(&view);
+            prop_assert!(m + 1e-12 >= c, "max {m} below component {} = {c}", child.name());
+        }
+    }
+
+    /// RC-like is monotone in its percentile; N-sigma in its multiplier.
+    #[test]
+    fn parameter_monotonicity(obs in observations()) {
+        let view = view_from(&obs, 2, 20);
+        let mut last = 0.0f64;
+        for pct in [50.0, 80.0, 95.0, 99.0, 100.0] {
+            let p = PredictorSpec::RcLike { percentile: pct }
+                .build()
+                .unwrap()
+                .predict(&view);
+            prop_assert!(p + 1e-9 >= last, "rc-like not monotone at p{pct}");
+            last = p;
+        }
+        let mut last = 0.0f64;
+        for n in [0.0, 1.0, 3.0, 5.0, 10.0] {
+            let p = PredictorSpec::NSigma { n }.build().unwrap().predict(&view);
+            prop_assert!(p + 1e-9 >= last, "n-sigma not monotone at n={n}");
+            last = p;
+        }
+    }
+
+    /// With every task warm and constant usage, RC-like predicts exactly
+    /// the usage sum and N-sigma the aggregate mean.
+    #[test]
+    fn constant_usage_fixed_points(
+        tasks in proptest::collection::vec((0.05f64..0.5, 0.1f64..=0.9), 1..6),
+    ) {
+        let obs: Vec<Vec<(f64, f64)>> = vec![tasks.clone(); 30];
+        let view = view_from(&obs, 3, 10);
+        let usage_sum: f64 = tasks.iter().map(|&(l, f)| l * f).sum();
+        let rc = PredictorSpec::RcLike { percentile: 99.0 }
+            .build()
+            .unwrap()
+            .predict(&view);
+        prop_assert!((rc - usage_sum).abs() < 1e-6, "rc {rc} vs usage {usage_sum}");
+        let ns = PredictorSpec::NSigma { n: 5.0 }.build().unwrap().predict(&view);
+        prop_assert!((ns - usage_sum).abs() < 1e-6, "n-sigma {ns} vs usage {usage_sum}");
+    }
+
+    /// The borg-default prediction is exactly φ·ΣL whatever the usage.
+    #[test]
+    fn borg_default_ignores_usage(obs in observations(), phi in 0.1f64..1.0) {
+        let view = view_from(&obs, 3, 12);
+        let p = PredictorSpec::BorgDefault { phi }.build().unwrap().predict(&view);
+        prop_assert!((p - phi * view.total_limit()).abs() < 1e-12);
+    }
+}
+
+/// Spec validation rejects every out-of-domain parameter and the builder
+/// agrees with validation.
+#[test]
+fn validation_and_build_agree() {
+    let bad = [
+        PredictorSpec::BorgDefault { phi: 0.0 },
+        PredictorSpec::BorgDefault { phi: f64::NAN },
+        PredictorSpec::RcLike { percentile: -1.0 },
+        PredictorSpec::NSigma { n: f64::INFINITY },
+        PredictorSpec::Max(vec![]),
+    ];
+    for spec in &bad {
+        assert!(spec.validate().is_err(), "{:?} should not validate", spec);
+        assert!(spec.build().is_err(), "{:?} should not build", spec);
+    }
+    for spec in PredictorSpec::comparison_set() {
+        assert!(spec.validate().is_ok());
+        assert!(spec.build().is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the QoS substrate and its coupling to the
+//! simulator.
+
+use overcommit_repro::qos::{slo_miss_rate, LatencyModel, QosReport};
+use proptest::prelude::*;
+
+proptest! {
+    /// Expected latency is monotone in the demand ratio and bounded below
+    /// by the base latency.
+    #[test]
+    fn expected_latency_monotone(rhos in proptest::collection::vec(0.0f64..1.5, 2..50)) {
+        let m = LatencyModel::default();
+        let mut sorted = rhos.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for &rho in &sorted {
+            let l = m.expected_latency(rho);
+            prop_assert!(l + 1e-12 >= last, "not monotone at rho {rho}");
+            prop_assert!(l >= m.base);
+            prop_assert!(l.is_finite());
+            last = l;
+        }
+    }
+
+    /// The machine latency series is positive, finite, and its length
+    /// matches the usage series.
+    #[test]
+    fn series_shape(
+        usage in proptest::collection::vec(0.0f64..2.0, 0..200),
+        key in 0u64..1000,
+    ) {
+        let m = LatencyModel::default();
+        let s = m.machine_series(&usage, 1.0, key);
+        prop_assert_eq!(s.len(), usage.len());
+        for &l in &s {
+            prop_assert!(l > 0.0 && l.is_finite());
+        }
+    }
+
+    /// QoS reports order their percentiles and normalization rescales
+    /// them coherently.
+    #[test]
+    fn report_percentiles_ordered(series in proptest::collection::vec(0.01f64..100.0, 1..300)) {
+        let r = QosReport::from_series(&series).unwrap();
+        prop_assert!(r.p50 <= r.p90 + 1e-12);
+        prop_assert!(r.p90 <= r.p99 + 1e-12);
+        prop_assert!(r.p99 <= r.max + 1e-12);
+        prop_assert!(r.mean <= r.max + 1e-12);
+        let n = r.normalized(2.0).unwrap();
+        prop_assert!((n.max - r.max / 2.0).abs() < 1e-12);
+        prop_assert!((n.p50 - r.p50 / 2.0).abs() < 1e-12);
+    }
+
+    /// SLO miss rate is a CDF complement: monotone non-increasing in the
+    /// threshold, in [0, 1].
+    #[test]
+    fn slo_miss_monotone(series in proptest::collection::vec(0.0f64..10.0, 1..200)) {
+        let mut last = 1.0;
+        for threshold in [0.0, 1.0, 2.0, 5.0, 10.0] {
+            let miss = slo_miss_rate(&series, threshold);
+            prop_assert!((0.0..=1.0).contains(&miss));
+            prop_assert!(miss <= last + 1e-12);
+            last = miss;
+        }
+        prop_assert_eq!(slo_miss_rate(&series, f64::INFINITY), 0.0);
+    }
+}
+
+/// Higher contention in the usage series produces a stochastically higher
+/// latency series under the same noise stream.
+#[test]
+fn contention_dominance() {
+    let m = LatencyModel::default();
+    let calm: Vec<f64> = (0..2000).map(|i| 0.3 + 0.1 * ((i as f64) / 50.0).sin()).collect();
+    let hot: Vec<f64> = calm.iter().map(|&u| u + 0.5).collect();
+    // Same machine key → identical noise draws, so dominance is per-tick.
+    let a = m.machine_series(&calm, 1.0, 7);
+    let b = m.machine_series(&hot, 1.0, 7);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert!(y >= x, "hotter machine produced lower latency");
+    }
+    let ra = QosReport::from_series(&a).unwrap();
+    let rb = QosReport::from_series(&b).unwrap();
+    assert!(rb.p99 > ra.p99);
+}
