@@ -1,0 +1,240 @@
+//! The per-tick prediction hot path: observe + predict, ticks per second.
+//!
+//! Measures the full node-agent inner loop on a 50-task machine — feed one
+//! tick of observations into the view, then run the paper's four-predictor
+//! comparison set — against a `naive` baseline that replicates the engine
+//! before the incremental-statistics rewrite: per-call clone-and-sort
+//! percentiles, two-pass standard deviation, per-tick sort + binary-search
+//! task retention, and full limit rescans every tick.
+//!
+//! Run with `cargo bench -p oc-bench --bench hot_path`; the acceptance
+//! numbers live in `BENCH_hot_path.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oc_core::config::SimConfig;
+use oc_core::predictor::{PeakPredictor, PredictorSpec};
+use oc_core::view::MachineView;
+use oc_trace::ids::{JobId, TaskId};
+use oc_trace::time::Tick;
+use std::hint::black_box;
+
+const TASKS: usize = 50;
+const TICKS: u64 = 288; // One simulated day.
+
+/// Deterministic per-(task, tick) usage in [0, limit).
+fn usage(task: usize, tick: u64) -> f64 {
+    let h = (task as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(tick)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D);
+    ((h >> 11) % 10_000) as f64 / 10_000.0 * LIMIT
+}
+
+const LIMIT: f64 = 1.0 / TASKS as f64;
+
+fn task_id(i: usize) -> TaskId {
+    TaskId::new(JobId(1 + i as u64 / 10), (i % 10) as u32)
+}
+
+/// The current engine: incremental windows, generation-stamp sweep,
+/// event-triggered limit sums.
+fn bench_engine(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let predictors: Vec<Box<dyn PeakPredictor>> = PredictorSpec::comparison_set()
+        .iter()
+        .map(|s| s.build().unwrap())
+        .collect();
+    let mut g = c.benchmark_group("hot_path");
+    g.throughput(Throughput::Elements(TICKS));
+    g.bench_function("engine", |b| {
+        b.iter(|| {
+            let mut view = MachineView::new(1.0, &cfg);
+            let mut acc = 0.0;
+            for t in 0..TICKS {
+                view.observe(
+                    Tick(t),
+                    (0..TASKS).map(|i| (task_id(i), LIMIT, usage(i, t))),
+                );
+                for p in &predictors {
+                    acc += p.predict(&view);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// A faithful replica of the pre-rewrite hot path, kept here so the
+/// speedup stays measurable against the same workload.
+mod naive {
+    use oc_stats::percentile_of_sorted;
+    use oc_trace::ids::TaskId;
+    use std::collections::{BTreeMap, VecDeque};
+
+    pub struct NaiveWindow {
+        buf: VecDeque<f64>,
+        capacity: usize,
+        sum: f64,
+    }
+
+    impl NaiveWindow {
+        pub fn new(capacity: usize) -> NaiveWindow {
+            NaiveWindow {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+                sum: 0.0,
+            }
+        }
+
+        pub fn push(&mut self, x: f64) {
+            if self.buf.len() == self.capacity {
+                self.sum -= self.buf.pop_front().unwrap();
+            }
+            self.buf.push_back(x);
+            self.sum += x;
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.buf.is_empty()
+        }
+
+        pub fn mean(&self) -> f64 {
+            if self.buf.is_empty() {
+                0.0
+            } else {
+                self.sum / self.buf.len() as f64
+            }
+        }
+
+        /// Two-pass exact std — the pre-rewrite O(w) computation.
+        pub fn population_std(&self) -> f64 {
+            let n = self.buf.len();
+            if n < 2 {
+                return 0.0;
+            }
+            let mean = self.mean();
+            let var = self.buf.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            var.sqrt()
+        }
+
+        /// Clone-sort percentile — the pre-rewrite O(w log w) + alloc read.
+        pub fn percentile(&self, p: f64) -> Option<f64> {
+            if self.buf.is_empty() {
+                return None;
+            }
+            let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            percentile_of_sorted(&sorted, p).ok()
+        }
+    }
+
+    pub struct NaiveTask {
+        pub limit: f64,
+        pub window: NaiveWindow,
+        pub age: usize,
+    }
+
+    pub struct NaiveView {
+        pub min_num_samples: usize,
+        max_num_samples: usize,
+        pub tasks: BTreeMap<TaskId, NaiveTask>,
+        pub warm_window: NaiveWindow,
+        pub cold_limit_sum: f64,
+        pub total_limit: f64,
+    }
+
+    impl NaiveView {
+        pub fn new(min_num_samples: usize, max_num_samples: usize) -> NaiveView {
+            NaiveView {
+                min_num_samples,
+                max_num_samples,
+                tasks: BTreeMap::new(),
+                warm_window: NaiveWindow::new(max_num_samples),
+                cold_limit_sum: 0.0,
+                total_limit: 0.0,
+            }
+        }
+
+        /// The pre-rewrite observe: seen-vec sort + binary-search retain,
+        /// then full rescans of both limit sums.
+        pub fn observe(&mut self, alive: impl IntoIterator<Item = (TaskId, f64, f64)>) {
+            let mut seen: Vec<TaskId> = Vec::new();
+            let mut warm_total = 0.0;
+            for (id, limit, usage) in alive {
+                seen.push(id);
+                let max_num_samples = self.max_num_samples;
+                let entry = self.tasks.entry(id).or_insert_with(|| NaiveTask {
+                    limit,
+                    window: NaiveWindow::new(max_num_samples),
+                    age: 0,
+                });
+                entry.limit = limit;
+                entry.window.push(usage);
+                entry.age += 1;
+                if entry.age >= self.min_num_samples {
+                    warm_total += usage;
+                }
+            }
+            seen.sort_unstable();
+            self.tasks.retain(|id, _| seen.binary_search(id).is_ok());
+            self.warm_window.push(warm_total);
+
+            self.total_limit = self.tasks.values().map(|t| t.limit).sum();
+            self.cold_limit_sum = self
+                .tasks
+                .values()
+                .filter(|t| t.age < self.min_num_samples)
+                .map(|t| t.limit)
+                .sum();
+        }
+    }
+
+    /// The comparison set against the naive view: borg-default(0.9),
+    /// rc-like(p99), n-sigma(5), and max(n-sigma, rc-like).
+    pub fn predict_comparison_set(view: &NaiveView) -> f64 {
+        let clamp = |raw: f64| raw.clamp(0.0, view.total_limit);
+
+        let borg = clamp(0.9 * view.total_limit);
+
+        let mut rc = view.cold_limit_sum;
+        for task in view.tasks.values() {
+            if task.age >= view.min_num_samples {
+                let pct = task.window.percentile(99.0).unwrap_or(task.limit);
+                rc += pct.min(task.limit);
+            }
+        }
+        let rc = clamp(rc);
+
+        let n_sigma = clamp(if view.warm_window.is_empty() {
+            view.total_limit
+        } else {
+            view.warm_window.mean()
+                + 5.0 * view.warm_window.population_std()
+                + view.cold_limit_sum
+        });
+
+        borg + rc + n_sigma + n_sigma.max(rc)
+    }
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("hot_path");
+    g.throughput(Throughput::Elements(TICKS));
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut view = naive::NaiveView::new(cfg.min_num_samples, cfg.max_num_samples);
+            let mut acc = 0.0;
+            for t in 0..TICKS {
+                view.observe((0..TASKS).map(|i| (task_id(i), LIMIT, usage(i, t))));
+                acc += naive::predict_comparison_set(&view);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_naive);
+criterion_main!(benches);

@@ -2,8 +2,11 @@
 //!
 //! Machines are simulated independently — exactly the property the paper's
 //! Beam pipeline exploits — so the runner fans machine indices out to
-//! worker threads over a crossbeam channel and merges per-machine results
-//! deterministically (sorted by machine id). Two modes:
+//! worker threads via an atomic work counter. Each worker writes its result
+//! into the pre-allocated slot for its machine index, so the output is
+//! ordered by construction and never needs a collect-and-sort pass. On the
+//! first error a shared cancel flag stops the remaining workers from
+//! claiming new machines. Two modes:
 //!
 //! * [`run_cell`] — simulate already-materialized [`MachineTrace`]s.
 //! * [`run_cell_streaming`] — generate each machine on the fly from a
@@ -16,7 +19,6 @@ use crate::error::CoreError;
 use crate::metrics::{MachineReport, SimResult};
 use crate::predictor::{PeakPredictor, PredictorSpec};
 use crate::sim::simulate_machine;
-use crossbeam::channel;
 use oc_trace::gen::WorkloadGenerator;
 use oc_trace::ids::{CellId, MachineId};
 use oc_trace::MachineTrace;
@@ -161,40 +163,63 @@ pub fn run_cell_streaming(
     Ok(finish(gen.config().id.clone(), specs, results))
 }
 
-/// Fans indices `0..n` out to `threads` workers and collects results.
+/// Fans indices `0..n` out to `threads` workers.
+///
+/// Workers claim indices from an atomic counter and write each result
+/// directly into its index slot, so results come back in machine order
+/// without a sort. A shared cancel flag is raised on the first error; other
+/// workers finish their current machine but claim no more, and the first
+/// error (by claim order, not completion order — `error` is only written by
+/// whichever worker raises the flag) is returned.
 fn parallel_map<F>(n: usize, threads: usize, f: F) -> Result<Vec<SimResult>, CoreError>
 where
     F: Fn(usize) -> Result<SimResult, CoreError> + Send + Sync,
 {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let threads = threads.max(1).min(n.max(1));
-    let (work_tx, work_rx) = channel::unbounded::<usize>();
-    let (done_tx, done_rx) = channel::unbounded::<Result<SimResult, CoreError>>();
-    for idx in 0..n {
-        work_tx.send(idx).expect("receiver alive");
-    }
-    drop(work_tx);
+    let next = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let error: Mutex<Option<CoreError>> = Mutex::new(None);
+    let mut slots: Vec<Option<SimResult>> = Vec::new();
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let done_tx = done_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok(idx) = work_rx.recv() {
-                    if done_tx.send(f(idx)).is_err() {
+            scope.spawn(|| loop {
+                if cancel.load(Ordering::Relaxed) {
+                    return;
+                }
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    return;
+                }
+                match f(idx) {
+                    Ok(result) => {
+                        slots.lock().expect("slots lock")[idx] = Some(result);
+                    }
+                    Err(e) => {
+                        if !cancel.swap(true, Ordering::Relaxed) {
+                            *error.lock().expect("error lock") = Some(e);
+                        }
                         return;
                     }
                 }
             });
         }
     });
-    drop(done_tx);
 
-    let mut results = Vec::with_capacity(n);
-    for r in done_rx {
-        results.push(r?);
+    if let Some(e) = error.into_inner().expect("error lock") {
+        return Err(e);
     }
-    results.sort_by_key(|r| r.machine);
+    let results: Vec<SimResult> = slots
+        .into_inner()
+        .expect("slots lock")
+        .into_iter()
+        .map(|s| s.expect("no error raised, so every slot was filled"))
+        .collect();
     Ok(results)
 }
 
@@ -284,6 +309,38 @@ mod tests {
         let util = run.cell_utilization_series().unwrap();
         assert_eq!(util.len(), 144);
         assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn first_error_cancels_remaining_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Plenty of machines, few threads: once the first machine fails,
+        // the cancel flag must stop workers from claiming the long tail.
+        let n = 10_000;
+        let calls = AtomicUsize::new(0);
+        let err = parallel_map(n, 2, |idx| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(CoreError::InvalidConfig {
+                what: format!("machine {idx} failed"),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+        let made = calls.load(Ordering::Relaxed);
+        assert!(made < n, "cancel flag ignored: all {made} machines ran");
+    }
+
+    #[test]
+    fn failing_predictor_build_propagates_from_workers() {
+        // An always-failing per-machine closure modeling a predictor whose
+        // construction fails inside the worker threads.
+        let err = parallel_map(4, 4, |_| {
+            PredictorSpec::RcLike { percentile: 250.0 }
+                .build()
+                .map(|_| unreachable!("percentile 250 must not build"))
+        })
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
     }
 
     #[test]

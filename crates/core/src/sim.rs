@@ -51,9 +51,7 @@ pub fn simulate_machine(
 ) -> Result<SimResult, CoreError> {
     cfg.validate()?;
     trace.validate()?;
-
     let oracle = machine_oracle(trace, cfg.metric, cfg.oracle_horizon_ticks);
-    let mut view = MachineView::new(trace.capacity, cfg);
     let mut reports: Vec<MachineReport> = predictors
         .iter()
         .map(|p| MachineReport::new(trace.machine, p.name()))
@@ -67,6 +65,40 @@ pub fn simulate_machine(
         predictions: vec![Vec::with_capacity(n_ticks); predictors.len()],
     });
 
+    drive_ticks(trace, cfg, |i, _t, view| {
+        let po = oracle[i];
+        let limit = view.total_limit();
+        for (j, predictor) in predictors.iter().enumerate() {
+            let p = predictor.predict(view);
+            reports[j].record(p, po, limit);
+            if let Some(series) = series.as_mut() {
+                series.predictions[j].push(p);
+            }
+        }
+        if let Some(series) = series.as_mut() {
+            series.limit.push(limit);
+        }
+    })?;
+
+    Ok(SimResult {
+        machine: trace.machine,
+        capacity: trace.capacity,
+        reports,
+        series,
+    })
+}
+
+/// Replays one machine tick by tick: admits and retires tasks, feeds each
+/// tick's observations into a fresh [`MachineView`], and hands the updated
+/// view to `on_tick`. Shared by [`simulate_machine`] and
+/// [`worst_violation_tick`] so both see exactly the same view evolution.
+/// Callers validate `cfg` and `trace` before the oracle pass, so the
+/// driver does not re-validate.
+fn drive_ticks<F>(trace: &MachineTrace, cfg: &SimConfig, mut on_tick: F) -> Result<(), CoreError>
+where
+    F: FnMut(usize, Tick, &MachineView),
+{
+    let mut view = MachineView::new(trace.capacity, cfg);
     // Pre-index tasks by start tick so each tick touches only live tasks.
     // Machines host dozens of tasks at a time but thousands over a month.
     let mut live: Vec<usize> = Vec::new();
@@ -91,26 +123,9 @@ pub fn simulate_machine(
             }),
         );
 
-        let po = oracle[i];
-        let limit = view.total_limit();
-        for (j, predictor) in predictors.iter().enumerate() {
-            let p = predictor.predict(&view);
-            reports[j].record(p, po, limit);
-            if let Some(series) = series.as_mut() {
-                series.predictions[j].push(p);
-            }
-        }
-        if let Some(series) = series.as_mut() {
-            series.limit.push(limit);
-        }
+        on_tick(i, t, &view);
     }
-
-    Ok(SimResult {
-        machine: trace.machine,
-        capacity: trace.capacity,
-        reports,
-        series,
-    })
+    Ok(())
 }
 
 /// Convenience: the oracle series for one machine at a given horizon.
@@ -126,25 +141,27 @@ pub fn oracle_series(
 
 /// Returns the tick with the largest oracle-minus-prediction gap for one
 /// predictor, for diagnostics. `None` if the predictor never violates.
+///
+/// Runs the replay loop directly and keeps only the running worst, rather
+/// than materializing a full [`MachineSeries`] (which clones the oracle,
+/// true-peak, and average-usage series and stores every prediction) just to
+/// scan it once.
 pub fn worst_violation_tick(
     trace: &MachineTrace,
     cfg: &SimConfig,
     predictor: &crate::predictor::PredictorSpec,
 ) -> Result<Option<(Tick, f64)>, CoreError> {
+    cfg.validate()?;
+    trace.validate()?;
     let built = predictor.build()?;
-    let result = simulate_machine(
-        trace,
-        &cfg.clone().with_series(),
-        std::slice::from_ref(&built),
-    )?;
-    let series = result.series.expect("series recording was enabled");
+    let oracle = machine_oracle(trace, cfg.metric, cfg.oracle_horizon_ticks);
     let mut worst: Option<(Tick, f64)> = None;
-    for (i, t) in trace.horizon.iter().enumerate() {
-        let gap = series.oracle[i] - series.predictions[0][i];
+    drive_ticks(trace, cfg, |i, t, view| {
+        let gap = oracle[i] - built.predict(view);
         if gap > 0.0 && worst.map(|(_, g)| gap > g).unwrap_or(true) {
             worst = Some((t, gap));
         }
-    }
+    })?;
     Ok(worst)
 }
 

@@ -15,7 +15,7 @@
 //! per tick, the summed usage of the tasks that were warm at that tick.
 
 use crate::config::SimConfig;
-use oc_stats::MovingWindow;
+use oc_stats::{MovingWindow, OrderStatWindow};
 use oc_trace::ids::TaskId;
 use oc_trace::time::Tick;
 use std::collections::BTreeMap;
@@ -24,8 +24,10 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct TaskView {
     limit: f64,
-    window: MovingWindow,
+    window: OrderStatWindow,
     age: usize,
+    /// Generation stamp of the last tick this task was observed alive.
+    last_seen: u64,
 }
 
 impl TaskView {
@@ -34,8 +36,10 @@ impl TaskView {
         self.limit
     }
 
-    /// Window of the most recent usage samples (oldest first).
-    pub fn window(&self) -> &MovingWindow {
+    /// Window of the most recent usage samples. Order statistics
+    /// (percentile, max) are O(1) reads — this is what keeps the RC-like
+    /// predictor's per-tick cost flat.
+    pub fn window(&self) -> &OrderStatWindow {
         &self.window
     }
 
@@ -77,6 +81,9 @@ pub struct MachineView {
     cold_limit_sum: f64,
     /// Current Σ limits over all tasks.
     total_limit: f64,
+    /// Observation counter; each [`MachineView::observe`] call stamps the
+    /// tasks it sees, and the sweep drops tasks with a stale stamp.
+    generation: u64,
 }
 
 impl MachineView {
@@ -92,6 +99,7 @@ impl MachineView {
             warm_window: MovingWindow::new(cap).expect("capacity >= 1"),
             cold_limit_sum: 0.0,
             total_limit: 0.0,
+            generation: 0,
         }
     }
 
@@ -99,35 +107,59 @@ impl MachineView {
     /// task alive on the machine this tick. Departed tasks (present before,
     /// absent now) are dropped, new tasks are registered, and the aggregate
     /// warm-usage window advances by one sample.
+    ///
+    /// The limit sums are refreshed only when an event that can change them
+    /// occurs — a task admission, departure, limit change, or cold→warm
+    /// transition. Task limits are static in traces and warm-up happens
+    /// once per task, so steady-state ticks skip the O(tasks) rescans the
+    /// sums used to cost; when a refresh does run it is the same exact
+    /// summation as before, so the sums never drift. Departures are found
+    /// by a generation-stamp sweep (each seen task is stamped with the
+    /// current observation number), replacing the per-tick sort +
+    /// binary-search membership test.
     pub fn observe(&mut self, t: Tick, alive: impl IntoIterator<Item = (TaskId, f64, f64)>) {
         self.now = t;
-        let mut seen: Vec<TaskId> = Vec::new();
+        self.generation += 1;
+        let generation = self.generation;
         let mut warm_total = 0.0;
+        let mut sums_stale = false;
         for (id, limit, usage) in alive {
-            seen.push(id);
             let entry = self.tasks.entry(id).or_insert_with(|| TaskView {
                 limit,
-                window: MovingWindow::new(self.max_num_samples).expect("capacity >= 1"),
+                window: OrderStatWindow::new(self.max_num_samples).expect("capacity >= 1"),
                 age: 0,
+                last_seen: 0,
             });
+            let admitted = entry.age == 0;
+            let was_warm = !admitted && entry.age >= self.min_num_samples;
+            sums_stale |= admitted || entry.limit != limit;
             entry.limit = limit;
             entry.window.push(usage);
             entry.age += 1;
+            entry.last_seen = generation;
             if entry.age >= self.min_num_samples {
                 warm_total += usage;
+                sums_stale |= !was_warm;
             }
         }
-        seen.sort_unstable();
-        self.tasks.retain(|id, _| seen.binary_search(id).is_ok());
+        let mut departed = false;
+        self.tasks.retain(|_, task| {
+            let keep = task.last_seen == generation;
+            departed |= !keep;
+            keep
+        });
+        sums_stale |= departed;
         self.warm_window.push(warm_total);
 
-        self.total_limit = self.tasks.values().map(|t| t.limit).sum();
-        self.cold_limit_sum = self
-            .tasks
-            .values()
-            .filter(|t| t.age < self.min_num_samples)
-            .map(|t| t.limit)
-            .sum();
+        if sums_stale {
+            self.total_limit = self.tasks.values().map(|t| t.limit).sum();
+            self.cold_limit_sum = self
+                .tasks
+                .values()
+                .filter(|t| t.age < self.min_num_samples)
+                .map(|t| t.limit)
+                .sum();
+        }
     }
 
     /// The machine's physical capacity.

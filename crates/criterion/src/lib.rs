@@ -1,0 +1,336 @@
+//! Vendored offline stand-in for the subset of [`criterion`] this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so benches run on
+//! this minimal harness: it calibrates each benchmark, takes timed
+//! samples, and prints `median / min / mean` nanoseconds per iteration
+//! (plus throughput when declared) in a stable, greppable one-line format:
+//!
+//! ```text
+//! bench: group/name ... median 12345 ns/iter (min 12000, mean 12400) 8.10 Melem/s
+//! ```
+//!
+//! Differences from upstream, by design: no warm-up phases beyond
+//! calibration, no statistical outlier analysis, no HTML reports, no
+//! comparison to saved baselines. Sample counts honor
+//! [`BenchmarkGroup::sample_size`] and adapt downward for very slow
+//! benchmarks so full-workspace `cargo bench` stays bounded.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Target wall-clock duration of one timed sample, in nanoseconds.
+const TARGET_SAMPLE_NS: f64 = 5_000_000.0;
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput declaration: scales per-iteration time into an element or
+/// byte rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how much memory a batched setup allocates. The stand-in
+/// harness accepts the variants for source compatibility; they do not
+/// change the sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; many can be held at once.
+    SmallInput,
+    /// Setup output is large; batch conservatively.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per timed sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calibrates and times `f`, recording per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: estimate the cost of one iteration.
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed().as_millis() < 2 {
+            std::hint::black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / calibration_iters as f64;
+
+        let iters_per_sample = (TARGET_SAMPLE_NS / per_iter).max(1.0) as u64;
+        // Keep very slow benchmarks bounded: above 250 ms per iteration,
+        // take at most 3 samples of 1 iteration each.
+        let samples = if per_iter > 250_000_000.0 {
+            self.sample_size.min(3)
+        } else {
+            self.sample_size
+        };
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost from the measurement. Each timed sample runs `setup` once per
+    /// iteration and measures only the routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibration: estimate routine cost (setup excluded from the
+        // estimate the same way it is excluded from samples).
+        let mut calibration_iters = 0u64;
+        let mut timed_ns = 0u128;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 2 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            timed_ns += t.elapsed().as_nanos();
+            calibration_iters += 1;
+        }
+        let per_iter = (timed_ns as f64 / calibration_iters as f64).max(1.0);
+
+        let iters_per_sample = (TARGET_SAMPLE_NS / per_iter).max(1.0) as u64;
+        let samples = if per_iter > 250_000_000.0 {
+            self.sample_size.min(3)
+        } else {
+            self.sample_size
+        };
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let mut sample_ns = 0u128;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                sample_ns += t.elapsed().as_nanos();
+            }
+            self.samples
+                .push(sample_ns as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if sorted.is_empty() {
+            println!("bench: {id} ... no samples (Bencher::iter never called)");
+            return;
+        }
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => format!(" {}elem/s", si(n as f64 / (median * 1e-9))),
+            Some(Throughput::Bytes(n)) => format!(" {}B/s", si(n as f64 / (median * 1e-9))),
+            None => String::new(),
+        };
+        println!(
+            "bench: {id} ... median {} ns/iter (min {}, mean {}){rate}",
+            median.round() as u128,
+            min.round() as u128,
+            mean.round() as u128,
+        );
+    }
+}
+
+/// Formats a rate with an SI prefix.
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} k", x / 1e3)
+    } else {
+        format!("{x:.2} ")
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        };
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into().id), self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4).throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn si_prefixes() {
+        assert_eq!(si(1.5e9), "1.50 G");
+        assert_eq!(si(2.5e6), "2.50 M");
+        assert_eq!(si(3.5e3), "3.50 k");
+        assert_eq!(si(42.0), "42.00 ");
+    }
+}

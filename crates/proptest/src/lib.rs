@@ -1,0 +1,201 @@
+//! Vendored offline stand-in for the subset of [`proptest`] this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the property tests
+//! run on this minimal, deterministic re-implementation: range and tuple
+//! strategies, `collection::vec`, the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros, and `ProptestConfig` case
+//! counts (`PROPTEST_CASES` env override honored).
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case index and the
+//!   generated inputs; cases are derived deterministically from the test
+//!   name, so a failure reproduces exactly by re-running the test.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * Only the strategy combinators the workspace uses are provided.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-imported API surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the upstream surface this workspace uses: an optional
+/// `#![proptest_config(..)]` header and any number of
+/// `fn name(arg in strategy, ..) { body }` items (each carrying its own
+/// attributes, e.g. `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::test_runner::name_seed(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__seed, __case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1,
+                            __cfg.cases,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property-test bodies: fails the case instead of panicking
+/// directly so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property-test bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -2.0f64..2.0, k in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((0.0..=1.0).contains(&k));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(xs in crate::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0usize..10, 0usize..10)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert!(pair.0 != pair.1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::case_rng(crate::test_runner::name_seed("t"), 3);
+        let mut b = crate::test_runner::case_rng(crate::test_runner::name_seed("t"), 3);
+        let s = 0u64..1000;
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+}

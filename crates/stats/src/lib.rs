@@ -13,6 +13,8 @@
 //!   operation on machine agents.
 //! * [`MovingWindow`] — the bounded per-task sample window
 //!   (`max_num_samples` in the paper) with O(1) mean/std.
+//! * [`OrderStatWindow`] — the same FIFO window with a sorted index for
+//!   O(1) percentile/min/max reads on the per-tick prediction hot path.
 //! * [`correlation`] — Pearson and Spearman rank correlation
 //!   (Section 3.3's violation-rate vs. latency analysis).
 //! * [`regression`] — ordinary least squares (the "slope = 14.1" fit).
@@ -28,6 +30,7 @@ pub mod ecdf;
 pub mod error;
 pub mod histogram;
 pub mod moving;
+pub mod order_stat;
 pub mod percentile;
 pub mod regression;
 pub mod summary;
@@ -39,6 +42,7 @@ pub use ecdf::Ecdf;
 pub use error::StatsError;
 pub use histogram::Histogram;
 pub use moving::MovingWindow;
+pub use order_stat::OrderStatWindow;
 pub use percentile::{percentile_of_sorted, percentile_slice, P2Quantile};
 pub use regression::{ols, OlsFit};
 pub use summary::Summary;

@@ -8,14 +8,19 @@ use std::collections::VecDeque;
 ///
 /// This is the paper's per-task history buffer: "for each task, we only
 /// maintain a moving window to store the most recent samples; we denote the
-/// window size by `max_num_samples`" (Section 4). Windows are deliberately
-/// small (10 h of 5-minute samples is 120 entries), so the standard
-/// deviation is computed exactly over the buffer with a shifted mean — the
-/// incremental sum-of-squares shortcut loses all precision when the mean is
-/// large relative to the spread, which CPU-usage series routinely are.
+/// window size by `max_num_samples`" (Section 4). Mean and standard
+/// deviation are O(1): the window maintains a running sum plus shifted
+/// running moments Σ(x−origin) and Σ(x−origin)², where the origin is pinned
+/// to the first sample after each refresh. The shift is what makes the
+/// incremental sum-of-squares identity usable here — the textbook ΣX²
+/// version loses all precision when the mean is large relative to the
+/// spread, which CPU-usage series routinely are, while the shifted moments
+/// stay the size of the spread itself.
 ///
-/// The running sum (used for the O(1) mean) is recomputed from scratch
-/// periodically to bound floating-point drift.
+/// All running accumulators are recomputed from scratch periodically
+/// (every [`REFRESH_EVERY`] pushes) to bound floating-point drift from the
+/// add/subtract updates; the refresh also re-pins the origin, so a series
+/// that wanders far from its first value regains a local origin.
 ///
 /// # Examples
 ///
@@ -35,12 +40,19 @@ pub struct MovingWindow {
     buf: VecDeque<f64>,
     capacity: usize,
     sum: f64,
-    /// Pushes since the last exact refresh of `sum`.
+    /// Shift origin for the incremental second moment; the first sample
+    /// after each refresh.
+    origin: f64,
+    /// Σ (x − origin) over the retained samples.
+    sum_shifted: f64,
+    /// Σ (x − origin)² over the retained samples.
+    sumsq_shifted: f64,
+    /// Pushes since the last exact refresh of the running accumulators.
     since_refresh: usize,
 }
 
-/// Refresh the running sum after this many pushes to bound floating-point
-/// drift from the add/subtract updates.
+/// Refresh the running accumulators after this many pushes to bound
+/// floating-point drift from the add/subtract updates.
 const REFRESH_EVERY: usize = 4096;
 
 impl MovingWindow {
@@ -59,23 +71,44 @@ impl MovingWindow {
             buf: VecDeque::with_capacity(capacity),
             capacity,
             sum: 0.0,
+            origin: 0.0,
+            sum_shifted: 0.0,
+            sumsq_shifted: 0.0,
             since_refresh: 0,
         })
     }
 
     /// Appends a sample, evicting the oldest if the window is full.
     pub fn push(&mut self, x: f64) {
+        if self.buf.is_empty() {
+            self.origin = x;
+        }
         if self.buf.len() == self.capacity {
             let old = self.buf.pop_front().expect("window is full");
             self.sum -= old;
+            let shifted = old - self.origin;
+            self.sum_shifted -= shifted;
+            self.sumsq_shifted -= shifted * shifted;
         }
         self.buf.push_back(x);
         self.sum += x;
+        let shifted = x - self.origin;
+        self.sum_shifted += shifted;
+        self.sumsq_shifted += shifted * shifted;
         self.since_refresh += 1;
         if self.since_refresh >= REFRESH_EVERY {
-            self.sum = self.buf.iter().sum();
-            self.since_refresh = 0;
+            self.refresh();
         }
+    }
+
+    /// Recomputes all running accumulators exactly from the buffer,
+    /// re-pinning the shift origin to the oldest retained sample.
+    fn refresh(&mut self) {
+        self.sum = self.buf.iter().sum();
+        self.origin = self.buf.front().copied().unwrap_or(0.0);
+        self.sum_shifted = self.buf.iter().map(|x| x - self.origin).sum();
+        self.sumsq_shifted = self.buf.iter().map(|x| (x - self.origin).powi(2)).sum();
+        self.since_refresh = 0;
     }
 
     /// Number of samples currently held.
@@ -103,20 +136,37 @@ impl MovingWindow {
     }
 
     /// Population standard deviation of the retained samples; `0.0` when
-    /// fewer than two samples are held. Exact (two-pass) computation.
+    /// fewer than two samples are held.
+    ///
+    /// O(1) on the common path: computed from the shifted running moments
+    /// as `var = (Σs² − (Σs)²/n) / n` with `s = x − origin`. The shift
+    /// keeps the subtraction between quantities the size of the spread,
+    /// not the mean, and the periodic exact refresh bounds accumulator
+    /// drift. When the subtraction cancels almost completely — the true
+    /// variance is below rounding noise relative to the second moment, as
+    /// for a near-constant window — the residual is meaningless, so the
+    /// rare degenerate case falls back to the exact two-pass computation.
     pub fn population_std(&self) -> f64 {
         let n = self.buf.len();
         if n < 2 {
             return 0.0;
         }
-        let mean = self.mean();
-        let var = self.buf.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let n = n as f64;
+        let var = (self.sumsq_shifted - self.sum_shifted * self.sum_shifted / n) / n;
+        // f64 has ~2e-16 relative precision; anything this far below the
+        // second moment is cancellation noise, not signal.
+        let noise_floor = 1e-12 * self.sumsq_shifted.abs() / n;
+        if var <= noise_floor {
+            let mean = self.mean();
+            let exact = self.buf.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            return exact.sqrt();
+        }
         var.sqrt()
     }
 
-    /// Largest retained sample; `-inf` when empty.
-    pub fn max(&self) -> f64 {
-        self.buf.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    /// Largest retained sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::max)
     }
 
     /// `p`-th percentile (0..=100) of the retained samples.
@@ -198,7 +248,43 @@ mod tests {
             w.push(x);
         }
         assert_eq!(w.percentile(50.0).unwrap(), 5.0);
-        assert_eq!(w.max(), 8.0);
+        assert_eq!(w.max(), Some(8.0));
+    }
+
+    #[test]
+    fn max_is_none_when_empty() {
+        // Regression: this used to return -inf, which silently poisoned any
+        // downstream comparison or subtraction.
+        let mut w = MovingWindow::new(2).unwrap();
+        assert_eq!(w.max(), None);
+        w.push(5.0);
+        assert_eq!(w.max(), Some(5.0));
+        w.push(1.0);
+        w.push(2.0); // Evicts the 5.0.
+        assert_eq!(w.max(), Some(2.0));
+    }
+
+    #[test]
+    fn incremental_std_matches_two_pass_across_refresh() {
+        // Push enough to cross the REFRESH_EVERY boundary several times and
+        // check the O(1) std against an exact two-pass recomputation.
+        let mut w = MovingWindow::new(32).unwrap();
+        for i in 0..3 * REFRESH_EVERY + 17 {
+            let x = ((i * 37) % 113) as f64 * 0.25 - 10.0;
+            w.push(x);
+            if i % 997 == 0 || i > 3 * REFRESH_EVERY {
+                let held: Vec<f64> = w.iter().collect();
+                let mean = held.iter().sum::<f64>() / held.len() as f64;
+                let var =
+                    held.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / held.len() as f64;
+                assert!(
+                    (w.population_std() - var.sqrt()).abs() < 1e-9,
+                    "push {i}: incremental {} vs exact {}",
+                    w.population_std(),
+                    var.sqrt()
+                );
+            }
+        }
     }
 
     #[test]

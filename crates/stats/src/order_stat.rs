@@ -1,0 +1,234 @@
+//! Order-statistics sliding window: O(log w) insert, O(1) percentile reads.
+//!
+//! The RC-like predictor asks for a per-task usage percentile on every
+//! simulated tick, and [`crate::MovingWindow::percentile`] answers it by
+//! cloning and sorting the whole buffer — O(w log w) *per call*, plus an
+//! allocation. [`OrderStatWindow`] keeps the same FIFO semantics but also
+//! maintains a sorted index of the retained samples, updated by binary
+//! search on each push, so percentile, min, and max reads are O(1)-ish
+//! (percentile does two slice reads and an interpolation) and no call on
+//! the hot path allocates after construction.
+//!
+//! Ordering uses [`f64::total_cmp`], so `-0.0`/`0.0` and NaN inputs have a
+//! deterministic position instead of poisoning the sort. For ordinary
+//! (non-NaN) data the sorted index is exactly what sorting the buffer would
+//! produce, so percentiles are bit-identical to the sort-based path.
+
+use crate::error::StatsError;
+use crate::percentile::percentile_of_sorted;
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO window that maintains its samples in sorted order.
+///
+/// Semantically identical to [`crate::MovingWindow`] for retention —
+/// `push` appends and evicts the oldest once full — but the sorted index
+/// makes order statistics cheap enough for a per-tick hot path:
+///
+/// | operation | [`crate::MovingWindow`] | `OrderStatWindow` |
+/// |---|---|---|
+/// | `push` | O(1) | O(log w) search + O(w) shift |
+/// | `percentile` | O(w log w) + alloc | O(1), no alloc |
+/// | `max` / `min` | O(w) | O(1) |
+///
+/// The O(w) memmove inside `push` is a contiguous `copy_within` on a small
+/// buffer (the paper's `max_num_samples` is 120), which is far cheaper than
+/// re-sorting; the win is removing the comparison sort and the allocation
+/// from every read.
+///
+/// # Examples
+///
+/// ```
+/// use oc_stats::OrderStatWindow;
+///
+/// let mut w = OrderStatWindow::new(3).unwrap();
+/// for x in [5.0, 1.0, 4.0, 2.0] {
+///     w.push(x);
+/// }
+/// // FIFO holds [1, 4, 2]; sorted view is [1, 2, 4].
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.max(), Some(4.0));
+/// assert_eq!(w.percentile(50.0).unwrap(), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrderStatWindow {
+    /// Samples in arrival order (front = oldest).
+    buf: VecDeque<f64>,
+    /// The same samples in ascending `total_cmp` order.
+    sorted: Vec<f64>,
+    capacity: usize,
+}
+
+impl OrderStatWindow {
+    /// Creates a window retaining the `capacity` most recent samples.
+    ///
+    /// All storage is reserved up front; subsequent pushes and reads do not
+    /// allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, StatsError> {
+        if capacity == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "window capacity must be positive",
+            });
+        }
+        Ok(OrderStatWindow {
+            buf: VecDeque::with_capacity(capacity),
+            sorted: Vec::with_capacity(capacity),
+            capacity,
+        })
+    }
+
+    /// Appends a sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front().expect("window is full");
+            let idx = self
+                .sorted
+                .binary_search_by(|v| v.total_cmp(&old))
+                .expect("evicted sample is present in the sorted index");
+            self.sorted.remove(idx);
+        }
+        self.buf.push_back(x);
+        let idx = match self.sorted.binary_search_by(|v| v.total_cmp(&x)) {
+            Ok(i) | Err(i) => i,
+        };
+        self.sorted.insert(idx, x);
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `p`-th percentile (0..=100) of the retained samples, with linear
+    /// interpolation between closest ranks. O(1); does not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] when the window is empty or
+    /// [`StatsError::InvalidParameter`] for `p` outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Result<f64, StatsError> {
+        percentile_of_sorted(&self.sorted, p)
+    }
+
+    /// Largest retained sample; `None` when empty. O(1).
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Smallest retained sample; `None` when empty. O(1).
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+
+    /// Iterates over retained samples in arrival order, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// The retained samples in ascending order.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(OrderStatWindow::new(0).is_err());
+    }
+
+    #[test]
+    fn fifo_eviction_keeps_most_recent() {
+        let mut w = OrderStatWindow::new(2).unwrap();
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        let held: Vec<f64> = w.iter().collect();
+        assert_eq!(held, vec![2.0, 3.0]);
+        assert_eq!(w.last(), Some(3.0));
+        assert_eq!(w.sorted(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn sorted_index_tracks_duplicates() {
+        let mut w = OrderStatWindow::new(4).unwrap();
+        for x in [2.0, 2.0, 1.0, 2.0] {
+            w.push(x);
+        }
+        assert_eq!(w.sorted(), &[1.0, 2.0, 2.0, 2.0]);
+        w.push(3.0); // Evicts one of the 2.0s.
+        assert_eq!(w.sorted(), &[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn signed_zero_eviction_is_consistent() {
+        // total_cmp orders -0.0 before 0.0, so evicting -0.0 must not
+        // remove a 0.0 entry (and vice versa).
+        let mut w = OrderStatWindow::new(2).unwrap();
+        w.push(-0.0);
+        w.push(0.0);
+        w.push(1.0); // Evicts -0.0.
+        assert_eq!(w.sorted().len(), 2);
+        assert!(w.sorted()[0] == 0.0 && w.sorted()[0].is_sign_positive());
+        assert_eq!(w.max(), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_matches_sorted_definition() {
+        let mut w = OrderStatWindow::new(4).unwrap();
+        assert!(w.percentile(50.0).is_err());
+        for x in [4.0, 2.0, 8.0, 6.0] {
+            w.push(x);
+        }
+        assert_eq!(w.percentile(0.0).unwrap(), 2.0);
+        assert_eq!(w.percentile(50.0).unwrap(), 5.0);
+        assert_eq!(w.percentile(100.0).unwrap(), 8.0);
+        assert!(w.percentile(101.0).is_err());
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(8.0));
+    }
+
+    #[test]
+    fn empty_window_defaults() {
+        let w = OrderStatWindow::new(3).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.max(), None);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.last(), None);
+    }
+
+    #[test]
+    fn no_realloc_after_construction() {
+        let mut w = OrderStatWindow::new(8).unwrap();
+        let cap_before = w.sorted.capacity();
+        for i in 0..1000 {
+            w.push((i % 13) as f64);
+        }
+        assert_eq!(w.sorted.capacity(), cap_before);
+        assert_eq!(w.len(), 8);
+    }
+}

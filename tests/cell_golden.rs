@@ -1,0 +1,125 @@
+//! Golden regression for the seeded evaluation cell.
+//!
+//! Pins the full pipeline — generator, view, predictors, metrics — on one
+//! seeded cell (preset A, 4 machines, 288 ticks, the four-policy comparison
+//! set). Two layers of protection:
+//!
+//! * materialized [`run_cell`] and streaming [`run_cell_streaming`] must
+//!   agree *exactly* (same `violations`, bit-equal `mean_savings`), at any
+//!   thread count — the `materialized_equals_streaming` contract at cell
+//!   scale;
+//! * both must reproduce the hardcoded goldens below, so any change to the
+//!   statistics engine that shifts predictions even by an ulp is caught
+//!   here, not in production comparisons.
+//!
+//! The goldens were recorded from this workspace and verified identical in
+//! debug and release profiles. If an intentional numerical change breaks
+//! them, regenerate with:
+//! `cargo test --test cell_golden -- --nocapture` after temporarily
+//! printing the table (violations and `mean_savings` per machine per
+//! predictor).
+
+use overcommit_repro::core::config::SimConfig;
+use overcommit_repro::core::predictor::PredictorSpec;
+use overcommit_repro::core::runner::{run_cell, run_cell_streaming, CellRun};
+use overcommit_repro::trace::cell::{CellConfig, CellPreset};
+use overcommit_repro::trace::gen::WorkloadGenerator;
+
+fn seeded_gen() -> WorkloadGenerator {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = 4;
+    cell.duration_ticks = 288;
+    WorkloadGenerator::new(cell).unwrap()
+}
+
+/// `(violations, mean_savings)` per machine (rows) per predictor (columns:
+/// borg-default(0.9), rc-like(p99), n-sigma(5), max(n-sigma, rc-like)).
+#[allow(clippy::approx_constant)]
+const GOLDEN: [[(u64, f64); 4]; 4] = [
+    [
+        (28, 0.09999999999999998),
+        (1, 0.15773808228327219),
+        (1, 0.07836595654839787),
+        (1, 0.07806521936697065),
+    ],
+    [
+        (0, 0.10000000000000002),
+        (0, 0.280779134713117),
+        (7, 0.10497209154454844),
+        (0, 0.0976347197421256),
+    ],
+    [
+        (0, 0.09999999999999998),
+        (0, 0.1773678371998835),
+        (0, 0.08476761248353228),
+        (0, 0.07745775868274347),
+    ],
+    [
+        (0, 0.09999999999999995),
+        (0, 0.1299019113267292),
+        (0, 0.01690086364598159),
+        (0, 0.016619173298375724),
+    ],
+];
+
+fn assert_matches_golden(run: &CellRun, label: &str) {
+    assert_eq!(run.results.len(), GOLDEN.len(), "{label}: machine count");
+    for (m, result) in run.results.iter().enumerate() {
+        assert_eq!(result.reports.len(), 4, "{label}: predictor count");
+        for (j, report) in result.reports.iter().enumerate() {
+            let (violations, mean_savings) = GOLDEN[m][j];
+            assert_eq!(
+                report.violations, violations,
+                "{label}: machine {m} predictor {j} violations"
+            );
+            assert_eq!(
+                report.mean_savings(),
+                mean_savings,
+                "{label}: machine {m} predictor {j} mean_savings (bitwise)"
+            );
+        }
+    }
+}
+
+/// The seeded cell reproduces the recorded goldens bit-for-bit, via both
+/// runners and regardless of thread count.
+#[test]
+fn seeded_cell_matches_goldens_bitwise() {
+    let gen = seeded_gen();
+    let specs = PredictorSpec::comparison_set();
+    let cfg = SimConfig::default();
+
+    let streaming = run_cell_streaming(&gen, &cfg, &specs, 2).unwrap();
+    assert_matches_golden(&streaming, "streaming/2-threads");
+
+    let machines = gen.generate_cell().unwrap();
+    let materialized = run_cell(gen.config().id.clone(), &machines, &cfg, &specs, 3).unwrap();
+    assert_matches_golden(&materialized, "materialized/3-threads");
+
+    let single = run_cell_streaming(&gen, &cfg, &specs, 1).unwrap();
+    assert_matches_golden(&single, "streaming/1-thread");
+}
+
+/// Materialized and streaming runs agree exactly on every per-machine
+/// report statistic, not just the goldened ones.
+#[test]
+fn materialized_equals_streaming_on_seeded_cell() {
+    let gen = seeded_gen();
+    let specs = PredictorSpec::comparison_set();
+    let cfg = SimConfig::default();
+    let machines = gen.generate_cell().unwrap();
+    let a = run_cell(gen.config().id.clone(), &machines, &cfg, &specs, 4).unwrap();
+    let b = run_cell_streaming(&gen, &cfg, &specs, 2).unwrap();
+    for (x, y) in a.results.iter().zip(b.results.iter()) {
+        assert_eq!(x.machine, y.machine);
+        for j in 0..specs.len() {
+            assert_eq!(x.reports[j].violations, y.reports[j].violations);
+            assert_eq!(x.reports[j].mean_savings(), y.reports[j].mean_savings());
+            assert_eq!(x.reports[j].mean_severity(), y.reports[j].mean_severity());
+            assert_eq!(
+                x.reports[j].prediction.mean(),
+                y.reports[j].prediction.mean()
+            );
+        }
+    }
+}

@@ -56,7 +56,7 @@ proptest! {
         prop_assert!((w.mean() - mean).abs() < 1e-8 * (1.0 + mean.abs()));
         prop_assert_eq!(w.len(), tail.len());
         prop_assert_eq!(w.last(), tail.last().copied());
-        let wmax = w.max();
+        let wmax = w.max().expect("window is non-empty");
         let tmax = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(wmax, tmax);
     }
