@@ -14,6 +14,27 @@ pub enum CoreError {
     Trace(oc_trace::TraceError),
     /// A numerical routine failed.
     Stats(oc_stats::StatsError),
+    /// An incremental sample arrived for a tick that was already flushed
+    /// into the view (see [`crate::ingest::IncrementalView`]).
+    StaleSample {
+        /// Tick of the rejected sample.
+        tick: u64,
+        /// Most recent tick already applied to the view.
+        flushed: u64,
+    },
+    /// Applying an incremental sample would synthesize more empty ticks
+    /// than the configured bound (a guard against runaway timestamps).
+    TickGap {
+        /// Number of empty ticks that would have been synthesized.
+        gap: u64,
+        /// The configured bound.
+        max: u64,
+    },
+    /// An incremental sample carried a non-finite or negative value.
+    InvalidSample {
+        /// Description of the rejected field.
+        what: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +43,13 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
             CoreError::Trace(e) => write!(f, "trace error: {e}"),
             CoreError::Stats(e) => write!(f, "stats error: {e}"),
+            CoreError::StaleSample { tick, flushed } => {
+                write!(f, "stale sample for tick {tick}: tick {flushed} already flushed")
+            }
+            CoreError::TickGap { gap, max } => {
+                write!(f, "tick gap of {gap} empty ticks exceeds the bound of {max}")
+            }
+            CoreError::InvalidSample { what } => write!(f, "invalid sample: {what}"),
         }
     }
 }
@@ -31,7 +59,10 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Trace(e) => Some(e),
             CoreError::Stats(e) => Some(e),
-            CoreError::InvalidConfig { .. } => None,
+            CoreError::InvalidConfig { .. }
+            | CoreError::StaleSample { .. }
+            | CoreError::TickGap { .. }
+            | CoreError::InvalidSample { .. } => None,
         }
     }
 }

@@ -1,0 +1,447 @@
+//! Incremental, out-of-order-tolerant observation ingestion.
+//!
+//! The batch simulator ([`crate::sim`]) feeds a [`MachineView`] one
+//! complete tick at a time: every alive task's `(id, limit, usage)` triple
+//! arrives in a single [`MachineView::observe`] call. An *online* service
+//! sees the same data as a stream of per-task samples — one RPC per task
+//! per tick, interleaved across tasks, possibly duplicated, and advancing
+//! to the next tick without any end-of-tick marker.
+//!
+//! [`IncrementalView`] bridges the two. It buffers samples for the current
+//! tick and flushes the accumulated batch into the wrapped [`MachineView`]
+//! exactly as the batch path would, when either
+//!
+//! * a sample for a **later** tick arrives (the natural end-of-tick signal
+//!   in a sample stream), or
+//! * the caller forces a [`flush`](IncrementalView::flush) — which is what
+//!   a `PREDICT` request does, so predictions always reflect every sample
+//!   received so far.
+//!
+//! Two properties make the online path equivalent to the batch path:
+//!
+//! 1. **Gap filling.** Ticks with no samples still advance the machine
+//!    aggregate window in the batch path (`observe(t, [])` pushes a zero
+//!    and departs every task). The incremental view synthesizes those
+//!    empty observations for any tick between the last flushed tick (or
+//!    the configured origin) and the tick being flushed, bounded by
+//!    [`max_gap`](IncrementalView::with_max_gap) to stop a corrupt
+//!    timestamp from looping for months of virtual time.
+//! 2. **Arrival-order preservation.** Within a tick, samples are applied
+//!    in first-arrival order (a repeated sample for the same task updates
+//!    in place). The machine aggregate is a floating-point sum, so
+//!    replaying a tick's samples in the batch path's order reproduces the
+//!    batch state *bit for bit* — the guarantee `tests/serve_smoke.rs`
+//!    checks end to end. Reordering within a tick changes only the
+//!    summation order, perturbing the aggregate by rounding alone.
+//!
+//! Samples for an already-flushed tick are rejected as
+//! [`CoreError::StaleSample`]: the view cannot rewrite history without
+//! replaying every later tick.
+
+use crate::config::SimConfig;
+use crate::error::CoreError;
+use crate::view::MachineView;
+use oc_trace::ids::TaskId;
+use oc_trace::time::Tick;
+use std::collections::HashMap;
+
+/// Default bound on synthesized empty ticks between two samples
+/// (one week of 5-minute ticks per day × ~23: roughly 7.5 months).
+pub const DEFAULT_MAX_GAP: u64 = 1 << 16;
+
+/// A [`MachineView`] fed by a stream of per-task samples instead of
+/// complete per-tick batches.
+///
+/// # Examples
+///
+/// ```
+/// use oc_core::config::SimConfig;
+/// use oc_core::ingest::IncrementalView;
+/// use oc_trace::ids::{JobId, TaskId};
+/// use oc_trace::time::Tick;
+///
+/// let mut v = IncrementalView::new(1.0, &SimConfig::default());
+/// let task = TaskId::new(JobId(1), 0);
+/// v.ingest(Tick(0), task, 0.4, 0.1).unwrap();
+/// // Tick 0 is still pending; a sample for tick 1 flushes it.
+/// v.ingest(Tick(1), task, 0.4, 0.2).unwrap();
+/// assert_eq!(v.flushed(), Some(Tick(0)));
+/// v.flush();
+/// assert_eq!(v.view().now(), Tick(1));
+/// assert_eq!(v.view().total_limit(), 0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalView {
+    view: MachineView,
+    origin: Tick,
+    max_gap: u64,
+    last_flushed: Option<Tick>,
+    pending_tick: Option<Tick>,
+    /// Samples of the pending tick in first-arrival order.
+    pending: Vec<(TaskId, f64, f64)>,
+    /// Task → index into `pending`, for in-place duplicate updates.
+    pending_index: HashMap<TaskId, usize>,
+}
+
+impl IncrementalView {
+    /// Creates an empty incremental view for a machine of the given
+    /// capacity. The trace origin defaults to [`Tick::ZERO`] and the gap
+    /// bound to [`DEFAULT_MAX_GAP`].
+    pub fn new(capacity: f64, cfg: &SimConfig) -> IncrementalView {
+        IncrementalView {
+            view: MachineView::new(capacity, cfg),
+            origin: Tick::ZERO,
+            max_gap: DEFAULT_MAX_GAP,
+            last_flushed: None,
+            pending_tick: None,
+            pending: Vec::new(),
+            pending_index: HashMap::new(),
+        }
+    }
+
+    /// Sets the trace origin: the first flush synthesizes empty ticks from
+    /// `origin` up to the flushed tick, mirroring a batch replay that
+    /// starts at `origin`.
+    pub fn with_origin(mut self, origin: Tick) -> IncrementalView {
+        self.origin = origin;
+        self
+    }
+
+    /// Sets the bound on synthesized empty ticks per flush.
+    pub fn with_max_gap(mut self, max_gap: u64) -> IncrementalView {
+        self.max_gap = max_gap;
+        self
+    }
+
+    /// Buffers one `(task, limit, usage)` sample for tick `t`, flushing
+    /// the previously pending tick if `t` is later.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::StaleSample`] — `t` precedes the pending or an
+    ///   already-flushed tick; the sample is dropped and the view is
+    ///   unchanged.
+    /// * [`CoreError::TickGap`] — flushing `t` would synthesize more than
+    ///   the configured bound of empty ticks; the sample is dropped.
+    /// * [`CoreError::InvalidSample`] — non-finite or negative `limit` or
+    ///   `usage`.
+    pub fn ingest(
+        &mut self,
+        t: Tick,
+        task: TaskId,
+        limit: f64,
+        usage: f64,
+    ) -> Result<(), CoreError> {
+        if !limit.is_finite() || limit < 0.0 {
+            return Err(CoreError::InvalidSample {
+                what: format!("limit {limit} must be finite and >= 0"),
+            });
+        }
+        if !usage.is_finite() || usage < 0.0 {
+            return Err(CoreError::InvalidSample {
+                what: format!("usage {usage} must be finite and >= 0"),
+            });
+        }
+        match self.pending_tick {
+            Some(pt) if t < pt => {
+                return Err(CoreError::StaleSample {
+                    tick: t.0,
+                    flushed: pt.0.saturating_sub(1),
+                })
+            }
+            Some(pt) if t == pt => {
+                self.push_pending(task, limit, usage);
+                return Ok(());
+            }
+            Some(_) => {
+                // t > pending: the pending tick is complete.
+                self.check_gap(t)?;
+                self.flush();
+            }
+            None => {
+                if let Some(f) = self.last_flushed {
+                    if t <= f {
+                        return Err(CoreError::StaleSample {
+                            tick: t.0,
+                            flushed: f.0,
+                        });
+                    }
+                }
+                self.check_gap(t)?;
+            }
+        }
+        self.pending_tick = Some(t);
+        self.push_pending(task, limit, usage);
+        Ok(())
+    }
+
+    /// Applies the pending tick (if any) to the wrapped view, synthesizing
+    /// empty observations for any skipped ticks first. Returns whether a
+    /// tick was flushed.
+    pub fn flush(&mut self) -> bool {
+        let Some(pt) = self.pending_tick.take() else {
+            return false;
+        };
+        let start = self.fill_start();
+        for k in start..pt.0 {
+            self.view.observe(Tick(k), std::iter::empty());
+        }
+        self.view.observe(pt, self.pending.drain(..));
+        self.pending_index.clear();
+        self.last_flushed = Some(pt);
+        true
+    }
+
+    /// The wrapped machine view, reflecting flushed ticks only. Call
+    /// [`flush`](IncrementalView::flush) first to fold in the pending tick.
+    pub fn view(&self) -> &MachineView {
+        &self.view
+    }
+
+    /// The most recently flushed tick, if any.
+    pub fn flushed(&self) -> Option<Tick> {
+        self.last_flushed
+    }
+
+    /// The tick currently buffering samples, if any.
+    pub fn pending_tick(&self) -> Option<Tick> {
+        self.pending_tick
+    }
+
+    /// Number of samples buffered for the pending tick.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// First tick a flush of tick `>= fill_start` would synthesize.
+    fn fill_start(&self) -> u64 {
+        self.last_flushed.map(|f| f.0 + 1).unwrap_or(self.origin.0)
+    }
+
+    fn check_gap(&self, t: Tick) -> Result<(), CoreError> {
+        // Count the empty ticks `t`'s flush would synthesize, as if the
+        // pending tick (which flushes first) were already applied.
+        let start = match self.pending_tick {
+            Some(pt) => pt.0 + 1,
+            None => self.fill_start(),
+        };
+        let gap = t.0.saturating_sub(start);
+        if gap > self.max_gap {
+            return Err(CoreError::TickGap {
+                gap,
+                max: self.max_gap,
+            });
+        }
+        Ok(())
+    }
+
+    fn push_pending(&mut self, task: TaskId, limit: f64, usage: f64) {
+        match self.pending_index.get(&task) {
+            Some(&i) => self.pending[i] = (task, limit, usage),
+            None => {
+                self.pending_index.insert(task, self.pending.len());
+                self.pending.push((task, limit, usage));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorSpec;
+    use oc_trace::cell::{CellConfig, CellPreset};
+    use oc_trace::gen::WorkloadGenerator;
+    use oc_trace::ids::{JobId, MachineId};
+
+    fn tid(j: u64, i: u32) -> TaskId {
+        TaskId::new(JobId(j), i)
+    }
+
+    fn small_cfg() -> SimConfig {
+        let mut c = SimConfig::default();
+        c.min_num_samples = 3;
+        c.max_num_samples = 5;
+        c
+    }
+
+    #[test]
+    fn batch_equivalence_in_arrival_order() {
+        // Replaying a generated machine sample by sample, in the batch
+        // path's task order, reproduces the batch view bit for bit.
+        let mut cell = CellConfig::preset(CellPreset::A);
+        cell.duration_ticks = 96;
+        let trace = WorkloadGenerator::new(cell)
+            .unwrap()
+            .generate_machine(MachineId(0))
+            .unwrap();
+        let cfg = SimConfig::default();
+        let predictor = PredictorSpec::paper_max().build().unwrap();
+
+        let mut batch = MachineView::new(trace.capacity, &cfg);
+        let mut inc = IncrementalView::new(trace.capacity, &cfg);
+        for t in trace.horizon.iter() {
+            let alive: Vec<_> = trace
+                .tasks_at(t)
+                .map(|task| {
+                    let usage = task.sample_at(t).map(|s| cfg.metric.of(s)).unwrap_or(0.0);
+                    (task.spec.id, task.spec.limit, usage)
+                })
+                .collect();
+            batch.observe(t, alive.iter().copied());
+            for &(id, limit, usage) in &alive {
+                inc.ingest(t, id, limit, usage).unwrap();
+            }
+            inc.flush();
+            assert_eq!(
+                predictor.predict(&batch).to_bits(),
+                predictor.predict(inc.view()).to_bits(),
+                "tick {t}"
+            );
+            assert_eq!(batch.total_limit().to_bits(), inc.view().total_limit().to_bits());
+            assert_eq!(batch.task_count(), inc.view().task_count());
+        }
+    }
+
+    #[test]
+    fn reordering_within_a_tick_is_tolerated() {
+        // Samples of one tick arriving in any order produce the same task
+        // set; the aggregate differs only by summation rounding.
+        let cfg = small_cfg();
+        let mut fwd = IncrementalView::new(1.0, &cfg);
+        let mut rev = IncrementalView::new(1.0, &cfg);
+        let samples = [
+            (tid(1, 0), 0.4, 0.10),
+            (tid(1, 1), 0.3, 0.20),
+            (tid(2, 0), 0.2, 0.05),
+        ];
+        for t in 0..6u64 {
+            for &(id, l, u) in &samples {
+                fwd.ingest(Tick(t), id, l, u).unwrap();
+            }
+            for &(id, l, u) in samples.iter().rev() {
+                rev.ingest(Tick(t), id, l, u).unwrap();
+            }
+        }
+        fwd.flush();
+        rev.flush();
+        assert_eq!(fwd.view().task_count(), rev.view().task_count());
+        assert_eq!(fwd.view().total_limit(), rev.view().total_limit());
+        let (a, b) = (
+            fwd.view().warm_aggregate().mean(),
+            rev.view().warm_aggregate().mean(),
+        );
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn duplicate_sample_updates_in_place() {
+        let mut v = IncrementalView::new(1.0, &small_cfg());
+        v.ingest(Tick(0), tid(1, 0), 0.4, 0.1).unwrap();
+        v.ingest(Tick(0), tid(1, 0), 0.4, 0.3).unwrap();
+        assert_eq!(v.pending_len(), 1);
+        v.flush();
+        let (_, t) = v.view().tasks().next().unwrap();
+        assert_eq!(t.window().last(), Some(0.3));
+    }
+
+    #[test]
+    fn stale_samples_are_rejected() {
+        let mut v = IncrementalView::new(1.0, &small_cfg());
+        v.ingest(Tick(5), tid(1, 0), 0.4, 0.1).unwrap();
+        v.ingest(Tick(6), tid(1, 0), 0.4, 0.1).unwrap(); // flushes 5
+        assert!(matches!(
+            v.ingest(Tick(5), tid(1, 0), 0.4, 0.1),
+            Err(CoreError::StaleSample { tick: 5, flushed: 5 })
+        ));
+        v.flush();
+        assert!(matches!(
+            v.ingest(Tick(6), tid(1, 0), 0.4, 0.1),
+            Err(CoreError::StaleSample { tick: 6, flushed: 6 })
+        ));
+        // The view survives rejects.
+        v.ingest(Tick(7), tid(1, 0), 0.4, 0.1).unwrap();
+        v.flush();
+        assert_eq!(v.flushed(), Some(Tick(7)));
+    }
+
+    #[test]
+    fn gap_filling_matches_batch_empty_ticks() {
+        let cfg = small_cfg();
+        let mut batch = MachineView::new(1.0, &cfg);
+        let mut inc = IncrementalView::new(1.0, &cfg);
+        // Ticks 0-1 idle, task appears at tick 2, disappears 3-4, returns 5.
+        let script: [&[(TaskId, f64, f64)]; 6] = [
+            &[],
+            &[],
+            &[(tid(1, 0), 0.4, 0.2)],
+            &[],
+            &[],
+            &[(tid(1, 0), 0.4, 0.2)],
+        ];
+        for (t, alive) in script.iter().enumerate() {
+            batch.observe(Tick(t as u64), alive.iter().copied());
+            for &(id, l, u) in alive.iter() {
+                inc.ingest(Tick(t as u64), id, l, u).unwrap();
+            }
+        }
+        inc.flush();
+        assert_eq!(batch.now(), inc.view().now());
+        assert_eq!(batch.task_count(), inc.view().task_count());
+        assert_eq!(batch.warm_aggregate().len(), inc.view().warm_aggregate().len());
+        // The re-appearing task restarted cold in both paths.
+        assert_eq!(batch.cold_limit_sum(), inc.view().cold_limit_sum());
+        let (_, bt) = batch.tasks().next().unwrap();
+        let (_, it) = inc.view().tasks().next().unwrap();
+        assert_eq!(bt.age(), it.age());
+        assert_eq!(bt.age(), 1);
+    }
+
+    #[test]
+    fn oversized_gap_is_rejected_without_poisoning() {
+        let mut v = IncrementalView::new(1.0, &small_cfg()).with_max_gap(10);
+        v.ingest(Tick(0), tid(1, 0), 0.4, 0.1).unwrap();
+        assert!(matches!(
+            v.ingest(Tick(100), tid(1, 0), 0.4, 0.1),
+            Err(CoreError::TickGap { gap: 99, max: 10 })
+        ));
+        // Pending tick 0 is still intact.
+        assert_eq!(v.pending_tick(), Some(Tick(0)));
+        v.ingest(Tick(5), tid(1, 0), 0.4, 0.1).unwrap();
+        v.flush();
+        assert_eq!(v.flushed(), Some(Tick(5)));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let mut v = IncrementalView::new(1.0, &small_cfg());
+        assert!(matches!(
+            v.ingest(Tick(0), tid(1, 0), 0.4, f64::NAN),
+            Err(CoreError::InvalidSample { .. })
+        ));
+        assert!(matches!(
+            v.ingest(Tick(0), tid(1, 0), f64::INFINITY, 0.1),
+            Err(CoreError::InvalidSample { .. })
+        ));
+        assert!(matches!(
+            v.ingest(Tick(0), tid(1, 0), 0.4, -0.5),
+            Err(CoreError::InvalidSample { .. })
+        ));
+        assert_eq!(v.pending_len(), 0);
+    }
+
+    #[test]
+    fn origin_controls_leading_gap() {
+        let cfg = small_cfg();
+        let mut batch = MachineView::new(1.0, &cfg);
+        for t in 0..4u64 {
+            let alive: &[(TaskId, f64, f64)] = if t == 3 { &[(tid(1, 0), 0.4, 0.2)] } else { &[] };
+            batch.observe(Tick(t), alive.iter().copied());
+        }
+        let mut inc = IncrementalView::new(1.0, &cfg).with_origin(Tick::ZERO);
+        inc.ingest(Tick(3), tid(1, 0), 0.4, 0.2).unwrap();
+        inc.flush();
+        assert_eq!(batch.warm_aggregate().len(), inc.view().warm_aggregate().len());
+        assert_eq!(batch.now(), inc.view().now());
+    }
+}

@@ -50,6 +50,7 @@
 pub mod autopilot;
 pub mod config;
 pub mod error;
+pub mod ingest;
 pub mod metrics;
 pub mod oracle;
 pub mod predictor;
@@ -61,6 +62,7 @@ pub mod view;
 
 pub use config::SimConfig;
 pub use error::CoreError;
+pub use ingest::IncrementalView;
 pub use metrics::{MachineReport, MachineSeries, SimResult};
 pub use predictor::{PeakPredictor, PredictorSpec};
 pub use runner::{run_cell, run_cell_streaming, CellRun};

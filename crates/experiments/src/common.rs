@@ -23,6 +23,8 @@ pub struct Opts {
     pub results: std::path::PathBuf,
     /// Render terminal CDF plots.
     pub plot: bool,
+    /// Workload seed override; `None` keeps each preset's baked-in seed.
+    pub seed: Option<u64>,
 }
 
 impl Default for Opts {
@@ -34,17 +36,23 @@ impl Default for Opts {
                 .unwrap_or(4),
             results: crate::output::results_dir(),
             plot: false,
+            seed: None,
         }
     }
 }
 
 impl Opts {
     /// Applies the scale to a cell preset: quick runs shrink machine
-    /// counts 4× and cap durations at `quick_days`.
+    /// counts 4× and cap durations at `quick_days`. A `--seed` override,
+    /// when present, replaces the preset's baked-in seed — this is the one
+    /// choke point every experiment's workload passes through.
     pub fn scaled(&self, mut cell: CellConfig, quick_days: u64) -> CellConfig {
         if self.scale == Scale::Quick {
             cell.machines = (cell.machines / 4).max(6);
             cell.duration_ticks = cell.duration_ticks.min(quick_days * TICKS_PER_DAY);
+        }
+        if let Some(seed) = self.seed {
+            cell = cell.with_seed(seed);
         }
         cell
     }
@@ -90,5 +98,24 @@ mod tests {
         let preset = CellConfig::preset(CellPreset::A);
         let cell = opts.scaled(preset.clone(), 2);
         assert_eq!(cell, preset);
+    }
+
+    #[test]
+    fn seed_override_applies_at_any_scale() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let opts = Opts {
+                scale,
+                seed: Some(0xDEAD_BEEF),
+                ..Opts::default()
+            };
+            let cell = opts.scaled(CellConfig::preset(CellPreset::A), 2);
+            assert_eq!(cell.seed, 0xDEAD_BEEF);
+        }
+        let opts = Opts {
+            seed: None,
+            ..Opts::default()
+        };
+        let preset = CellConfig::preset(CellPreset::A);
+        assert_eq!(opts.scaled(preset.clone(), 99).seed, preset.seed);
     }
 }

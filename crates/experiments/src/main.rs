@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--threads N] [--results DIR] <experiment>...
+//! repro [--full] [--threads N] [--results DIR] [--seed U64] <experiment>...
 //! repro all
 //! ```
 
@@ -25,6 +25,10 @@ fn main() -> ExitCode {
                 Some(dir) => opts.results = dir.into(),
                 None => return usage("--results needs a directory"),
             },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = Some(s),
+                None => return usage("--seed needs a u64"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => return usage(&format!("unknown flag '{other}'")),
             other => experiments.push(other.to_string()),
@@ -34,10 +38,14 @@ fn main() -> ExitCode {
         return usage("no experiment given");
     }
     println!(
-        "scale: {:?}, threads: {}, results dir: {}",
+        "scale: {:?}, threads: {}, results dir: {}{}",
         opts.scale,
         opts.threads,
-        opts.results.display()
+        opts.results.display(),
+        match opts.seed {
+            Some(s) => format!(", seed: {s}"),
+            None => String::new(),
+        }
     );
     for id in &experiments {
         if let Err(e) = oc_experiments::dispatch(id, &opts) {
@@ -53,9 +61,10 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--full] [--plot] [--threads N] [--results DIR] <experiment>...\n\
+        "usage: repro [--full] [--plot] [--threads N] [--results DIR] [--seed U64] <experiment>...\n\
          experiments: {}, fig13 (= fig14), all\n\
-         --full runs the presets' full scale; the default is a quick pass",
+         --full runs the presets' full scale; the default is a quick pass\n\
+         --seed overrides every cell preset's workload seed (sensitivity runs)",
         oc_experiments::ALL_EXPERIMENTS.join(", ")
     );
     if err.is_empty() {

@@ -34,7 +34,9 @@ macro_rules! impl_int_range_strategy {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty integer range strategy");
-                let span = (hi - lo) as u64 + 1;
+                // Wrapping: the full-u64 domain has span 2^64, which wraps
+                // to 0 and is handled below instead of overflowing here.
+                let span = ((hi - lo) as u64).wrapping_add(1);
                 if span == 0 {
                     // Full u64 domain.
                     return lo + rng.next_u64() as $t;

@@ -1,0 +1,155 @@
+//! `loadgen` binary: replay a generated cell against `oc-serve`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--machines N] [--ticks N] [--connections N]
+//!         [--qps N] [--seed U64] [--no-predicts] [--out BENCH_serve.json]
+//! ```
+//!
+//! Without `--addr` an in-process server is started (4 shards, default
+//! queues) and two phases run: a **sustained** phase on the default config
+//! and an **overload** phase against a deliberately tiny queue
+//! (`queue_depth = 8`) to demonstrate `BUSY` backpressure. With `--addr`
+//! only the sustained phase runs, against the external server.
+//!
+//! With `--out`, a JSON report in the style of `BENCH_hot_path.json` is
+//! written; otherwise the same JSON goes to stdout.
+
+use oc_serve::loadgen::{run, LoadgenConfig};
+use oc_serve::{LoadReport, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+struct Args {
+    addr: Option<SocketAddr>,
+    cfg: LoadgenConfig,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--machines N] [--ticks N] \
+         [--connections N] [--qps N] [--seed U64] [--no-predicts] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: None,
+        cfg: LoadgenConfig::default(),
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => out.addr = Some(val("--addr").parse().unwrap_or_else(|_| usage())),
+            "--machines" => out.cfg.machines = val("--machines").parse().unwrap_or_else(|_| usage()),
+            "--ticks" => out.cfg.ticks = val("--ticks").parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                out.cfg.connections = val("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--qps" => out.cfg.target_qps = val("--qps").parse().unwrap_or_else(|_| usage()),
+            "--seed" => out.cfg.seed = Some(val("--seed").parse().unwrap_or_else(|_| usage())),
+            "--no-predicts" => out.cfg.predicts = false,
+            "--out" => out.out = Some(val("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    out
+}
+
+fn phase_json(label: &str, report: &LoadReport) -> String {
+    eprintln!(
+        "loadgen[{label}]: {} reqs in {:.2}s = {:.0} qps, p50 {:.0}us p99 {:.0}us, \
+         busy {} ({:.2}%), errors {}",
+        report.sent,
+        report.wall_secs,
+        report.achieved_qps,
+        report.p50_us,
+        report.p99_us,
+        report.busy,
+        report.reject_rate() * 100.0,
+        report.errors,
+    );
+    report.to_json(label)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut phases: Vec<String> = Vec::new();
+
+    let result = (|| -> Result<(), oc_serve::ServeError> {
+        match args.addr {
+            Some(addr) => {
+                let report = run(addr, &args.cfg)?;
+                phases.push(phase_json("sustained", &report));
+            }
+            None => {
+                // Sustained phase: default server, default (deep) queues.
+                let server = Server::start(ServeConfig::default())?;
+                let report = run(server.addr(), &args.cfg)?;
+                phases.push(phase_json("sustained", &report));
+                server.shutdown();
+
+                // Overload phase: tiny queues, open throttle, so bounded
+                // queues visibly reject with BUSY instead of buffering.
+                let server = Server::start(
+                    ServeConfig::default().with_shards(2).with_queue_depth(8),
+                )?;
+                let mut overload_cfg = args.cfg.clone();
+                overload_cfg.target_qps = 0;
+                overload_cfg.connections = overload_cfg.connections.max(4);
+                let report = run(server.addr(), &overload_cfg)?;
+                phases.push(phase_json("overload-q8", &report));
+                server.shutdown();
+            }
+        }
+        Ok(())
+    })();
+
+    if let Err(e) = result {
+        eprintln!("loadgen: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"serve_loadgen\",\n",
+            "  \"command\": \"cargo run --release -p oc-serve --bin loadgen\",\n",
+            "  \"workload\": {{\"preset\": \"{:?}\", \"machines\": {}, \"ticks\": {}, ",
+            "\"connections\": {}, \"target_qps\": {}, \"predicts\": {}}},\n",
+            "  \"phases\": [\n    {}\n  ],\n",
+            "  \"notes\": \"sustained = default 4-shard server with 4096-deep queues; ",
+            "overload-q8 = 2 shards with queue_depth 8 at open throttle to surface BUSY ",
+            "backpressure. Latencies are client-observed (include pipelining queue time). ",
+            "Absolute numbers vary by host.\"\n}}\n"
+        ),
+        args.cfg.preset,
+        args.cfg.machines,
+        args.cfg.ticks,
+        args.cfg.connections,
+        args.cfg.target_qps,
+        args.cfg.predicts,
+        phases.join(",\n    "),
+    );
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("loadgen: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! `oc-serve` binary: run the peak-prediction service in the foreground.
+//!
+//! ```text
+//! oc-serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--capacity F]
+//! ```
+//!
+//! The server runs until a client sends `SHUTDOWN`; it then drains every
+//! shard queue and prints the final `STATS` snapshot to stdout.
+
+use oc_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oc-serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--capacity F]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut cfg = ServeConfig::default().with_addr("127.0.0.1:7421");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--shards" => {
+                cfg.shards = val("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = val("--queue-depth").parse().unwrap_or_else(|_| usage());
+            }
+            "--capacity" => {
+                cfg.machine_capacity = val("--capacity").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oc-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("oc-serve: listening on {}", server.addr());
+    server.wait();
+    eprintln!("oc-serve: shutdown requested, draining");
+    let stats = server.shutdown();
+    println!("{}", stats.encode_fields());
+    ExitCode::SUCCESS
+}

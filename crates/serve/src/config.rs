@@ -1,0 +1,146 @@
+//! Service configuration.
+
+use crate::error::ServeError;
+use oc_core::config::SimConfig;
+use oc_core::ingest::DEFAULT_MAX_GAP;
+use oc_core::predictor::PredictorSpec;
+
+/// Configuration of one [`crate::server::Server`].
+///
+/// # Examples
+///
+/// ```
+/// use oc_serve::config::ServeConfig;
+///
+/// let cfg = ServeConfig::default().with_shards(2).with_queue_depth(64);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Number of shard workers machines are partitioned across.
+    pub shards: usize,
+    /// Bound of each shard's request queue. A full queue answers `BUSY`
+    /// instead of buffering — the backpressure contract.
+    pub queue_depth: usize,
+    /// Capacity assigned to machines on first observation, in the same
+    /// units as usage/limit samples.
+    pub machine_capacity: f64,
+    /// Node-agent state parameters (warm-up, window sizes, metric).
+    pub sim: SimConfig,
+    /// The predictor served by `PREDICT`/`ADMIT`.
+    pub predictor: PredictorSpec,
+    /// Bound on empty ticks synthesized between two samples of a machine.
+    pub max_tick_gap: u64,
+}
+
+impl Default for ServeConfig {
+    /// Ephemeral local port, 4 shards, 4096-deep queues, the paper's
+    /// simulation predictor and node-agent parameters.
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            queue_depth: 4096,
+            machine_capacity: 1.0,
+            sim: SimConfig::default(),
+            predictor: PredictorSpec::paper_max(),
+            max_tick_gap: DEFAULT_MAX_GAP,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard queue bound.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the per-machine capacity.
+    pub fn with_capacity(mut self, capacity: f64) -> Self {
+        self.machine_capacity = capacity;
+        self
+    }
+
+    /// Sets the served predictor.
+    pub fn with_predictor(mut self, spec: PredictorSpec) -> Self {
+        self.predictor = spec;
+        self
+    }
+
+    /// Sets the node-agent state parameters.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for an invalid shard/queue/capacity
+    /// setting and propagates [`SimConfig`]/[`PredictorSpec`] validation.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::Config("shards must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue_depth must be >= 1".into()));
+        }
+        if !self.machine_capacity.is_finite() || self.machine_capacity <= 0.0 {
+            return Err(ServeError::Config(format!(
+                "machine_capacity {} must be finite and > 0",
+                self.machine_capacity
+            )));
+        }
+        self.sim.validate()?;
+        self.predictor.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_settings_are_rejected()
+    {
+        assert!(ServeConfig::default().with_shards(0).validate().is_err());
+        assert!(ServeConfig::default()
+            .with_queue_depth(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_capacity(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_capacity(0.0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_predictor(PredictorSpec::NSigma { n: -1.0 })
+            .validate()
+            .is_err());
+    }
+}

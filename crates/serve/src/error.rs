@@ -1,0 +1,66 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors produced when configuring or running the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A configuration value was outside its valid domain.
+    Config(String),
+    /// A core (simulator/predictor) error.
+    Core(oc_core::CoreError),
+    /// A trace-generation error (load generator).
+    Trace(oc_trace::TraceError),
+    /// A socket or filesystem error.
+    Io(std::io::Error),
+    /// The wire protocol rejected a line (client-side parsing).
+    Proto(crate::proto::ProtoError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::Trace(e) => write!(f, "trace error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Trace(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            ServeError::Proto(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<oc_core::CoreError> for ServeError {
+    fn from(e: oc_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<oc_trace::TraceError> for ServeError {
+    fn from(e: oc_trace::TraceError) -> Self {
+        ServeError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<crate::proto::ProtoError> for ServeError {
+    fn from(e: crate::proto::ProtoError) -> Self {
+        ServeError::Proto(e)
+    }
+}

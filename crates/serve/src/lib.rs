@@ -1,0 +1,62 @@
+//! `oc-serve` — an online peak-prediction service.
+//!
+//! The rest of the workspace evaluates peak predictors *offline*: a
+//! simulator replays a finished trace through a `MachineView` and records
+//! what each predictor would have said. This crate turns the same predictor
+//! stack into an *online service* of the kind the paper's Borglet/Borgmaster
+//! split implies: node agents stream per-task usage samples in, a scheduler
+//! asks for per-machine peak predictions and admission checks.
+//!
+//! Architecture (see `DESIGN.md`, "Online serving"):
+//!
+//! * [`proto`] — a line-delimited text protocol (`OBSERVE` / `PREDICT` /
+//!   `ADMIT` / `STATS` / `SHUTDOWN`) with a hand-rolled, fully typed codec.
+//! * [`shard`] — machines partitioned across shard worker threads, each
+//!   exclusively owning its machines' [`oc_core::IncrementalView`]s behind a
+//!   bounded MPSC queue. Full queue ⇒ retryable `BUSY`, never unbounded
+//!   buffering.
+//! * [`server`] — the TCP front end: per-connection handler threads,
+//!   pipelining-friendly (one response line per request line, in order),
+//!   graceful drain-then-snapshot shutdown.
+//! * [`metrics`] — per-shard counters plus a service-latency histogram
+//!   (reusing [`oc_stats::Histogram`]), merged bin-wise for `STATS`.
+//! * [`loadgen`] — a harness that replays an [`oc_trace::WorkloadGenerator`]
+//!   cell against a server at a target QPS and reports achieved throughput
+//!   and latency percentiles.
+//!
+//! Served predictions are bit-identical to the offline simulator's (clamped)
+//! predictions on the same sample stream — `tests/serve_smoke.rs` at the
+//! workspace root proves it.
+//!
+//! # Examples
+//!
+//! ```
+//! use oc_serve::{LoadgenConfig, ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+//! let report = oc_serve::loadgen::run(
+//!     server.addr(),
+//!     &LoadgenConfig { machines: 2, ticks: 4, connections: 1, ..Default::default() },
+//! )
+//! .unwrap();
+//! assert_eq!(report.errors, 0);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.observes + stats.predicts, report.ok);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod shard;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use proto::{ErrCode, ProtoError, Request, Response, StatsSnapshot};
+pub use server::Server;

@@ -1,0 +1,400 @@
+//! Load-generator harness for `oc-serve`.
+//!
+//! Replays a [`WorkloadGenerator`] cell against a running server: every
+//! per-task usage sample of every machine becomes one `OBSERVE` line, and
+//! each machine gets one `PREDICT` per tick. Machines are pinned to
+//! connections round-robin so per-machine sample order survives the trip
+//! (the server only guarantees ordering within a connection).
+//!
+//! Each connection runs a writer and a reader thread; requests are
+//! pipelined (the writer does not wait for responses), which is what lets
+//! a line protocol over loopback reach hundreds of thousands of ops/s.
+//! Latency is measured per request from write to matching response — with
+//! pipelining this includes queueing time, so percentiles degrade visibly
+//! as the offered rate approaches capacity.
+//!
+//! Pacing: `target_qps > 0` meters the *aggregate* request rate across
+//! connections by slicing time into small batches; `target_qps == 0` means
+//! open throttle (as fast as the socket accepts), the mode used to
+//! provoke `BUSY` rejections for the overload phase of the benchmark.
+
+use crate::error::ServeError;
+use crate::proto::{Request, Response, StatsSnapshot};
+use oc_stats::percentile_slice;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::ids::CellId;
+use oc_trace::time::Tick;
+use oc_trace::WorkloadGenerator;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Load-generator settings.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Cell preset replayed (defines machine count, task mix, seed).
+    pub preset: CellPreset,
+    /// Machines replayed from the cell (capped at the cell size).
+    pub machines: usize,
+    /// Ticks replayed per machine.
+    pub ticks: u64,
+    /// Generator seed override; `None` keeps the preset's seed.
+    pub seed: Option<u64>,
+    /// Client connections; machines are pinned round-robin.
+    pub connections: usize,
+    /// Aggregate target request rate; `0` = unpaced (open throttle).
+    pub target_qps: u64,
+    /// Issue one `PREDICT` per machine per tick alongside the samples.
+    pub predicts: bool,
+}
+
+impl Default for LoadgenConfig {
+    /// Cell preset A, 64 machines, one day of ticks, 4 connections,
+    /// unpaced, with per-tick predictions.
+    fn default() -> Self {
+        LoadgenConfig {
+            preset: CellPreset::A,
+            machines: 64,
+            ticks: oc_trace::TICKS_PER_DAY,
+            seed: None,
+            connections: 4,
+            target_qps: 0,
+            predicts: true,
+        }
+    }
+}
+
+/// What one [`run`] measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent (OBSERVE + PREDICT).
+    pub sent: u64,
+    /// `OK`/`PRED` responses.
+    pub ok: u64,
+    /// `BUSY` rejections.
+    pub busy: u64,
+    /// `ERR` responses.
+    pub errors: u64,
+    /// Wall-clock duration of the replay, seconds.
+    pub wall_secs: f64,
+    /// Achieved request throughput (sent / wall), requests per second.
+    pub achieved_qps: f64,
+    /// Client-observed p50 latency, microseconds.
+    pub p50_us: f64,
+    /// Client-observed p99 latency, microseconds.
+    pub p99_us: f64,
+    /// Client-observed maximum latency, microseconds.
+    pub max_us: f64,
+    /// Server-side snapshot taken right after the replay.
+    pub server: StatsSnapshot,
+}
+
+impl LoadReport {
+    /// Reject rate: `busy / sent` (0 when nothing was sent).
+    pub fn reject_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.sent as f64
+        }
+    }
+
+    /// Serializes the report as a JSON object (hand-rolled; the workspace
+    /// vendors no serde).
+    pub fn to_json(&self, label: &str) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"sent\":{},\"ok\":{},\"busy\":{},",
+                "\"errors\":{},\"wall_secs\":{:.6},\"achieved_qps\":{:.1},",
+                "\"reject_rate\":{:.6},\"client_p50_us\":{:.1},",
+                "\"client_p99_us\":{:.1},\"client_max_us\":{:.1},",
+                "\"server_p50_us\":{:.1},\"server_p99_us\":{:.1},",
+                "\"server_mean_us\":{:.1},\"server_observes\":{},",
+                "\"server_machines\":{}}}"
+            ),
+            label,
+            self.sent,
+            self.ok,
+            self.busy,
+            self.errors,
+            self.wall_secs,
+            self.achieved_qps,
+            self.reject_rate(),
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.server.p50_us,
+            self.server.p99_us,
+            self.server.mean_us,
+            self.server.observes,
+            self.server.machines,
+        )
+    }
+}
+
+/// One connection's scripted request lines, in send order.
+#[derive(Debug)]
+struct ConnPlan {
+    lines: Vec<String>,
+}
+
+/// Builds per-connection request scripts from the generated cell.
+///
+/// Request order per machine is tick-major and, within a tick, trace task
+/// order — the same order `simulate_machine` feeds its `MachineView`.
+fn build_plans(cfg: &LoadgenConfig) -> Result<Vec<ConnPlan>, ServeError> {
+    let mut cell_cfg: CellConfig = CellConfig::preset(cfg.preset);
+    if let Some(seed) = cfg.seed {
+        cell_cfg = cell_cfg.with_seed(seed);
+    }
+    let generator = WorkloadGenerator::new(cell_cfg)?;
+    let cell = CellId::new(format!("{:?}", cfg.preset).to_lowercase());
+    let n_machines = cfg.machines.min(generator.config().machines).max(1);
+    let connections = cfg.connections.clamp(1, n_machines);
+    let mut plans: Vec<ConnPlan> = (0..connections)
+        .map(|_| ConnPlan { lines: Vec::new() })
+        .collect();
+    let metric = oc_core::config::SimConfig::default().metric;
+    for m in 0..n_machines {
+        let trace = generator.generate_machine(oc_trace::MachineId(m as u32))?;
+        let plan = &mut plans[m % connections];
+        let end = trace.horizon.start.0 + cfg.ticks.min(trace.horizon.len());
+        for t in trace.horizon.start.0..end {
+            let tick = Tick(t);
+            for task in trace.tasks_at(tick) {
+                let usage = task.sample_at(tick).map(|s| metric.of(s)).unwrap_or(0.0);
+                let req = Request::Observe {
+                    cell: cell.clone(),
+                    machine: trace.machine,
+                    task: task.spec.id,
+                    usage,
+                    limit: task.spec.limit,
+                    tick: t,
+                };
+                plan.lines.push(req.encode());
+            }
+            if cfg.predicts {
+                let req = Request::Predict {
+                    cell: cell.clone(),
+                    machine: trace.machine,
+                };
+                plan.lines.push(req.encode());
+            }
+        }
+    }
+    Ok(plans)
+}
+
+/// Outcome counts plus raw latencies from one connection.
+#[derive(Debug, Default)]
+struct ConnResult {
+    sent: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Replays one connection's script, pipelined.
+///
+/// The reader thread drains responses and matches them FIFO against the
+/// send timestamps (the protocol answers strictly in order). `pace` is the
+/// per-connection request interval; `Duration::ZERO` means unpaced.
+fn run_conn(addr: SocketAddr, plan: ConnPlan, pace: Duration) -> Result<ConnResult, ServeError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    let total = plan.lines.len();
+    let (ts_tx, ts_rx) = std::sync::mpsc::sync_channel::<Instant>(64 * 1024);
+
+    let reader = std::thread::Builder::new()
+        .name("loadgen-read".to_string())
+        .spawn(move || -> Result<ConnResult, ServeError> {
+            let mut r = BufReader::new(reader_stream);
+            let mut res = ConnResult::default();
+            res.latencies_us.reserve(total);
+            let mut line = String::new();
+            for _ in 0..total {
+                line.clear();
+                if r.read_line(&mut line)? == 0 {
+                    break;
+                }
+                let sent_at = ts_rx.recv().expect("writer sends one stamp per line");
+                res.latencies_us
+                    .push(sent_at.elapsed().as_secs_f64() * 1e6);
+                match Response::parse(line.trim_end())? {
+                    Response::Busy => res.busy += 1,
+                    Response::Err { .. } => res.errors += 1,
+                    _ => res.ok += 1,
+                }
+            }
+            Ok(res)
+        })?;
+
+    let mut w = BufWriter::new(stream);
+    let start = Instant::now();
+    let mut sent = 0u64;
+    // Pace in batches of 64: per-request sleeps can't hit 100k+ QPS, and
+    // coarse batches keep the meter honest without melting the clock.
+    const BATCH: u64 = 64;
+    for line in &plan.lines {
+        if !pace.is_zero() && sent.is_multiple_of(BATCH) {
+            let due = start + pace * (sent as u32);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            w.flush()?;
+        }
+        ts_tx.send(Instant::now()).expect("reader outlives writer");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        sent += 1;
+    }
+    w.flush()?;
+    drop(ts_tx);
+    let mut res = reader.join().expect("reader thread panicked")?;
+    res.sent = sent;
+    Ok(res)
+}
+
+/// Replays the configured cell against `addr` and gathers a report.
+///
+/// # Errors
+///
+/// Propagates socket errors, generator errors, and malformed responses.
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ServeError> {
+    let plans = build_plans(cfg)?;
+    let n_conns = plans.len();
+    let pace = if cfg.target_qps == 0 {
+        Duration::ZERO
+    } else {
+        // Aggregate QPS split evenly across connections.
+        Duration::from_secs_f64(n_conns as f64 / cfg.target_qps as f64)
+    };
+    let start = Instant::now();
+    let mut joins = Vec::with_capacity(n_conns);
+    for plan in plans {
+        joins.push(
+            std::thread::Builder::new()
+                .name("loadgen-conn".to_string())
+                .spawn(move || run_conn(addr, plan, pace))?,
+        );
+    }
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    let mut errors = 0u64;
+    let mut lats: Vec<f64> = Vec::new();
+    for j in joins {
+        let res = j.join().expect("connection thread panicked")?;
+        sent += res.sent;
+        ok += res.ok;
+        busy += res.busy;
+        errors += res.errors;
+        lats.extend(res.latencies_us);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let server = fetch_stats(addr)?;
+    let q = |p: f64| percentile_slice(&lats, p).unwrap_or(0.0);
+    Ok(LoadReport {
+        sent,
+        ok,
+        busy,
+        errors,
+        wall_secs,
+        achieved_qps: if wall_secs > 0.0 {
+            sent as f64 / wall_secs
+        } else {
+            0.0
+        },
+        p50_us: q(50.0),
+        p99_us: q(99.0),
+        max_us: lats.iter().cloned().fold(0.0, f64::max),
+        server,
+    })
+}
+
+/// Asks a running server for its `STATS` snapshot.
+///
+/// # Errors
+///
+/// Propagates socket errors; a non-`STATS` reply is a protocol error.
+pub fn fetch_stats(addr: SocketAddr) -> Result<StatsSnapshot, ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"STATS\n")?;
+    let mut r = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    match Response::parse(line.trim_end())? {
+        Response::Stats(s) => Ok(s),
+        other => Err(ServeError::Config(format!(
+            "expected STATS reply, got {other:?}"
+        ))),
+    }
+}
+
+/// Sends `SHUTDOWN` to a running server (fire-and-forget).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn request_shutdown(addr: SocketAddr) -> Result<(), ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"SHUTDOWN\n")?;
+    let mut r = BufReader::new(stream);
+    let mut line = String::new();
+    let _ = r.read_line(&mut line);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::server::Server;
+
+    #[test]
+    fn small_replay_round_trips() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let cfg = LoadgenConfig {
+            machines: 4,
+            ticks: 16,
+            connections: 2,
+            predicts: true,
+            ..LoadgenConfig::default()
+        };
+        let report = run(server.addr(), &cfg).unwrap();
+        assert!(report.sent > 0);
+        assert_eq!(report.busy, 0, "default queues must absorb a tiny replay");
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.ok, report.sent);
+        assert!(report.server.observes > 0);
+        assert_eq!(report.server.machines, 4);
+        // 4 machines x 16 ticks of predictions.
+        assert_eq!(report.server.predicts, 64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn paced_replay_respects_target() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let cfg = LoadgenConfig {
+            machines: 1,
+            ticks: 8,
+            connections: 1,
+            target_qps: 2_000,
+            predicts: false,
+            ..LoadgenConfig::default()
+        };
+        let report = run(server.addr(), &cfg).unwrap();
+        // Unambitious bound: pacing must not *exceed* the target by 5x
+        // (it may undershoot on a loaded CI box).
+        assert!(
+            report.achieved_qps < 10_000.0,
+            "pacing ignored: {} qps",
+            report.achieved_qps
+        );
+        server.shutdown();
+    }
+}

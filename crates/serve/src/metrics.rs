@@ -1,0 +1,164 @@
+//! Per-shard counters and service-latency accounting.
+//!
+//! Each shard worker owns one [`ShardMetrics`]: plain counters plus a
+//! bounded-memory latency [`Histogram`] (reused from `oc-stats`). Latency
+//! is *service* latency — from the instant a request was enqueued on the
+//! shard queue to the instant the worker finished handling it — so queueing
+//! delay under load is visible, not hidden.
+//!
+//! Snapshots from all shards are merged bin-wise (histogram merge keeps
+//! full resolution) and summarized into the wire-level
+//! [`StatsSnapshot`](crate::proto::StatsSnapshot) with p50/p99 read off the
+//! merged histogram.
+
+use crate::proto::StatsSnapshot;
+use oc_stats::Histogram;
+use std::time::Duration;
+
+/// Upper edge of the latency histogram, microseconds. Latencies beyond it
+/// land in the overflow counter; `max_us` still reports them exactly.
+pub const LATENCY_HI_US: f64 = 20_000.0;
+
+/// Latency histogram bins (5 µs resolution over `[0, LATENCY_HI_US)`).
+pub const LATENCY_BINS: usize = 4_000;
+
+/// One shard's counters. Cheap to update on every message.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Samples ingested into machine state.
+    pub observes: u64,
+    /// Predictions served.
+    pub predicts: u64,
+    /// Admission checks served.
+    pub admits: u64,
+    /// Samples rejected as stale.
+    pub stale: u64,
+    /// Other errors (gap, invalid sample, unknown machine).
+    pub errors: u64,
+    /// Machines with live state (filled in at snapshot time).
+    pub machines: u64,
+    /// Service-latency histogram, microseconds.
+    pub latency: Histogram,
+    /// Count of latency observations.
+    pub lat_count: u64,
+    /// Sum of latency observations, microseconds.
+    pub lat_sum_us: f64,
+    /// Maximum latency observed, microseconds.
+    pub lat_max_us: f64,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        ShardMetrics {
+            observes: 0,
+            predicts: 0,
+            admits: 0,
+            stale: 0,
+            errors: 0,
+            machines: 0,
+            latency: Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS)
+                .expect("static histogram parameters are valid"),
+            lat_count: 0,
+            lat_sum_us: 0.0,
+            lat_max_us: 0.0,
+        }
+    }
+}
+
+impl ShardMetrics {
+    /// Records one service latency.
+    pub fn record_latency(&mut self, d: Duration) {
+        let us = d.as_secs_f64() * 1e6;
+        self.latency.push(us);
+        self.lat_count += 1;
+        self.lat_sum_us += us;
+        if us > self.lat_max_us {
+            self.lat_max_us = us;
+        }
+    }
+
+    /// Merges another shard's metrics into this one.
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.observes += other.observes;
+        self.predicts += other.predicts;
+        self.admits += other.admits;
+        self.stale += other.stale;
+        self.errors += other.errors;
+        self.machines += other.machines;
+        self.latency
+            .merge(&other.latency)
+            .expect("all shard histograms share the static shape");
+        self.lat_count += other.lat_count;
+        self.lat_sum_us += other.lat_sum_us;
+        self.lat_max_us = self.lat_max_us.max(other.lat_max_us);
+    }
+
+    /// Summarizes into the wire snapshot. `busy` is counted at the server
+    /// (rejects never reach a shard), so it is passed in.
+    pub fn snapshot(&self, busy: u64) -> StatsSnapshot {
+        let q = |p: f64| self.latency.quantile(p).unwrap_or(0.0);
+        StatsSnapshot {
+            observes: self.observes,
+            predicts: self.predicts,
+            admits: self.admits,
+            busy,
+            stale: self.stale,
+            errors: self.errors,
+            machines: self.machines,
+            p50_us: q(50.0),
+            p99_us: q(99.0),
+            mean_us: if self.lat_count == 0 {
+                0.0
+            } else {
+                self.lat_sum_us / self.lat_count as f64
+            },
+            max_us: self.lat_max_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_come_from_histogram() {
+        let mut m = ShardMetrics::default();
+        for us in 1..=100u64 {
+            m.record_latency(Duration::from_micros(us));
+        }
+        let s = m.snapshot(0);
+        assert!((s.p50_us - 50.0).abs() < 6.0, "p50 {}", s.p50_us);
+        assert!((s.p99_us - 99.0).abs() < 6.0, "p99 {}", s.p99_us);
+        assert!((s.mean_us - 50.5).abs() < 1.0);
+        assert!((s.max_us - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = ShardMetrics::default();
+        let mut b = ShardMetrics::default();
+        a.observes = 10;
+        a.machines = 2;
+        b.observes = 5;
+        b.stale = 1;
+        b.machines = 3;
+        a.record_latency(Duration::from_micros(10));
+        b.record_latency(Duration::from_micros(30));
+        a.merge(&b);
+        let s = a.snapshot(7);
+        assert_eq!(s.observes, 15);
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.machines, 5);
+        assert_eq!(s.busy, 7);
+        assert!(s.max_us >= 30.0);
+    }
+
+    #[test]
+    fn overflow_latency_keeps_exact_max() {
+        let mut m = ShardMetrics::default();
+        m.record_latency(Duration::from_millis(500)); // beyond LATENCY_HI_US
+        let s = m.snapshot(0);
+        assert!((s.max_us - 500_000.0).abs() < 1_000.0);
+    }
+}

@@ -1,0 +1,635 @@
+//! The line-delimited wire protocol.
+//!
+//! Every request and response is one `\n`-terminated line of
+//! space-separated ASCII tokens. Grammar (one request per line):
+//!
+//! ```text
+//! OBSERVE <cell> <machine> <job>:<index> <usage> <limit> <tick>
+//! PREDICT <cell> <machine>
+//! ADMIT   <cell> <machine> <limit>
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! and one response line per request:
+//!
+//! ```text
+//! OK                                  observe accepted for ingestion
+//! BUSY                                shard queue full — retryable
+//! PRED <peak>                         predicted machine peak
+//! ADMITTED <yes|no> <projected>       admission verdict + projected peak
+//! STATS <key>=<value> ...             service-wide counter snapshot
+//! ERR <code> <detail...>              typed error (parse, stale, ...)
+//! ```
+//!
+//! Floats are encoded with Rust's shortest-round-trip formatting, so
+//! `parse(encode(x))` reproduces the exact bit pattern — the property the
+//! served-vs-offline bit-identity test relies on, and the property the
+//! proptest suite in `tests/proto.rs` pins down.
+
+use oc_trace::ids::{CellId, JobId, MachineId, TaskId};
+use std::fmt;
+
+/// Hard cap on the length of one protocol line, in bytes. Connections
+/// exceeding it are answered with a parse error and closed.
+pub const MAX_LINE_BYTES: usize = 512;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One per-task usage sample (`OBSERVE`).
+    Observe {
+        /// Owning cell.
+        cell: CellId,
+        /// Machine within the cell.
+        machine: MachineId,
+        /// The sampled task.
+        task: TaskId,
+        /// Observed usage for the tick, in capacity units.
+        usage: f64,
+        /// The task's current limit, in capacity units.
+        limit: f64,
+        /// The 5-minute tick the sample belongs to.
+        tick: u64,
+    },
+    /// Predict a machine's peak (`PREDICT`).
+    Predict {
+        /// Owning cell.
+        cell: CellId,
+        /// Machine within the cell.
+        machine: MachineId,
+    },
+    /// Would a task of the given limit fit (`ADMIT`)?
+    Admit {
+        /// Owning cell.
+        cell: CellId,
+        /// Machine within the cell.
+        machine: MachineId,
+        /// Limit of the candidate task, in capacity units.
+        limit: f64,
+    },
+    /// Service-wide counter snapshot (`STATS`).
+    Stats,
+    /// Ask the server to drain and exit (`SHUTDOWN`).
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Observe accepted for ingestion.
+    Ok,
+    /// Shard queue full; the request was dropped and may be retried.
+    Busy,
+    /// Predicted machine peak, in capacity units.
+    Pred {
+        /// The (clamped) peak prediction.
+        peak: f64,
+    },
+    /// Admission verdict.
+    Admitted {
+        /// Whether the candidate task fits.
+        admit: bool,
+        /// Projected peak if admitted (prediction + candidate limit).
+        projected: f64,
+    },
+    /// Counter snapshot.
+    Stats(StatsSnapshot),
+    /// Typed error.
+    Err {
+        /// Machine-readable error class.
+        code: ErrCode,
+        /// Human-readable detail (single line).
+        detail: String,
+    },
+}
+
+/// Machine-readable error classes carried by [`Response::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request line failed to parse.
+    Parse,
+    /// The sample's tick was already flushed (out-of-order beyond a tick).
+    Stale,
+    /// The sample's tick would synthesize too many empty ticks.
+    Gap,
+    /// `PREDICT` for a machine the service has never observed.
+    UnknownMachine,
+    /// The server is shutting down.
+    Shutdown,
+    /// Internal error (shard died, bad state).
+    Internal,
+}
+
+impl ErrCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Parse => "parse",
+            ErrCode::Stale => "stale",
+            ErrCode::Gap => "gap",
+            ErrCode::UnknownMachine => "unknown-machine",
+            ErrCode::Shutdown => "shutdown",
+            ErrCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire token.
+    pub fn parse(token: &str) -> Option<ErrCode> {
+        Some(match token {
+            "parse" => ErrCode::Parse,
+            "stale" => ErrCode::Stale,
+            "gap" => ErrCode::Gap,
+            "unknown-machine" => ErrCode::UnknownMachine,
+            "shutdown" => ErrCode::Shutdown,
+            "internal" => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Service-wide counters, encoded as the `STATS` response line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Samples ingested (excludes stale/invalid rejects).
+    pub observes: u64,
+    /// Predictions served.
+    pub predicts: u64,
+    /// Admission checks served.
+    pub admits: u64,
+    /// Requests rejected with `BUSY` (bounded-queue backpressure).
+    pub busy: u64,
+    /// Samples rejected as stale.
+    pub stale: u64,
+    /// Other typed errors.
+    pub errors: u64,
+    /// Machines with live state.
+    pub machines: u64,
+    /// Median shard service latency (enqueue → handled), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile shard service latency, microseconds.
+    pub p99_us: f64,
+    /// Mean shard service latency, microseconds.
+    pub mean_us: f64,
+    /// Maximum shard service latency, microseconds.
+    pub max_us: f64,
+}
+
+/// Typed wire-protocol errors. Malformed input never panics; it produces
+/// one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The line was empty or whitespace-only.
+    Empty,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    LineTooLong {
+        /// Observed length in bytes.
+        len: usize,
+    },
+    /// The first token was not a known verb.
+    UnknownVerb {
+        /// The offending token.
+        verb: String,
+    },
+    /// Wrong number of operands for the verb.
+    Arity {
+        /// The verb.
+        verb: &'static str,
+        /// Operands expected.
+        expected: usize,
+        /// Operands found.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// Field name.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A numeric field parsed but was non-finite or negative.
+    OutOfDomain {
+        /// Field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A task id was not of the form `<job>:<index>`.
+    BadTaskId {
+        /// The offending token.
+        token: String,
+    },
+    /// A response line did not match any response form.
+    BadResponse {
+        /// The offending line (truncated).
+        line: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Empty => write!(f, "empty line"),
+            ProtoError::LineTooLong { len } => {
+                write!(f, "line of {len} bytes exceeds {MAX_LINE_BYTES}")
+            }
+            ProtoError::UnknownVerb { verb } => write!(f, "unknown verb '{verb}'"),
+            ProtoError::Arity {
+                verb,
+                expected,
+                got,
+            } => write!(f, "{verb} takes {expected} operands, got {got}"),
+            ProtoError::BadNumber { field, token } => {
+                write!(f, "field {field}: '{token}' is not a number")
+            }
+            ProtoError::OutOfDomain { field, value } => {
+                write!(f, "field {field}: {value} must be finite and >= 0")
+            }
+            ProtoError::BadTaskId { token } => {
+                write!(f, "task id '{token}' is not <job>:<index>")
+            }
+            ProtoError::BadResponse { line } => write!(f, "unparseable response '{line}'"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn parse_f64(field: &'static str, token: &str) -> Result<f64, ProtoError> {
+    let v: f64 = token.parse().map_err(|_| ProtoError::BadNumber {
+        field,
+        token: token.to_string(),
+    })?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(ProtoError::OutOfDomain { field, value: v });
+    }
+    Ok(v)
+}
+
+fn parse_u64(field: &'static str, token: &str) -> Result<u64, ProtoError> {
+    token.parse().map_err(|_| ProtoError::BadNumber {
+        field,
+        token: token.to_string(),
+    })
+}
+
+fn parse_machine(token: &str) -> Result<MachineId, ProtoError> {
+    token
+        .parse()
+        .map(MachineId)
+        .map_err(|_| ProtoError::BadNumber {
+            field: "machine",
+            token: token.to_string(),
+        })
+}
+
+fn parse_task(token: &str) -> Result<TaskId, ProtoError> {
+    let bad = || ProtoError::BadTaskId {
+        token: token.to_string(),
+    };
+    let (job, index) = token.split_once(':').ok_or_else(bad)?;
+    let job: u64 = job.parse().map_err(|_| bad())?;
+    let index: u32 = index.parse().map_err(|_| bad())?;
+    Ok(TaskId::new(JobId(job), index))
+}
+
+fn expect_arity(
+    verb: &'static str,
+    operands: &[&str],
+    expected: usize,
+) -> Result<(), ProtoError> {
+    if operands.len() != expected {
+        return Err(ProtoError::Arity {
+            verb,
+            expected,
+            got: operands.len(),
+        });
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Parses one request line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ProtoError`]; malformed input never panics.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(ProtoError::LineTooLong { len: line.len() });
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or(ProtoError::Empty)?;
+        let operands: Vec<&str> = tokens.collect();
+        match verb {
+            "OBSERVE" => {
+                expect_arity("OBSERVE", &operands, 6)?;
+                Ok(Request::Observe {
+                    cell: CellId::new(operands[0]),
+                    machine: parse_machine(operands[1])?,
+                    task: parse_task(operands[2])?,
+                    usage: parse_f64("usage", operands[3])?,
+                    limit: parse_f64("limit", operands[4])?,
+                    tick: parse_u64("tick", operands[5])?,
+                })
+            }
+            "PREDICT" => {
+                expect_arity("PREDICT", &operands, 2)?;
+                Ok(Request::Predict {
+                    cell: CellId::new(operands[0]),
+                    machine: parse_machine(operands[1])?,
+                })
+            }
+            "ADMIT" => {
+                expect_arity("ADMIT", &operands, 3)?;
+                Ok(Request::Admit {
+                    cell: CellId::new(operands[0]),
+                    machine: parse_machine(operands[1])?,
+                    limit: parse_f64("limit", operands[2])?,
+                })
+            }
+            "STATS" => {
+                expect_arity("STATS", &operands, 0)?;
+                Ok(Request::Stats)
+            }
+            "SHUTDOWN" => {
+                expect_arity("SHUTDOWN", &operands, 0)?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(ProtoError::UnknownVerb {
+                verb: other.to_string(),
+            }),
+        }
+    }
+
+    /// Encodes the request as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Observe {
+                cell,
+                machine,
+                task,
+                usage,
+                limit,
+                tick,
+            } => format!(
+                "OBSERVE {} {} {}:{} {} {} {}",
+                cell.name(),
+                machine.0,
+                task.job.0,
+                task.index,
+                usage,
+                limit,
+                tick
+            ),
+            Request::Predict { cell, machine } => {
+                format!("PREDICT {} {}", cell.name(), machine.0)
+            }
+            Request::Admit {
+                cell,
+                machine,
+                limit,
+            } => format!("ADMIT {} {} {}", cell.name(), machine.0, limit),
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// Key/value pairs of the `STATS` line, in encode order.
+const STATS_KEYS: [&str; 11] = [
+    "observes", "predicts", "admits", "busy", "stale", "errors", "machines", "p50_us", "p99_us",
+    "mean_us", "max_us",
+];
+
+impl StatsSnapshot {
+    /// The `k=v` payload of a `STATS` response line, without the verb.
+    pub fn encode_fields(&self) -> String {
+        format!(
+            "observes={} predicts={} admits={} busy={} stale={} errors={} machines={} \
+             p50_us={} p99_us={} mean_us={} max_us={}",
+            self.observes,
+            self.predicts,
+            self.admits,
+            self.busy,
+            self.stale,
+            self.errors,
+            self.machines,
+            self.p50_us,
+            self.p99_us,
+            self.mean_us,
+            self.max_us
+        )
+    }
+
+    fn parse_fields(operands: &[&str]) -> Option<StatsSnapshot> {
+        if operands.len() != STATS_KEYS.len() {
+            return None;
+        }
+        let mut s = StatsSnapshot::default();
+        for (key, token) in STATS_KEYS.iter().zip(operands) {
+            let (k, v) = token.split_once('=')?;
+            if k != *key {
+                return None;
+            }
+            match *key {
+                "observes" => s.observes = v.parse().ok()?,
+                "predicts" => s.predicts = v.parse().ok()?,
+                "admits" => s.admits = v.parse().ok()?,
+                "busy" => s.busy = v.parse().ok()?,
+                "stale" => s.stale = v.parse().ok()?,
+                "errors" => s.errors = v.parse().ok()?,
+                "machines" => s.machines = v.parse().ok()?,
+                "p50_us" => s.p50_us = v.parse().ok()?,
+                "p99_us" => s.p99_us = v.parse().ok()?,
+                "mean_us" => s.mean_us = v.parse().ok()?,
+                "max_us" => s.max_us = v.parse().ok()?,
+                _ => unreachable!("key list is fixed"),
+            }
+        }
+        Some(s)
+    }
+}
+
+impl Response {
+    /// Parses one response line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ProtoError`]; malformed input never panics.
+    pub fn parse(line: &str) -> Result<Response, ProtoError> {
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or(ProtoError::Empty)?;
+        let operands: Vec<&str> = tokens.collect();
+        let bad = || ProtoError::BadResponse {
+            line: line.chars().take(80).collect(),
+        };
+        match verb {
+            "OK" if operands.is_empty() => Ok(Response::Ok),
+            "BUSY" if operands.is_empty() => Ok(Response::Busy),
+            "PRED" => {
+                expect_arity("PRED", &operands, 1)?;
+                Ok(Response::Pred {
+                    peak: parse_f64("peak", operands[0])?,
+                })
+            }
+            "ADMITTED" => {
+                expect_arity("ADMITTED", &operands, 2)?;
+                let admit = match operands[0] {
+                    "yes" => true,
+                    "no" => false,
+                    _ => return Err(bad()),
+                };
+                Ok(Response::Admitted {
+                    admit,
+                    projected: parse_f64("projected", operands[1])?,
+                })
+            }
+            "STATS" => StatsSnapshot::parse_fields(&operands)
+                .map(Response::Stats)
+                .ok_or_else(bad),
+            "ERR" => {
+                if operands.is_empty() {
+                    return Err(bad());
+                }
+                let code = ErrCode::parse(operands[0]).ok_or_else(bad)?;
+                Ok(Response::Err {
+                    code,
+                    detail: operands[1..].join(" "),
+                })
+            }
+            _ => Err(bad()),
+        }
+    }
+
+    /// Encodes the response as one line (no trailing newline). Error
+    /// details are flattened to a single line.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok => "OK".to_string(),
+            Response::Busy => "BUSY".to_string(),
+            Response::Pred { peak } => format!("PRED {peak}"),
+            Response::Admitted { admit, projected } => {
+                format!(
+                    "ADMITTED {} {}",
+                    if *admit { "yes" } else { "no" },
+                    projected
+                )
+            }
+            Response::Stats(s) => format!("STATS {}", s.encode_fields()),
+            Response::Err { code, detail } => {
+                let detail: String = detail
+                    .chars()
+                    .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+                    .collect();
+                if detail.is_empty() {
+                    format!("ERR {}", code.as_str())
+                } else {
+                    format!("ERR {} {}", code.as_str(), detail)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_round_trip() {
+        let req = Request::Observe {
+            cell: CellId::new("a"),
+            machine: MachineId(3),
+            task: TaskId::new(JobId(17), 2),
+            usage: 0.125,
+            limit: 0.5,
+            tick: 42,
+        };
+        let line = req.encode();
+        assert_eq!(line, "OBSERVE a 3 17:2 0.125 0.5 42");
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn float_encoding_is_bit_exact() {
+        let peak = 0.1 + 0.2; // not representable "nicely"
+        let r = Response::Pred { peak };
+        let Response::Pred { peak: back } = Response::parse(&r.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(peak.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert_eq!(Request::parse(""), Err(ProtoError::Empty));
+        assert_eq!(Request::parse("   "), Err(ProtoError::Empty));
+        assert!(matches!(
+            Request::parse("FROBNICATE a 1"),
+            Err(ProtoError::UnknownVerb { .. })
+        ));
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 2:0 0.5 0.5"),
+            Err(ProtoError::Arity { verb: "OBSERVE", expected: 6, got: 5 })
+        ));
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 2:0 NaN 0.5 7"),
+            Err(ProtoError::OutOfDomain { field: "usage", .. })
+        ));
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 2:0 -0.5 0.5 7"),
+            Err(ProtoError::OutOfDomain { field: "usage", .. })
+        ));
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 20 0.5 0.5 7"),
+            Err(ProtoError::BadTaskId { .. })
+        ));
+        assert!(matches!(
+            Request::parse("PREDICT a x"),
+            Err(ProtoError::BadNumber { field: "machine", .. })
+        ));
+        let long = format!("PREDICT a {}", "9".repeat(MAX_LINE_BYTES));
+        assert!(matches!(
+            Request::parse(&long),
+            Err(ProtoError::LineTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = StatsSnapshot {
+            observes: 10,
+            predicts: 2,
+            admits: 1,
+            busy: 3,
+            stale: 0,
+            errors: 1,
+            machines: 4,
+            p50_us: 12.5,
+            p99_us: 99.25,
+            mean_us: 20.75,
+            max_us: 1000.0,
+        };
+        let r = Response::Stats(s.clone());
+        assert_eq!(Response::parse(&r.encode()).unwrap(), Response::Stats(s));
+    }
+
+    #[test]
+    fn err_detail_keeps_spaces_and_strips_newlines() {
+        let r = Response::Err {
+            code: ErrCode::Stale,
+            detail: "tick 5 already\nflushed".into(),
+        };
+        let line = r.encode();
+        assert!(!line.contains('\n'));
+        let back = Response::parse(&line).unwrap();
+        assert_eq!(
+            back,
+            Response::Err {
+                code: ErrCode::Stale,
+                detail: "tick 5 already flushed".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! The TCP front end.
+//!
+//! One accept thread, one handler thread per connection, `N` shard workers
+//! behind bounded queues (see [`crate::shard`]). A handler parses each
+//! line, routes it to the owning shard, and writes exactly one response
+//! line per request, in request order, so clients may pipeline freely.
+//!
+//! `OBSERVE` is acknowledged on *enqueue* (`OK` means "accepted for
+//! ingestion", not "applied"): ingestion outcomes of a fire-and-forget
+//! sample stream surface in the `STATS` counters (`stale`, `errors`)
+//! rather than per request. `PREDICT`/`ADMIT` are request/reply and always
+//! reflect every sample enqueued for that machine before them on the same
+//! connection.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] stops the accept loop,
+//! sends a drain marker down every shard queue (FIFO ⇒ all previously
+//! queued work is applied first), joins the workers and returns the final
+//! merged [`StatsSnapshot`] — the "flush a final snapshot" part of the
+//! contract. In-flight connections then get `ERR shutdown` for new
+//! requests.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::proto::{ErrCode, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
+use crate::shard::{SendFail, ShardMsg, ShardPool};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared flags between the server handle and its threads.
+#[derive(Debug)]
+struct Shared {
+    /// Accept no further connections.
+    stop: AtomicBool,
+    /// `BUSY` rejects, counted at the server (they never reach a shard).
+    busy: AtomicU64,
+    /// Set when a client sent `SHUTDOWN`; wakes [`Server::wait`].
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running peak-prediction service.
+///
+/// # Examples
+///
+/// ```no_run
+/// use oc_serve::config::ServeConfig;
+/// use oc_serve::server::Server;
+///
+/// let server = Server::start(ServeConfig::default()).unwrap();
+/// println!("serving on {}", server.addr());
+/// let stats = server.shutdown();
+/// println!("served {} observes", stats.observes);
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    pool: Option<Arc<ShardPool>>,
+    accept_handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the shard pool and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for an invalid config and
+    /// [`ServeError::Io`] for bind failures.
+    pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(ShardPool::new(&cfg)?);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            busy: AtomicU64::new(0),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+
+        let accept_pool = Arc::clone(&pool);
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("oc-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let pool = Arc::clone(&accept_pool);
+                    let shared = Arc::clone(&accept_shared);
+                    let _ = std::thread::Builder::new()
+                        .name("oc-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &pool, &shared);
+                        });
+                }
+            })
+            .map_err(ServeError::Io)?;
+
+        Ok(Server {
+            addr,
+            pool: Some(pool),
+            accept_handle: Some(accept_handle),
+            shared,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends `SHUTDOWN`.
+    pub fn wait(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag lock");
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown flag lock");
+        }
+    }
+
+    /// Stops accepting, drains every shard queue, joins the workers, and
+    /// returns the final merged snapshot.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> StatsSnapshot {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so it re-checks the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let busy = self.shared.busy.load(Ordering::SeqCst);
+        match self.pool.take() {
+            Some(pool) => {
+                // Handler threads hold clones of the Arc; once the accept
+                // loop is down no *new* connections appear, and existing
+                // handlers' sends fail fast after the workers exit.
+                let pool = match Arc::try_unwrap(pool) {
+                    Ok(pool) => pool,
+                    Err(shared_pool) => {
+                        // Live connections still reference the pool; drain
+                        // via a control shutdown without consuming it.
+                        let m = shared_pool.shutdown_shared();
+                        return m.snapshot(busy);
+                    }
+                };
+                pool.shutdown().snapshot(busy)
+            }
+            None => StatsSnapshot::default(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.pool.is_some() {
+            let _ = self.finish();
+        }
+    }
+}
+
+/// Serves one connection: one response line per request line, in order.
+fn handle_connection(
+    stream: TcpStream,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bound the line length without trusting the client: read through
+        // a `Take` so a newline-less flood cannot grow the buffer.
+        let mut limited = reader.take((MAX_LINE_BYTES + 2) as u64);
+        let n = limited.read_line(&mut line)?;
+        reader = limited.into_inner();
+        if n == 0 {
+            break; // EOF
+        }
+        if !line.ends_with('\n') && line.len() > MAX_LINE_BYTES {
+            let resp = Response::Err {
+                code: ErrCode::Parse,
+                detail: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            };
+            writer.write_all(resp.encode().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            break; // Cannot resynchronize: close.
+        }
+        let resp = match Request::parse(line.trim_end_matches(['\r', '\n'])) {
+            Err(e) => Response::Err {
+                code: ErrCode::Parse,
+                detail: e.to_string(),
+            },
+            Ok(req) => dispatch(req, pool, shared),
+        };
+        writer.write_all(resp.encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        // Flush only when the pipeline runs dry: pipelined clients get
+        // batched writes, interactive clients get an immediate answer.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+    writer.flush()
+}
+
+fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
+    match req {
+        Request::Observe {
+            cell,
+            machine,
+            task,
+            usage,
+            limit,
+            tick,
+        } => {
+            let key = (cell, machine);
+            let shard = pool.route(&key);
+            let msg = ShardMsg::Observe {
+                key,
+                task,
+                usage,
+                limit,
+                tick: oc_trace::time::Tick(tick),
+                enqueued: Instant::now(),
+            };
+            match pool.try_send(shard, msg) {
+                Ok(()) => Response::Ok,
+                Err(SendFail::Busy) => {
+                    shared.busy.fetch_add(1, Ordering::Relaxed);
+                    Response::Busy
+                }
+                Err(SendFail::Closed) => shutting_down(),
+            }
+        }
+        Request::Predict { cell, machine } => {
+            let key = (cell, machine);
+            let shard = pool.route(&key);
+            let (reply, rx) = sync_channel(1);
+            let msg = ShardMsg::Predict {
+                key,
+                reply,
+                enqueued: Instant::now(),
+            };
+            request_reply(pool, shard, msg, rx, shared)
+        }
+        Request::Admit {
+            cell,
+            machine,
+            limit,
+        } => {
+            let key = (cell, machine);
+            let shard = pool.route(&key);
+            let (reply, rx) = sync_channel(1);
+            let msg = ShardMsg::Admit {
+                key,
+                limit,
+                reply,
+                enqueued: Instant::now(),
+            };
+            request_reply(pool, shard, msg, rx, shared)
+        }
+        Request::Stats => {
+            let mut merged = crate::metrics::ShardMetrics::default();
+            for shard in 0..pool.shards() {
+                let (reply, rx) = sync_channel(1);
+                // Blocking send: STATS is rare and must not be starved out
+                // by a full queue; it queues behind pending work.
+                if pool.send(shard, ShardMsg::Snapshot { reply }).is_err() {
+                    return shutting_down();
+                }
+                match rx.recv_timeout(Duration::from_secs(10)) {
+                    Ok(m) => merged.merge(&m),
+                    Err(_) => {
+                        return Response::Err {
+                            code: ErrCode::Internal,
+                            detail: format!("shard {shard} did not answer"),
+                        }
+                    }
+                }
+            }
+            Response::Stats(merged.snapshot(shared.busy.load(Ordering::SeqCst)))
+        }
+        Request::Shutdown => {
+            let mut requested = shared
+                .shutdown_requested
+                .lock()
+                .expect("shutdown flag lock");
+            *requested = true;
+            shared.shutdown_cv.notify_all();
+            Response::Ok
+        }
+    }
+}
+
+fn request_reply(
+    pool: &ShardPool,
+    shard: usize,
+    msg: ShardMsg,
+    rx: std::sync::mpsc::Receiver<Response>,
+    shared: &Shared,
+) -> Response {
+    match pool.try_send(shard, msg) {
+        Ok(()) => match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => shutting_down(),
+        },
+        Err(SendFail::Busy) => {
+            shared.busy.fetch_add(1, Ordering::Relaxed);
+            Response::Busy
+        }
+        Err(SendFail::Closed) => shutting_down(),
+    }
+}
+
+fn shutting_down() -> Response {
+    Response::Err {
+        code: ErrCode::Shutdown,
+        detail: "server is shutting down".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn roundtrip(
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        line: &str,
+    ) -> Response {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut buf = String::new();
+        reader.read_line(&mut buf).unwrap();
+        Response::parse(buf.trim_end()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_observe_predict_stats() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        for t in 0..30u64 {
+            let resp = roundtrip(&mut r, &mut w, &format!("OBSERVE a 0 1:0 0.2 0.5 {t}"));
+            assert_eq!(resp, Response::Ok);
+        }
+        let Response::Pred { peak } = roundtrip(&mut r, &mut w, "PREDICT a 0") else {
+            panic!("expected PRED");
+        };
+        assert!(peak > 0.0 && peak <= 0.5);
+        let Response::Stats(s) = roundtrip(&mut r, &mut w, "STATS") else {
+            panic!("expected STATS");
+        };
+        assert_eq!(s.observes, 30);
+        assert_eq!(s.predicts, 1);
+        assert_eq!(s.machines, 1);
+        assert!(s.p50_us >= 0.0);
+        drop((r, w));
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.observes, 30);
+    }
+
+    #[test]
+    fn malformed_lines_get_parse_errors_not_disconnects() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        for bad in [
+            "NONSENSE",
+            "OBSERVE a 0",
+            "OBSERVE a 0 1:0 NaN 0.5 1",
+            "OBSERVE a 0 badtask 0.1 0.5 1",
+        ] {
+            let resp = roundtrip(&mut r, &mut w, bad);
+            assert!(
+                matches!(resp, Response::Err { code: ErrCode::Parse, .. }),
+                "{bad}: {resp:?}"
+            );
+        }
+        // The connection is still usable.
+        assert_eq!(
+            roundtrip(&mut r, &mut w, "OBSERVE a 0 1:0 0.1 0.5 1"),
+            Response::Ok
+        );
+        drop((r, w));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_closes_connection_with_error() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        let long = "X".repeat(MAX_LINE_BYTES * 2);
+        w.write_all(long.as_bytes()).unwrap();
+        w.flush().unwrap();
+        let mut buf = String::new();
+        r.read_line(&mut buf).unwrap();
+        let resp = Response::parse(buf.trim_end()).unwrap();
+        assert!(matches!(resp, Response::Err { code: ErrCode::Parse, .. }));
+        // Server closed its end.
+        buf.clear();
+        assert_eq!(r.read_line(&mut buf).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_verb_wakes_wait() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let addr = server.addr();
+        let (mut r, mut w) = client(addr);
+        assert_eq!(roundtrip(&mut r, &mut w, "OBSERVE a 0 1:0 0.1 0.5 1"), Response::Ok);
+        assert_eq!(roundtrip(&mut r, &mut w, "SHUTDOWN"), Response::Ok);
+        server.wait(); // Returns because the client asked for shutdown.
+        drop((r, w));
+        let stats = server.shutdown();
+        assert_eq!(stats.observes, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        let mut batch = String::new();
+        for t in 0..100u64 {
+            batch.push_str(&format!("OBSERVE a 7 1:0 0.2 0.5 {t}\n"));
+        }
+        batch.push_str("PREDICT a 7\n");
+        w.write_all(batch.as_bytes()).unwrap();
+        w.flush().unwrap();
+        let mut buf = String::new();
+        for i in 0..100 {
+            buf.clear();
+            r.read_line(&mut buf).unwrap();
+            assert_eq!(buf.trim_end(), "OK", "response {i}");
+        }
+        buf.clear();
+        r.read_line(&mut buf).unwrap();
+        assert!(buf.starts_with("PRED "), "{buf}");
+        drop((r, w));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the wire protocol: `parse(encode(x)) == x` for every
+//! request and response, and malformed input always yields a typed
+//! [`ProtoError`] — never a panic.
+
+use oc_serve::proto::{ErrCode, ProtoError, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
+use oc_trace::ids::{CellId, JobId, MachineId, TaskId};
+use proptest::prelude::*;
+
+/// Cell names exercised on the wire: plain, dashed, underscored, long.
+const CELLS: [&str; 4] = ["a", "cell-b", "prod_c", "x123456789"];
+
+/// Builds a request from flat sampled scalars (the vendored proptest has no
+/// `prop_oneof`/`prop_map`, so variants are chosen by a selector integer).
+fn make_request(
+    selector: u32,
+    cell_idx: usize,
+    machine: u32,
+    job: u64,
+    index: u32,
+    usage: f64,
+    limit: f64,
+    tick: u64,
+) -> Request {
+    let cell = CellId::new(CELLS[cell_idx % CELLS.len()]);
+    let machine = MachineId(machine);
+    match selector % 5 {
+        0 => Request::Observe {
+            cell,
+            machine,
+            task: TaskId::new(JobId(job), index),
+            usage,
+            limit,
+            tick,
+        },
+        1 => Request::Predict { cell, machine },
+        2 => Request::Admit {
+            cell,
+            machine,
+            limit,
+        },
+        3 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+proptest! {
+    /// Round trip: every encodable request parses back to itself, bit-exact
+    /// floats included.
+    #[test]
+    fn request_round_trips(
+        selector in 0u32..5,
+        cell_idx in 0usize..4,
+        machine in 0u32..=u32::MAX,
+        job in 0u64..=u64::MAX,
+        index in 0u32..=u32::MAX,
+        usage in 0.0f64..1e12,
+        limit in 0.0f64..1e12,
+        tick in 0u64..=u64::MAX,
+    ) {
+        let req = make_request(selector, cell_idx, machine, job, index, usage, limit, tick);
+        let line = req.encode();
+        prop_assert!(line.len() <= MAX_LINE_BYTES, "encoded line too long: {line}");
+        let back = Request::parse(&line);
+        prop_assert_eq!(back, Ok(req));
+    }
+
+    /// Round trip for responses, including the 11-field STATS snapshot.
+    #[test]
+    fn response_round_trips(
+        selector in 0u32..6,
+        flag in 0u32..2,
+        peak in 0.0f64..1e9,
+        counters in proptest::collection::vec(0u64..=u64::MAX, 7),
+        lats in proptest::collection::vec(0.0f64..1e7, 4),
+        code_idx in 0u32..6,
+    ) {
+        let code = [
+            ErrCode::Parse,
+            ErrCode::Stale,
+            ErrCode::Gap,
+            ErrCode::UnknownMachine,
+            ErrCode::Shutdown,
+            ErrCode::Internal,
+        ][code_idx as usize];
+        let resp = match selector % 6 {
+            0 => Response::Ok,
+            1 => Response::Busy,
+            2 => Response::Pred { peak },
+            3 => Response::Admitted { admit: flag == 1, projected: peak },
+            4 => Response::Stats(StatsSnapshot {
+                observes: counters[0],
+                predicts: counters[1],
+                admits: counters[2],
+                busy: counters[3],
+                stale: counters[4],
+                errors: counters[5],
+                machines: counters[6],
+                p50_us: lats[0],
+                p99_us: lats[1],
+                mean_us: lats[2],
+                max_us: lats[3],
+            }),
+            _ => Response::Err { code, detail: "some detail text".into() },
+        };
+        let back = Response::parse(&resp.encode());
+        prop_assert_eq!(back, Ok(resp));
+    }
+
+    /// Float fields survive the wire bit-for-bit (shortest-round-trip
+    /// formatting) — the property the serve-vs-offline smoke test rests on.
+    #[test]
+    fn floats_are_bit_exact_on_the_wire(mantissa in 0u64..=u64::MAX) {
+        // Map arbitrary bits into a finite non-negative f64.
+        let value = f64::from_bits(mantissa & !(1u64 << 63));
+        if !value.is_finite() {
+            return Ok(());
+        }
+        let resp = Response::Pred { peak: value };
+        let Ok(Response::Pred { peak }) = Response::parse(&resp.encode()) else {
+            return Err("PRED did not parse back".to_string());
+        };
+        prop_assert_eq!(peak.to_bits(), value.to_bits());
+    }
+
+    /// Arbitrary byte soup never panics the parser: it either parses or
+    /// returns a typed error.
+    #[test]
+    fn arbitrary_lines_never_panic(bytes in proptest::collection::vec(0u32..128, 0..80)) {
+        let line: String = bytes
+            .iter()
+            .map(|&b| char::from_u32(b).unwrap_or('?'))
+            .collect();
+        let _ = Request::parse(&line);
+        let _ = Response::parse(&line);
+    }
+
+    /// Truncating a valid OBSERVE line at any token boundary yields a typed
+    /// arity (or empty) error, never a panic or a bogus parse.
+    #[test]
+    fn truncated_observe_is_typed_error(
+        machine in 0u32..1000,
+        tick in 0u64..1_000_000,
+        cut in 0usize..6,
+    ) {
+        let full = Request::Observe {
+            cell: CellId::new("a"),
+            machine: MachineId(machine),
+            task: TaskId::new(JobId(7), 0),
+            usage: 0.25,
+            limit: 0.5,
+            tick,
+        }
+        .encode();
+        let tokens: Vec<&str> = full.split_ascii_whitespace().collect();
+        let truncated = tokens[..=cut].join(" ");
+        match Request::parse(&truncated) {
+            Err(ProtoError::Arity { verb: "OBSERVE", expected: 6, got }) => {
+                prop_assert_eq!(got, cut);
+            }
+            other => return Err(format!("expected arity error, got {other:?}")),
+        }
+    }
+}
+
+#[test]
+fn malformed_numbers_are_typed_errors() {
+    for (line, field) in [
+        ("OBSERVE a 1 2:0 NaN 0.5 7", "usage"),
+        ("OBSERVE a 1 2:0 inf 0.5 7", "usage"),
+        ("OBSERVE a 1 2:0 0.5 -1 7", "limit"),
+        ("ADMIT a 1 NaN", "limit"),
+    ] {
+        match Request::parse(line) {
+            Err(ProtoError::OutOfDomain { field: f, .. }) => assert_eq!(f, field, "{line}"),
+            other => panic!("{line}: expected OutOfDomain, got {other:?}"),
+        }
+    }
+    assert!(matches!(
+        Request::parse("OBSERVE a 1 2:0 zero 0.5 7"),
+        Err(ProtoError::BadNumber { field: "usage", .. })
+    ));
+    assert!(matches!(
+        Request::parse("OBSERVE a 99999999999 2:0 0.1 0.5 7"),
+        Err(ProtoError::BadNumber { field: "machine", .. })
+    ));
+}
+
+#[test]
+fn unknown_verbs_and_junk_are_typed_errors() {
+    assert!(matches!(
+        Request::parse("FROBNICATE"),
+        Err(ProtoError::UnknownVerb { .. })
+    ));
+    assert!(matches!(
+        Request::parse("observe a 1 2:0 0.1 0.5 7"), // verbs are case-sensitive
+        Err(ProtoError::UnknownVerb { .. })
+    ));
+    assert_eq!(Request::parse(""), Err(ProtoError::Empty));
+    assert!(matches!(
+        Request::parse(&"A".repeat(MAX_LINE_BYTES + 1)),
+        Err(ProtoError::LineTooLong { .. })
+    ));
+    assert!(matches!(
+        Request::parse("OBSERVE a 1 no-colon 0.1 0.5 7"),
+        Err(ProtoError::BadTaskId { .. })
+    ));
+}

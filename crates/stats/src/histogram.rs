@@ -90,6 +90,73 @@ impl Histogram {
         })
     }
 
+    /// Interpolated quantile of the in-range mass, `p` in `[0, 100]`.
+    ///
+    /// The mass of each bin is treated as uniformly spread over the bin's
+    /// width, so the answer is accurate to within one bin width. Underflow
+    /// and overflow observations are excluded from the mass (callers that
+    /// care about the tail beyond `hi` should track the maximum
+    /// separately).
+    ///
+    /// This is what the serving layer uses for p50/p99 service-latency
+    /// reporting: bounded memory per shard regardless of request volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p` is outside
+    /// `[0, 100]` and [`StatsError::Empty`] if no in-range observation has
+    /// been recorded.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if !(0.0..=100.0).contains(&p) {
+            return Err(StatsError::InvalidParameter {
+                what: "quantile p must be in [0, 100]",
+            });
+        }
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return Err(StatsError::Empty);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let target = p / 100.0 * in_range as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let c = c as f64;
+            if c > 0.0 && acc + c >= target {
+                let left = self.lo + i as f64 * width;
+                let frac = ((target - acc) / c).clamp(0.0, 1.0);
+                return Ok(left + frac * width);
+            }
+            acc += c;
+        }
+        // p == 100 with trailing empty bins: right edge of last occupied bin.
+        let last = self.bins.iter().rposition(|&c| c > 0).expect("in_range > 0");
+        Ok(self.lo + (last + 1) as f64 * width)
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// Used to aggregate per-shard latency histograms into one service-wide
+    /// distribution without losing bin resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both histograms have
+    /// the same range and bin count.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), StatsError> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(StatsError::InvalidParameter {
+                what: "histogram merge needs identical lo/hi/bin-count",
+            });
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        Ok(())
+    }
+
     /// Fraction of in-range mass at or below the right edge of each bin;
     /// empty if no in-range observation was recorded.
     pub fn cumulative_fractions(&self) -> Vec<f64> {
@@ -150,5 +217,77 @@ mod tests {
     fn empty_cumulative_is_empty() {
         let h = Histogram::new(0.0, 1.0, 3).unwrap();
         assert!(h.cumulative_fractions().is_empty());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend((0..100).map(|i| (i as f64) / 10.0)); // 10 per bin
+        // Uniform mass: quantiles are (close to) the identity.
+        for p in [10.0, 25.0, 50.0, 90.0] {
+            let q = h.quantile(p).unwrap();
+            assert!((q - p / 10.0).abs() <= 1.0 + 1e-9, "p{p}: {q}");
+        }
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(h.quantile(100.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn quantile_single_bin_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for _ in 0..7 {
+            h.push(42.5);
+        }
+        // All mass in bin [42, 43): every quantile lands inside it.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let q = h.quantile(p).unwrap();
+            assert!((42.0..=43.0).contains(&q), "p{p}: {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_ignores_out_of_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.extend([-5.0, 0.55, 7.0, 9.0]);
+        let q = h.quantile(50.0).unwrap();
+        assert!((0.5..=0.6).contains(&q), "{q}");
+    }
+
+    #[test]
+    fn quantile_rejects_bad_input() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(h.quantile(50.0), Err(StatsError::Empty));
+        let mut h = h;
+        h.push(0.5);
+        assert!(matches!(
+            h.quantile(-1.0),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            h.quantile(101.0),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let mut b = Histogram::new(0.0, 1.0, 4).unwrap();
+        a.extend([-0.5, 0.1, 0.6]);
+        b.extend([0.1, 0.9, 2.0]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[2, 0, 1, 1]);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shape() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let b = Histogram::new(0.0, 2.0, 4).unwrap();
+        assert!(a.merge(&b).is_err());
+        let c = Histogram::new(0.0, 1.0, 8).unwrap();
+        assert!(a.merge(&c).is_err());
     }
 }

@@ -1,0 +1,119 @@
+//! Online serving quickstart: an in-process server and one client.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! Starts `oc-serve` on an ephemeral loopback port, streams a morning's
+//! worth of usage samples for two tasks on one machine, and then asks the
+//! questions a scheduler would ask: "what will this machine's peak be?"
+//! and "does another 0.3-core task fit?". Finishes with the service-wide
+//! `STATS` snapshot and a graceful drain.
+
+use overcommit_repro::serve::proto::{Request, Response};
+use overcommit_repro::serve::{ServeConfig, Server};
+use overcommit_repro::trace::ids::{CellId, JobId, MachineId, TaskId};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-shard server with the paper's default predictor
+    // (max(borg-default, n-sigma)) and node-agent parameters.
+    let server = Server::start(ServeConfig::default().with_shards(2))?;
+    println!("serving on {}", server.addr());
+
+    let stream = TcpStream::connect(server.addr())?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut ask = |writer: &mut TcpStream,
+                   reader: &mut BufReader<TcpStream>,
+                   req: Request|
+     -> Result<Response, Box<dyn std::error::Error>> {
+        writer.write_all(req.encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        line.clear();
+        reader.read_line(&mut line)?;
+        Ok(Response::parse(line.trim_end())?)
+    };
+
+    let cell = CellId::new("demo");
+    let machine = MachineId(0);
+    let web = TaskId::new(JobId(1), 0); // diurnal web serving task
+    let batch = TaskId::new(JobId(2), 0); // flat batch task
+
+    // Stream 48 five-minute ticks (four hours) of samples. The web task
+    // ramps with the morning; the batch task hums along at a constant
+    // rate. Both run far below their limits — the usage-to-limit gap the
+    // paper's overcommit reclaims.
+    for t in 0..48u64 {
+        let ramp = 0.08 + 0.10 * (t as f64 / 48.0);
+        for (task, usage, limit) in [(web, ramp, 0.6), (batch, 0.05, 0.3)] {
+            let resp = ask(
+                &mut writer,
+                &mut reader,
+                Request::Observe {
+                    cell: cell.clone(),
+                    machine,
+                    task,
+                    usage,
+                    limit,
+                    tick: t,
+                },
+            )?;
+            assert_eq!(resp, Response::Ok, "observe rejected: {resp:?}");
+        }
+    }
+
+    // The scheduler's first question: the machine's predicted peak.
+    match ask(
+        &mut writer,
+        &mut reader,
+        Request::Predict {
+            cell: cell.clone(),
+            machine,
+        },
+    )? {
+        Response::Pred { peak } => {
+            println!("predicted machine peak: {peak:.3} (Σ limits would say 0.900)");
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // The second question: does one more 0.3-core task fit?
+    match ask(
+        &mut writer,
+        &mut reader,
+        Request::Admit {
+            cell: cell.clone(),
+            machine,
+            limit: 0.3,
+        },
+    )? {
+        Response::Admitted { admit, projected } => {
+            println!(
+                "admit a 0.3-limit task? {} (projected peak {projected:.3} vs capacity 1.0)",
+                if admit { "yes" } else { "no" }
+            );
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    match ask(&mut writer, &mut reader, Request::Stats)? {
+        Response::Stats(s) => println!(
+            "server counters: {} observes, {} predicts, {} admits across {} machine(s), \
+             p99 service latency {:.0} µs",
+            s.observes, s.predicts, s.admits, s.machines, s.p99_us
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    drop((reader, writer));
+    let final_stats = server.shutdown();
+    println!(
+        "drained: final snapshot has {} observes, {} busy rejects",
+        final_stats.observes, final_stats.busy
+    );
+    Ok(())
+}

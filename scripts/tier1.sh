@@ -3,6 +3,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+# Fail fast if any crates/* package is not a workspace member: a crate that
+# silently drops out of the workspace (e.g. a members glob edit, or a
+# missing path dependency) would otherwise skip build/test/clippy entirely
+# and rot unnoticed.
+metadata="$(cargo metadata --no-deps --format-version 1)"
+missing=0
+for manifest in crates/*/Cargo.toml; do
+  name="$(sed -n 's/^name[[:space:]]*=[[:space:]]*"\(.*\)"/\1/p' "$manifest" | head -n 1)"
+  if [ -z "$name" ]; then
+    echo "tier1: cannot read package name from $manifest" >&2
+    missing=1
+    continue
+  fi
+  if ! printf '%s' "$metadata" | grep -q "\"name\"[[:space:]]*:[[:space:]]*\"$name\""; then
+    echo "tier1: crate '$name' ($manifest) is NOT a workspace member" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "tier1: workspace membership check failed" >&2
+  exit 1
+fi
+
+cargo build --release --workspace
+cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings

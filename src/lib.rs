@@ -9,6 +9,7 @@
 //! * [`core`] — peak oracle, practical peak predictors, simulator, metrics.
 //! * [`qos`] — CPU scheduling latency model.
 //! * [`scheduler`] — predictor-gated admission, placement, A/B harness.
+//! * [`serve`] — online peak-prediction TCP service + load generator.
 //! * [`experiments`] — the table/figure reproduction harness.
 //!
 //! # Examples
@@ -27,5 +28,6 @@ pub use oc_core as core;
 pub use oc_experiments as experiments;
 pub use oc_qos as qos;
 pub use oc_scheduler as scheduler;
+pub use oc_serve as serve;
 pub use oc_stats as stats;
 pub use oc_trace as trace;

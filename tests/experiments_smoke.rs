@@ -40,6 +40,7 @@ fn fig4_end_to_end() {
         threads: 2,
         results: dir.clone(),
         plot: false,
+        seed: None,
     };
     oc_experiments::dispatch("fig4", &opts).unwrap();
     let csv = std::fs::read_to_string(dir.join("fig4.csv")).unwrap();

@@ -1,0 +1,142 @@
+//! Smoke test: the online service and the offline simulator agree
+//! bit-for-bit.
+//!
+//! The same generated machine is (a) run through `simulate_machine` with
+//! series recording and (b) streamed tick by tick over TCP as `OBSERVE`
+//! lines followed by one `PREDICT` per tick. Because the wire protocol
+//! uses shortest-round-trip float formatting, the shard's `IncrementalView`
+//! replays the exact sample stream the simulator's `MachineView` saw, and
+//! every served prediction must match the offline one to the last bit.
+//!
+//! The shard clamps its answers with `clamp_prediction` (served numbers
+//! must be actionable), while the recorded series keeps raw predictor
+//! output — so the offline reference is `raw.clamp(0.0, Σ limits)` with
+//! the recorded per-tick limit sum.
+//!
+//! Ticks with zero live tasks are skipped: the simulator observes them as
+//! explicit empty ticks, while the service synthesizes them by gap-filling
+//! only once a *later* sample arrives — a `PREDICT` issued at the empty
+//! tick itself therefore sees the pre-gap state. State re-converges at the
+//! next sample, which the test confirms by comparing every non-empty tick.
+
+use overcommit_repro::core::config::SimConfig;
+use overcommit_repro::core::predictor::PredictorSpec;
+use overcommit_repro::core::sim::simulate_machine;
+use overcommit_repro::serve::proto::{Request, Response};
+use overcommit_repro::serve::{ServeConfig, Server};
+use overcommit_repro::trace::cell::{CellConfig, CellPreset};
+use overcommit_repro::trace::ids::CellId;
+use overcommit_repro::trace::{MachineId, WorkloadGenerator};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+#[test]
+fn served_predictions_match_offline_simulation_bit_for_bit() {
+    let mut cell = CellConfig::preset(CellPreset::A);
+    cell.machines = 4;
+    cell.duration_ticks = 96; // 8 hours of 5-minute ticks
+    let generator = WorkloadGenerator::new(cell).unwrap();
+
+    let sim_cfg = SimConfig::default().with_series();
+    let spec = PredictorSpec::paper_max();
+
+    for m in 0..4u32 {
+        let trace = generator.generate_machine(MachineId(m)).unwrap();
+
+        // Offline reference: raw per-tick predictions + limit sums.
+        let predictors = vec![spec.build().unwrap()];
+        let result = simulate_machine(&trace, &sim_cfg, &predictors).unwrap();
+        let series = result.series.as_ref().expect("series recording enabled");
+
+        // Online replay: same machine, same predictor, same sim config,
+        // same per-machine capacity.
+        let server = Server::start(
+            ServeConfig::default()
+                .with_shards(3) // deliberately co-prime with nothing
+                .with_capacity(trace.capacity)
+                .with_predictor(spec.clone())
+                .with_sim(sim_cfg.clone()),
+        )
+        .unwrap();
+
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let cell_id = CellId::new("smoke");
+        let mut line = String::new();
+
+        let mut compared = 0usize;
+        let mut predicts_sent = 0u64;
+        for (i, t) in trace.horizon.iter().enumerate() {
+            // Stream the tick's samples in trace task order — the order
+            // `drive_ticks` feeds the simulator's view.
+            let mut batch = String::new();
+            let mut sent = 0usize;
+            for task in trace.tasks_at(t) {
+                let usage = task
+                    .sample_at(t)
+                    .map(|s| sim_cfg.metric.of(s))
+                    .unwrap_or(0.0);
+                let req = Request::Observe {
+                    cell: cell_id.clone(),
+                    machine: trace.machine,
+                    task: task.spec.id,
+                    usage,
+                    limit: task.spec.limit,
+                    tick: t.0,
+                };
+                batch.push_str(&req.encode());
+                batch.push('\n');
+                sent += 1;
+            }
+            if sent == 0 {
+                continue; // empty tick — see the module docs
+            }
+            batch.push_str(
+                &Request::Predict {
+                    cell: cell_id.clone(),
+                    machine: trace.machine,
+                }
+                .encode(),
+            );
+            batch.push('\n');
+            predicts_sent += 1;
+            writer.write_all(batch.as_bytes()).unwrap();
+            writer.flush().unwrap();
+
+            for _ in 0..sent {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                assert_eq!(line.trim_end(), "OK", "machine {m} tick {i}");
+            }
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let served = match Response::parse(line.trim_end()).unwrap() {
+                Response::Pred { peak } => peak,
+                other => panic!("machine {m} tick {i}: expected PRED, got {other:?}"),
+            };
+
+            let offline = series.predictions[0][i].clamp(0.0, series.limit[i]);
+            assert_eq!(
+                served.to_bits(),
+                offline.to_bits(),
+                "machine {m} tick {i}: served {served} != offline {offline}"
+            );
+            compared += 1;
+        }
+
+        assert!(
+            compared * 2 >= trace.horizon.len() as usize,
+            "machine {m}: only {compared} of {} ticks had samples — too sparse to be a \
+             meaningful identity check",
+            trace.horizon.len()
+        );
+
+        drop((reader, writer));
+        let stats = server.shutdown();
+        assert_eq!(stats.predicts, predicts_sent);
+        assert_eq!(stats.stale, 0);
+        assert_eq!(stats.errors, 0);
+    }
+}
