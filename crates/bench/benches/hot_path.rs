@@ -209,9 +209,7 @@ mod naive {
         let n_sigma = clamp(if view.warm_window.is_empty() {
             view.total_limit
         } else {
-            view.warm_window.mean()
-                + 5.0 * view.warm_window.population_std()
-                + view.cold_limit_sum
+            view.warm_window.mean() + 5.0 * view.warm_window.population_std() + view.cold_limit_sum
         });
 
         borg + rc + n_sigma + n_sigma.max(rc)

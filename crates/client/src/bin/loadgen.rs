@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--machines N] [--ticks N] [--connections N]
-//!         [--qps N] [--seed U64] [--no-predicts] [--out BENCH_serve.json]
+//!         [--qps N] [--seed U64] [--no-predicts] [--chaos RATE]
+//!         [--chaos-seed U64] [--out BENCH_serve.json]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (4 shards, default
@@ -11,24 +12,35 @@
 //! (`queue_depth = 8`) to demonstrate `BUSY` backpressure. With `--addr`
 //! only the sustained phase runs, against the external server.
 //!
+//! `--chaos RATE` injects seeded faults (delays, partial reads/writes,
+//! dropped connections) into that fraction of client socket operations;
+//! the run must still finish with `lost == 0` — every acknowledged sample
+//! accounted for on the server — which the process enforces by exiting
+//! nonzero otherwise.
+//!
 //! With `--out`, a JSON report in the style of `BENCH_hot_path.json` is
 //! written; otherwise the same JSON goes to stdout.
 
-use oc_serve::loadgen::{run, LoadgenConfig};
-use oc_serve::{LoadReport, ServeConfig, Server};
+use oc_client::loadgen::{run, LoadgenConfig};
+use oc_client::LoadReport;
+use oc_serve::fault::FaultPlan;
+use oc_serve::{ServeConfig, Server};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 struct Args {
     addr: Option<SocketAddr>,
     cfg: LoadgenConfig,
+    chaos_rate: Option<f64>,
+    chaos_seed: u64,
     out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--machines N] [--ticks N] \
-         [--connections N] [--qps N] [--seed U64] [--no-predicts] [--out FILE]"
+         [--connections N] [--qps N] [--seed U64] [--no-predicts] \
+         [--chaos RATE] [--chaos-seed U64] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -37,17 +49,23 @@ fn parse_args() -> Args {
     let mut out = Args {
         addr: None,
         cfg: LoadgenConfig::default(),
+        chaos_rate: None,
+        chaos_seed: 42,
         out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut val = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--addr" => out.addr = Some(val("--addr").parse().unwrap_or_else(|_| usage())),
-            "--machines" => out.cfg.machines = val("--machines").parse().unwrap_or_else(|_| usage()),
+            "--machines" => {
+                out.cfg.machines = val("--machines").parse().unwrap_or_else(|_| usage())
+            }
             "--ticks" => out.cfg.ticks = val("--ticks").parse().unwrap_or_else(|_| usage()),
             "--connections" => {
                 out.cfg.connections = val("--connections").parse().unwrap_or_else(|_| usage())
@@ -55,6 +73,10 @@ fn parse_args() -> Args {
             "--qps" => out.cfg.target_qps = val("--qps").parse().unwrap_or_else(|_| usage()),
             "--seed" => out.cfg.seed = Some(val("--seed").parse().unwrap_or_else(|_| usage())),
             "--no-predicts" => out.cfg.predicts = false,
+            "--chaos" => out.chaos_rate = Some(val("--chaos").parse().unwrap_or_else(|_| usage())),
+            "--chaos-seed" => {
+                out.chaos_seed = val("--chaos-seed").parse().unwrap_or_else(|_| usage())
+            }
             "--out" => out.out = Some(val("--out")),
             "--help" | "-h" => usage(),
             other => {
@@ -63,13 +85,16 @@ fn parse_args() -> Args {
             }
         }
     }
+    if let Some(rate) = out.chaos_rate {
+        out.cfg.chaos = Some(FaultPlan::new(out.chaos_seed, rate));
+    }
     out
 }
 
 fn phase_json(label: &str, report: &LoadReport) -> String {
     eprintln!(
         "loadgen[{label}]: {} reqs in {:.2}s = {:.0} qps, p50 {:.0}us p99 {:.0}us, \
-         busy {} ({:.2}%), errors {}",
+         busy {} ({:.2}%), errors {}, retries {}, faults {}, lost {}, failed conns {}",
         report.sent,
         report.wall_secs,
         report.achieved_qps,
@@ -78,36 +103,48 @@ fn phase_json(label: &str, report: &LoadReport) -> String {
         report.busy,
         report.reject_rate() * 100.0,
         report.errors,
+        report.retries,
+        report.faults,
+        report.lost,
+        report.failed_connections,
     );
+    for why in &report.conn_failures {
+        eprintln!("loadgen[{label}]:   failed: {why}");
+    }
     report.to_json(label)
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
     let mut phases: Vec<String> = Vec::new();
+    let mut lost_total = 0u64;
 
-    let result = (|| -> Result<(), oc_serve::ServeError> {
+    let result = (|| -> Result<(), oc_client::ClientError> {
         match args.addr {
             Some(addr) => {
                 let report = run(addr, &args.cfg)?;
+                lost_total += report.lost;
                 phases.push(phase_json("sustained", &report));
             }
             None => {
                 // Sustained phase: default server, default (deep) queues.
-                let server = Server::start(ServeConfig::default())?;
+                let server = Server::start(ServeConfig::default())
+                    .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
                 let report = run(server.addr(), &args.cfg)?;
+                lost_total += report.lost;
                 phases.push(phase_json("sustained", &report));
                 server.shutdown();
 
                 // Overload phase: tiny queues, open throttle, so bounded
                 // queues visibly reject with BUSY instead of buffering.
-                let server = Server::start(
-                    ServeConfig::default().with_shards(2).with_queue_depth(8),
-                )?;
+                let server =
+                    Server::start(ServeConfig::default().with_shards(2).with_queue_depth(8))
+                        .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
                 let mut overload_cfg = args.cfg.clone();
                 overload_cfg.target_qps = 0;
                 overload_cfg.connections = overload_cfg.connections.max(4);
                 let report = run(server.addr(), &overload_cfg)?;
+                lost_total += report.lost;
                 phases.push(phase_json("overload-q8", &report));
                 server.shutdown();
             }
@@ -123,14 +160,16 @@ fn main() -> ExitCode {
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"serve_loadgen\",\n",
-            "  \"command\": \"cargo run --release -p oc-serve --bin loadgen\",\n",
+            "  \"command\": \"cargo run --release -p oc-client --bin loadgen\",\n",
             "  \"workload\": {{\"preset\": \"{:?}\", \"machines\": {}, \"ticks\": {}, ",
-            "\"connections\": {}, \"target_qps\": {}, \"predicts\": {}}},\n",
+            "\"connections\": {}, \"target_qps\": {}, \"predicts\": {}, ",
+            "\"chaos_rate\": {}, \"chaos_seed\": {}}},\n",
             "  \"phases\": [\n    {}\n  ],\n",
             "  \"notes\": \"sustained = default 4-shard server with 4096-deep queues; ",
             "overload-q8 = 2 shards with queue_depth 8 at open throttle to surface BUSY ",
-            "backpressure. Latencies are client-observed (include pipelining queue time). ",
-            "Absolute numbers vary by host.\"\n}}\n"
+            "backpressure. busy counts client-absorbed retries. Latencies are ",
+            "client-observed (include pipelining queue time). Absolute numbers vary by ",
+            "host.\"\n}}\n"
         ),
         args.cfg.preset,
         args.cfg.machines,
@@ -138,6 +177,8 @@ fn main() -> ExitCode {
         args.cfg.connections,
         args.cfg.target_qps,
         args.cfg.predicts,
+        args.chaos_rate.unwrap_or(0.0),
+        args.chaos_seed,
         phases.join(",\n    "),
     );
 
@@ -150,6 +191,10 @@ fn main() -> ExitCode {
             eprintln!("loadgen: wrote {path}");
         }
         None => print!("{json}"),
+    }
+    if lost_total > 0 {
+        eprintln!("loadgen: FAIL — {lost_total} acknowledged samples unaccounted for");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,932 @@
+//! The typed client: one connection, transparent reconnect, bounded retry.
+//!
+//! # Retry semantics
+//!
+//! A [`Client::request`] distinguishes four failure classes:
+//!
+//! * **`BUSY`** — the shard queue was full. The request was *not* applied;
+//!   re-sending is always safe. Retried after a seeded exponential backoff.
+//! * **`ERR timeout` / `ERR conn-limit`** — the server closed (or refused)
+//!   this connection but is otherwise healthy. The connection is dropped
+//!   and the request retried on a fresh one after backoff.
+//! * **Transient I/O** (reset, broken pipe, EOF, deadline…) — the fate of
+//!   an in-flight request is unknown: it may or may not have been applied.
+//!   Re-sending is still safe because ingestion is idempotent — a repeated
+//!   `OBSERVE` for a still-pending tick updates in place bit-identically,
+//!   a repeated one for a flushed tick is counted `stale`, and
+//!   `PREDICT`/`ADMIT` are read-only. The client reconnects and re-sends.
+//! * **Everything else** (`ERR shutdown`, parse errors, non-transient I/O)
+//!   — terminal; surfaced to the caller immediately.
+//!
+//! Backoff is exponential (`base * 2^attempt`, capped) with deterministic
+//! jitter from a seeded [`SmallRng`], so two clients created with
+//! different seeds never stampede in lockstep and a failing run replays
+//! identically.
+//!
+//! # Pipelining
+//!
+//! [`Client::pipeline_with`] streams a slice of requests through bounded
+//! windows: up to [`ClientConfig::pipeline_window`] requests are written
+//! before the first response is awaited (the protocol answers strictly in
+//! order, so responses match requests FIFO). Retryable failures re-queue
+//! their request *ahead* of everything not yet written, preserving
+//! submission order as closely as a retry allows.
+
+use crate::error::ClientError;
+use oc_serve::fault::{FaultCounters, FaultPlan, FaultStream};
+use oc_serve::proto::{ErrCode, Request, Response, StatsSnapshot};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bounded-retry policy.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on one backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 6 attempts, 5 ms initial backoff, capped at 500 ms.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for one TCP connect.
+    pub connect_timeout: Duration,
+    /// Deadline for one response read; elapsing counts as a transient
+    /// failure (reconnect + retry).
+    pub response_timeout: Duration,
+    /// Deadline for one socket write.
+    pub write_timeout: Duration,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Seed for backoff jitter and fault sub-schedules. Give every client
+    /// of a run a distinct seed.
+    pub seed: u64,
+    /// Client-side fault injection (chaos testing); `None` in production.
+    pub faults: Option<FaultPlan>,
+    /// Max requests in flight before the oldest response is awaited.
+    pub pipeline_window: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            response_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            seed: 0,
+            faults: None,
+            pipeline_window: 512,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the jitter/fault seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables client-side fault injection.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the pipelining window.
+    pub fn with_pipeline_window(mut self, window: usize) -> Self {
+        self.pipeline_window = window;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Config`] for a zero window, zero attempt
+    /// budget, or invalid fault plan.
+    pub fn validate(&self) -> Result<(), ClientError> {
+        if self.retry.max_attempts == 0 {
+            return Err(ClientError::Config("max_attempts must be >= 1".into()));
+        }
+        if self.pipeline_window == 0 {
+            return Err(ClientError::Config("pipeline_window must be >= 1".into()));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()
+                .map_err(|e| ClientError::Config(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters of everything the retry machinery did on one client.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientMetrics {
+    /// Request attempts beyond the first (all causes).
+    pub retries: u64,
+    /// Connections re-established after the first.
+    pub reconnects: u64,
+    /// Retries caused by `BUSY` backpressure.
+    pub busy_retries: u64,
+    /// Retries caused by transient I/O failures (including `ERR timeout`
+    /// and `ERR conn-limit` reconnects).
+    pub io_retries: u64,
+}
+
+/// One logical connection to an `oc-serve` server.
+///
+/// # Examples
+///
+/// ```no_run
+/// use oc_client::{Client, ClientConfig};
+///
+/// let mut client = Client::connect("127.0.0.1:7071".parse().unwrap(),
+///                                  ClientConfig::default()).unwrap();
+/// let stats = client.stats().unwrap();
+/// println!("server has {} machines", stats.machines);
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+    rng: SmallRng,
+    /// Connect epoch; salts the fault sub-seed so every reconnect gets a
+    /// fresh deterministic schedule.
+    epoch: u64,
+    metrics: ClientMetrics,
+    fault_counters: Arc<FaultCounters>,
+}
+
+/// The two halves of an established connection, boxed so the fault
+/// wrapper is transparent to the rest of the client.
+struct Conn {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Conn { .. }")
+    }
+}
+
+/// I/O error kinds treated as transient: the connection is torn down and
+/// the request retried on a fresh one.
+fn is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        e.kind(),
+        ConnectionReset
+            | ConnectionAborted
+            | ConnectionRefused
+            | BrokenPipe
+            | UnexpectedEof
+            | WouldBlock
+            | TimedOut
+            | Interrupted
+    )
+}
+
+/// What one write+read attempt produced.
+enum Attempt {
+    /// A response that terminates the retry loop.
+    Done(Response),
+    /// `BUSY`: back off and re-send on the same connection.
+    Busy,
+    /// `ERR timeout` / `ERR conn-limit` / transient I/O: reconnect and
+    /// re-send. Carries a description for the exhaustion error.
+    Transient(String),
+}
+
+impl Client {
+    /// Connects to `addr`, retrying transient connect failures within the
+    /// configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Config`] for an invalid config and
+    /// [`ClientError::Exhausted`]/[`ClientError::Io`] when the server
+    /// cannot be reached.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Result<Client, ClientError> {
+        cfg.validate()?;
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC11E_57A9);
+        let mut client = Client {
+            addr,
+            cfg,
+            conn: None,
+            rng,
+            epoch: 0,
+            metrics: ClientMetrics::default(),
+            fault_counters: Arc::new(FaultCounters::default()),
+        };
+        for attempt in 0..client.cfg.retry.max_attempts {
+            match client.ensure_conn() {
+                Ok(_) => return Ok(client),
+                Err(e) if is_transient(&e) => client.backoff(attempt),
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: client.cfg.retry.max_attempts,
+            last: format!("could not connect to {addr}"),
+        })
+    }
+
+    /// What the retry machinery has done so far.
+    pub fn metrics(&self) -> ClientMetrics {
+        self.metrics
+    }
+
+    /// Faults injected by this client's own fault plan.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_counters.total()
+    }
+
+    fn ensure_conn(&mut self) -> std::io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.response_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+        let read_half = stream.try_clone()?;
+        if self.epoch > 0 {
+            self.metrics.reconnects += 1;
+        }
+        let (r, w): (Box<dyn Read + Send>, Box<dyn Write + Send>) = match &self.cfg.faults {
+            Some(plan) => {
+                // Salt by seed and epoch so every client and every
+                // reconnect runs a distinct deterministic schedule.
+                let base = self.cfg.seed.wrapping_shl(20).wrapping_add(self.epoch * 2);
+                (
+                    Box::new(FaultStream::new(
+                        read_half,
+                        plan,
+                        plan.stream_seed(base),
+                        Arc::clone(&self.fault_counters),
+                    )),
+                    Box::new(FaultStream::new(
+                        stream,
+                        plan,
+                        plan.stream_seed(base + 1),
+                        Arc::clone(&self.fault_counters),
+                    )),
+                )
+            }
+            None => (Box::new(read_half), Box::new(stream)),
+        };
+        self.epoch += 1;
+        self.conn = Some(Conn {
+            reader: BufReader::new(r),
+            writer: BufWriter::new(w),
+        });
+        Ok(())
+    }
+
+    /// Sleeps `min(cap, base * 2^attempt)` scaled by a seeded jitter
+    /// factor in `[0.5, 1.0)`.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.cfg.retry.base.as_secs_f64();
+        let cap = self.cfg.retry.cap.as_secs_f64();
+        let exp = base * f64::from(2u32.saturating_pow(attempt.min(16)));
+        let jitter = 0.5 + 0.5 * self.rng.random::<f64>();
+        std::thread::sleep(Duration::from_secs_f64(exp.min(cap) * jitter));
+    }
+
+    /// Writes `line` and reads one response on the current connection.
+    fn try_once(&mut self, line: &str) -> Result<Attempt, ClientError> {
+        if let Err(e) = self.ensure_conn() {
+            return if is_transient(&e) {
+                self.conn = None;
+                Ok(Attempt::Transient(e.to_string()))
+            } else {
+                Err(ClientError::Io(e))
+            };
+        }
+        let conn = self.conn.as_mut().expect("ensured above");
+        let io = (|| -> std::io::Result<String> {
+            conn.writer.write_all(line.as_bytes())?;
+            conn.writer.write_all(b"\n")?;
+            conn.writer.flush()?;
+            let mut buf = String::new();
+            if conn.reader.read_line(&mut buf)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(buf)
+        })();
+        let buf = match io {
+            Ok(buf) => buf,
+            Err(e) if is_transient(&e) => {
+                self.conn = None;
+                return Ok(Attempt::Transient(e.to_string()));
+            }
+            Err(e) => return Err(ClientError::Io(e)),
+        };
+        let resp = Response::parse(buf.trim_end()).map_err(ClientError::Proto)?;
+        Ok(self.classify(resp))
+    }
+
+    /// Maps a response onto the retry ladder.
+    fn classify(&mut self, resp: Response) -> Attempt {
+        match resp {
+            Response::Busy => Attempt::Busy,
+            Response::Err {
+                code: code @ (ErrCode::Timeout | ErrCode::ConnLimit),
+                detail,
+            } => {
+                // The server closed (or refused) this connection; it is
+                // useless now, but a fresh one may succeed.
+                self.conn = None;
+                Attempt::Transient(format!("{}: {detail}", code.as_str()))
+            }
+            other => Attempt::Done(other),
+        }
+    }
+
+    /// Sends one request, retrying `BUSY` and transient failures within
+    /// the budget. Non-retryable `ERR` responses are returned as
+    /// [`Response::Err`] values, not errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] when the budget runs out; terminal
+    /// transport and protocol failures as their own variants.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let line = req.encode();
+        let mut last = String::new();
+        for attempt in 0..self.cfg.retry.max_attempts {
+            if attempt > 0 {
+                self.metrics.retries += 1;
+            }
+            match self.try_once(&line)? {
+                Attempt::Done(resp) => return Ok(resp),
+                Attempt::Busy => {
+                    self.metrics.busy_retries += 1;
+                    last = "BUSY".to_string();
+                    self.backoff(attempt);
+                }
+                Attempt::Transient(what) => {
+                    self.metrics.io_retries += 1;
+                    last = what;
+                    self.backoff(attempt);
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.cfg.retry.max_attempts,
+            last,
+        })
+    }
+
+    /// Streams a usage sample. `Ok` means *accepted for ingestion* (the
+    /// server acknowledges on enqueue); apply outcomes surface in `STATS`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures; a non-`OK` response (e.g.
+    /// `ERR stale` is impossible here — staleness is counted server-side —
+    /// but `ERR shutdown` is not) becomes [`ClientError::Server`].
+    pub fn observe(
+        &mut self,
+        cell: &oc_trace::ids::CellId,
+        machine: oc_trace::MachineId,
+        task: oc_trace::ids::TaskId,
+        usage: f64,
+        limit: f64,
+        tick: u64,
+    ) -> Result<(), ClientError> {
+        let req = Request::Observe {
+            cell: cell.clone(),
+            machine,
+            task,
+            usage,
+            limit,
+            tick,
+        };
+        match self.request(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::unexpected("OK", &other)),
+        }
+    }
+
+    /// Fetches the predicted peak for one machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures; a non-`PRED` response
+    /// becomes [`ClientError::Server`].
+    pub fn predict(
+        &mut self,
+        cell: &oc_trace::ids::CellId,
+        machine: oc_trace::MachineId,
+    ) -> Result<f64, ClientError> {
+        let req = Request::Predict {
+            cell: cell.clone(),
+            machine,
+        };
+        match self.request(&req)? {
+            Response::Pred { peak } => Ok(peak),
+            other => Err(ClientError::unexpected("PRED", &other)),
+        }
+    }
+
+    /// Runs an admission check: would adding `limit` keep the machine's
+    /// projected peak under capacity?
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures; a non-`ADMITTED` response
+    /// becomes [`ClientError::Server`].
+    pub fn admit(
+        &mut self,
+        cell: &oc_trace::ids::CellId,
+        machine: oc_trace::MachineId,
+        limit: f64,
+    ) -> Result<(bool, f64), ClientError> {
+        let req = Request::Admit {
+            cell: cell.clone(),
+            machine,
+            limit,
+        };
+        match self.request(&req)? {
+            Response::Admitted { admit, projected } => Ok((admit, projected)),
+            other => Err(ClientError::unexpected("ADMITTED", &other)),
+        }
+    }
+
+    /// Fetches the merged server counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures; a non-`STATS` response
+    /// becomes [`ClientError::Server`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::unexpected("STATS", &other)),
+        }
+    }
+
+    /// Asks the server to shut down. Success if the server acknowledged
+    /// or was already shutting down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures.
+    pub fn request_shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok
+            | Response::Err {
+                code: ErrCode::Shutdown,
+                ..
+            } => Ok(()),
+            other => Err(ClientError::unexpected("OK", &other)),
+        }
+    }
+
+    /// Streams `reqs` through bounded pipelined windows; `on_resp(index,
+    /// response, latency_us)` fires once per request, in resolution order
+    /// (usually submission order; retries resolve late).
+    ///
+    /// Responses match requests FIFO because the protocol answers in
+    /// order. `BUSY`, `ERR timeout`/`conn-limit`, and transient I/O
+    /// failures re-queue the affected requests ahead of everything not
+    /// yet written; a window that makes zero progress counts one strike,
+    /// and `max_attempts` consecutive strikes exhaust the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] after `max_attempts` zero-progress
+    /// windows; terminal transport and protocol failures as their own
+    /// variants.
+    pub fn pipeline_with<F>(&mut self, reqs: &[Request], mut on_resp: F) -> Result<(), ClientError>
+    where
+        F: FnMut(usize, &Response, f64),
+    {
+        let mut todo: VecDeque<usize> = (0..reqs.len()).collect();
+        let mut strikes = 0u32;
+        let mut last = String::new();
+        while !todo.is_empty() {
+            if strikes >= self.cfg.retry.max_attempts {
+                return Err(ClientError::Exhausted {
+                    attempts: self.cfg.retry.max_attempts,
+                    last,
+                });
+            }
+            if let Err(e) = self.ensure_conn() {
+                if is_transient(&e) {
+                    self.metrics.io_retries += 1;
+                    last = e.to_string();
+                    self.backoff(strikes);
+                    strikes += 1;
+                    continue;
+                }
+                return Err(ClientError::Io(e));
+            }
+            let window: Vec<usize> = {
+                let n = todo.len().min(self.cfg.pipeline_window);
+                todo.drain(..n).collect()
+            };
+            match self.run_window(reqs, &window, &mut todo, &mut on_resp)? {
+                WindowOutcome::Progress => strikes = 0,
+                WindowOutcome::Stalled(what) => {
+                    last = what;
+                    self.backoff(strikes);
+                    strikes += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes one window and drains its responses. Unresolved indices go
+    /// back onto the *front* of `todo`, in order.
+    fn run_window<F>(
+        &mut self,
+        reqs: &[Request],
+        window: &[usize],
+        todo: &mut VecDeque<usize>,
+        on_resp: &mut F,
+    ) -> Result<WindowOutcome, ClientError>
+    where
+        F: FnMut(usize, &Response, f64),
+    {
+        let conn = self.conn.as_mut().expect("caller ensured a connection");
+        let wrote = (|| -> std::io::Result<Vec<Instant>> {
+            let mut stamps = Vec::with_capacity(window.len());
+            for &idx in window {
+                stamps.push(Instant::now());
+                conn.writer.write_all(reqs[idx].encode().as_bytes())?;
+                conn.writer.write_all(b"\n")?;
+            }
+            conn.writer.flush()?;
+            Ok(stamps)
+        })();
+        let stamps = match wrote {
+            Ok(stamps) => stamps,
+            Err(e) if is_transient(&e) => {
+                // Nothing in this window is resolved; the server discards
+                // any truncated trailing line, so a clean re-send of the
+                // whole window is safe.
+                self.conn = None;
+                self.metrics.io_retries += 1;
+                self.metrics.retries += window.len() as u64;
+                requeue_front(todo, window.iter().copied());
+                return Ok(WindowOutcome::Stalled(e.to_string()));
+            }
+            Err(e) => return Err(ClientError::Io(e)),
+        };
+
+        let mut resolved = false;
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut stalled: Option<String> = None;
+        for (k, &idx) in window.iter().enumerate() {
+            let conn = self.conn.as_mut().expect("window holds the connection");
+            let mut buf = String::new();
+            let read = match conn.reader.read_line(&mut buf) {
+                Ok(0) => Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )),
+                Ok(_) => Ok(()),
+                Err(e) => Err(e),
+            };
+            if let Err(e) = read {
+                if !is_transient(&e) {
+                    return Err(ClientError::Io(e));
+                }
+                // This and all later responses of the window are gone;
+                // re-send the lot (idempotent, see module docs).
+                self.conn = None;
+                self.metrics.io_retries += 1;
+                let rest: Vec<usize> = window[k..].to_vec();
+                self.metrics.retries += rest.len() as u64;
+                requeue_front(todo, deferred.iter().copied().chain(rest));
+                stalled = Some(e.to_string());
+                break;
+            }
+            let resp = Response::parse(buf.trim_end()).map_err(ClientError::Proto)?;
+            match self.classify(resp) {
+                Attempt::Done(resp) => {
+                    on_resp(idx, &resp, stamps[k].elapsed().as_secs_f64() * 1e6);
+                    resolved = true;
+                }
+                Attempt::Busy => {
+                    self.metrics.busy_retries += 1;
+                    self.metrics.retries += 1;
+                    deferred.push(idx);
+                }
+                Attempt::Transient(what) => {
+                    // classify() dropped the connection (server closed
+                    // it); later responses cannot arrive.
+                    self.metrics.io_retries += 1;
+                    let rest: Vec<usize> = window[k + 1..].to_vec();
+                    self.metrics.retries += 1 + rest.len() as u64;
+                    deferred.push(idx);
+                    requeue_front(todo, deferred.iter().copied().chain(rest));
+                    stalled = Some(what);
+                    break;
+                }
+            }
+        }
+        if let Some(what) = stalled {
+            return Ok(if resolved {
+                WindowOutcome::Progress
+            } else {
+                WindowOutcome::Stalled(what)
+            });
+        }
+        requeue_front(todo, deferred.iter().copied());
+        Ok(if resolved || window.is_empty() {
+            WindowOutcome::Progress
+        } else {
+            WindowOutcome::Stalled("every request in the window was deferred".to_string())
+        })
+    }
+}
+
+/// How one pipelined window ended.
+enum WindowOutcome {
+    /// At least one request resolved; the strike counter resets.
+    Progress,
+    /// Zero requests resolved; one strike.
+    Stalled(String),
+}
+
+/// Pushes `indices` onto the front of `todo`, preserving their order.
+fn requeue_front(todo: &mut VecDeque<usize>, indices: impl DoubleEndedIterator<Item = usize>) {
+    for idx in indices.rev() {
+        todo.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_serve::config::ServeConfig;
+    use oc_serve::server::Server;
+    use oc_trace::ids::{CellId, JobId, TaskId};
+    use oc_trace::MachineId;
+
+    fn cell() -> CellId {
+        CellId::new("t")
+    }
+
+    fn task(i: u32) -> TaskId {
+        TaskId::new(JobId(1), i)
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let mut c = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+        for t in 0..30u64 {
+            c.observe(&cell(), MachineId(0), task(0), 0.2, 0.5, t)
+                .unwrap();
+        }
+        let peak = c.predict(&cell(), MachineId(0)).unwrap();
+        assert!(peak > 0.0 && peak <= 0.5);
+        let (admit, projected) = c.admit(&cell(), MachineId(0), 0.1).unwrap();
+        assert!(projected >= peak);
+        assert!(admit || projected > 1.0);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.observes, 30);
+        assert_eq!(c.metrics().retries, 0);
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_a_server_side_close() {
+        // Tiny idle timeout: the server will close our connection; the
+        // next request must transparently reconnect.
+        let server = Server::start(
+            ServeConfig::default()
+                .with_shards(1)
+                .with_idle_timeout(Duration::from_millis(80)),
+        )
+        .unwrap();
+        let mut c = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+        c.observe(&cell(), MachineId(0), task(0), 0.2, 0.5, 1)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        // The server has closed the idle connection by now.
+        c.observe(&cell(), MachineId(0), task(0), 0.3, 0.5, 2)
+            .unwrap();
+        assert!(c.metrics().reconnects >= 1, "{:?}", c.metrics());
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.observes, 2);
+        assert_eq!(stats.timeouts, 1);
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn retries_past_the_connection_cap() {
+        let server = Server::start(
+            ServeConfig::default()
+                .with_shards(1)
+                .with_max_connections(1),
+        )
+        .unwrap();
+        // Occupy the only slot…
+        let mut holder = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+        holder
+            .observe(&cell(), MachineId(0), task(0), 0.2, 0.5, 1)
+            .unwrap();
+        // …then let a second client fight for it while the holder leaves.
+        let addr = server.addr();
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            drop(holder);
+        });
+        let mut c = Client::connect(
+            addr,
+            ClientConfig::default().with_retry(RetryPolicy {
+                max_attempts: 20,
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(100),
+            }),
+        )
+        .unwrap();
+        let stats = c.stats().unwrap();
+        assert!(stats.conn_rejects >= 1, "cap never hit: {stats:?}");
+        release.join().unwrap();
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_does_not_lose_acknowledged_samples() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let plan = FaultPlan::new(42, 0.08).with_max_delay(Duration::from_micros(200));
+        let mut c = Client::connect(
+            server.addr(),
+            ClientConfig::default().with_seed(7).with_faults(plan),
+        )
+        .unwrap();
+        let mut acked = 0u64;
+        for t in 0..200u64 {
+            c.observe(
+                &cell(),
+                MachineId(0),
+                task(0),
+                0.2 + (t as f64) * 1e-3,
+                0.9,
+                t,
+            )
+            .unwrap();
+            acked += 1;
+        }
+        assert!(c.faults_injected() > 0, "fault plan never fired");
+        drop(c);
+        let stats = server.shutdown();
+        // Idempotent retries may re-apply (observes > acked) or go stale,
+        // but an acknowledged sample can never vanish without a counter.
+        assert!(
+            stats.observes + stats.stale >= acked,
+            "lost acked samples: {stats:?} vs {acked} acked"
+        );
+    }
+
+    #[test]
+    fn pipeline_resolves_every_request_in_order() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let mut c = Client::connect(
+            server.addr(),
+            ClientConfig::default().with_pipeline_window(16),
+        )
+        .unwrap();
+        let mut reqs: Vec<Request> = Vec::new();
+        for t in 0..100u64 {
+            reqs.push(Request::Observe {
+                cell: cell(),
+                machine: MachineId(3),
+                task: task(0),
+                usage: 0.1,
+                limit: 0.5,
+                tick: t,
+            });
+        }
+        reqs.push(Request::Predict {
+            cell: cell(),
+            machine: MachineId(3),
+        });
+        let mut seen: Vec<usize> = Vec::new();
+        let mut preds = 0;
+        c.pipeline_with(&reqs, |idx, resp, lat_us| {
+            seen.push(idx);
+            assert!(lat_us >= 0.0);
+            if let Response::Pred { peak } = resp {
+                assert!(*peak > 0.0);
+                preds += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(preds, 1);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..reqs.len()).collect::<Vec<_>>());
+        assert_eq!(
+            seen, sorted,
+            "no retries, so resolution order == submission order"
+        );
+        drop(c);
+        let stats = server.shutdown();
+        assert_eq!(stats.observes, 100);
+    }
+
+    #[test]
+    fn pipeline_survives_chaos_without_losing_acks() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        // Buffered windows make few, large socket ops, so the per-op rate
+        // is high to get a meaningful fault count over one small replay.
+        let plan = FaultPlan::new(1234, 0.25).with_max_delay(Duration::from_micros(200));
+        let mut c = Client::connect(
+            server.addr(),
+            ClientConfig::default()
+                .with_seed(9)
+                .with_faults(plan)
+                .with_pipeline_window(32)
+                .with_retry(RetryPolicy {
+                    max_attempts: 12,
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(50),
+                }),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..400u64)
+            .map(|t| Request::Observe {
+                cell: cell(),
+                machine: MachineId(0),
+                task: task((t % 3) as u32),
+                usage: 0.1,
+                limit: 0.5,
+                tick: t / 3,
+            })
+            .collect();
+        let mut acked = 0u64;
+        c.pipeline_with(&reqs, |_, resp, _| {
+            if matches!(resp, Response::Ok) {
+                acked += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(acked, 400, "every request must eventually resolve OK");
+        assert!(c.faults_injected() > 0);
+        drop(c);
+        let stats = server.shutdown();
+        assert!(
+            stats.observes + stats.stale >= acked,
+            "lost acked samples: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ClientConfig::default().validate().is_ok());
+        let mut zero_attempts = ClientConfig::default();
+        zero_attempts.retry.max_attempts = 0;
+        assert!(zero_attempts.validate().is_err());
+        assert!(ClientConfig::default()
+            .with_pipeline_window(0)
+            .validate()
+            .is_err());
+        assert!(ClientConfig::default()
+            .with_faults(FaultPlan::new(0, 7.0))
+            .validate()
+            .is_err());
+    }
+}

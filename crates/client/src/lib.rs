@@ -1,0 +1,51 @@
+//! `oc-client` — a typed, retrying client for the `oc-serve` protocol.
+//!
+//! `oc-serve` deliberately answers with retryable failures under load
+//! (`BUSY` from a full shard queue, `ERR timeout` at the idle deadline,
+//! `ERR conn-limit` at the connection cap) and may close connections a
+//! hand-rolled socket loop would misread as fatal. This crate owns the
+//! client-side half of that contract:
+//!
+//! * [`client`] — [`Client`]: one logical connection with transparent
+//!   reconnect, bounded exponential backoff with deterministic (seeded)
+//!   jitter, typed request helpers, and windowed pipelining for bulk
+//!   ingest. Re-sending after an ambiguous failure is safe because server
+//!   ingestion is idempotent per `(tick, task)`.
+//! * [`loadgen`] — the replay harness: drives a generated cell through
+//!   [`Client`]s, captures per-connection failures into the report
+//!   instead of aborting, and optionally wraps every connection in the
+//!   seeded fault-injection plan from [`oc_serve::fault`] (chaos mode).
+//!
+//! # Examples
+//!
+//! ```
+//! use oc_client::{Client, ClientConfig};
+//! use oc_serve::{ServeConfig, Server};
+//! use oc_trace::ids::{CellId, JobId, TaskId};
+//! use oc_trace::MachineId;
+//!
+//! let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+//! let mut client = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+//! let cell = CellId::new("demo");
+//! for tick in 0..30 {
+//!     client
+//!         .observe(&cell, MachineId(0), TaskId::new(JobId(1), 0), 0.2, 0.5, tick)
+//!         .unwrap();
+//! }
+//! let peak = client.predict(&cell, MachineId(0)).unwrap();
+//! assert!(peak > 0.0);
+//! drop(client);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.observes, 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+
+pub use client::{Client, ClientConfig, ClientMetrics, RetryPolicy};
+pub use error::ClientError;
+pub use loadgen::{LoadReport, LoadgenConfig};

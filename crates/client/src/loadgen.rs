@@ -1,0 +1,517 @@
+//! Load-generator harness for `oc-serve`.
+//!
+//! Replays a [`WorkloadGenerator`] cell against a running server: every
+//! per-task usage sample of every machine becomes one `OBSERVE` line, and
+//! each machine gets one `PREDICT` per tick. Machines are pinned to
+//! connections round-robin so per-machine sample order survives the trip
+//! (the server only guarantees ordering within a connection).
+//!
+//! Each connection drives one [`Client`] with pipelined windows; `BUSY`
+//! rejections and transient transport failures are retried by the client
+//! within its budget, so `busy` in the report counts *retries absorbed*,
+//! not samples lost. Latency is measured per request from write to
+//! matching response — with pipelining this includes queueing time, so
+//! percentiles degrade visibly as the offered rate approaches capacity.
+//!
+//! A connection whose retry budget runs out does not abort the run (and a
+//! panicked connection thread does not poison the others): its failure is
+//! captured in [`LoadReport::conn_failures`] and the surviving
+//! connections' counts still report.
+//!
+//! Chaos mode ([`LoadgenConfig::chaos`], `loadgen --chaos RATE`) wraps
+//! every connection in a seeded [`FaultPlan`]: delayed, partial, and
+//! dropped reads/writes at the configured rate. The accounting invariant
+//! under chaos is **zero lost acknowledged samples** — every `OBSERVE`
+//! the server acknowledged is visible in its `observes`/`stale`/`errors`
+//! counters ([`LoadReport::lost`] must be 0).
+//!
+//! Pacing: `target_qps > 0` meters the *aggregate* request rate across
+//! connections by slicing time into small batches; `target_qps == 0` means
+//! open throttle (as fast as the socket accepts), the mode used to
+//! provoke `BUSY` rejections for the overload phase of the benchmark.
+
+use crate::client::{Client, ClientConfig};
+use crate::error::ClientError;
+use oc_serve::fault::FaultPlan;
+use oc_serve::proto::{Request, Response, StatsSnapshot};
+use oc_stats::percentile_slice;
+use oc_trace::cell::{CellConfig, CellPreset};
+use oc_trace::ids::CellId;
+use oc_trace::time::Tick;
+use oc_trace::WorkloadGenerator;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Load-generator settings.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Cell preset replayed (defines machine count, task mix, seed).
+    pub preset: CellPreset,
+    /// Machines replayed from the cell (capped at the cell size).
+    pub machines: usize,
+    /// Ticks replayed per machine.
+    pub ticks: u64,
+    /// Generator seed override; `None` keeps the preset's seed.
+    pub seed: Option<u64>,
+    /// Client connections; machines are pinned round-robin.
+    pub connections: usize,
+    /// Aggregate target request rate; `0` = unpaced (open throttle).
+    pub target_qps: u64,
+    /// Issue one `PREDICT` per machine per tick alongside the samples.
+    pub predicts: bool,
+    /// Client-side fault injection on every connection (chaos mode).
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for LoadgenConfig {
+    /// Cell preset A, 64 machines, one day of ticks, 4 connections,
+    /// unpaced, with per-tick predictions, no chaos.
+    fn default() -> Self {
+        LoadgenConfig {
+            preset: CellPreset::A,
+            machines: 64,
+            ticks: oc_trace::TICKS_PER_DAY,
+            seed: None,
+            connections: 4,
+            target_qps: 0,
+            predicts: true,
+            chaos: None,
+        }
+    }
+}
+
+/// What one [`run`] measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests submitted (OBSERVE + PREDICT), counting each once however
+    /// many retries it took.
+    pub sent: u64,
+    /// `OK`/`PRED` resolutions.
+    pub ok: u64,
+    /// `BUSY` rejections absorbed by client retries.
+    pub busy: u64,
+    /// `ERR` resolutions.
+    pub errors: u64,
+    /// Request attempts beyond the first, all causes.
+    pub retries: u64,
+    /// Connections re-established after a transport failure.
+    pub reconnects: u64,
+    /// Faults injected by the chaos plan (0 without `--chaos`).
+    pub faults: u64,
+    /// `OBSERVE` requests the server acknowledged `OK`.
+    pub acked_observes: u64,
+    /// Acknowledged samples unaccounted for on the server: `acked -
+    /// (observes + stale + errors)`, floored at 0. Must be 0 — an `OK` is
+    /// a promise the sample reaches the ingestion counters.
+    pub lost: u64,
+    /// Connections whose retry budget ran out (or whose thread panicked).
+    pub failed_connections: u64,
+    /// One description per failed connection.
+    pub conn_failures: Vec<String>,
+    /// Wall-clock duration of the replay, seconds.
+    pub wall_secs: f64,
+    /// Achieved request throughput (resolved / wall), requests per second.
+    pub achieved_qps: f64,
+    /// Client-observed p50 latency, microseconds.
+    pub p50_us: f64,
+    /// Client-observed p99 latency, microseconds.
+    pub p99_us: f64,
+    /// Client-observed maximum latency, microseconds.
+    pub max_us: f64,
+    /// Server-side snapshot taken right after the replay.
+    pub server: StatsSnapshot,
+}
+
+impl LoadReport {
+    /// Busy-retry rate: `busy / sent` (0 when nothing was sent).
+    pub fn reject_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.sent as f64
+        }
+    }
+
+    /// Serializes the report as a JSON object (hand-rolled; the workspace
+    /// vendors no serde).
+    pub fn to_json(&self, label: &str) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"sent\":{},\"ok\":{},\"busy\":{},",
+                "\"errors\":{},\"retries\":{},\"reconnects\":{},",
+                "\"faults\":{},\"acked_observes\":{},\"lost\":{},",
+                "\"failed_connections\":{},",
+                "\"wall_secs\":{:.6},\"achieved_qps\":{:.1},",
+                "\"reject_rate\":{:.6},\"client_p50_us\":{:.1},",
+                "\"client_p99_us\":{:.1},\"client_max_us\":{:.1},",
+                "\"server_p50_us\":{:.1},\"server_p99_us\":{:.1},",
+                "\"server_mean_us\":{:.1},\"server_observes\":{},",
+                "\"server_stale\":{},\"server_machines\":{}}}"
+            ),
+            label,
+            self.sent,
+            self.ok,
+            self.busy,
+            self.errors,
+            self.retries,
+            self.reconnects,
+            self.faults,
+            self.acked_observes,
+            self.lost,
+            self.failed_connections,
+            self.wall_secs,
+            self.achieved_qps,
+            self.reject_rate(),
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.server.p50_us,
+            self.server.p99_us,
+            self.server.mean_us,
+            self.server.observes,
+            self.server.stale,
+            self.server.machines,
+        )
+    }
+}
+
+/// Builds per-connection request scripts from the generated cell.
+///
+/// Request order per machine is tick-major and, within a tick, trace task
+/// order — the same order `simulate_machine` feeds its `MachineView`.
+fn build_plans(cfg: &LoadgenConfig) -> Result<Vec<Vec<Request>>, ClientError> {
+    let mut cell_cfg: CellConfig = CellConfig::preset(cfg.preset);
+    if let Some(seed) = cfg.seed {
+        cell_cfg = cell_cfg.with_seed(seed);
+    }
+    let generator = WorkloadGenerator::new(cell_cfg)?;
+    let cell = CellId::new(format!("{:?}", cfg.preset).to_lowercase());
+    let n_machines = cfg.machines.min(generator.config().machines).max(1);
+    let connections = cfg.connections.clamp(1, n_machines);
+    let mut plans: Vec<Vec<Request>> = (0..connections).map(|_| Vec::new()).collect();
+    let metric = oc_core::config::SimConfig::default().metric;
+    for m in 0..n_machines {
+        let trace = generator.generate_machine(oc_trace::MachineId(m as u32))?;
+        let plan = &mut plans[m % connections];
+        let end = trace.horizon.start.0 + cfg.ticks.min(trace.horizon.len());
+        for t in trace.horizon.start.0..end {
+            let tick = Tick(t);
+            for task in trace.tasks_at(tick) {
+                let usage = task.sample_at(tick).map(|s| metric.of(s)).unwrap_or(0.0);
+                plan.push(Request::Observe {
+                    cell: cell.clone(),
+                    machine: trace.machine,
+                    task: task.spec.id,
+                    usage,
+                    limit: task.spec.limit,
+                    tick: t,
+                });
+            }
+            if cfg.predicts {
+                plan.push(Request::Predict {
+                    cell: cell.clone(),
+                    machine: trace.machine,
+                });
+            }
+        }
+    }
+    Ok(plans)
+}
+
+/// Outcome counts plus raw latencies from one connection.
+#[derive(Debug, Default)]
+struct ConnResult {
+    sent: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    retries: u64,
+    reconnects: u64,
+    faults: u64,
+    acked_observes: u64,
+    latencies_us: Vec<f64>,
+    /// Set when the connection gave up before resolving its whole plan.
+    failure: Option<String>,
+}
+
+/// Replays one connection's script through a retrying [`Client`].
+///
+/// `pace` is the per-connection request interval; `Duration::ZERO` means
+/// unpaced. Failures never propagate: they end up in `failure` and the
+/// counts gathered so far still report.
+fn run_conn(
+    addr: SocketAddr,
+    plan: Vec<Request>,
+    pace: Duration,
+    conn_idx: usize,
+    chaos: Option<FaultPlan>,
+) -> ConnResult {
+    let mut res = ConnResult {
+        sent: plan.len() as u64,
+        ..ConnResult::default()
+    };
+    res.latencies_us.reserve(plan.len());
+    let mut cfg = ClientConfig::default().with_seed(conn_idx as u64 + 1);
+    if let Some(plan) = chaos {
+        cfg = cfg.with_faults(plan);
+    }
+    // Pace in batches of 64: per-request sleeps can't hit 100k+ QPS, and
+    // coarse batches keep the meter honest without melting the clock.
+    const BATCH: usize = 64;
+    if !pace.is_zero() {
+        cfg = cfg.with_pipeline_window(BATCH);
+    }
+    let mut client = match Client::connect(addr, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            res.failure = Some(format!("connect: {e}"));
+            return res;
+        }
+    };
+    let start = Instant::now();
+    let mut submitted = 0usize;
+    for chunk in plan.chunks(BATCH) {
+        if !pace.is_zero() {
+            let due = start + pace * (submitted as u32);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let outcome = client.pipeline_with(chunk, |idx, resp, lat_us| {
+            res.latencies_us.push(lat_us);
+            match resp {
+                Response::Err { .. } => res.errors += 1,
+                Response::Ok => {
+                    res.ok += 1;
+                    if matches!(chunk[idx], Request::Observe { .. }) {
+                        res.acked_observes += 1;
+                    }
+                }
+                _ => res.ok += 1,
+            }
+        });
+        submitted += chunk.len();
+        if let Err(e) = outcome {
+            res.failure = Some(e.to_string());
+            break;
+        }
+    }
+    let m = client.metrics();
+    res.busy = m.busy_retries;
+    res.retries = m.retries;
+    res.reconnects = m.reconnects;
+    res.faults = client.faults_injected();
+    res
+}
+
+/// Replays the configured cell against `addr` and gathers a report.
+///
+/// Per-connection failures (an exhausted retry budget, even a panicked
+/// thread) are *captured in the report*, not propagated — only setup
+/// failures (an unreachable generator config) error out. The final
+/// server snapshot is fetched with a plain retrying client; if even that
+/// fails while every connection also failed, the snapshot is zeroed.
+///
+/// # Errors
+///
+/// Propagates generator errors and a failed final `STATS` fetch (unless
+/// every connection already failed, which the report records instead).
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
+    let plans = build_plans(cfg)?;
+    let n_conns = plans.len();
+    let pace = if cfg.target_qps == 0 {
+        Duration::ZERO
+    } else {
+        // Aggregate QPS split evenly across connections.
+        Duration::from_secs_f64(n_conns as f64 / cfg.target_qps as f64)
+    };
+    let start = Instant::now();
+    let mut joins = Vec::with_capacity(n_conns);
+    for (i, plan) in plans.into_iter().enumerate() {
+        let chaos = cfg.chaos.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name("loadgen-conn".to_string())
+                .spawn(move || run_conn(addr, plan, pace, i, chaos))?,
+        );
+    }
+    let mut totals = ConnResult::default();
+    let mut conn_failures: Vec<String> = Vec::new();
+    for (i, j) in joins.into_iter().enumerate() {
+        let res = match j.join() {
+            Ok(res) => res,
+            Err(_) => {
+                conn_failures.push(format!("connection {i}: thread panicked"));
+                continue;
+            }
+        };
+        if let Some(why) = res.failure {
+            conn_failures.push(format!("connection {i}: {why}"));
+        }
+        totals.sent += res.sent;
+        totals.ok += res.ok;
+        totals.busy += res.busy;
+        totals.errors += res.errors;
+        totals.retries += res.retries;
+        totals.reconnects += res.reconnects;
+        totals.faults += res.faults;
+        totals.acked_observes += res.acked_observes;
+        totals.latencies_us.extend(res.latencies_us);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let server = match fetch_stats(addr) {
+        Ok(s) => s,
+        Err(_) if conn_failures.len() == n_conns => StatsSnapshot::default(),
+        Err(e) => return Err(e),
+    };
+    let accounted = server.observes + server.stale + server.errors;
+    let q = |p: f64| percentile_slice(&totals.latencies_us, p).unwrap_or(0.0);
+    let resolved = totals.ok + totals.errors;
+    Ok(LoadReport {
+        sent: totals.sent,
+        ok: totals.ok,
+        busy: totals.busy,
+        errors: totals.errors,
+        retries: totals.retries,
+        reconnects: totals.reconnects,
+        faults: totals.faults,
+        acked_observes: totals.acked_observes,
+        lost: totals.acked_observes.saturating_sub(accounted),
+        failed_connections: conn_failures.len() as u64,
+        conn_failures,
+        wall_secs,
+        achieved_qps: if wall_secs > 0.0 {
+            resolved as f64 / wall_secs
+        } else {
+            0.0
+        },
+        p50_us: q(50.0),
+        p99_us: q(99.0),
+        max_us: totals.latencies_us.iter().cloned().fold(0.0, f64::max),
+        server,
+    })
+}
+
+/// Asks a running server for its `STATS` snapshot.
+///
+/// # Errors
+///
+/// Propagates client failures; a non-`STATS` reply is a
+/// [`ClientError::Server`].
+pub fn fetch_stats(addr: SocketAddr) -> Result<StatsSnapshot, ClientError> {
+    Client::connect(addr, ClientConfig::default())?.stats()
+}
+
+/// Sends `SHUTDOWN` to a running server.
+///
+/// # Errors
+///
+/// Propagates client failures.
+pub fn request_shutdown(addr: SocketAddr) -> Result<(), ClientError> {
+    Client::connect(addr, ClientConfig::default())?.request_shutdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_serve::config::ServeConfig;
+    use oc_serve::server::Server;
+
+    #[test]
+    fn small_replay_round_trips() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let cfg = LoadgenConfig {
+            machines: 4,
+            ticks: 16,
+            connections: 2,
+            predicts: true,
+            ..LoadgenConfig::default()
+        };
+        let report = run(server.addr(), &cfg).unwrap();
+        assert!(report.sent > 0);
+        assert_eq!(report.busy, 0, "default queues must absorb a tiny replay");
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.ok, report.sent);
+        assert_eq!(report.failed_connections, 0, "{:?}", report.conn_failures);
+        assert_eq!(report.lost, 0);
+        assert!(report.server.observes > 0);
+        assert_eq!(report.server.machines, 4);
+        // 4 machines x 16 ticks of predictions.
+        assert_eq!(report.server.predicts, 64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn paced_replay_respects_target() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let cfg = LoadgenConfig {
+            machines: 1,
+            ticks: 8,
+            connections: 1,
+            target_qps: 2_000,
+            predicts: false,
+            ..LoadgenConfig::default()
+        };
+        let report = run(server.addr(), &cfg).unwrap();
+        // Unambitious bound: pacing must not *exceed* the target by 5x
+        // (it may undershoot on a loaded CI box).
+        assert!(
+            report.achieved_qps < 10_000.0,
+            "pacing ignored: {} qps",
+            report.achieved_qps
+        );
+        server.shutdown();
+    }
+
+    /// The acceptance invariant for chaos mode: with ~5% injected faults
+    /// (including dropped connections) the replay completes and no
+    /// acknowledged sample is lost.
+    #[test]
+    fn chaos_replay_loses_no_acknowledged_samples() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let cfg = LoadgenConfig {
+            machines: 4,
+            ticks: 16,
+            connections: 2,
+            predicts: true,
+            chaos: Some(FaultPlan::new(77, 0.05).with_max_delay(Duration::from_micros(200))),
+            ..LoadgenConfig::default()
+        };
+        let report = run(server.addr(), &cfg).unwrap();
+        assert_eq!(report.failed_connections, 0, "{:?}", report.conn_failures);
+        assert!(report.faults > 0, "chaos plan never fired");
+        assert_eq!(report.lost, 0, "acked samples vanished: {report:?}");
+        assert_eq!(report.ok + report.errors, report.sent);
+        server.shutdown();
+    }
+
+    /// A connection that cannot make progress is captured in the report
+    /// instead of aborting the whole run (regression: the old harness
+    /// panicked on the first failed connection thread).
+    #[test]
+    fn failed_connections_are_captured_not_fatal() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let cfg = LoadgenConfig {
+            machines: 2,
+            ticks: 4,
+            connections: 2,
+            predicts: false,
+            // Drop every single operation: no connection can ever resolve
+            // a request, so every retry budget exhausts.
+            chaos: Some(
+                FaultPlan::new(5, 1.0).with_kinds(oc_serve::fault::FaultKinds {
+                    delays: false,
+                    partials: false,
+                    drops: true,
+                }),
+            ),
+            ..LoadgenConfig::default()
+        };
+        let report = run(server.addr(), &cfg).unwrap();
+        assert_eq!(report.failed_connections, 2, "{:?}", report.conn_failures);
+        assert_eq!(report.conn_failures.len(), 2);
+        assert_eq!(report.ok, 0);
+        server.shutdown();
+    }
+}

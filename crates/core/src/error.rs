@@ -44,10 +44,16 @@ impl fmt::Display for CoreError {
             CoreError::Trace(e) => write!(f, "trace error: {e}"),
             CoreError::Stats(e) => write!(f, "stats error: {e}"),
             CoreError::StaleSample { tick, flushed } => {
-                write!(f, "stale sample for tick {tick}: tick {flushed} already flushed")
+                write!(
+                    f,
+                    "stale sample for tick {tick}: tick {flushed} already flushed"
+                )
             }
             CoreError::TickGap { gap, max } => {
-                write!(f, "tick gap of {gap} empty ticks exceeds the bound of {max}")
+                write!(
+                    f,
+                    "tick gap of {gap} empty ticks exceeds the bound of {max}"
+                )
             }
             CoreError::InvalidSample { what } => write!(f, "invalid sample: {what}"),
         }

@@ -298,7 +298,10 @@ mod tests {
                 predictor.predict(inc.view()).to_bits(),
                 "tick {t}"
             );
-            assert_eq!(batch.total_limit().to_bits(), inc.view().total_limit().to_bits());
+            assert_eq!(
+                batch.total_limit().to_bits(),
+                inc.view().total_limit().to_bits()
+            );
             assert_eq!(batch.task_count(), inc.view().task_count());
         }
     }
@@ -352,12 +355,18 @@ mod tests {
         v.ingest(Tick(6), tid(1, 0), 0.4, 0.1).unwrap(); // flushes 5
         assert!(matches!(
             v.ingest(Tick(5), tid(1, 0), 0.4, 0.1),
-            Err(CoreError::StaleSample { tick: 5, flushed: 5 })
+            Err(CoreError::StaleSample {
+                tick: 5,
+                flushed: 5
+            })
         ));
         v.flush();
         assert!(matches!(
             v.ingest(Tick(6), tid(1, 0), 0.4, 0.1),
-            Err(CoreError::StaleSample { tick: 6, flushed: 6 })
+            Err(CoreError::StaleSample {
+                tick: 6,
+                flushed: 6
+            })
         ));
         // The view survives rejects.
         v.ingest(Tick(7), tid(1, 0), 0.4, 0.1).unwrap();
@@ -388,7 +397,10 @@ mod tests {
         inc.flush();
         assert_eq!(batch.now(), inc.view().now());
         assert_eq!(batch.task_count(), inc.view().task_count());
-        assert_eq!(batch.warm_aggregate().len(), inc.view().warm_aggregate().len());
+        assert_eq!(
+            batch.warm_aggregate().len(),
+            inc.view().warm_aggregate().len()
+        );
         // The re-appearing task restarted cold in both paths.
         assert_eq!(batch.cold_limit_sum(), inc.view().cold_limit_sum());
         let (_, bt) = batch.tasks().next().unwrap();
@@ -435,13 +447,20 @@ mod tests {
         let cfg = small_cfg();
         let mut batch = MachineView::new(1.0, &cfg);
         for t in 0..4u64 {
-            let alive: &[(TaskId, f64, f64)] = if t == 3 { &[(tid(1, 0), 0.4, 0.2)] } else { &[] };
+            let alive: &[(TaskId, f64, f64)] = if t == 3 {
+                &[(tid(1, 0), 0.4, 0.2)]
+            } else {
+                &[]
+            };
             batch.observe(Tick(t), alive.iter().copied());
         }
         let mut inc = IncrementalView::new(1.0, &cfg).with_origin(Tick::ZERO);
         inc.ingest(Tick(3), tid(1, 0), 0.4, 0.2).unwrap();
         inc.flush();
-        assert_eq!(batch.warm_aggregate().len(), inc.view().warm_aggregate().len());
+        assert_eq!(
+            batch.warm_aggregate().len(),
+            inc.view().warm_aggregate().len()
+        );
         assert_eq!(batch.now(), inc.view().now());
     }
 }

@@ -316,11 +316,13 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(4).throughput(Throughput::Elements(10));
         g.bench_function("noop", |b| b.iter(|| 1 + 1));
-        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
         g.bench_function("batched", |b| {
-            b.iter_batched(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
         g.finish();
         c.bench_function("standalone", |b| b.iter(|| ()));

@@ -47,9 +47,7 @@ pub fn run(opts: &Opts) -> Result<(), Box<dyn Error>> {
         // per-machine rates spread over the paper's 0–0.11 range; see
         // EXPERIMENTS.md.
         let mut cell = preset.clone();
-        cell.duration_ticks = cell
-            .duration_ticks
-            .min(10 * oc_trace::time::TICKS_PER_DAY);
+        cell.duration_ticks = cell.duration_ticks.min(10 * oc_trace::time::TICKS_PER_DAY);
         cell.machines = preset.machines;
         let name = cell.id.name().to_string();
         let gen = WorkloadGenerator::new(cell)?;

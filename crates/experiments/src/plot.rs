@@ -22,9 +22,7 @@ const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 pub fn render_cdfs(series: &[(String, Vec<f64>)]) -> String {
     let populated: Vec<(&str, Ecdf)> = series
         .iter()
-        .filter_map(|(name, xs)| {
-            Ecdf::new(xs.clone()).ok().map(|e| (name.as_str(), e))
-        })
+        .filter_map(|(name, xs)| Ecdf::new(xs.clone()).ok().map(|e| (name.as_str(), e)))
         .collect();
     if populated.is_empty() {
         return String::new();
@@ -120,7 +118,11 @@ mod tests {
             let body = &line[6..];
             assert_eq!(body.chars().count(), WIDTH);
         }
-        let stars: usize = out.lines().take(HEIGHT).map(|l| l.matches('*').count()).sum();
+        let stars: usize = out
+            .lines()
+            .take(HEIGHT)
+            .map(|l| l.matches('*').count())
+            .sum();
         assert_eq!(stars, WIDTH, "each column painted once");
     }
 

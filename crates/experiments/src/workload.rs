@@ -75,7 +75,15 @@ pub fn run(opts: &Opts) -> Result<(), Box<dyn Error>> {
     );
     write_csv(
         &opts.csv("workload.csv"),
-        &["cell", "machines", "tasks", "jobs", "usage_to_limit", "utilization", "diurnal"],
+        &[
+            "cell",
+            "machines",
+            "tasks",
+            "jobs",
+            "usage_to_limit",
+            "utilization",
+            "diurnal",
+        ],
         csv,
     )?;
     Ok(())

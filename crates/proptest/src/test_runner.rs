@@ -51,7 +51,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn name_seed_distinguishes_names(){
+    fn name_seed_distinguishes_names() {
         assert_ne!(name_seed("alpha"), name_seed("beta"));
         assert_eq!(name_seed("alpha"), name_seed("alpha"));
     }

@@ -11,9 +11,7 @@ use oc_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: oc-serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--capacity F]"
-    );
+    eprintln!("usage: oc-serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--capacity F]");
     std::process::exit(2);
 }
 
@@ -21,10 +19,12 @@ fn parse_args() -> ServeConfig {
     let mut cfg = ServeConfig::default().with_addr("127.0.0.1:7421");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut val = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--addr" => cfg.addr = val("--addr"),
             "--shards" => {

@@ -1,9 +1,22 @@
 //! Service configuration.
 
 use crate::error::ServeError;
+use crate::fault::FaultPlan;
 use oc_core::config::SimConfig;
 use oc_core::ingest::DEFAULT_MAX_GAP;
 use oc_core::predictor::PredictorSpec;
+use std::time::Duration;
+
+/// Default bound on how long a connection may sit without delivering a
+/// complete request before the server closes it.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default per-write deadline: a peer that stops reading for this long is
+/// treated as dead so its handler thread can be reclaimed.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default cap on concurrently served connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 
 /// Configuration of one [`crate::server::Server`].
 ///
@@ -33,6 +46,18 @@ pub struct ServeConfig {
     pub predictor: PredictorSpec,
     /// Bound on empty ticks synthesized between two samples of a machine.
     pub max_tick_gap: u64,
+    /// Close a connection that delivers no complete request for this long.
+    /// Bounds the handler threads an idle or stalled peer can pin.
+    pub idle_timeout: Duration,
+    /// Per-write deadline; a peer that stops reading its responses for
+    /// this long is disconnected.
+    pub write_timeout: Duration,
+    /// Cap on concurrently served connections; excess connects are
+    /// answered `ERR conn-limit` and closed (retryable).
+    pub max_connections: usize,
+    /// Optional seeded fault injection on every accepted connection
+    /// (chaos testing). `None` in production.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +72,10 @@ impl Default for ServeConfig {
             sim: SimConfig::default(),
             predictor: PredictorSpec::paper_max(),
             max_tick_gap: DEFAULT_MAX_GAP,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            faults: None,
         }
     }
 }
@@ -88,6 +117,30 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the idle-connection deadline.
+    pub fn with_idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+
+    /// Sets the per-write deadline.
+    pub fn with_write_timeout(mut self, d: Duration) -> Self {
+        self.write_timeout = d;
+        self
+    }
+
+    /// Sets the concurrent-connection cap.
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Enables seeded fault injection on accepted connections.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validates every field.
     ///
     /// # Errors
@@ -107,6 +160,18 @@ impl ServeConfig {
                 self.machine_capacity
             )));
         }
+        if self.idle_timeout.is_zero() {
+            return Err(ServeError::Config("idle_timeout must be > 0".into()));
+        }
+        if self.write_timeout.is_zero() {
+            return Err(ServeError::Config("write_timeout must be > 0".into()));
+        }
+        if self.max_connections == 0 {
+            return Err(ServeError::Config("max_connections must be >= 1".into()));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
         self.sim.validate()?;
         self.predictor.validate()?;
         Ok(())
@@ -123,8 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn invalid_settings_are_rejected()
-    {
+    fn invalid_settings_are_rejected() {
         assert!(ServeConfig::default().with_shards(0).validate().is_err());
         assert!(ServeConfig::default()
             .with_queue_depth(0)
@@ -142,5 +206,25 @@ mod tests {
             .with_predictor(PredictorSpec::NSigma { n: -1.0 })
             .validate()
             .is_err());
+        assert!(ServeConfig::default()
+            .with_idle_timeout(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_write_timeout(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_max_connections(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_faults(FaultPlan::new(1, 2.0))
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_faults(FaultPlan::new(1, 0.05))
+            .validate()
+            .is_ok());
     }
 }

@@ -15,14 +15,19 @@
 //!   exclusively owning its machines' [`oc_core::IncrementalView`]s behind a
 //!   bounded MPSC queue. Full queue ⇒ retryable `BUSY`, never unbounded
 //!   buffering.
-//! * [`server`] — the TCP front end: per-connection handler threads,
-//!   pipelining-friendly (one response line per request line, in order),
-//!   graceful drain-then-snapshot shutdown.
+//! * [`server`] — the TCP front end: per-connection handler threads with
+//!   read/write/idle deadlines, a live-connection registry with a
+//!   max-connections cap, pipelining-friendly (one response line per
+//!   request line, in order), graceful drain-then-snapshot shutdown that
+//!   joins every handler.
 //! * [`metrics`] — per-shard counters plus a service-latency histogram
 //!   (reusing [`oc_stats::Histogram`]), merged bin-wise for `STATS`.
-//! * [`loadgen`] — a harness that replays an [`oc_trace::WorkloadGenerator`]
-//!   cell against a server at a target QPS and reports achieved throughput
-//!   and latency percentiles.
+//! * [`fault`] — deterministic, seeded fault injection (delayed / partial /
+//!   dropped reads and writes) wrapping any connection stream, for chaos
+//!   testing the lifecycle paths above.
+//!
+//! The retrying client and the load generator live in the `oc-client`
+//! crate, which depends on this one for the protocol types.
 //!
 //! Served predictions are bit-identical to the offline simulator's (clamped)
 //! predictions on the same sample stream — `tests/serve_smoke.rs` at the
@@ -31,17 +36,20 @@
 //! # Examples
 //!
 //! ```
-//! use oc_serve::{LoadgenConfig, ServeConfig, Server};
+//! use oc_serve::{ServeConfig, Server};
+//! use std::io::{BufRead, BufReader, Write};
 //!
 //! let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
-//! let report = oc_serve::loadgen::run(
-//!     server.addr(),
-//!     &LoadgenConfig { machines: 2, ticks: 4, connections: 1, ..Default::default() },
-//! )
-//! .unwrap();
-//! assert_eq!(report.errors, 0);
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! conn.write_all(b"OBSERVE cell 0 1:0 0.2 0.5 1\n").unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap())
+//!     .read_line(&mut line)
+//!     .unwrap();
+//! assert_eq!(line.trim_end(), "OK");
+//! drop(conn);
 //! let stats = server.shutdown();
-//! assert_eq!(stats.observes + stats.predicts, report.ok);
+//! assert_eq!(stats.observes, 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,7 +57,7 @@
 
 pub mod config;
 pub mod error;
-pub mod loadgen;
+pub mod fault;
 pub mod metrics;
 pub mod proto;
 pub mod server;
@@ -57,6 +65,6 @@ pub mod shard;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use loadgen::{LoadReport, LoadgenConfig};
+pub use fault::{FaultCounters, FaultKinds, FaultPlan, FaultStream};
 pub use proto::{ErrCode, ProtoError, Request, Response, StatsSnapshot};
-pub use server::Server;
+pub use server::{Server, ShutdownOutcome};

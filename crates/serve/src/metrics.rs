@@ -37,6 +37,15 @@ pub struct ShardMetrics {
     pub errors: u64,
     /// Machines with live state (filled in at snapshot time).
     pub machines: u64,
+    /// Injected faults (filled in at the server from the connection
+    /// layer's [`crate::fault::FaultCounters`]; always 0 at shard level).
+    pub faults: u64,
+    /// Idle-deadline connection closes (filled in at the server; always 0
+    /// at shard level).
+    pub timeouts: u64,
+    /// Connections rejected at the max-connections cap (filled in at the
+    /// server; always 0 at shard level).
+    pub conn_rejects: u64,
     /// Service-latency histogram, microseconds.
     pub latency: Histogram,
     /// Count of latency observations.
@@ -56,6 +65,9 @@ impl Default for ShardMetrics {
             stale: 0,
             errors: 0,
             machines: 0,
+            faults: 0,
+            timeouts: 0,
+            conn_rejects: 0,
             latency: Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS)
                 .expect("static histogram parameters are valid"),
             lat_count: 0,
@@ -85,6 +97,9 @@ impl ShardMetrics {
         self.stale += other.stale;
         self.errors += other.errors;
         self.machines += other.machines;
+        self.faults += other.faults;
+        self.timeouts += other.timeouts;
+        self.conn_rejects += other.conn_rejects;
         self.latency
             .merge(&other.latency)
             .expect("all shard histograms share the static shape");
@@ -105,6 +120,9 @@ impl ShardMetrics {
             stale: self.stale,
             errors: self.errors,
             machines: self.machines,
+            faults: self.faults,
+            timeouts: self.timeouts,
+            conn_rejects: self.conn_rejects,
             p50_us: q(50.0),
             p99_us: q(99.0),
             mean_us: if self.lat_count == 0 {

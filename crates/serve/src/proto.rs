@@ -117,6 +117,12 @@ pub enum ErrCode {
     UnknownMachine,
     /// The server is shutting down.
     Shutdown,
+    /// The connection sat idle past the server's deadline and was closed
+    /// (retryable: reconnect and resend).
+    Timeout,
+    /// The server's connection cap was reached (retryable: reconnect
+    /// after a backoff).
+    ConnLimit,
     /// Internal error (shard died, bad state).
     Internal,
 }
@@ -130,6 +136,8 @@ impl ErrCode {
             ErrCode::Gap => "gap",
             ErrCode::UnknownMachine => "unknown-machine",
             ErrCode::Shutdown => "shutdown",
+            ErrCode::Timeout => "timeout",
+            ErrCode::ConnLimit => "conn-limit",
             ErrCode::Internal => "internal",
         }
     }
@@ -142,6 +150,8 @@ impl ErrCode {
             "gap" => ErrCode::Gap,
             "unknown-machine" => ErrCode::UnknownMachine,
             "shutdown" => ErrCode::Shutdown,
+            "timeout" => ErrCode::Timeout,
+            "conn-limit" => ErrCode::ConnLimit,
             "internal" => ErrCode::Internal,
             _ => return None,
         })
@@ -165,6 +175,13 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Machines with live state.
     pub machines: u64,
+    /// Faults injected by the server's own fault-injection plan (0 unless
+    /// chaos testing is configured).
+    pub faults: u64,
+    /// Connections closed for exceeding the idle deadline.
+    pub timeouts: u64,
+    /// Connections rejected at the max-connections cap.
+    pub conn_rejects: u64,
     /// Median shard service latency (enqueue → handled), microseconds.
     pub p50_us: f64,
     /// 99th-percentile shard service latency, microseconds.
@@ -293,11 +310,7 @@ fn parse_task(token: &str) -> Result<TaskId, ProtoError> {
     Ok(TaskId::new(JobId(job), index))
 }
 
-fn expect_arity(
-    verb: &'static str,
-    operands: &[&str],
-    expected: usize,
-) -> Result<(), ProtoError> {
+fn expect_arity(verb: &'static str, operands: &[&str], expected: usize) -> Result<(), ProtoError> {
     if operands.len() != expected {
         return Err(ProtoError::Arity {
             verb,
@@ -397,9 +410,21 @@ impl Request {
 }
 
 /// Key/value pairs of the `STATS` line, in encode order.
-const STATS_KEYS: [&str; 11] = [
-    "observes", "predicts", "admits", "busy", "stale", "errors", "machines", "p50_us", "p99_us",
-    "mean_us", "max_us",
+const STATS_KEYS: [&str; 14] = [
+    "observes",
+    "predicts",
+    "admits",
+    "busy",
+    "stale",
+    "errors",
+    "machines",
+    "faults",
+    "timeouts",
+    "conn_rejects",
+    "p50_us",
+    "p99_us",
+    "mean_us",
+    "max_us",
 ];
 
 impl StatsSnapshot {
@@ -407,7 +432,7 @@ impl StatsSnapshot {
     pub fn encode_fields(&self) -> String {
         format!(
             "observes={} predicts={} admits={} busy={} stale={} errors={} machines={} \
-             p50_us={} p99_us={} mean_us={} max_us={}",
+             faults={} timeouts={} conn_rejects={} p50_us={} p99_us={} mean_us={} max_us={}",
             self.observes,
             self.predicts,
             self.admits,
@@ -415,6 +440,9 @@ impl StatsSnapshot {
             self.stale,
             self.errors,
             self.machines,
+            self.faults,
+            self.timeouts,
+            self.conn_rejects,
             self.p50_us,
             self.p99_us,
             self.mean_us,
@@ -440,6 +468,9 @@ impl StatsSnapshot {
                 "stale" => s.stale = v.parse().ok()?,
                 "errors" => s.errors = v.parse().ok()?,
                 "machines" => s.machines = v.parse().ok()?,
+                "faults" => s.faults = v.parse().ok()?,
+                "timeouts" => s.timeouts = v.parse().ok()?,
+                "conn_rejects" => s.conn_rejects = v.parse().ok()?,
                 "p50_us" => s.p50_us = v.parse().ok()?,
                 "p99_us" => s.p99_us = v.parse().ok()?,
                 "mean_us" => s.mean_us = v.parse().ok()?,
@@ -571,7 +602,11 @@ mod tests {
         ));
         assert!(matches!(
             Request::parse("OBSERVE a 1 2:0 0.5 0.5"),
-            Err(ProtoError::Arity { verb: "OBSERVE", expected: 6, got: 5 })
+            Err(ProtoError::Arity {
+                verb: "OBSERVE",
+                expected: 6,
+                got: 5
+            })
         ));
         assert!(matches!(
             Request::parse("OBSERVE a 1 2:0 NaN 0.5 7"),
@@ -587,7 +622,10 @@ mod tests {
         ));
         assert!(matches!(
             Request::parse("PREDICT a x"),
-            Err(ProtoError::BadNumber { field: "machine", .. })
+            Err(ProtoError::BadNumber {
+                field: "machine",
+                ..
+            })
         ));
         let long = format!("PREDICT a {}", "9".repeat(MAX_LINE_BYTES));
         assert!(matches!(
@@ -606,6 +644,9 @@ mod tests {
             stale: 0,
             errors: 1,
             machines: 4,
+            faults: 2,
+            timeouts: 1,
+            conn_rejects: 5,
             p50_us: 12.5,
             p99_us: 99.25,
             mean_us: 20.75,

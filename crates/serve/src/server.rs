@@ -12,35 +12,166 @@
 //! reflect every sample enqueued for that machine before them on the same
 //! connection.
 //!
-//! Shutdown is graceful: [`Server::shutdown`] stops the accept loop,
-//! sends a drain marker down every shard queue (FIFO ⇒ all previously
-//! queued work is applied first), joins the workers and returns the final
+//! **Connection lifecycle.** Every accepted socket gets a read poll
+//! deadline ([`STOP_POLL`]) so handlers re-check the server's stop flag
+//! and the idle deadline a few dozen times a second instead of blocking
+//! forever in `read`; a write deadline (`write_timeout`) so a peer that
+//! stops reading its responses cannot pin a handler; and an idle deadline
+//! (`idle_timeout`) after which the connection is answered `ERR timeout`
+//! and closed. Live handlers are tracked in a registry with a
+//! `max_connections` cap — excess connects get `ERR conn-limit` and are
+//! closed immediately (both are retryable; `oc-client` does so).
+//!
+//! **Shutdown.** [`Server::shutdown`] stops the accept loop (non-blocking
+//! accept, so no wake-up connection is needed), joins every connection
+//! handler via the registry (each exits within one poll interval), sends
+//! a drain marker down every shard queue (FIFO ⇒ all previously queued
+//! work is applied first), joins the workers, and returns the final
 //! merged [`StatsSnapshot`] — the "flush a final snapshot" part of the
-//! contract. In-flight connections then get `ERR shutdown` for new
-//! requests.
+//! contract. Because all handlers are joined first, the pool is always
+//! drained through the full consuming path; [`ShutdownOutcome::clean`]
+//! records that no degraded shared-pool fallback was taken. A truncated
+//! final line (EOF without a newline) is discarded as an incomplete
+//! request, never dispatched — a client that died mid-write cannot ingest
+//! a half request.
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::fault::{FaultCounters, FaultStream};
 use crate::proto::{ErrCode, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
 use crate::shard::{SendFail, ShardMsg, ShardPool};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Shared flags between the server handle and its threads.
+/// How often blocked reads and the accept loop re-check the stop flag.
+/// Bounds both shutdown latency (handlers notice `stop` within one poll)
+/// and accept latency for new connections.
+pub const STOP_POLL: Duration = Duration::from_millis(25);
+
+/// Shared state between the server handle and its threads.
 #[derive(Debug)]
 struct Shared {
-    /// Accept no further connections.
+    /// Accept no further connections; handlers exit at the next poll.
     stop: AtomicBool,
     /// `BUSY` rejects, counted at the server (they never reach a shard).
     busy: AtomicU64,
+    /// Connections closed at the idle deadline.
+    timeouts: AtomicU64,
+    /// Connections rejected at the `max_connections` cap.
+    conn_rejects: AtomicU64,
+    /// Faults injected by the server-side chaos plan (if configured).
+    faults: Arc<FaultCounters>,
+    /// Live connection handlers.
+    registry: Registry,
+    /// Per-connection deadlines and the optional fault plan.
+    cfg: ConnSettings,
     /// Set when a client sent `SHUTDOWN`; wakes [`Server::wait`].
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
+}
+
+/// The slice of [`ServeConfig`] each connection handler needs.
+#[derive(Debug, Clone)]
+struct ConnSettings {
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    max_connections: usize,
+    faults: Option<crate::fault::FaultPlan>,
+}
+
+/// Tracks live connection handler threads so shutdown can join every one
+/// of them (and the accept loop can enforce the connection cap).
+#[derive(Debug, Default)]
+struct Registry {
+    next_id: AtomicU64,
+    active: AtomicUsize,
+    handles: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// Ids whose handler has returned; their (finished) threads are
+    /// joined on the next reap so the handle map cannot grow without
+    /// bound on a long-running server.
+    finished: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    /// Claims an id and a live slot for a new connection.
+    fn begin(&self) -> u64 {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records the spawned handler thread for `id`.
+    fn register(&self, id: u64, handle: JoinHandle<()>) {
+        self.handles
+            .lock()
+            .expect("registry lock")
+            .insert(id, handle);
+    }
+
+    /// Releases `id`'s live slot (called by the handler itself on exit).
+    fn end(&self, id: u64) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.finished.lock().expect("registry lock").push(id);
+    }
+
+    /// Live connection count.
+    fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Joins handlers that already finished (instant — their threads have
+    /// returned). An id whose handle was not yet registered (handler
+    /// finished before `register` ran) is retried on a later reap.
+    fn reap(&self) {
+        let ids: Vec<u64> = std::mem::take(&mut *self.finished.lock().expect("registry lock"));
+        if ids.is_empty() {
+            return;
+        }
+        let mut handles = self.handles.lock().expect("registry lock");
+        let mut retry = Vec::new();
+        for id in ids {
+            match handles.remove(&id) {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => retry.push(id),
+            }
+        }
+        drop(handles);
+        if !retry.is_empty() {
+            self.finished.lock().expect("registry lock").extend(retry);
+        }
+    }
+
+    /// Joins every registered handler. Callers must set the stop flag
+    /// first so live handlers exit at their next poll.
+    fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut map = self.handles.lock().expect("registry lock");
+            map.drain().map(|(_, h)| h).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.finished.lock().expect("registry lock").clear();
+    }
+}
+
+/// What [`Server::shutdown_outcome`] observed while draining.
+#[derive(Debug, Clone)]
+pub struct ShutdownOutcome {
+    /// The final merged snapshot, identical to what a last `STATS` would
+    /// have reported (plus everything drained from the queues).
+    pub stats: StatsSnapshot,
+    /// `true` when every connection handler and shard worker was joined
+    /// and the snapshot came from the full consuming drain — never the
+    /// degraded shared-pool fallback.
+    pub clean: bool,
 }
 
 /// A running peak-prediction service.
@@ -74,11 +205,26 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
         cfg.validate()?;
         let listener = TcpListener::bind(&cfg.addr)?;
+        // Non-blocking accept: the loop polls `stop` on a short interval,
+        // so shutdown never depends on a wake-up connection reaching the
+        // listener (the old fire-and-forget self-connect could fail and
+        // leave the join hanging forever).
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let pool = Arc::new(ShardPool::new(&cfg)?);
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            conn_rejects: AtomicU64::new(0),
+            faults: Arc::new(FaultCounters::default()),
+            registry: Registry::default(),
+            cfg: ConnSettings {
+                idle_timeout: cfg.idle_timeout,
+                write_timeout: cfg.write_timeout,
+                max_connections: cfg.max_connections,
+                faults: cfg.faults.clone(),
+            },
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
@@ -87,21 +233,7 @@ impl Server {
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
             .name("oc-serve-accept".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_shared.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let pool = Arc::clone(&accept_pool);
-                    let shared = Arc::clone(&accept_shared);
-                    let _ = std::thread::Builder::new()
-                        .name("oc-serve-conn".to_string())
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &pool, &shared);
-                        });
-                }
-            })
+            .spawn(move || accept_loop(listener, accept_pool, accept_shared))
             .map_err(ServeError::Io)?;
 
         Ok(Server {
@@ -133,37 +265,57 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains every shard queue, joins the workers, and
-    /// returns the final merged snapshot.
-    pub fn shutdown(mut self) -> StatsSnapshot {
+    /// Stops accepting, joins every connection handler, drains every
+    /// shard queue, joins the workers, and returns the final merged
+    /// snapshot.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.shutdown_outcome().stats
+    }
+
+    /// Like [`Server::shutdown`] but also reports whether the drain took
+    /// the clean fully-joined path (it always should; tests assert it).
+    pub fn shutdown_outcome(mut self) -> ShutdownOutcome {
         self.finish()
     }
 
-    fn finish(&mut self) -> StatsSnapshot {
+    fn finish(&mut self) -> ShutdownOutcome {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Poke the blocking accept() so it re-checks the stop flag.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        // The accept loop polls `stop`, so the join completes within one
+        // poll interval without any wake-up connection.
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        // Handlers notice `stop` within one read poll; blocked writes hit
+        // `write_timeout`. Joining them here is what guarantees the pool
+        // Arc below has exactly one strong reference left.
+        self.shared.registry.join_all();
         let busy = self.shared.busy.load(Ordering::SeqCst);
+        let timeouts = self.shared.timeouts.load(Ordering::SeqCst);
+        let conn_rejects = self.shared.conn_rejects.load(Ordering::SeqCst);
+        let faults = self.shared.faults.total();
         match self.pool.take() {
             Some(pool) => {
-                // Handler threads hold clones of the Arc; once the accept
-                // loop is down no *new* connections appear, and existing
-                // handlers' sends fail fast after the workers exit.
-                let pool = match Arc::try_unwrap(pool) {
-                    Ok(pool) => pool,
+                let (mut metrics, clean) = match Arc::try_unwrap(pool) {
+                    Ok(pool) => (pool.shutdown(), true),
                     Err(shared_pool) => {
-                        // Live connections still reference the pool; drain
-                        // via a control shutdown without consuming it.
-                        let m = shared_pool.shutdown_shared();
-                        return m.snapshot(busy);
+                        // Defensive fallback: with all handlers joined this
+                        // is unreachable, but a drain that cannot join the
+                        // workers is still better than a hang.
+                        (shared_pool.shutdown_shared(), false)
                     }
                 };
-                pool.shutdown().snapshot(busy)
+                metrics.faults += faults;
+                metrics.timeouts += timeouts;
+                metrics.conn_rejects += conn_rejects;
+                ShutdownOutcome {
+                    stats: metrics.snapshot(busy),
+                    clean,
+                }
             }
-            None => StatsSnapshot::default(),
+            None => ShutdownOutcome {
+                stats: StatsSnapshot::default(),
+                clean: true,
+            },
         }
     }
 }
@@ -176,49 +328,223 @@ impl Drop for Server {
     }
 }
 
-/// Serves one connection: one response line per request line, in order.
+/// Polls the non-blocking listener until the stop flag is set, enforcing
+/// the connection cap and reaping finished handlers along the way.
+fn accept_loop(listener: TcpListener, pool: Arc<ShardPool>, shared: Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets may inherit O_NONBLOCK on some
+                // platforms; handlers rely on timeout-based blocking.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                shared.registry.reap();
+                if shared.registry.active() >= shared.cfg.max_connections {
+                    shared.conn_rejects.fetch_add(1, Ordering::Relaxed);
+                    reject_over_cap(stream, &shared);
+                    continue;
+                }
+                let id = shared.registry.begin();
+                let pool = Arc::clone(&pool);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("oc-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &pool, &conn_shared, id);
+                        conn_shared.registry.end(id);
+                    });
+                match spawned {
+                    Ok(handle) => shared.registry.register(id, handle),
+                    Err(_) => shared.registry.end(id),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                shared.registry.reap();
+                std::thread::sleep(STOP_POLL);
+            }
+            Err(_) => std::thread::sleep(STOP_POLL),
+        }
+    }
+}
+
+/// Answers an over-cap connection with a retryable error and closes it.
+fn reject_over_cap(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let resp = Response::Err {
+        code: ErrCode::ConnLimit,
+        detail: format!(
+            "server at its {}-connection cap; retry later",
+            shared.cfg.max_connections
+        ),
+    };
+    let _ = stream.write_all(resp.encode().as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// Sets deadlines, wraps the stream in the fault plan if configured, and
+/// runs the request loop.
 fn handle_connection(
     stream: TcpStream,
     pool: &ShardPool,
     shared: &Shared,
+    conn_id: u64,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+    stream.set_read_timeout(Some(STOP_POLL))?;
+    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
+    let read_half = stream.try_clone()?;
+    match &shared.cfg.faults {
+        Some(plan) => {
+            let r = FaultStream::new(
+                read_half,
+                plan,
+                plan.stream_seed(conn_id * 2),
+                Arc::clone(&shared.faults),
+            );
+            let w = FaultStream::new(
+                stream,
+                plan,
+                plan.stream_seed(conn_id * 2 + 1),
+                Arc::clone(&shared.faults),
+            );
+            serve_lines(r, w, pool, shared)
+        }
+        None => serve_lines(read_half, stream, pool, shared),
+    }
+}
+
+/// One step of deadline-aware line reading.
+enum ReadStep {
+    /// `acc` now ends with `\n`.
+    Line,
+    /// The read deadline elapsed with no new bytes; poll again.
+    Timeout,
+    /// Peer closed; any bytes left in `acc` are a truncated request.
+    Eof,
+    /// `acc` exceeded the line cap without a newline.
+    Oversize,
+    /// Hard transport error.
+    Failed(std::io::Error),
+}
+
+/// Appends buffered bytes to `acc` until a newline, EOF, deadline, or the
+/// size cap. Bytes are consumed exactly as appended, so a deadline in the
+/// middle of a line loses nothing — the next call keeps accumulating.
+fn read_line_step<R: BufRead>(reader: &mut R, acc: &mut Vec<u8>) -> ReadStep {
     loop {
-        line.clear();
-        // Bound the line length without trusting the client: read through
-        // a `Take` so a newline-less flood cannot grow the buffer.
-        let mut limited = reader.take((MAX_LINE_BYTES + 2) as u64);
-        let n = limited.read_line(&mut line)?;
-        reader = limited.into_inner();
-        if n == 0 {
-            break; // EOF
-        }
-        if !line.ends_with('\n') && line.len() > MAX_LINE_BYTES {
-            let resp = Response::Err {
-                code: ErrCode::Parse,
-                detail: format!("line exceeds {MAX_LINE_BYTES} bytes"),
-            };
-            writer.write_all(resp.encode().as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
-            break; // Cannot resynchronize: close.
-        }
-        let resp = match Request::parse(line.trim_end_matches(['\r', '\n'])) {
-            Err(e) => Response::Err {
-                code: ErrCode::Parse,
-                detail: e.to_string(),
-            },
-            Ok(req) => dispatch(req, pool, shared),
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return ReadStep::Eof,
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return ReadStep::Timeout
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return ReadStep::Failed(e),
         };
-        writer.write_all(resp.encode().as_bytes())?;
-        writer.write_all(b"\n")?;
-        // Flush only when the pipeline runs dry: pipelined clients get
-        // batched writes, interactive clients get an immediate answer.
-        if reader.buffer().is_empty() {
-            writer.flush()?;
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                acc.extend_from_slice(&chunk[..=pos]);
+                reader.consume(pos + 1);
+                return ReadStep::Line;
+            }
+            None => {
+                let n = chunk.len();
+                acc.extend_from_slice(chunk);
+                reader.consume(n);
+                if acc.len() > MAX_LINE_BYTES {
+                    return ReadStep::Oversize;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection: one response line per request line, in order.
+fn serve_lines<R: Read, W: Write>(
+    read_half: R,
+    write_half: W,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(write_half);
+    let mut acc: Vec<u8> = Vec::with_capacity(256);
+    let mut last_activity = Instant::now();
+    let mut seen = 0usize; // bytes of `acc` already counted as activity
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            // In-flight connections are abandoned at shutdown; anything
+            // already queued on the shards is still drained and counted.
+            break;
+        }
+        match read_line_step(&mut reader, &mut acc) {
+            ReadStep::Line => {
+                last_activity = Instant::now();
+                let line = String::from_utf8_lossy(&acc);
+                let trimmed = line.trim_end_matches(['\r', '\n']);
+                let resp = match Request::parse(trimmed) {
+                    Err(e) => Response::Err {
+                        code: ErrCode::Parse,
+                        detail: e.to_string(),
+                    },
+                    Ok(req) => dispatch(req, pool, shared),
+                };
+                drop(line);
+                acc.clear();
+                seen = 0;
+                writer.write_all(resp.encode().as_bytes())?;
+                writer.write_all(b"\n")?;
+                // Flush only when the pipeline runs dry: pipelined clients
+                // get batched writes, interactive clients an immediate
+                // answer.
+                if reader.buffer().is_empty() {
+                    writer.flush()?;
+                }
+            }
+            ReadStep::Timeout => {
+                if acc.len() > seen {
+                    // A partial line is still progress; only complete
+                    // silence counts toward the idle deadline.
+                    seen = acc.len();
+                    last_activity = Instant::now();
+                }
+                if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::Err {
+                        code: ErrCode::Timeout,
+                        detail: "idle past deadline; reconnect to resume".to_string(),
+                    };
+                    writer.write_all(resp.encode().as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    return writer.flush();
+                }
+            }
+            ReadStep::Eof => {
+                // A trailing fragment without a newline is a truncated
+                // request from a peer that died mid-write: discard it
+                // rather than guessing at half a request.
+                break;
+            }
+            ReadStep::Oversize => {
+                let resp = Response::Err {
+                    code: ErrCode::Parse,
+                    detail: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                };
+                writer.write_all(resp.encode().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                break; // Cannot resynchronize: close.
+            }
+            ReadStep::Failed(e) => return Err(e),
         }
     }
     writer.flush()
@@ -299,6 +625,9 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
                     }
                 }
             }
+            merged.faults += shared.faults.total();
+            merged.timeouts += shared.timeouts.load(Ordering::SeqCst);
+            merged.conn_rejects += shared.conn_rejects.load(Ordering::SeqCst);
             Response::Stats(merged.snapshot(shared.busy.load(Ordering::SeqCst)))
         }
         Request::Shutdown => {
@@ -344,6 +673,7 @@ fn shutting_down() -> Response {
 mod tests {
     use super::*;
     use std::io::BufRead;
+    use std::net::Shutdown;
 
     fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
         let stream = TcpStream::connect(addr).unwrap();
@@ -380,6 +710,9 @@ mod tests {
         assert_eq!(s.observes, 30);
         assert_eq!(s.predicts, 1);
         assert_eq!(s.machines, 1);
+        assert_eq!(s.timeouts, 0);
+        assert_eq!(s.conn_rejects, 0);
+        assert_eq!(s.faults, 0);
         assert!(s.p50_us >= 0.0);
         drop((r, w));
         let final_stats = server.shutdown();
@@ -398,7 +731,13 @@ mod tests {
         ] {
             let resp = roundtrip(&mut r, &mut w, bad);
             assert!(
-                matches!(resp, Response::Err { code: ErrCode::Parse, .. }),
+                matches!(
+                    resp,
+                    Response::Err {
+                        code: ErrCode::Parse,
+                        ..
+                    }
+                ),
                 "{bad}: {resp:?}"
             );
         }
@@ -421,7 +760,13 @@ mod tests {
         let mut buf = String::new();
         r.read_line(&mut buf).unwrap();
         let resp = Response::parse(buf.trim_end()).unwrap();
-        assert!(matches!(resp, Response::Err { code: ErrCode::Parse, .. }));
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrCode::Parse,
+                ..
+            }
+        ));
         // Server closed its end.
         buf.clear();
         assert_eq!(r.read_line(&mut buf).unwrap(), 0);
@@ -433,12 +778,18 @@ mod tests {
         let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
         let addr = server.addr();
         let (mut r, mut w) = client(addr);
-        assert_eq!(roundtrip(&mut r, &mut w, "OBSERVE a 0 1:0 0.1 0.5 1"), Response::Ok);
+        assert_eq!(
+            roundtrip(&mut r, &mut w, "OBSERVE a 0 1:0 0.1 0.5 1"),
+            Response::Ok
+        );
         assert_eq!(roundtrip(&mut r, &mut w, "SHUTDOWN"), Response::Ok);
         server.wait(); // Returns because the client asked for shutdown.
+                       // The SHUTDOWN sender's connection is still open — shutdown must
+                       // still take the clean path by joining its handler.
+        let outcome = server.shutdown_outcome();
+        assert!(outcome.clean, "degraded drain with a live SHUTDOWN sender");
+        assert_eq!(outcome.stats.observes, 1);
         drop((r, w));
-        let stats = server.shutdown();
-        assert_eq!(stats.observes, 1);
     }
 
     #[test]
@@ -463,5 +814,209 @@ mod tests {
         assert!(buf.starts_with("PRED "), "{buf}");
         drop((r, w));
         server.shutdown();
+    }
+
+    /// Regression (PR 3): an idle connection used to pin its handler in a
+    /// deadline-less `read_line`, forcing `finish()` onto the degraded
+    /// `Arc::try_unwrap` fallback. With read polls + registry join, the
+    /// full merged snapshot must come back quickly and cleanly.
+    #[test]
+    fn idle_connection_does_not_block_clean_shutdown() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        for t in 0..5u64 {
+            assert_eq!(
+                roundtrip(&mut r, &mut w, &format!("OBSERVE a 0 1:0 0.2 0.5 {t}")),
+                Response::Ok
+            );
+        }
+        // A second connection that never sends anything at all.
+        let (_idle_r, _idle_w) = client(server.addr());
+        let t0 = Instant::now();
+        let outcome = server.shutdown_outcome();
+        assert!(outcome.clean, "idle connection forced the degraded drain");
+        assert_eq!(outcome.stats.observes, 5, "full snapshot expected");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?}",
+            t0.elapsed()
+        );
+        drop((r, w));
+    }
+
+    /// Regression (PR 3): the accept thread used to be woken by a single
+    /// fire-and-forget self-connect; if that failed, the join hung. The
+    /// non-blocking accept loop needs no wake-up at all — prove shutdown
+    /// is promptly bounded across repeated start/stop cycles.
+    #[test]
+    fn shutdown_never_hangs_on_the_accept_thread() {
+        for _ in 0..10 {
+            let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+            let t0 = Instant::now();
+            let outcome = server.shutdown_outcome();
+            assert!(outcome.clean);
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "accept join took {:?}",
+                t0.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn idle_connection_is_closed_at_the_deadline() {
+        let server = Server::start(
+            ServeConfig::default()
+                .with_shards(1)
+                .with_idle_timeout(Duration::from_millis(120)),
+        )
+        .unwrap();
+        let (mut r, mut w) = client(server.addr());
+        assert_eq!(
+            roundtrip(&mut r, &mut w, "OBSERVE a 0 1:0 0.2 0.5 1"),
+            Response::Ok
+        );
+        // Go idle; the server must answer ERR timeout and close.
+        let mut buf = String::new();
+        r.read_line(&mut buf).unwrap();
+        let resp = Response::parse(buf.trim_end()).unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    code: ErrCode::Timeout,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        buf.clear();
+        assert_eq!(
+            r.read_line(&mut buf).unwrap(),
+            0,
+            "connection must be closed"
+        );
+        // The close is visible in STATS from a fresh connection.
+        let (mut r2, mut w2) = client(server.addr());
+        let Response::Stats(s) = roundtrip(&mut r2, &mut w2, "STATS") else {
+            panic!("expected STATS");
+        };
+        assert_eq!(s.timeouts, 1);
+        drop((r2, w2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_retryable_error() {
+        let server = Server::start(
+            ServeConfig::default()
+                .with_shards(1)
+                .with_max_connections(1),
+        )
+        .unwrap();
+        let (mut r1, mut w1) = client(server.addr());
+        assert_eq!(
+            roundtrip(&mut r1, &mut w1, "OBSERVE a 0 1:0 0.2 0.5 1"),
+            Response::Ok
+        );
+        // Second connection: over the cap.
+        let (mut r2, _w2) = client(server.addr());
+        let mut buf = String::new();
+        r2.read_line(&mut buf).unwrap();
+        let resp = Response::parse(buf.trim_end()).unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    code: ErrCode::ConnLimit,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        buf.clear();
+        assert_eq!(r2.read_line(&mut buf).unwrap(), 0);
+        // Free the slot; a later connection gets in (the handler exit and
+        // the accept loop's reap race with us, so poll briefly).
+        drop((r1, w1));
+        let mut admitted = false;
+        for _ in 0..100 {
+            let (mut r3, mut w3) = client(server.addr());
+            match roundtrip(&mut r3, &mut w3, "STATS") {
+                Response::Stats(s) => {
+                    assert!(s.conn_rejects >= 1);
+                    admitted = true;
+                    break;
+                }
+                Response::Err {
+                    code: ErrCode::ConnLimit,
+                    ..
+                } => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(admitted, "slot never freed after the first client left");
+        server.shutdown();
+    }
+
+    /// A peer that dies mid-request must not ingest half a line: the
+    /// truncated fragment (which would even parse, with a mangled tick!)
+    /// is discarded at EOF.
+    #[test]
+    fn truncated_final_line_is_discarded_not_dispatched() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        // A prefix of "OBSERVE a 0 1:0 0.2 0.5 1234\n" that still parses
+        // as a complete OBSERVE with tick 12 — exactly the corruption a
+        // mid-write death could cause.
+        w.write_all(b"OBSERVE a 0 1:0 0.2 0.5 12").unwrap();
+        w.flush().unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Wait for the server to see the EOF and drop the connection.
+        let mut buf = String::new();
+        let mut r = BufReader::new(stream);
+        let _ = r.read_line(&mut buf);
+        let (mut r2, mut w2) = client(server.addr());
+        let Response::Stats(s) = roundtrip(&mut r2, &mut w2, "STATS") else {
+            panic!("expected STATS");
+        };
+        assert_eq!(s.observes, 0, "truncated OBSERVE must not be ingested");
+        assert_eq!(s.errors, 0);
+        drop((r2, w2));
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.observes, 0);
+    }
+
+    /// Server-side fault injection: with only delay/partial faults (no
+    /// drops) every request still completes, and the injected count
+    /// surfaces in STATS.
+    #[test]
+    fn server_side_faults_surface_in_stats() {
+        use crate::fault::{FaultKinds, FaultPlan};
+        let plan = FaultPlan::new(7, 0.3).with_kinds(FaultKinds {
+            delays: false, // keep the test fast
+            partials: true,
+            drops: false,
+        });
+        let server =
+            Server::start(ServeConfig::default().with_shards(1).with_faults(plan)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        for t in 0..20u64 {
+            assert_eq!(
+                roundtrip(&mut r, &mut w, &format!("OBSERVE a 0 1:0 0.2 0.5 {t}")),
+                Response::Ok
+            );
+        }
+        let Response::Stats(s) = roundtrip(&mut r, &mut w, "STATS") else {
+            panic!("expected STATS");
+        };
+        assert_eq!(s.observes, 20);
+        assert!(s.faults > 0, "fault plan never fired");
+        drop((r, w));
+        let final_stats = server.shutdown();
+        assert!(final_stats.faults > 0);
     }
 }

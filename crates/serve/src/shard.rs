@@ -221,11 +221,7 @@ impl ShardPool {
 }
 
 /// The worker loop: exclusive owner of its machines' state.
-fn shard_worker(
-    rx: Receiver<ShardMsg>,
-    cfg: ServeConfig,
-    predictor: Box<dyn PeakPredictor>,
-) {
+fn shard_worker(rx: Receiver<ShardMsg>, cfg: ServeConfig, predictor: Box<dyn PeakPredictor>) {
     let mut views: HashMap<MachineKey, IncrementalView> = HashMap::new();
     let mut metrics = ShardMetrics::default();
     let new_view = |cfg: &ServeConfig| {

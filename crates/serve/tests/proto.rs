@@ -11,6 +11,7 @@ const CELLS: [&str; 4] = ["a", "cell-b", "prod_c", "x123456789"];
 
 /// Builds a request from flat sampled scalars (the vendored proptest has no
 /// `prop_oneof`/`prop_map`, so variants are chosen by a selector integer).
+#[allow(clippy::too_many_arguments)] // one flat scalar per proptest strategy
 fn make_request(
     selector: u32,
     cell_idx: usize,
@@ -64,15 +65,15 @@ proptest! {
         prop_assert_eq!(back, Ok(req));
     }
 
-    /// Round trip for responses, including the 11-field STATS snapshot.
+    /// Round trip for responses, including the 14-field STATS snapshot.
     #[test]
     fn response_round_trips(
         selector in 0u32..6,
         flag in 0u32..2,
         peak in 0.0f64..1e9,
-        counters in proptest::collection::vec(0u64..=u64::MAX, 7),
+        counters in proptest::collection::vec(0u64..=u64::MAX, 10),
         lats in proptest::collection::vec(0.0f64..1e7, 4),
-        code_idx in 0u32..6,
+        code_idx in 0u32..8,
     ) {
         let code = [
             ErrCode::Parse,
@@ -81,6 +82,8 @@ proptest! {
             ErrCode::UnknownMachine,
             ErrCode::Shutdown,
             ErrCode::Internal,
+            ErrCode::Timeout,
+            ErrCode::ConnLimit,
         ][code_idx as usize];
         let resp = match selector % 6 {
             0 => Response::Ok,
@@ -95,6 +98,9 @@ proptest! {
                 stale: counters[4],
                 errors: counters[5],
                 machines: counters[6],
+                faults: counters[7],
+                timeouts: counters[8],
+                conn_rejects: counters[9],
                 p50_us: lats[0],
                 p99_us: lats[1],
                 mean_us: lats[2],
@@ -181,7 +187,10 @@ fn malformed_numbers_are_typed_errors() {
     ));
     assert!(matches!(
         Request::parse("OBSERVE a 99999999999 2:0 0.1 0.5 7"),
-        Err(ProtoError::BadNumber { field: "machine", .. })
+        Err(ProtoError::BadNumber {
+            field: "machine",
+            ..
+        })
     ));
 }
 

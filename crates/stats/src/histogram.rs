@@ -129,7 +129,11 @@ impl Histogram {
             acc += c;
         }
         // p == 100 with trailing empty bins: right edge of last occupied bin.
-        let last = self.bins.iter().rposition(|&c| c > 0).expect("in_range > 0");
+        let last = self
+            .bins
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("in_range > 0");
         Ok(self.lo + (last + 1) as f64 * width)
     }
 
@@ -223,7 +227,7 @@ mod tests {
     fn quantile_interpolates_within_bins() {
         let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
         h.extend((0..100).map(|i| (i as f64) / 10.0)); // 10 per bin
-        // Uniform mass: quantiles are (close to) the identity.
+                                                       // Uniform mass: quantiles are (close to) the identity.
         for p in [10.0, 25.0, 50.0, 90.0] {
             let q = h.quantile(p).unwrap();
             assert!((q - p / 10.0).abs() <= 1.0 + 1e-9, "p{p}: {q}");

@@ -275,8 +275,7 @@ mod tests {
             if i % 997 == 0 || i > 3 * REFRESH_EVERY {
                 let held: Vec<f64> = w.iter().collect();
                 let mean = held.iter().sum::<f64>() / held.len() as f64;
-                let var =
-                    held.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / held.len() as f64;
+                let var = held.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / held.len() as f64;
                 assert!(
                     (w.population_std() - var.sqrt()).abs() < 1e-9,
                     "push {i}: incremental {} vs exact {}",

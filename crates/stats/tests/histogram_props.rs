@@ -1,0 +1,93 @@
+//! Property tests for [`Histogram`]: quantile monotonicity and the
+//! merge-equals-concatenation law the serving layer's `STATS` aggregation
+//! rests on (per-shard histograms merged bin-wise must behave exactly as
+//! if one histogram had ingested every shard's stream).
+
+use oc_stats::Histogram;
+use proptest::prelude::*;
+
+/// The static shape used throughout: values outside `[0, 100)` exercise
+/// the underflow/overflow paths.
+const LO: f64 = 0.0;
+const HI: f64 = 100.0;
+const BINS: usize = 37;
+
+fn hist(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(LO, HI, BINS).unwrap();
+    h.extend(values.iter().copied());
+    h
+}
+
+proptest! {
+    /// `quantile` is monotone in `p`: more mass below a higher quantile.
+    #[test]
+    fn quantile_is_monotone_in_p(
+        values in proptest::collection::vec(-50.0f64..150.0, 1..200),
+        p_lo in 0.0f64..=100.0,
+        p_hi in 0.0f64..=100.0,
+    ) {
+        let h = hist(&values);
+        let (p_lo, p_hi) = if p_lo <= p_hi { (p_lo, p_hi) } else { (p_hi, p_lo) };
+        // All mass may be out of range (underflow/overflow only).
+        let (Ok(q_lo), Ok(q_hi)) = (h.quantile(p_lo), h.quantile(p_hi)) else {
+            prop_assert!(h.counts().iter().sum::<u64>() == 0);
+            return Ok(());
+        };
+        prop_assert!(
+            q_lo <= q_hi,
+            "quantile({p_lo}) = {q_lo} > quantile({p_hi}) = {q_hi}"
+        );
+    }
+
+    /// `a.merge(&b)` equals ingesting the concatenated stream: identical
+    /// per-bin counts, underflow, overflow, and total.
+    #[test]
+    fn merge_equals_concatenated_stream_bin_for_bin(
+        xs in proptest::collection::vec(-50.0f64..150.0, 0..150),
+        ys in proptest::collection::vec(-50.0f64..150.0, 0..150),
+    ) {
+        let mut merged = hist(&xs);
+        merged.merge(&hist(&ys)).unwrap();
+        let concat: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let reference = hist(&concat);
+        prop_assert_eq!(merged.counts(), reference.counts());
+        prop_assert_eq!(merged.underflow(), reference.underflow());
+        prop_assert_eq!(merged.overflow(), reference.overflow());
+        prop_assert_eq!(merged.total(), reference.total());
+    }
+
+    /// Quantiles read off a merged histogram match the histogram of the
+    /// merged stream bit-for-bit — the `STATS` p50/p99 merge law.
+    #[test]
+    fn quantiles_after_merge_match_merged_stream(
+        xs in proptest::collection::vec(-50.0f64..150.0, 0..150),
+        ys in proptest::collection::vec(-50.0f64..150.0, 1..150),
+        p in 0.0f64..=100.0,
+    ) {
+        let mut merged = hist(&xs);
+        merged.merge(&hist(&ys)).unwrap();
+        let concat: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let reference = hist(&concat);
+        match (merged.quantile(p), reference.quantile(p)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "quantile({}) diverged: {} vs {}", p, a, b
+            ),
+            (Err(_), Err(_)) => {} // both empty in range — still agreeing
+            (a, b) => return Err(format!("divergent results: {a:?} vs {b:?}")),
+        }
+    }
+
+    /// Merging histograms of different shapes is rejected, never silently
+    /// mangled.
+    #[test]
+    fn merge_rejects_shape_mismatch(bins in 1usize..80) {
+        let mut h = Histogram::new(LO, HI, BINS).unwrap();
+        let other = Histogram::new(LO, HI, bins).unwrap();
+        if bins == BINS {
+            prop_assert!(h.merge(&other).is_ok());
+        } else {
+            prop_assert!(h.merge(&other).is_err());
+        }
+    }
+}

@@ -82,8 +82,7 @@ pub fn profile(machines: &[MachineTrace]) -> Option<CellProfile> {
             cell_usage[i] += u;
         }
     }
-    let mean_utilization =
-        cell_usage.iter().sum::<f64>() / n_ticks as f64 / capacity;
+    let mean_utilization = cell_usage.iter().sum::<f64>() / n_ticks as f64 / capacity;
 
     let mid = Tick((n_ticks / 2) as u64);
     let mean_limit_ratio = machines
@@ -116,7 +115,11 @@ pub fn profile(machines: &[MachineTrace]) -> Option<CellProfile> {
         mean_utilization,
         mean_limit_ratio,
         diurnal_strength,
-        hourly_autocorrelation: if hour_n > 0 { hour_ac / hour_n as f64 } else { 0.0 },
+        hourly_autocorrelation: if hour_n > 0 {
+            hour_ac / hour_n as f64
+        } else {
+            0.0
+        },
     })
 }
 
@@ -146,12 +149,7 @@ pub fn pooling_ratio(machine: &MachineTrace, metric: UsageMetric) -> f64 {
     let task_sum: f64 = machine
         .tasks
         .iter()
-        .map(|t| {
-            t.samples
-                .iter()
-                .map(|s| metric.of(s))
-                .fold(0.0, f64::max)
-        })
+        .map(|t| t.samples.iter().map(|s| metric.of(s)).fold(0.0, f64::max))
         .sum();
     let mut machine_peak = 0.0f64;
     for t in machine.horizon.iter() {
@@ -224,7 +222,9 @@ mod tests {
         // standard biased ACF estimator shrinks by (n − lag)/n ≈ 0.86).
         assert!(autocorrelation(&sine, 288).unwrap() > 0.8);
         // Alternating series: lag-1 autocorrelation near −1.
-        let alt: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&alt, 1).unwrap() < -0.9);
         // Degenerate cases.
         assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_none()); // No variance.

@@ -1,20 +1,20 @@
-//! Online serving quickstart: an in-process server and one client.
+//! Online serving quickstart: an in-process server and one typed client.
 //!
 //! ```text
 //! cargo run --release --example serve_quickstart
 //! ```
 //!
 //! Starts `oc-serve` on an ephemeral loopback port, streams a morning's
-//! worth of usage samples for two tasks on one machine, and then asks the
-//! questions a scheduler would ask: "what will this machine's peak be?"
-//! and "does another 0.3-core task fit?". Finishes with the service-wide
-//! `STATS` snapshot and a graceful drain.
+//! worth of usage samples for two tasks on one machine through the
+//! retrying `oc-client` (which absorbs `BUSY` backpressure and transient
+//! disconnects transparently), and then asks the questions a scheduler
+//! would ask: "what will this machine's peak be?" and "does another
+//! 0.3-core task fit?". Finishes with the service-wide `STATS` snapshot
+//! and a graceful drain.
 
-use overcommit_repro::serve::proto::{Request, Response};
+use overcommit_repro::client::{Client, ClientConfig};
 use overcommit_repro::serve::{ServeConfig, Server};
 use overcommit_repro::trace::ids::{CellId, JobId, MachineId, TaskId};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2-shard server with the paper's default predictor
@@ -22,21 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = Server::start(ServeConfig::default().with_shards(2))?;
     println!("serving on {}", server.addr());
 
-    let stream = TcpStream::connect(server.addr())?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut line = String::new();
-    let mut ask = |writer: &mut TcpStream,
-                   reader: &mut BufReader<TcpStream>,
-                   req: Request|
-     -> Result<Response, Box<dyn std::error::Error>> {
-        writer.write_all(req.encode().as_bytes())?;
-        writer.write_all(b"\n")?;
-        line.clear();
-        reader.read_line(&mut line)?;
-        Ok(Response::parse(line.trim_end())?)
-    };
+    let mut client = Client::connect(server.addr(), ClientConfig::default())?;
 
     let cell = CellId::new("demo");
     let machine = MachineId(0);
@@ -50,66 +36,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in 0..48u64 {
         let ramp = 0.08 + 0.10 * (t as f64 / 48.0);
         for (task, usage, limit) in [(web, ramp, 0.6), (batch, 0.05, 0.3)] {
-            let resp = ask(
-                &mut writer,
-                &mut reader,
-                Request::Observe {
-                    cell: cell.clone(),
-                    machine,
-                    task,
-                    usage,
-                    limit,
-                    tick: t,
-                },
-            )?;
-            assert_eq!(resp, Response::Ok, "observe rejected: {resp:?}");
+            client.observe(&cell, machine, task, usage, limit, t)?;
         }
     }
 
     // The scheduler's first question: the machine's predicted peak.
-    match ask(
-        &mut writer,
-        &mut reader,
-        Request::Predict {
-            cell: cell.clone(),
-            machine,
-        },
-    )? {
-        Response::Pred { peak } => {
-            println!("predicted machine peak: {peak:.3} (Σ limits would say 0.900)");
-        }
-        other => panic!("unexpected reply: {other:?}"),
-    }
+    let peak = client.predict(&cell, machine)?;
+    println!("predicted machine peak: {peak:.3} (Σ limits would say 0.900)");
 
     // The second question: does one more 0.3-core task fit?
-    match ask(
-        &mut writer,
-        &mut reader,
-        Request::Admit {
-            cell: cell.clone(),
-            machine,
-            limit: 0.3,
-        },
-    )? {
-        Response::Admitted { admit, projected } => {
-            println!(
-                "admit a 0.3-limit task? {} (projected peak {projected:.3} vs capacity 1.0)",
-                if admit { "yes" } else { "no" }
-            );
-        }
-        other => panic!("unexpected reply: {other:?}"),
-    }
+    let (admit, projected) = client.admit(&cell, machine, 0.3)?;
+    println!(
+        "admit a 0.3-limit task? {} (projected peak {projected:.3} vs capacity 1.0)",
+        if admit { "yes" } else { "no" }
+    );
 
-    match ask(&mut writer, &mut reader, Request::Stats)? {
-        Response::Stats(s) => println!(
-            "server counters: {} observes, {} predicts, {} admits across {} machine(s), \
-             p99 service latency {:.0} µs",
-            s.observes, s.predicts, s.admits, s.machines, s.p99_us
-        ),
-        other => panic!("unexpected reply: {other:?}"),
-    }
+    let s = client.stats()?;
+    println!(
+        "server counters: {} observes, {} predicts, {} admits across {} machine(s), \
+         p99 service latency {:.0} µs",
+        s.observes, s.predicts, s.admits, s.machines, s.p99_us
+    );
 
-    drop((reader, writer));
+    drop(client);
     let final_stats = server.shutdown();
     println!(
         "drained: final snapshot has {} observes, {} busy rejects",

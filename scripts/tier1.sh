@@ -26,6 +26,7 @@ if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 
+cargo fmt --check
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings

@@ -9,7 +9,8 @@
 //! * [`core`] — peak oracle, practical peak predictors, simulator, metrics.
 //! * [`qos`] — CPU scheduling latency model.
 //! * [`scheduler`] — predictor-gated admission, placement, A/B harness.
-//! * [`serve`] — online peak-prediction TCP service + load generator.
+//! * [`serve`] — online peak-prediction TCP service with fault injection.
+//! * [`client`] — retrying typed client for [`serve`] + load generator.
 //! * [`experiments`] — the table/figure reproduction harness.
 //!
 //! # Examples
@@ -24,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use oc_client as client;
 pub use oc_core as core;
 pub use oc_experiments as experiments;
 pub use oc_qos as qos;

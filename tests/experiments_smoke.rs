@@ -8,7 +8,10 @@ fn unknown_experiment_is_rejected() {
     let err = oc_experiments::dispatch("fig99", &Opts::default()).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("unknown experiment"));
-    assert!(msg.contains("fig10"), "message should list known ids: {msg}");
+    assert!(
+        msg.contains("fig10"),
+        "message should list known ids: {msg}"
+    );
 }
 
 /// Every advertised experiment id dispatches (identity check only — the

@@ -71,7 +71,9 @@ proptest! {
 #[test]
 fn contention_dominance() {
     let m = LatencyModel::default();
-    let calm: Vec<f64> = (0..2000).map(|i| 0.3 + 0.1 * ((i as f64) / 50.0).sin()).collect();
+    let calm: Vec<f64> = (0..2000)
+        .map(|i| 0.3 + 0.1 * ((i as f64) / 50.0).sin())
+        .collect();
     let hot: Vec<f64> = calm.iter().map(|&u| u + 0.5).collect();
     // Same machine key → identical noise draws, so dominance is per-tick.
     let a = m.machine_series(&calm, 1.0, 7);

@@ -2,11 +2,20 @@
 //! bit-for-bit.
 //!
 //! The same generated machine is (a) run through `simulate_machine` with
-//! series recording and (b) streamed tick by tick over TCP as `OBSERVE`
-//! lines followed by one `PREDICT` per tick. Because the wire protocol
-//! uses shortest-round-trip float formatting, the shard's `IncrementalView`
-//! replays the exact sample stream the simulator's `MachineView` saw, and
-//! every served prediction must match the offline one to the last bit.
+//! series recording and (b) streamed tick by tick through the typed
+//! `oc-client` as `OBSERVE` calls followed by one `PREDICT` per tick.
+//! Because the wire protocol uses shortest-round-trip float formatting,
+//! the shard's `IncrementalView` replays the exact sample stream the
+//! simulator's `MachineView` saw, and every served prediction must match
+//! the offline one to the last bit.
+//!
+//! The chaos variant re-runs the identity with seeded fault injection on
+//! the client's sockets — delays, partial reads/writes, dropped
+//! connections. The client's retries are safe because ingestion is
+//! idempotent per `(tick, task)`: a re-sent sample for a still-pending
+//! tick updates in place bit-identically. So even with ~8% of socket
+//! operations faulted, *every* served prediction must still equal the
+//! offline reference exactly.
 //!
 //! The shard clamps its answers with `clamp_prediction` (served numbers
 //! must be actionable), while the recorded series keeps raw predictor
@@ -19,19 +28,21 @@
 //! tick itself therefore sees the pre-gap state. State re-converges at the
 //! next sample, which the test confirms by comparing every non-empty tick.
 
+use overcommit_repro::client::{Client, ClientConfig};
 use overcommit_repro::core::config::SimConfig;
 use overcommit_repro::core::predictor::PredictorSpec;
 use overcommit_repro::core::sim::simulate_machine;
-use overcommit_repro::serve::proto::{Request, Response};
+use overcommit_repro::serve::fault::FaultPlan;
 use overcommit_repro::serve::{ServeConfig, Server};
 use overcommit_repro::trace::cell::{CellConfig, CellPreset};
 use overcommit_repro::trace::ids::CellId;
 use overcommit_repro::trace::{MachineId, WorkloadGenerator};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::time::Duration;
 
-#[test]
-fn served_predictions_match_offline_simulation_bit_for_bit() {
+/// Replays machines 0..4 of a small preset-A cell through a server and
+/// asserts bit-identity of every served prediction against the offline
+/// simulator. `client_cfg` lets the chaos variant inject faults.
+fn assert_online_matches_offline(client_cfg: &ClientConfig) -> u64 {
     let mut cell = CellConfig::preset(CellPreset::A);
     cell.machines = 4;
     cell.duration_ticks = 96; // 8 hours of 5-minute ticks
@@ -39,6 +50,7 @@ fn served_predictions_match_offline_simulation_bit_for_bit() {
 
     let sim_cfg = SimConfig::default().with_series();
     let spec = PredictorSpec::paper_max();
+    let mut faults_total = 0u64;
 
     for m in 0..4u32 {
         let trace = generator.generate_machine(MachineId(m)).unwrap();
@@ -59,63 +71,42 @@ fn served_predictions_match_offline_simulation_bit_for_bit() {
         )
         .unwrap();
 
-        let stream = TcpStream::connect(server.addr()).unwrap();
-        stream.set_nodelay(true).unwrap();
-        let mut reader = BufReader::new(stream.try_clone().unwrap());
-        let mut writer = stream;
+        let mut client = Client::connect(server.addr(), client_cfg.clone()).unwrap();
         let cell_id = CellId::new("smoke");
-        let mut line = String::new();
 
         let mut compared = 0usize;
         let mut predicts_sent = 0u64;
         for (i, t) in trace.horizon.iter().enumerate() {
             // Stream the tick's samples in trace task order — the order
-            // `drive_ticks` feeds the simulator's view.
-            let mut batch = String::new();
+            // `drive_ticks` feeds the simulator's view. Sequential typed
+            // calls keep each sample acknowledged before the next is
+            // sent, so a chaos retry always re-sends a still-pending
+            // tick (idempotent, bit-identical).
             let mut sent = 0usize;
             for task in trace.tasks_at(t) {
                 let usage = task
                     .sample_at(t)
                     .map(|s| sim_cfg.metric.of(s))
                     .unwrap_or(0.0);
-                let req = Request::Observe {
-                    cell: cell_id.clone(),
-                    machine: trace.machine,
-                    task: task.spec.id,
-                    usage,
-                    limit: task.spec.limit,
-                    tick: t.0,
-                };
-                batch.push_str(&req.encode());
-                batch.push('\n');
+                client
+                    .observe(
+                        &cell_id,
+                        trace.machine,
+                        task.spec.id,
+                        usage,
+                        task.spec.limit,
+                        t.0,
+                    )
+                    .unwrap_or_else(|e| panic!("machine {m} tick {i}: {e}"));
                 sent += 1;
             }
             if sent == 0 {
                 continue; // empty tick — see the module docs
             }
-            batch.push_str(
-                &Request::Predict {
-                    cell: cell_id.clone(),
-                    machine: trace.machine,
-                }
-                .encode(),
-            );
-            batch.push('\n');
+            let served = client
+                .predict(&cell_id, trace.machine)
+                .unwrap_or_else(|e| panic!("machine {m} tick {i}: {e}"));
             predicts_sent += 1;
-            writer.write_all(batch.as_bytes()).unwrap();
-            writer.flush().unwrap();
-
-            for _ in 0..sent {
-                line.clear();
-                reader.read_line(&mut line).unwrap();
-                assert_eq!(line.trim_end(), "OK", "machine {m} tick {i}");
-            }
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let served = match Response::parse(line.trim_end()).unwrap() {
-                Response::Pred { peak } => peak,
-                other => panic!("machine {m} tick {i}: expected PRED, got {other:?}"),
-            };
 
             let offline = series.predictions[0][i].clamp(0.0, series.limit[i]);
             assert_eq!(
@@ -133,10 +124,35 @@ fn served_predictions_match_offline_simulation_bit_for_bit() {
             trace.horizon.len()
         );
 
-        drop((reader, writer));
+        faults_total += client.faults_injected();
+        let retried = client.metrics().retries > 0;
+        drop(client);
         let stats = server.shutdown();
-        assert_eq!(stats.predicts, predicts_sent);
-        assert_eq!(stats.stale, 0);
         assert_eq!(stats.errors, 0);
+        if !retried {
+            // Without retries there are no duplicate sends, so the exact
+            // request counts must survive the trip.
+            assert_eq!(stats.predicts, predicts_sent);
+            assert_eq!(stats.stale, 0);
+        } else {
+            // Retries may duplicate requests (idempotently); counts only
+            // grow.
+            assert!(stats.predicts >= predicts_sent);
+        }
     }
+    faults_total
+}
+
+#[test]
+fn served_predictions_match_offline_simulation_bit_for_bit() {
+    let faults = assert_online_matches_offline(&ClientConfig::default());
+    assert_eq!(faults, 0);
+}
+
+#[test]
+fn served_predictions_survive_chaos_bit_for_bit() {
+    let plan = FaultPlan::new(20210426, 0.08).with_max_delay(Duration::from_micros(200));
+    let cfg = ClientConfig::default().with_seed(11).with_faults(plan);
+    let faults = assert_online_matches_offline(&cfg);
+    assert!(faults > 0, "chaos plan never fired");
 }
