@@ -65,6 +65,39 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The same engine loop with observability switched on: tracing enabled
+/// so `MachineView::observe` takes its guarded counter branch. The
+/// acceptance budget is <= 3% over `engine` (see `BENCH_hot_path.json`).
+fn bench_engine_telemetry(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let predictors: Vec<Box<dyn PeakPredictor>> = PredictorSpec::comparison_set()
+        .iter()
+        .map(|s| s.build().unwrap())
+        .collect();
+    oc_telemetry::trace::enable();
+    let mut g = c.benchmark_group("hot_path");
+    g.throughput(Throughput::Elements(TICKS));
+    g.bench_function("engine_telemetry", |b| {
+        b.iter(|| {
+            let mut view = MachineView::new(1.0, &cfg);
+            let mut acc = 0.0;
+            for t in 0..TICKS {
+                view.observe(
+                    Tick(t),
+                    (0..TASKS).map(|i| (task_id(i), LIMIT, usage(i, t))),
+                );
+                for p in &predictors {
+                    acc += p.predict(&view);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+    oc_telemetry::trace::disable();
+    drop(oc_telemetry::trace::drain());
+}
+
 /// A faithful replica of the pre-rewrite hot path, kept here so the
 /// speedup stays measurable against the same workload.
 mod naive {
@@ -234,5 +267,5 @@ fn bench_naive(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_naive);
+criterion_group!(benches, bench_engine, bench_engine_telemetry, bench_naive);
 criterion_main!(benches);

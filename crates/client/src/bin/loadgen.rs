@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--machines N] [--ticks N] [--connections N]
 //!         [--qps N] [--seed U64] [--no-predicts] [--chaos RATE]
-//!         [--chaos-seed U64] [--out BENCH_serve.json]
+//!         [--chaos-seed U64] [--out BENCH_serve.json] [--trace-out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (4 shards, default
@@ -20,6 +20,11 @@
 //!
 //! With `--out`, a JSON report in the style of `BENCH_hot_path.json` is
 //! written; otherwise the same JSON goes to stdout.
+//!
+//! With `--trace-out FILE`, structured tracing is enabled for the run and
+//! the drained client-side spans/events (`loadgen.conn` spans,
+//! `client.retry.*` / `client.reconnect` events) are written to FILE as
+//! JSONL on exit — see `docs/OPERATIONS.md` for the event dictionary.
 
 use oc_client::loadgen::{run, LoadgenConfig};
 use oc_client::LoadReport;
@@ -34,13 +39,14 @@ struct Args {
     chaos_rate: Option<f64>,
     chaos_seed: u64,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--machines N] [--ticks N] \
          [--connections N] [--qps N] [--seed U64] [--no-predicts] \
-         [--chaos RATE] [--chaos-seed U64] [--out FILE]"
+         [--chaos RATE] [--chaos-seed U64] [--out FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -52,6 +58,7 @@ fn parse_args() -> Args {
         chaos_rate: None,
         chaos_seed: 42,
         out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,6 +85,7 @@ fn parse_args() -> Args {
                 out.chaos_seed = val("--chaos-seed").parse().unwrap_or_else(|_| usage())
             }
             "--out" => out.out = Some(val("--out")),
+            "--trace-out" => out.trace_out = Some(val("--trace-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -114,8 +122,19 @@ fn phase_json(label: &str, report: &LoadReport) -> String {
     report.to_json(label)
 }
 
+fn write_trace(path: &str) -> std::io::Result<usize> {
+    let events = oc_telemetry::trace::drain();
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    oc_telemetry::trace::write_jsonl(&mut w, &events)?;
+    Ok(events.len())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.trace_out.is_some() {
+        oc_telemetry::trace::enable();
+    }
     let mut phases: Vec<String> = Vec::new();
     let mut lost_total = 0u64;
 
@@ -191,6 +210,16 @@ fn main() -> ExitCode {
             eprintln!("loadgen: wrote {path}");
         }
         None => print!("{json}"),
+    }
+    if let Some(path) = &args.trace_out {
+        oc_telemetry::trace::disable();
+        match write_trace(path) {
+            Ok(n) => eprintln!("loadgen: wrote {n} trace events to {path}"),
+            Err(e) => {
+                eprintln!("loadgen: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if lost_total > 0 {
         eprintln!("loadgen: FAIL — {lost_total} acknowledged samples unaccounted for");

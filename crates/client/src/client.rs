@@ -35,9 +35,10 @@
 use crate::error::ClientError;
 use oc_serve::fault::{FaultCounters, FaultPlan, FaultStream};
 use oc_serve::proto::{ErrCode, Request, Response, StatsSnapshot};
+use oc_telemetry::{trace, Counter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -160,6 +161,30 @@ pub struct ClientMetrics {
     pub io_retries: u64,
 }
 
+/// Cached handles into the process-wide metrics registry
+/// ([`oc_telemetry::global_metrics`]); bumped alongside the per-client
+/// [`ClientMetrics`] so a multi-client process (e.g. loadgen) gets one
+/// aggregate view without collecting every client by hand.
+#[derive(Debug)]
+struct GlobalCounters {
+    retries: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    busy_retries: Arc<Counter>,
+    io_retries: Arc<Counter>,
+}
+
+impl GlobalCounters {
+    fn new() -> GlobalCounters {
+        let m = oc_telemetry::global_metrics();
+        GlobalCounters {
+            retries: m.counter("client.retries"),
+            reconnects: m.counter("client.reconnects"),
+            busy_retries: m.counter("client.retries.busy"),
+            io_retries: m.counter("client.retries.io"),
+        }
+    }
+}
+
 /// One logical connection to an `oc-serve` server.
 ///
 /// # Examples
@@ -182,6 +207,7 @@ pub struct Client {
     /// fresh deterministic schedule.
     epoch: u64,
     metrics: ClientMetrics,
+    global: GlobalCounters,
     fault_counters: Arc<FaultCounters>,
 }
 
@@ -245,6 +271,7 @@ impl Client {
             rng,
             epoch: 0,
             metrics: ClientMetrics::default(),
+            global: GlobalCounters::new(),
             fault_counters: Arc::new(FaultCounters::default()),
         };
         for attempt in 0..client.cfg.retry.max_attempts {
@@ -281,6 +308,8 @@ impl Client {
         let read_half = stream.try_clone()?;
         if self.epoch > 0 {
             self.metrics.reconnects += 1;
+            self.global.reconnects.inc();
+            trace::event("client.reconnect", self.epoch, 0);
         }
         let (r, w): (Box<dyn Read + Send>, Box<dyn Write + Send>) = match &self.cfg.faults {
             Some(plan) => {
@@ -375,6 +404,28 @@ impl Client {
         }
     }
 
+    /// Records one `BUSY` retry (per-client and process-wide) and emits a
+    /// `client.retry.busy` trace event (`a` = requests affected).
+    fn note_busy(&mut self, affected: u64) {
+        self.metrics.busy_retries += 1;
+        self.global.busy_retries.inc();
+        trace::event("client.retry.busy", affected, 0);
+    }
+
+    /// Records one transient-I/O retry and emits `client.retry.io`
+    /// (`a` = requests re-queued by the failure).
+    fn note_io(&mut self, affected: u64) {
+        self.metrics.io_retries += 1;
+        self.global.io_retries.inc();
+        trace::event("client.retry.io", affected, 0);
+    }
+
+    /// Records `n` request attempts beyond the first.
+    fn note_retries(&mut self, n: u64) {
+        self.metrics.retries += n;
+        self.global.retries.add(n);
+    }
+
     /// Sends one request, retrying `BUSY` and transient failures within
     /// the budget. Non-retryable `ERR` responses are returned as
     /// [`Response::Err`] values, not errors.
@@ -388,17 +439,17 @@ impl Client {
         let mut last = String::new();
         for attempt in 0..self.cfg.retry.max_attempts {
             if attempt > 0 {
-                self.metrics.retries += 1;
+                self.note_retries(1);
             }
             match self.try_once(&line)? {
                 Attempt::Done(resp) => return Ok(resp),
                 Attempt::Busy => {
-                    self.metrics.busy_retries += 1;
+                    self.note_busy(1);
                     last = "BUSY".to_string();
                     self.backoff(attempt);
                 }
                 Attempt::Transient(what) => {
-                    self.metrics.io_retries += 1;
+                    self.note_io(1);
                     last = what;
                     self.backoff(attempt);
                 }
@@ -499,6 +550,28 @@ impl Client {
         }
     }
 
+    /// Fetches the server's merged metrics exposition (the `METRICS`
+    /// verb) as a name → value map. Not to be confused with
+    /// [`Client::metrics`], which reports this *client's* retry counters;
+    /// this call reports the *server's* unified registry — see
+    /// `docs/OPERATIONS.md` for the metric dictionary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures; a non-`METRICS` response
+    /// or an undecodable exposition becomes [`ClientError::Server`].
+    pub fn server_metrics(&mut self) -> Result<BTreeMap<String, f64>, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { exposition } => {
+                oc_telemetry::metrics::parse_exposition(&exposition).ok_or(ClientError::Server {
+                    expected: "METRICS",
+                    got: exposition,
+                })
+            }
+            other => Err(ClientError::unexpected("METRICS", &other)),
+        }
+    }
+
     /// Asks the server to shut down. Success if the server acknowledged
     /// or was already shutting down.
     ///
@@ -547,7 +620,7 @@ impl Client {
             }
             if let Err(e) = self.ensure_conn() {
                 if is_transient(&e) {
-                    self.metrics.io_retries += 1;
+                    self.note_io(0);
                     last = e.to_string();
                     self.backoff(strikes);
                     strikes += 1;
@@ -601,8 +674,8 @@ impl Client {
                 // any truncated trailing line, so a clean re-send of the
                 // whole window is safe.
                 self.conn = None;
-                self.metrics.io_retries += 1;
-                self.metrics.retries += window.len() as u64;
+                self.note_io(window.len() as u64);
+                self.note_retries(window.len() as u64);
                 requeue_front(todo, window.iter().copied());
                 return Ok(WindowOutcome::Stalled(e.to_string()));
             }
@@ -630,9 +703,9 @@ impl Client {
                 // This and all later responses of the window are gone;
                 // re-send the lot (idempotent, see module docs).
                 self.conn = None;
-                self.metrics.io_retries += 1;
                 let rest: Vec<usize> = window[k..].to_vec();
-                self.metrics.retries += rest.len() as u64;
+                self.note_io(rest.len() as u64);
+                self.note_retries(rest.len() as u64);
                 requeue_front(todo, deferred.iter().copied().chain(rest));
                 stalled = Some(e.to_string());
                 break;
@@ -644,16 +717,16 @@ impl Client {
                     resolved = true;
                 }
                 Attempt::Busy => {
-                    self.metrics.busy_retries += 1;
-                    self.metrics.retries += 1;
+                    self.note_busy(1);
+                    self.note_retries(1);
                     deferred.push(idx);
                 }
                 Attempt::Transient(what) => {
                     // classify() dropped the connection (server closed
                     // it); later responses cannot arrive.
-                    self.metrics.io_retries += 1;
                     let rest: Vec<usize> = window[k + 1..].to_vec();
-                    self.metrics.retries += 1 + rest.len() as u64;
+                    self.note_io(1 + rest.len() as u64);
+                    self.note_retries(1 + rest.len() as u64);
                     deferred.push(idx);
                     requeue_front(todo, deferred.iter().copied().chain(rest));
                     stalled = Some(what);
@@ -724,6 +797,10 @@ mod tests {
         let stats = c.stats().unwrap();
         assert_eq!(stats.observes, 30);
         assert_eq!(c.metrics().retries, 0);
+        let m = c.server_metrics().unwrap();
+        assert_eq!(m.get("serve.observes"), Some(&30.0));
+        assert_eq!(m.get("serve.machines"), Some(&1.0));
+        assert!(m.contains_key("serve.latency_us.p99"));
         drop(c);
         server.shutdown();
     }
@@ -738,6 +815,9 @@ mod tests {
                 .with_idle_timeout(Duration::from_millis(80)),
         )
         .unwrap();
+        let reconnects_before = oc_telemetry::global_metrics()
+            .counter("client.reconnects")
+            .get();
         let mut c = Client::connect(server.addr(), ClientConfig::default()).unwrap();
         c.observe(&cell(), MachineId(0), task(0), 0.2, 0.5, 1)
             .unwrap();
@@ -746,6 +826,12 @@ mod tests {
         c.observe(&cell(), MachineId(0), task(0), 0.3, 0.5, 2)
             .unwrap();
         assert!(c.metrics().reconnects >= 1, "{:?}", c.metrics());
+        // The process-wide registry moves with the per-client counters
+        // (>=: other tests in this process may reconnect concurrently).
+        let reconnects_after = oc_telemetry::global_metrics()
+            .counter("client.reconnects")
+            .get();
+        assert!(reconnects_after > reconnects_before);
         let stats = c.stats().unwrap();
         assert_eq!(stats.observes, 2);
         assert_eq!(stats.timeouts, 1);

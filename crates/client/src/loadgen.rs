@@ -35,6 +35,7 @@ use crate::error::ClientError;
 use oc_serve::fault::FaultPlan;
 use oc_serve::proto::{Request, Response, StatsSnapshot};
 use oc_stats::percentile_slice;
+use oc_telemetry::trace;
 use oc_trace::cell::{CellConfig, CellPreset};
 use oc_trace::ids::CellId;
 use oc_trace::time::Tick;
@@ -246,6 +247,9 @@ fn run_conn(
     conn_idx: usize,
     chaos: Option<FaultPlan>,
 ) -> ConnResult {
+    // One span per connection thread covering its whole replay
+    // (`a` = connection index, `b` = scripted request count).
+    let _conn_span = trace::span_ab("loadgen.conn", conn_idx as u64, plan.len() as u64);
     let mut res = ConnResult {
         sent: plan.len() as u64,
         ..ConnResult::default()
@@ -264,6 +268,7 @@ fn run_conn(
     let mut client = match Client::connect(addr, cfg) {
         Ok(c) => c,
         Err(e) => {
+            trace::event("loadgen.conn.fail", conn_idx as u64, 0);
             res.failure = Some(format!("connect: {e}"));
             return res;
         }
@@ -293,6 +298,7 @@ fn run_conn(
         });
         submitted += chunk.len();
         if let Err(e) = outcome {
+            trace::event("loadgen.conn.fail", conn_idx as u64, 0);
             res.failure = Some(e.to_string());
             break;
         }

@@ -11,8 +11,35 @@ use crate::metrics::{MachineReport, MachineSeries, SimResult};
 use crate::oracle::machine_oracle;
 use crate::predictor::PeakPredictor;
 use crate::view::MachineView;
+use oc_telemetry::{trace, Counter};
 use oc_trace::time::Tick;
 use oc_trace::MachineTrace;
+use std::sync::{Arc, OnceLock};
+
+/// When tracing is enabled, one `sim.tick` span is recorded every this
+/// many ticks. Sampling (rather than a span per tick) bounds trace volume
+/// on month-long replays while still catching slow-tick outliers at a
+/// useful rate.
+const TICK_SPAN_SAMPLE: usize = 64;
+
+/// Cached handles for the simulator's hot-path counters. Resolved once;
+/// the per-replay updates are bulk adds, so a traced replay costs the
+/// same per tick as an untraced one.
+struct SimCounters {
+    ticks: Arc<Counter>,
+    predictor_evals: Arc<Counter>,
+}
+
+fn sim_counters() -> &'static SimCounters {
+    static COUNTERS: OnceLock<SimCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let m = oc_telemetry::global_metrics();
+        SimCounters {
+            ticks: m.counter("sim.ticks"),
+            predictor_evals: m.counter("sim.predictor_evals"),
+        }
+    })
+}
 
 /// Simulates one machine against a set of predictors.
 ///
@@ -80,6 +107,15 @@ pub fn simulate_machine(
         }
     })?;
 
+    // Bulk-add once per replay: O(1) regardless of horizon length, and
+    // only when observability is switched on at all.
+    if oc_telemetry::enabled() {
+        let c = sim_counters();
+        c.ticks.add(trace.horizon.len());
+        c.predictor_evals
+            .add(trace.horizon.len() * predictors.len() as u64);
+    }
+
     Ok(SimResult {
         machine: trace.machine,
         capacity: trace.capacity,
@@ -103,6 +139,9 @@ where
     // Machines host dozens of tasks at a time but thousands over a month.
     let mut live: Vec<usize> = Vec::new();
     let mut next_task = 0usize;
+    // Checked once per replay: the hot loop must not pay for telemetry
+    // that is switched off (the PR1 per-tick budget).
+    let traced = oc_telemetry::enabled();
 
     for (i, t) in trace.horizon.iter().enumerate() {
         // Admit tasks starting at `t` (tasks are sorted by start tick).
@@ -113,6 +152,12 @@ where
             next_task += 1;
         }
         live.retain(|&idx| trace.tasks[idx].spec.alive_at(t));
+
+        // Sampled per-tick timing: one span every `TICK_SPAN_SAMPLE`
+        // ticks covering the view update and predictor evaluations
+        // (`a` = tick, `b` = live tasks).
+        let _tick_span = (traced && i % TICK_SPAN_SAMPLE == 0)
+            .then(|| trace::span_ab("sim.tick", t.0, live.len() as u64));
 
         view.observe(
             t,
@@ -259,6 +304,28 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.oracle_horizon_ticks = 0;
         assert!(simulate_machine(&t, &cfg, &build(&[PredictorSpec::LimitSum])).is_err());
+    }
+
+    #[test]
+    fn telemetry_counters_and_sampled_spans_record_when_enabled() {
+        let t = trace();
+        let specs = build(&[PredictorSpec::LimitSum, PredictorSpec::NSigma { n: 5.0 }]);
+        let m = oc_telemetry::global_metrics();
+        let ticks_before = m.counter("sim.ticks").get();
+        let evals_before = m.counter("sim.predictor_evals").get();
+        oc_telemetry::trace::enable();
+        let result = simulate_machine(&t, &SimConfig::default(), &specs);
+        oc_telemetry::trace::disable();
+        result.unwrap();
+        // >= rather than ==: other tests in this process may replay
+        // concurrently while tracing is enabled.
+        assert!(m.counter("sim.ticks").get() >= ticks_before + 288);
+        assert!(m.counter("sim.predictor_evals").get() >= evals_before + 2 * 288);
+        let events = oc_telemetry::trace::drain();
+        let tick_spans: Vec<_> = events.iter().filter(|e| e.name == "sim.tick").collect();
+        // 288 ticks sampled every 64: ticks 0, 64, 128, 192, 256.
+        assert!(tick_spans.len() >= 5, "{} sampled spans", tick_spans.len());
+        assert!(tick_spans.iter().all(|e| e.b > 0), "live tasks recorded");
     }
 
     #[test]

@@ -16,9 +16,18 @@
 
 use crate::config::SimConfig;
 use oc_stats::{MovingWindow, OrderStatWindow};
+use oc_telemetry::Counter;
 use oc_trace::ids::TaskId;
 use oc_trace::time::Tick;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handle for the `core.view.observe_ticks` counter: one count per
+/// [`MachineView::observe`] call across every view in the process.
+fn observe_ticks_counter() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| oc_telemetry::global_metrics().counter("core.view.observe_ticks"))
+}
 
 /// Per-task state maintained by the node agent.
 #[derive(Debug, Clone)]
@@ -118,6 +127,11 @@ impl MachineView {
     /// current observation number), replacing the per-tick sort +
     /// binary-search membership test.
     pub fn observe(&mut self, t: Tick, alive: impl IntoIterator<Item = (TaskId, f64, f64)>) {
+        // Guarded so a replay with observability off pays one relaxed
+        // load per tick, nothing more.
+        if oc_telemetry::enabled() {
+            observe_ticks_counter().inc();
+        }
         self.now = t;
         self.generation += 1;
         let generation = self.generation;

@@ -1,9 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--threads N] [--results DIR] [--seed U64] <experiment>...
+//! repro [--full] [--threads N] [--results DIR] [--seed U64]
+//!       [--trace-out FILE] <experiment>...
 //! repro all
 //! ```
+//!
+//! With `--trace-out FILE`, structured tracing is enabled for the run:
+//! the simulator core records sampled `sim.tick` spans and the drained
+//! events are written to FILE as JSONL on exit (see `docs/OPERATIONS.md`).
 
 use oc_experiments::common::{Opts, Scale};
 use std::process::ExitCode;
@@ -11,9 +16,14 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut opts = Opts::default();
     let mut experiments: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => return usage("--trace-out needs a file path"),
+            },
             "--full" => opts.scale = Scale::Full,
             "--plot" => opts.plot = true,
             "--quick" => opts.scale = Scale::Quick,
@@ -37,6 +47,9 @@ fn main() -> ExitCode {
     if experiments.is_empty() {
         return usage("no experiment given");
     }
+    if trace_out.is_some() {
+        oc_telemetry::trace::enable();
+    }
     println!(
         "scale: {:?}, threads: {}, results dir: {}{}",
         opts.scale,
@@ -53,7 +66,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = trace_out {
+        oc_telemetry::trace::disable();
+        match write_trace(&path) {
+            Ok(n) => eprintln!("repro: wrote {n} trace events to {path}"),
+            Err(e) => {
+                eprintln!("repro: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn write_trace(path: &str) -> std::io::Result<usize> {
+    let events = oc_telemetry::trace::drain();
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    oc_telemetry::trace::write_jsonl(&mut w, &events)?;
+    Ok(events.len())
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -61,7 +92,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--full] [--plot] [--threads N] [--results DIR] [--seed U64] <experiment>...\n\
+        "usage: repro [--full] [--plot] [--threads N] [--results DIR] [--seed U64] \
+         [--trace-out FILE] <experiment>...\n\
          experiments: {}, fig13 (= fig14), all\n\
          --full runs the presets' full scale; the default is a quick pass\n\
          --seed overrides every cell preset's workload seed (sensitivity runs)",

@@ -1,6 +1,7 @@
 //! Workload characterization report (`repro workload`).
 //!
-//! Prints the per-cell [`CellProfile`] the substitution argument rests on
+//! Prints the per-cell [`CellProfile`](oc_trace::CellProfile) the
+//! substitution argument rests on
 //! (DESIGN.md §2): size inventory, usage-to-limit gap, job structure,
 //! diurnal strength and burstiness memory — the quantities a user would
 //! compare against the real trace v3 before trusting conclusions drawn

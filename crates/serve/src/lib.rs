@@ -10,7 +10,8 @@
 //! Architecture (see `DESIGN.md`, "Online serving"):
 //!
 //! * [`proto`] — a line-delimited text protocol (`OBSERVE` / `PREDICT` /
-//!   `ADMIT` / `STATS` / `SHUTDOWN`) with a hand-rolled, fully typed codec.
+//!   `ADMIT` / `STATS` / `METRICS` / `SHUTDOWN`) with a hand-rolled, fully
+//!   typed codec; the wire spec is `docs/PROTOCOL.md`.
 //! * [`shard`] — machines partitioned across shard worker threads, each
 //!   exclusively owning its machines' [`oc_core::IncrementalView`]s behind a
 //!   bounded MPSC queue. Full queue ⇒ retryable `BUSY`, never unbounded
@@ -21,7 +22,8 @@
 //!   request line, in order), graceful drain-then-snapshot shutdown that
 //!   joins every handler.
 //! * [`metrics`] — per-shard counters plus a service-latency histogram
-//!   (reusing [`oc_stats::Histogram`]), merged bin-wise for `STATS`.
+//!   (reusing [`oc_stats::Histogram`]), merged bin-wise for `STATS` and
+//!   into the unified registry for `METRICS`.
 //! * [`fault`] — deterministic, seeded fault injection (delayed / partial /
 //!   dropped reads and writes) wrapping any connection stream, for chaos
 //!   testing the lifecycle paths above.

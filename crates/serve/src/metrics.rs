@@ -8,7 +8,7 @@
 //!
 //! Snapshots from all shards are merged bin-wise (histogram merge keeps
 //! full resolution) and summarized into the wire-level
-//! [`StatsSnapshot`](crate::proto::StatsSnapshot) with p50/p99 read off the
+//! [`StatsSnapshot`] with p50/p99 read off the
 //! merged histogram.
 
 use crate::proto::StatsSnapshot;

@@ -8,6 +8,7 @@
 //! PREDICT <cell> <machine>
 //! ADMIT   <cell> <machine> <limit>
 //! STATS
+//! METRICS
 //! SHUTDOWN
 //! ```
 //!
@@ -19,6 +20,7 @@
 //! PRED <peak>                         predicted machine peak
 //! ADMITTED <yes|no> <projected>       admission verdict + projected peak
 //! STATS <key>=<value> ...             service-wide counter snapshot
+//! METRICS v=1 <name>=<value> ...      full metrics exposition
 //! ERR <code> <detail...>              typed error (parse, stale, ...)
 //! ```
 //!
@@ -70,6 +72,9 @@ pub enum Request {
     },
     /// Service-wide counter snapshot (`STATS`).
     Stats,
+    /// Full metrics exposition (`METRICS`): every registered counter,
+    /// gauge, and histogram in the `v=1` text format.
+    Metrics,
     /// Ask the server to drain and exit (`SHUTDOWN`).
     Shutdown,
 }
@@ -95,6 +100,15 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats(StatsSnapshot),
+    /// Metrics exposition: the `v=1 <name>=<value> ...` payload (without
+    /// the `METRICS` verb), as produced by
+    /// [`oc_telemetry::metrics::encode_exposition`]. Parsing validates the
+    /// payload; use [`oc_telemetry::metrics::parse_exposition`] to read
+    /// individual values.
+    Metrics {
+        /// The exposition payload, starting with its `v=1` version token.
+        exposition: String,
+    },
     /// Typed error.
     Err {
         /// Machine-readable error class.
@@ -365,6 +379,10 @@ impl Request {
                 expect_arity("STATS", &operands, 0)?;
                 Ok(Request::Stats)
             }
+            "METRICS" => {
+                expect_arity("METRICS", &operands, 0)?;
+                Ok(Request::Metrics)
+            }
             "SHUTDOWN" => {
                 expect_arity("SHUTDOWN", &operands, 0)?;
                 Ok(Request::Shutdown)
@@ -404,6 +422,7 @@ impl Request {
                 limit,
             } => format!("ADMIT {} {} {}", cell.name(), machine.0, limit),
             Request::Stats => "STATS".to_string(),
+            Request::Metrics => "METRICS".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
     }
@@ -519,6 +538,13 @@ impl Response {
             "STATS" => StatsSnapshot::parse_fields(&operands)
                 .map(Response::Stats)
                 .ok_or_else(bad),
+            "METRICS" => {
+                let exposition = operands.join(" ");
+                if oc_telemetry::metrics::parse_exposition(&exposition).is_none() {
+                    return Err(bad());
+                }
+                Ok(Response::Metrics { exposition })
+            }
             "ERR" => {
                 if operands.is_empty() {
                     return Err(bad());
@@ -548,6 +574,7 @@ impl Response {
                 )
             }
             Response::Stats(s) => format!("STATS {}", s.encode_fields()),
+            Response::Metrics { exposition } => format!("METRICS {exposition}"),
             Response::Err { code, detail } => {
                 let detail: String = detail
                     .chars()
@@ -654,6 +681,19 @@ mod tests {
         };
         let r = Response::Stats(s.clone());
         assert_eq!(Response::parse(&r.encode()).unwrap(), Response::Stats(s));
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(Request::Metrics.encode(), "METRICS");
+        let r = Response::Metrics {
+            exposition: "v=1 serve.busy=3 serve.latency_us.p50=12.5".to_string(),
+        };
+        assert_eq!(Response::parse(&r.encode()).unwrap(), r);
+        // A payload that is not a valid exposition is rejected at parse.
+        assert!(Response::parse("METRICS v=2 a=1").is_err());
+        assert!(Response::parse("METRICS nonsense").is_err());
     }
 
     #[test]

@@ -40,6 +40,8 @@ use crate::error::ServeError;
 use crate::fault::{FaultCounters, FaultStream};
 use crate::proto::{ErrCode, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
 use crate::shard::{SendFail, ShardMsg, ShardPool};
+use oc_telemetry::metrics::{encode_exposition, HistogramSnapshot};
+use oc_telemetry::{trace, Counter, Gauge, MetricsRegistry};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,12 +61,23 @@ pub const STOP_POLL: Duration = Duration::from_millis(25);
 struct Shared {
     /// Accept no further connections; handlers exit at the next poll.
     stop: AtomicBool,
-    /// `BUSY` rejects, counted at the server (they never reach a shard).
-    busy: AtomicU64,
-    /// Connections closed at the idle deadline.
-    timeouts: AtomicU64,
-    /// Connections rejected at the `max_connections` cap.
-    conn_rejects: AtomicU64,
+    /// The server's metrics registry — every counter/gauge below lives
+    /// here so the `METRICS` verb can expose them by name (see
+    /// `docs/OPERATIONS.md` for the dictionary).
+    metrics: MetricsRegistry,
+    /// `BUSY` rejects (`serve.busy`), counted at the server — they never
+    /// reach a shard.
+    busy: Arc<Counter>,
+    /// Connections closed at the idle deadline (`serve.timeouts`).
+    timeouts: Arc<Counter>,
+    /// Connections rejected at the cap (`serve.conn_rejects`).
+    conn_rejects: Arc<Counter>,
+    /// Live connections (`serve.connections`).
+    connections: Arc<Gauge>,
+    /// Request lines answered `ERR parse` (`serve.parse_errors`).
+    parse_errors: Arc<Counter>,
+    /// Per-verb request counters (`serve.requests.<verb>`).
+    requests: RequestCounters,
     /// Faults injected by the server-side chaos plan (if configured).
     faults: Arc<FaultCounters>,
     /// Live connection handlers.
@@ -74,6 +87,30 @@ struct Shared {
     /// Set when a client sent `SHUTDOWN`; wakes [`Server::wait`].
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
+}
+
+/// One counter per protocol verb, bumped at dispatch.
+#[derive(Debug)]
+struct RequestCounters {
+    observe: Arc<Counter>,
+    predict: Arc<Counter>,
+    admit: Arc<Counter>,
+    stats: Arc<Counter>,
+    metrics: Arc<Counter>,
+    shutdown: Arc<Counter>,
+}
+
+impl RequestCounters {
+    fn new(registry: &MetricsRegistry) -> RequestCounters {
+        RequestCounters {
+            observe: registry.counter("serve.requests.observe"),
+            predict: registry.counter("serve.requests.predict"),
+            admit: registry.counter("serve.requests.admit"),
+            stats: registry.counter("serve.requests.stats"),
+            metrics: registry.counter("serve.requests.metrics"),
+            shutdown: registry.counter("serve.requests.shutdown"),
+        }
+    }
 }
 
 /// The slice of [`ServeConfig`] each connection handler needs.
@@ -211,12 +248,17 @@ impl Server {
         // leave the join hanging forever).
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let pool = Arc::new(ShardPool::new(&cfg)?);
+        let metrics = MetricsRegistry::new();
+        let pool = Arc::new(ShardPool::new(&cfg, &metrics)?);
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            busy: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            conn_rejects: AtomicU64::new(0),
+            busy: metrics.counter("serve.busy"),
+            timeouts: metrics.counter("serve.timeouts"),
+            conn_rejects: metrics.counter("serve.conn_rejects"),
+            connections: metrics.gauge("serve.connections"),
+            parse_errors: metrics.counter("serve.parse_errors"),
+            requests: RequestCounters::new(&metrics),
+            metrics,
             faults: Arc::new(FaultCounters::default()),
             registry: Registry::default(),
             cfg: ConnSettings {
@@ -289,9 +331,9 @@ impl Server {
         // `write_timeout`. Joining them here is what guarantees the pool
         // Arc below has exactly one strong reference left.
         self.shared.registry.join_all();
-        let busy = self.shared.busy.load(Ordering::SeqCst);
-        let timeouts = self.shared.timeouts.load(Ordering::SeqCst);
-        let conn_rejects = self.shared.conn_rejects.load(Ordering::SeqCst);
+        let busy = self.shared.busy.get();
+        let timeouts = self.shared.timeouts.get();
+        let conn_rejects = self.shared.conn_rejects.get();
         let faults = self.shared.faults.total();
         match self.pool.take() {
             Some(pool) => {
@@ -344,11 +386,13 @@ fn accept_loop(listener: TcpListener, pool: Arc<ShardPool>, shared: Arc<Shared>)
                 }
                 shared.registry.reap();
                 if shared.registry.active() >= shared.cfg.max_connections {
-                    shared.conn_rejects.fetch_add(1, Ordering::Relaxed);
+                    shared.conn_rejects.inc();
+                    trace::event("serve.conn.reject", shared.registry.active() as u64, 0);
                     reject_over_cap(stream, &shared);
                     continue;
                 }
                 let id = shared.registry.begin();
+                shared.connections.inc();
                 let pool = Arc::clone(&pool);
                 let conn_shared = Arc::clone(&shared);
                 let spawned = std::thread::Builder::new()
@@ -356,10 +400,14 @@ fn accept_loop(listener: TcpListener, pool: Arc<ShardPool>, shared: Arc<Shared>)
                     .spawn(move || {
                         let _ = handle_connection(stream, &pool, &conn_shared, id);
                         conn_shared.registry.end(id);
+                        conn_shared.connections.dec();
                     });
                 match spawned {
                     Ok(handle) => shared.registry.register(id, handle),
-                    Err(_) => shared.registry.end(id),
+                    Err(_) => {
+                        shared.registry.end(id);
+                        shared.connections.dec();
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -489,16 +537,23 @@ fn serve_lines<R: Read, W: Write>(
         match read_line_step(&mut reader, &mut acc) {
             ReadStep::Line => {
                 last_activity = Instant::now();
+                // Spans the whole request: parse, shard round-trip, and
+                // response encode. Inert unless tracing is enabled.
+                let req_span = trace::span("serve.request");
                 let line = String::from_utf8_lossy(&acc);
                 let trimmed = line.trim_end_matches(['\r', '\n']);
                 let resp = match Request::parse(trimmed) {
-                    Err(e) => Response::Err {
-                        code: ErrCode::Parse,
-                        detail: e.to_string(),
-                    },
+                    Err(e) => {
+                        shared.parse_errors.inc();
+                        Response::Err {
+                            code: ErrCode::Parse,
+                            detail: e.to_string(),
+                        }
+                    }
                     Ok(req) => dispatch(req, pool, shared),
                 };
                 drop(line);
+                drop(req_span);
                 acc.clear();
                 seen = 0;
                 writer.write_all(resp.encode().as_bytes())?;
@@ -518,7 +573,8 @@ fn serve_lines<R: Read, W: Write>(
                     last_activity = Instant::now();
                 }
                 if last_activity.elapsed() >= shared.cfg.idle_timeout {
-                    shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                    shared.timeouts.inc();
+                    trace::event("serve.conn.idle_close", 0, 0);
                     let resp = Response::Err {
                         code: ErrCode::Timeout,
                         detail: "idle past deadline; reconnect to resume".to_string(),
@@ -560,6 +616,7 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             limit,
             tick,
         } => {
+            shared.requests.observe.inc();
             let key = (cell, machine);
             let shard = pool.route(&key);
             let msg = ShardMsg::Observe {
@@ -573,13 +630,15 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             match pool.try_send(shard, msg) {
                 Ok(()) => Response::Ok,
                 Err(SendFail::Busy) => {
-                    shared.busy.fetch_add(1, Ordering::Relaxed);
+                    shared.busy.inc();
+                    trace::event("serve.busy", shard as u64, 0);
                     Response::Busy
                 }
                 Err(SendFail::Closed) => shutting_down(),
             }
         }
         Request::Predict { cell, machine } => {
+            shared.requests.predict.inc();
             let key = (cell, machine);
             let shard = pool.route(&key);
             let (reply, rx) = sync_channel(1);
@@ -595,6 +654,7 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             machine,
             limit,
         } => {
+            shared.requests.admit.inc();
             let key = (cell, machine);
             let shard = pool.route(&key);
             let (reply, rx) = sync_channel(1);
@@ -607,30 +667,48 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             request_reply(pool, shard, msg, rx, shared)
         }
         Request::Stats => {
-            let mut merged = crate::metrics::ShardMetrics::default();
-            for shard in 0..pool.shards() {
-                let (reply, rx) = sync_channel(1);
-                // Blocking send: STATS is rare and must not be starved out
-                // by a full queue; it queues behind pending work.
-                if pool.send(shard, ShardMsg::Snapshot { reply }).is_err() {
-                    return shutting_down();
-                }
-                match rx.recv_timeout(Duration::from_secs(10)) {
-                    Ok(m) => merged.merge(&m),
-                    Err(_) => {
-                        return Response::Err {
-                            code: ErrCode::Internal,
-                            detail: format!("shard {shard} did not answer"),
-                        }
-                    }
-                }
-            }
+            shared.requests.stats.inc();
+            let mut merged = match merge_shard_metrics(pool) {
+                Ok(m) => m,
+                Err(resp) => return resp,
+            };
             merged.faults += shared.faults.total();
-            merged.timeouts += shared.timeouts.load(Ordering::SeqCst);
-            merged.conn_rejects += shared.conn_rejects.load(Ordering::SeqCst);
-            Response::Stats(merged.snapshot(shared.busy.load(Ordering::SeqCst)))
+            merged.timeouts += shared.timeouts.get();
+            merged.conn_rejects += shared.conn_rejects.get();
+            Response::Stats(merged.snapshot(shared.busy.get()))
+        }
+        Request::Metrics => {
+            shared.requests.metrics.inc();
+            let merged = match merge_shard_metrics(pool) {
+                Ok(m) => m,
+                Err(resp) => return resp,
+            };
+            // Registry view (serve.* counters/gauges, queue depths) plus
+            // the shard-owned counters and the latency distribution, all
+            // in one exposition.
+            let mut snap = shared.metrics.snapshot();
+            snap.set_counter("serve.observes", merged.observes);
+            snap.set_counter("serve.predicts", merged.predicts);
+            snap.set_counter("serve.admits", merged.admits);
+            snap.set_counter("serve.stale", merged.stale);
+            snap.set_counter("serve.errors", merged.errors);
+            snap.set_counter("serve.faults", shared.faults.total());
+            snap.set_gauge("serve.machines", merged.machines as i64);
+            snap.set_histogram(
+                "serve.latency_us",
+                HistogramSnapshot {
+                    hist: merged.latency.clone(),
+                    count: merged.lat_count,
+                    sum: merged.lat_sum_us,
+                    max: merged.lat_max_us,
+                },
+            );
+            Response::Metrics {
+                exposition: encode_exposition(&snap),
+            }
         }
         Request::Shutdown => {
+            shared.requests.shutdown.inc();
             let mut requested = shared
                 .shutdown_requested
                 .lock()
@@ -640,6 +718,29 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             Response::Ok
         }
     }
+}
+
+/// Collects and merges every shard's metrics snapshot (the `STATS` /
+/// `METRICS` read path). Blocking send: snapshots are rare and must not
+/// be starved out by a full queue; they queue behind pending work.
+fn merge_shard_metrics(pool: &ShardPool) -> Result<crate::metrics::ShardMetrics, Response> {
+    let mut merged = crate::metrics::ShardMetrics::default();
+    for shard in 0..pool.shards() {
+        let (reply, rx) = sync_channel(1);
+        if pool.send(shard, ShardMsg::Snapshot { reply }).is_err() {
+            return Err(shutting_down());
+        }
+        match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(m) => merged.merge(&m),
+            Err(_) => {
+                return Err(Response::Err {
+                    code: ErrCode::Internal,
+                    detail: format!("shard {shard} did not answer"),
+                })
+            }
+        }
+    }
+    Ok(merged)
 }
 
 fn request_reply(
@@ -655,7 +756,8 @@ fn request_reply(
             Err(_) => shutting_down(),
         },
         Err(SendFail::Busy) => {
-            shared.busy.fetch_add(1, Ordering::Relaxed);
+            shared.busy.inc();
+            trace::event("serve.busy", shard as u64, 0);
             Response::Busy
         }
         Err(SendFail::Closed) => shutting_down(),
@@ -717,6 +819,49 @@ mod tests {
         drop((r, w));
         let final_stats = server.shutdown();
         assert_eq!(final_stats.observes, 30);
+    }
+
+    #[test]
+    fn metrics_verb_exposes_registry_and_shard_state() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        for t in 0..25u64 {
+            assert_eq!(
+                roundtrip(&mut r, &mut w, &format!("OBSERVE a 0 1:0 0.2 0.5 {t}")),
+                Response::Ok
+            );
+        }
+        assert!(matches!(
+            roundtrip(&mut r, &mut w, "PREDICT a 0"),
+            Response::Pred { .. }
+        ));
+        roundtrip(&mut r, &mut w, "NONSENSE");
+        let Response::Metrics { exposition } = roundtrip(&mut r, &mut w, "METRICS") else {
+            panic!("expected METRICS");
+        };
+        let m = oc_telemetry::metrics::parse_exposition(&exposition).unwrap();
+        assert_eq!(m["serve.observes"], 25.0);
+        assert_eq!(m["serve.requests.observe"], 25.0);
+        assert_eq!(m["serve.predicts"], 1.0);
+        assert_eq!(m["serve.requests.predict"], 1.0);
+        assert_eq!(m["serve.parse_errors"], 1.0);
+        assert_eq!(m["serve.requests.metrics"], 1.0);
+        assert_eq!(m["serve.connections"], 1.0, "this connection is live");
+        assert_eq!(m["serve.machines"], 1.0);
+        assert_eq!(m["serve.busy"], 0.0);
+        assert!(m.contains_key("serve.shard.queue_depth.0"));
+        assert!(m.contains_key("serve.shard.queue_depth.1"));
+        assert_eq!(m["serve.latency_us.count"], 26.0, "25 observes + 1 predict");
+        assert!(m["serve.latency_us.p50"] >= 0.0);
+        assert!(m["serve.latency_us.max"] >= m["serve.latency_us.p50"]);
+        // The exposition agrees with STATS on the shared counters.
+        let Response::Stats(s) = roundtrip(&mut r, &mut w, "STATS") else {
+            panic!("expected STATS");
+        };
+        assert_eq!(s.observes, m["serve.observes"] as u64);
+        assert_eq!(s.predicts, m["serve.predicts"] as u64);
+        drop((r, w));
+        server.shutdown();
     }
 
     #[test]

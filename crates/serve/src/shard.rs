@@ -28,12 +28,14 @@ use crate::proto::{ErrCode, Response};
 use oc_core::ingest::IncrementalView;
 use oc_core::predictor::{clamp_prediction, PeakPredictor};
 use oc_core::CoreError;
+use oc_telemetry::{Gauge, MetricsRegistry};
 use oc_trace::ids::{CellId, MachineId, TaskId};
 use oc_trace::time::Tick;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -109,31 +111,44 @@ pub enum SendFail {
 pub struct ShardPool {
     senders: Vec<SyncSender<ShardMsg>>,
     handles: Vec<JoinHandle<()>>,
+    /// Per-shard queue-depth gauges (`serve.shard.queue_depth.<i>`):
+    /// incremented on every successful enqueue, decremented by the worker
+    /// as it dequeues, so the gauge reads the live backlog.
+    queue_depth: Vec<Arc<Gauge>>,
 }
 
 impl ShardPool {
-    /// Spawns `cfg.shards` workers with bounded queues.
+    /// Spawns `cfg.shards` workers with bounded queues. Per-shard
+    /// queue-depth gauges are registered on `registry`.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Config`] if `cfg` fails validation (including
     /// an unbuildable predictor spec).
-    pub fn new(cfg: &ServeConfig) -> Result<ShardPool, ServeError> {
+    pub fn new(cfg: &ServeConfig, registry: &MetricsRegistry) -> Result<ShardPool, ServeError> {
         cfg.validate()?;
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
+        let mut queue_depth = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
             let (tx, rx) = sync_channel(cfg.queue_depth);
             let predictor = cfg.predictor.build()?;
             let worker_cfg = cfg.clone();
+            let depth = registry.gauge(&format!("serve.shard.queue_depth.{i}"));
+            let worker_depth = Arc::clone(&depth);
             let handle = std::thread::Builder::new()
                 .name(format!("oc-serve-shard-{i}"))
-                .spawn(move || shard_worker(rx, worker_cfg, predictor))
+                .spawn(move || shard_worker(rx, worker_cfg, predictor, worker_depth))
                 .map_err(ServeError::Io)?;
             senders.push(tx);
             handles.push(handle);
+            queue_depth.push(depth);
         }
-        Ok(ShardPool { senders, handles })
+        Ok(ShardPool {
+            senders,
+            handles,
+            queue_depth,
+        })
     }
 
     /// Number of shards.
@@ -158,10 +173,13 @@ impl ShardPool {
     /// [`SendFail::Busy`] if the bounded queue is full (the message is
     /// dropped — backpressure), [`SendFail::Closed`] if the worker exited.
     pub fn try_send(&self, shard: usize, msg: ShardMsg) -> Result<(), SendFail> {
-        self.senders[shard].try_send(msg).map_err(|e| match e {
-            TrySendError::Full(_) => SendFail::Busy,
-            TrySendError::Disconnected(_) => SendFail::Closed,
-        })
+        self.senders[shard]
+            .try_send(msg)
+            .map(|()| self.queue_depth[shard].inc())
+            .map_err(|e| match e {
+                TrySendError::Full(_) => SendFail::Busy,
+                TrySendError::Disconnected(_) => SendFail::Closed,
+            })
     }
 
     /// Blocking enqueue (used for rare control messages like `STATS`).
@@ -170,7 +188,10 @@ impl ShardPool {
     ///
     /// [`SendFail::Closed`] if the worker exited.
     pub fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), SendFail> {
-        self.senders[shard].send(msg).map_err(|_| SendFail::Closed)
+        self.senders[shard]
+            .send(msg)
+            .map(|()| self.queue_depth[shard].inc())
+            .map_err(|_| SendFail::Closed)
     }
 
     /// Like [`ShardPool::shutdown`] but callable through a shared
@@ -179,9 +200,10 @@ impl ShardPool {
     /// their own instead of being joined.
     pub fn shutdown_shared(&self) -> ShardMetrics {
         let mut replies = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
+        for (i, tx) in self.senders.iter().enumerate() {
             let (reply, rx) = sync_channel(1);
             if tx.send(ShardMsg::Shutdown { reply }).is_ok() {
+                self.queue_depth[i].inc();
                 replies.push(rx);
             }
         }
@@ -198,11 +220,12 @@ impl ShardPool {
     /// joins the workers, and returns the merged final metrics.
     pub fn shutdown(self) -> ShardMetrics {
         let mut replies = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
+        for (i, tx) in self.senders.iter().enumerate() {
             let (reply, rx) = sync_channel(1);
             // A full queue makes this block until the worker drains —
             // that *is* the graceful part of the shutdown.
             if tx.send(ShardMsg::Shutdown { reply }).is_ok() {
+                self.queue_depth[i].inc();
                 replies.push(rx);
             }
         }
@@ -221,13 +244,19 @@ impl ShardPool {
 }
 
 /// The worker loop: exclusive owner of its machines' state.
-fn shard_worker(rx: Receiver<ShardMsg>, cfg: ServeConfig, predictor: Box<dyn PeakPredictor>) {
+fn shard_worker(
+    rx: Receiver<ShardMsg>,
+    cfg: ServeConfig,
+    predictor: Box<dyn PeakPredictor>,
+    queue_depth: Arc<Gauge>,
+) {
     let mut views: HashMap<MachineKey, IncrementalView> = HashMap::new();
     let mut metrics = ShardMetrics::default();
     let new_view = |cfg: &ServeConfig| {
         IncrementalView::new(cfg.machine_capacity, &cfg.sim).with_max_gap(cfg.max_tick_gap)
     };
     while let Ok(msg) = rx.recv() {
+        queue_depth.dec();
         match msg {
             ShardMsg::Observe {
                 key,
@@ -329,6 +358,7 @@ mod tests {
             &ServeConfig::default()
                 .with_shards(shards)
                 .with_queue_depth(depth),
+            &MetricsRegistry::new(),
         )
         .unwrap()
     }
@@ -470,6 +500,31 @@ mod tests {
         };
         assert!(!admit, "1.5 exceeds capacity 1.0");
         p.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_gauge_balances_to_zero_after_drain() {
+        let registry = MetricsRegistry::new();
+        let p = ShardPool::new(
+            &ServeConfig::default().with_shards(2).with_queue_depth(1024),
+            &registry,
+        )
+        .unwrap();
+        for t in 0..100u64 {
+            let k = key((t % 7) as u32);
+            let shard = p.route(&k);
+            p.try_send(shard, observe((t % 7) as u32, t / 7, 0.2))
+                .unwrap();
+        }
+        p.shutdown();
+        let snap = registry.snapshot();
+        for i in 0..2 {
+            assert_eq!(
+                snap.gauge(&format!("serve.shard.queue_depth.{i}")),
+                Some(0),
+                "every enqueue must be matched by a dequeue"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,10 @@ impl Histogram {
     }
 
     /// Records one observation.
+    ///
+    /// A value exactly on an interior bin edge (`lo + i * width`, the
+    /// edges [`Histogram::bins`] reports) counts in the bin it opens —
+    /// bin `i`, whose range is `[lo + i*width, lo + (i+1)*width)`.
     pub fn push(&mut self, x: f64) {
         self.total += 1;
         if x < self.lo {
@@ -48,8 +52,19 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
+            let n = self.bins.len();
+            let width = (self.hi - self.lo) / n as f64;
             let frac = (x - self.lo) / (self.hi - self.lo);
-            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            let mut idx = ((frac * n as f64) as usize).min(n - 1);
+            // The fraction rounds: a value sitting exactly on a
+            // documented edge can land one bin off either way. Snap
+            // against the same edges `bins()` reports so placement and
+            // documentation always agree.
+            if idx + 1 < n && x >= self.lo + (idx + 1) as f64 * width {
+                idx += 1;
+            } else if idx > 0 && x < self.lo + idx as f64 * width {
+                idx -= 1;
+            }
             self.bins[idx] += 1;
         }
     }
@@ -198,6 +213,35 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.counts(), &[2, 1, 1, 1]);
         assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn push_respects_documented_bin_edges() {
+        // Regression: 7.0 sits exactly on the documented edge between
+        // bins 6 and 7 of [0,10)x10, but (7.0/10.0)*10 rounds down to
+        // 6.999..., so it was counted in bin 6.
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.push(7.0);
+        assert_eq!(h.counts()[7], 1, "{:?}", h.counts());
+
+        // Exhaustive over awkward bin counts: every documented left edge
+        // must open its own bin.
+        for bins in [3usize, 7, 10, 13, 4000] {
+            let edges: Vec<f64> = Histogram::new(0.0, 20_000.0, bins)
+                .unwrap()
+                .bins()
+                .map(|(left, _, _)| left)
+                .collect();
+            for (i, &left) in edges.iter().enumerate() {
+                let mut h = Histogram::new(0.0, 20_000.0, bins).unwrap();
+                h.push(left);
+                assert_eq!(
+                    h.counts()[i],
+                    1,
+                    "bins={bins}: edge {left} (bin {i}) landed elsewhere"
+                );
+            }
+        }
     }
 
     #[test]

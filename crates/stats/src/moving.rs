@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 /// stay the size of the spread itself.
 ///
 /// All running accumulators are recomputed from scratch periodically
-/// (every [`REFRESH_EVERY`] pushes) to bound floating-point drift from the
+/// (every `REFRESH_EVERY` = 4096 pushes) to bound floating-point drift from the
 /// add/subtract updates; the refresh also re-pins the origin, so a series
 /// that wanders far from its first value regains a local origin.
 ///

@@ -1,0 +1,38 @@
+//! Monotonic microsecond timestamps with a process-wide epoch.
+//!
+//! Trace events carry `u64` microseconds since the first call into this
+//! module (not wall-clock time): monotonic, immune to NTP steps, and cheap
+//! to subtract. Exported JSONL is therefore self-consistent within one
+//! process; correlating across processes needs an external anchor.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process epoch — the `Instant` of the first timestamp taken.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since [`epoch`]. Monotonic, never goes backwards.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn epoch_is_stable() {
+        assert_eq!(epoch(), epoch());
+    }
+}

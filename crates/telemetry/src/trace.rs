@@ -1,0 +1,444 @@
+//! Structured tracing: spans and instant events over per-thread rings.
+//!
+//! # Model
+//!
+//! * A **span** ([`span`]) measures a region: it records its start
+//!   timestamp on creation and pushes one completed-span record (start,
+//!   duration, nesting depth) when the guard drops. Nesting is tracked
+//!   per thread, so a drained trace can be re-assembled into a tree.
+//! * An **event** ([`event`]) is an instant: one record with a timestamp
+//!   and two free-form `u64` payload words.
+//!
+//! # Cost discipline
+//!
+//! Tracing is **off by default**. Every instrumentation site first checks
+//! [`enabled`] — one relaxed atomic load and a predictable branch — so
+//! leaving spans compiled into the simulator hot path is within the
+//! overhead budget (DESIGN.md §8). When enabled, a record is a handful of
+//! relaxed stores into the calling thread's own lock-free
+//! [`Ring`]; names are `&'static str` interned once per
+//! thread through a pointer-keyed cache, so steady-state recording never
+//! touches a lock.
+//!
+//! # Collection
+//!
+//! [`drain`] visits every thread's ring (including threads that have since
+//! exited), resolves interned names, and returns the merged stream sorted
+//! by timestamp. [`write_jsonl`] exports it in the JSONL schema documented
+//! in [`crate::json`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock;
+use crate::ring::{RawEvent, Ring};
+
+/// Master switch. Relaxed is enough: enabling tracing a hair late or
+/// early only gains/loses a few records, never tears one.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns tracing on process-wide.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off process-wide. Already-recorded events stay in the
+/// rings until [`drain`]ed.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently on. Instrumentation sites branch on this
+/// before doing any other work.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Global interning table: name string → dense id. Locked only on a
+/// thread's *first* use of each name (see the per-thread pointer cache).
+struct NameTable {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn name_table() -> &'static Mutex<NameTable> {
+    static TABLE: OnceLock<Mutex<NameTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(NameTable {
+            ids: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Every thread's ring, kept alive here even after the thread exits so
+/// its tail of events survives until the next [`drain`].
+struct RegisteredRing {
+    thread: u64,
+    ring: Arc<Ring>,
+}
+
+fn ring_registry() -> &'static Mutex<Vec<RegisteredRing>> {
+    static REGISTRY: OnceLock<Mutex<Vec<RegisteredRing>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Per-thread tracing context.
+struct Ctx {
+    ring: Arc<Ring>,
+    depth: Cell<u32>,
+    /// `&'static str` pointer → interned id. Identical literals may have
+    /// distinct addresses across codegen units; each address still maps
+    /// to the one id the global table assigned to that string's content.
+    name_cache: RefCell<HashMap<*const u8, u32>>,
+}
+
+impl Ctx {
+    fn new() -> Ctx {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+        let thread = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        let ring = Arc::new(Ring::new());
+        ring_registry().lock().unwrap().push(RegisteredRing {
+            thread,
+            ring: Arc::clone(&ring),
+        });
+        Ctx {
+            ring,
+            depth: Cell::new(0),
+            name_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn intern(&self, name: &'static str) -> u32 {
+        let key = name.as_ptr();
+        if let Some(&id) = self.name_cache.borrow().get(&key) {
+            return id;
+        }
+        let mut table = name_table().lock().unwrap();
+        let id = match table.ids.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = table.names.len() as u32;
+                table.names.push(name);
+                table.ids.insert(name, id);
+                id
+            }
+        };
+        drop(table);
+        self.name_cache.borrow_mut().insert(key, id);
+        id
+    }
+}
+
+thread_local! {
+    static CTX: Ctx = Ctx::new();
+}
+
+const KIND_SPAN: u32 = 0;
+const KIND_EVENT: u32 = 1;
+
+/// Records an instant event with two payload words. No-op when tracing
+/// is disabled. The meaning of `a`/`b` is per event name and documented
+/// in `docs/OPERATIONS.md`.
+#[inline]
+pub fn event(name: &'static str, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = clock::now_us();
+    // Ignore `try_with` failure: the thread is tearing down its TLS and
+    // the record is better lost than panicking in a destructor.
+    let _ = CTX.try_with(|ctx| {
+        ctx.ring.push(RawEvent {
+            ts_us,
+            dur_us: 0,
+            name_id: ctx.intern(name),
+            kind: KIND_EVENT,
+            depth: ctx.depth.get(),
+            a,
+            b,
+        });
+    });
+}
+
+/// Opens a span; the region ends (and the record is written) when the
+/// returned guard drops. When tracing is disabled the guard is inert.
+#[must_use = "a span measures until the guard drops; binding it to _ ends it immediately"]
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_ab(name, 0, 0)
+}
+
+/// Like [`span`] but attaches two payload words to the span record.
+#[must_use = "a span measures until the guard drops; binding it to _ ends it immediately"]
+#[inline]
+pub fn span_ab(name: &'static str, a: u64, b: u64) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let start_us = clock::now_us();
+    let depth = CTX
+        .try_with(|ctx| {
+            let d = ctx.depth.get();
+            ctx.depth.set(d + 1);
+            d
+        })
+        .unwrap_or(0);
+    Span {
+        inner: Some(SpanInner {
+            name,
+            start_us,
+            depth,
+            a,
+            b,
+        }),
+    }
+}
+
+struct SpanInner {
+    name: &'static str,
+    start_us: u64,
+    depth: u32,
+    a: u64,
+    b: u64,
+}
+
+/// RAII guard returned by [`span`]. Dropping it records the completed
+/// span with its measured duration.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = clock::now_us().saturating_sub(inner.start_us);
+        let _ = CTX.try_with(|ctx| {
+            ctx.depth.set(ctx.depth.get().saturating_sub(1));
+            // Record even if tracing was disabled mid-span: the span was
+            // opened under tracing, so its completion belongs in the trace.
+            ctx.ring.push(RawEvent {
+                ts_us: inner.start_us,
+                dur_us,
+                name_id: ctx.intern(inner.name),
+                kind: KIND_SPAN,
+                depth: inner.depth,
+                a: inner.a,
+                b: inner.b,
+            });
+        });
+    }
+}
+
+/// Whether a [`TraceEvent`] is a completed span or an instant event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A region with a duration, recorded when its guard dropped.
+    Span,
+    /// An instant occurrence (`dur_us` is 0).
+    Event,
+}
+
+impl EventKind {
+    /// Stable wire name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One drained, name-resolved trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span/event name (an interned static string).
+    pub name: &'static str,
+    /// Record type.
+    pub kind: EventKind,
+    /// Dense id of the recording thread (assigned in tracing-first-use
+    /// order, not the OS thread id).
+    pub thread: u64,
+    /// Microseconds since the process epoch; for spans, the start instant.
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Span-nesting depth on the recording thread (0 = top level).
+    pub depth: u32,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Drains every thread's ring and returns the merged stream sorted by
+/// `(ts_us, thread)`. Events recorded after the drain started may or may
+/// not be included; call after the traced workload has quiesced for a
+/// complete picture.
+pub fn drain() -> Vec<TraceEvent> {
+    let registry = ring_registry().lock().unwrap();
+    let mut raw: Vec<(u64, RawEvent)> = Vec::new();
+    let mut buf: Vec<RawEvent> = Vec::new();
+    for entry in registry.iter() {
+        buf.clear();
+        entry.ring.drain_into(&mut buf);
+        raw.extend(buf.iter().map(|e| (entry.thread, *e)));
+    }
+    drop(registry);
+
+    let table = name_table().lock().unwrap();
+    let mut out: Vec<TraceEvent> = raw
+        .into_iter()
+        .map(|(thread, e)| TraceEvent {
+            name: table
+                .names
+                .get(e.name_id as usize)
+                .copied()
+                .unwrap_or("<unknown>"),
+            kind: if e.kind == KIND_SPAN {
+                EventKind::Span
+            } else {
+                EventKind::Event
+            },
+            thread,
+            ts_us: e.ts_us,
+            dur_us: e.dur_us,
+            depth: e.depth,
+            a: e.a,
+            b: e.b,
+        })
+        .collect();
+    out.sort_by_key(|e| (e.ts_us, e.thread));
+    out
+}
+
+/// Total events dropped at full rings across all threads so far.
+pub fn dropped() -> u64 {
+    ring_registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|e| e.ring.dropped())
+        .sum()
+}
+
+/// Writes `events` to `w`, one JSON object per line (see [`crate::json`]
+/// for the schema).
+pub fn write_jsonl<W: Write>(w: &mut W, events: &[TraceEvent]) -> io::Result<()> {
+    let mut line = String::new();
+    for e in events {
+        line.clear();
+        crate::json::encode_event(&mut line, e);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this module share the process-global tracer; serialize
+    /// them and tag each test's events with unique names.
+    pub(crate) fn tracer_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _guard = tracer_lock();
+        disable();
+        event("trace_test.disabled", 1, 2);
+        {
+            let _s = span("trace_test.disabled_span");
+        }
+        let events = drain();
+        assert!(!events
+            .iter()
+            .any(|e| e.name.starts_with("trace_test.disabled")));
+    }
+
+    #[test]
+    fn spans_nest_and_events_inherit_depth() {
+        let _guard = tracer_lock();
+        enable();
+        {
+            let _outer = span("trace_test.nest_outer");
+            event("trace_test.nest_at1", 7, 0);
+            {
+                let _inner = span("trace_test.nest_inner");
+                event("trace_test.nest_at2", 0, 9);
+            }
+        }
+        disable();
+        let events = drain();
+        let find = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        let outer = find("trace_test.nest_outer");
+        let inner = find("trace_test.nest_inner");
+        let at1 = find("trace_test.nest_at1");
+        let at2 = find("trace_test.nest_at2");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(at1.depth, 1, "event inside one span sits at depth 1");
+        assert_eq!(at2.depth, 2);
+        assert_eq!((at1.a, at1.b), (7, 0));
+        // The inner span's interval lies within the outer's.
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us);
+        assert_eq!(outer.kind, EventKind::Span);
+        assert_eq!(at1.kind, EventKind::Event);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_consumes() {
+        let _guard = tracer_lock();
+        enable();
+        for i in 0..50 {
+            event("trace_test.sorted", i, 0);
+        }
+        disable();
+        let events = drain();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "trace_test.sorted")
+            .collect();
+        assert_eq!(mine.len(), 50);
+        for w in events.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+        let again = drain();
+        assert!(!again.iter().any(|e| e.name == "trace_test.sorted"));
+    }
+
+    #[test]
+    fn multi_thread_events_carry_distinct_thread_ids() {
+        let _guard = tracer_lock();
+        enable();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    event("trace_test.mt", i, 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        disable();
+        let events = drain();
+        let threads: std::collections::HashSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "trace_test.mt")
+            .map(|e| e.thread)
+            .collect();
+        assert_eq!(threads.len(), 3, "each thread drains under its own id");
+    }
+}

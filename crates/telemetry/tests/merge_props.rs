@@ -1,0 +1,109 @@
+//! Property tests for [`MetricsSnapshot`] aggregation: merging per-shard
+//! snapshots must equal summing every shard's raw updates, which is the
+//! law the serve layer's `METRICS` verb relies on when it folds shard
+//! registries into one service-wide exposition.
+
+use oc_telemetry::metrics::{encode_exposition, parse_exposition, MetricsSnapshot};
+use oc_telemetry::MetricsRegistry;
+use proptest::prelude::*;
+
+const HIST_LO: f64 = 0.0;
+const HIST_HI: f64 = 100.0;
+const HIST_BINS: usize = 25;
+
+/// Per-shard raw updates: counter adds, gauge deltas (biased by -50 at
+/// apply time so gauges go negative), histogram samples. The vendored
+/// proptest has no signed-range strategy, hence the unsigned encoding.
+type ShardLoad = (Vec<u64>, Vec<u64>, Vec<f64>);
+
+fn shard_load() -> impl Strategy<Value = ShardLoad> {
+    (
+        proptest::collection::vec(0u64..1_000, 0..20),
+        proptest::collection::vec(0u64..100, 0..20),
+        proptest::collection::vec(-20.0f64..150.0, 0..30),
+    )
+}
+
+fn apply(load: &ShardLoad) -> MetricsSnapshot {
+    let (counts, deltas, samples) = load;
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("prop.counter");
+    for &n in counts {
+        c.add(n);
+    }
+    let g = reg.gauge("prop.gauge");
+    for &d in deltas {
+        g.add(d as i64 - 50);
+    }
+    let h = reg
+        .histogram("prop.hist", HIST_LO, HIST_HI, HIST_BINS)
+        .unwrap();
+    for &x in samples {
+        h.record(x);
+    }
+    reg.snapshot()
+}
+
+proptest! {
+    /// Merging any number of per-shard snapshots (in any association
+    /// order: left fold here) equals one registry that saw every update.
+    #[test]
+    fn merged_snapshot_equals_per_shard_sums(
+        shards in proptest::collection::vec(shard_load(), 1..6),
+    ) {
+        let mut merged = MetricsSnapshot::default();
+        for s in &shards {
+            merged.merge(&apply(s));
+        }
+
+        let combined: ShardLoad = (
+            shards.iter().flat_map(|s| s.0.iter().copied()).collect(),
+            shards.iter().flat_map(|s| s.1.iter().copied()).collect(),
+            shards.iter().flat_map(|s| s.2.iter().copied()).collect(),
+        );
+        let reference = apply(&combined);
+
+        prop_assert_eq!(merged.counter("prop.counter"), reference.counter("prop.counter"));
+        prop_assert_eq!(merged.gauge("prop.gauge"), reference.gauge("prop.gauge"));
+        let (mh, rh) = (
+            merged.histogram("prop.hist").unwrap(),
+            reference.histogram("prop.hist").unwrap(),
+        );
+        prop_assert_eq!(mh.count(), rh.count());
+        prop_assert_eq!(mh.hist.counts(), rh.hist.counts());
+        prop_assert_eq!(mh.hist.underflow(), rh.hist.underflow());
+        prop_assert_eq!(mh.hist.overflow(), rh.hist.overflow());
+        prop_assert_eq!(mh.max.to_bits(), rh.max.to_bits());
+        // Sums accumulate in a different order across shards, so allow
+        // float associativity slack proportional to the magnitude.
+        prop_assert!((mh.sum - rh.sum).abs() <= 1e-9 * (1.0 + rh.sum.abs()));
+    }
+
+    /// The wire exposition of a merged snapshot parses back to the same
+    /// values the snapshot reports — counters/gauges exactly, histogram
+    /// scalars through the float formatter's round trip.
+    #[test]
+    fn exposition_of_merged_snapshot_round_trips(
+        shards in proptest::collection::vec(shard_load(), 1..4),
+    ) {
+        let mut merged = MetricsSnapshot::default();
+        for s in &shards {
+            merged.merge(&apply(s));
+        }
+        let parsed = parse_exposition(&encode_exposition(&merged)).unwrap();
+        prop_assert_eq!(
+            parsed["prop.counter"],
+            merged.counter("prop.counter").unwrap() as f64
+        );
+        prop_assert_eq!(
+            parsed["prop.gauge"],
+            merged.gauge("prop.gauge").unwrap() as f64
+        );
+        let h = merged.histogram("prop.hist").unwrap();
+        prop_assert_eq!(parsed["prop.hist.count"], h.count() as f64);
+        prop_assert_eq!(parsed["prop.hist.mean"].to_bits(), h.mean().to_bits());
+        prop_assert_eq!(parsed["prop.hist.p50"].to_bits(), h.quantile(50.0).to_bits());
+        prop_assert_eq!(parsed["prop.hist.p99"].to_bits(), h.quantile(99.0).to_bits());
+        prop_assert_eq!(parsed["prop.hist.max"].to_bits(), h.max_or_zero().to_bits());
+    }
+}

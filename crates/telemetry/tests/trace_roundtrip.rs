@@ -1,0 +1,51 @@
+//! End-to-end tracing pipeline test: record spans/events, drain, export
+//! JSONL, parse it back, and check both field fidelity and span nesting.
+
+use oc_telemetry::json;
+use oc_telemetry::trace;
+
+#[test]
+fn traced_run_round_trips_through_jsonl() {
+    trace::enable();
+    {
+        let _outer = trace::span("rt.request");
+        trace::event("rt.parse", 3, 0);
+        {
+            let _inner = trace::span_ab("rt.predict", 42, 7);
+            trace::event("rt.lookup", 0, 0);
+        }
+        trace::event("rt.respond", 0, 1);
+    }
+    trace::disable();
+
+    let events = trace::drain();
+    let mine: Vec<_> = events
+        .iter()
+        .filter(|e| e.name.starts_with("rt."))
+        .cloned()
+        .collect();
+    assert_eq!(mine.len(), 5);
+
+    let mut buf = Vec::new();
+    trace::write_jsonl(&mut buf, &mine).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), 5, "one JSON object per line");
+
+    let parsed = json::parse_jsonl(&text).unwrap();
+    assert_eq!(parsed.len(), mine.len());
+    for (p, e) in parsed.iter().zip(&mine) {
+        assert!(p.matches(e), "{p:?} vs {e:?}");
+    }
+
+    // Re-assemble the nesting from the parsed stream alone.
+    let by_name = |n: &str| parsed.iter().find(|p| p.name == n).unwrap();
+    let outer = by_name("rt.request");
+    let inner = by_name("rt.predict");
+    assert_eq!(outer.depth, 0);
+    assert_eq!(inner.depth, 1);
+    assert_eq!(by_name("rt.parse").depth, 1);
+    assert_eq!(by_name("rt.lookup").depth, 2);
+    assert!(outer.ts_us <= inner.ts_us);
+    assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us);
+    assert_eq!((inner.a, inner.b), (42, 7), "span payload words survive");
+}

@@ -26,7 +26,33 @@ if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 
+# Docs are part of the contract: every markdown link to a local file must
+# point at something that exists (catches renamed/moved docs going stale),
+# and rustdoc must be warning-free.
+broken=0
+for doc in README.md DESIGN.md EXPERIMENTS.md PAPER.md ROADMAP.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Inline markdown links: capture the (...) target, keep only local paths.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "tier1: $doc links to missing file '$target'" >&2
+      broken=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](\(.*\))$/\1/')
+done
+if [ "$broken" -ne 0 ]; then
+  echo "tier1: markdown link check failed" >&2
+  exit 1
+fi
+
 cargo fmt --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -12,6 +12,7 @@
 //! * [`serve`] — online peak-prediction TCP service with fault injection.
 //! * [`client`] — retrying typed client for [`serve`] + load generator.
 //! * [`experiments`] — the table/figure reproduction harness.
+//! * [`telemetry`] — structured tracing + the unified metrics registry.
 //!
 //! # Examples
 //!
@@ -32,4 +33,5 @@ pub use oc_qos as qos;
 pub use oc_scheduler as scheduler;
 pub use oc_serve as serve;
 pub use oc_stats as stats;
+pub use oc_telemetry as telemetry;
 pub use oc_trace as trace;

@@ -1,0 +1,113 @@
+//! Workspace observability end-to-end: the `METRICS` verb must reconcile
+//! with what the load generator measured, and a traced run's spans must
+//! survive a JSONL round trip.
+//!
+//! These are the acceptance checks for the telemetry layer: counters are
+//! only trustworthy if two independent observers — the client-side
+//! [`LoadReport`](overcommit_repro::client::LoadReport) and the
+//! server-side metrics exposition — agree about the same replay.
+
+use overcommit_repro::client::loadgen::{self, LoadgenConfig};
+use overcommit_repro::client::{Client, ClientConfig};
+use overcommit_repro::serve::{ServeConfig, Server};
+use overcommit_repro::telemetry::trace;
+
+/// Runs a small replay and cross-checks the server's `METRICS` exposition
+/// against both the `LoadReport` and the `STATS` snapshot it embeds.
+#[test]
+fn server_metrics_reconcile_with_load_report() {
+    let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+    let cfg = LoadgenConfig {
+        machines: 4,
+        ticks: 16,
+        connections: 2,
+        predicts: true,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(server.addr(), &cfg).unwrap();
+    assert_eq!(report.failed_connections, 0, "{:?}", report.conn_failures);
+    assert_eq!(report.lost, 0);
+
+    let mut client = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+    let m = client.server_metrics().unwrap();
+
+    // The ingestion counters must agree with the STATS snapshot the
+    // report embeds (no traffic ran in between).
+    assert_eq!(m["serve.observes"], report.server.observes as f64);
+    assert_eq!(m["serve.predicts"], report.server.predicts as f64);
+    assert_eq!(m["serve.stale"], report.server.stale as f64);
+    assert_eq!(m["serve.errors"], report.server.errors as f64);
+    assert_eq!(m["serve.machines"], report.server.machines as f64);
+
+    // Every acknowledged OBSERVE is a promise: it must be visible in the
+    // server's ingestion counters (retries may only add).
+    let accounted = m["serve.observes"] + m["serve.stale"] + m["serve.errors"];
+    assert!(
+        accounted >= report.acked_observes as f64,
+        "acked {} > accounted {accounted}",
+        report.acked_observes
+    );
+
+    // The per-verb request counters count protocol dispatches, so they
+    // can only exceed the per-sample accounting (duplicates re-apply).
+    assert!(m["serve.requests.observe"] >= report.acked_observes as f64);
+    assert!(m["serve.requests.predict"] >= report.server.predicts as f64);
+
+    // Shard latency sampling covers exactly the shard-processed requests
+    // (every OBSERVE outcome — applied, stale, or error — plus every
+    // PREDICT and ADMIT).
+    assert_eq!(
+        m["serve.latency_us.count"],
+        m["serve.observes"]
+            + m["serve.stale"]
+            + m["serve.errors"]
+            + m["serve.predicts"]
+            + m["serve.admits"]
+    );
+
+    // The replay is over and every request acked, so both shard queues
+    // must have drained back to empty.
+    assert_eq!(m["serve.shard.queue_depth.0"], 0.0);
+    assert_eq!(m["serve.shard.queue_depth.1"], 0.0);
+
+    drop(client);
+    server.shutdown();
+}
+
+/// A traced replay must produce spans that survive JSONL encoding and
+/// parsing, including the per-connection `loadgen.conn` spans and the
+/// server-side `serve.request` spans (the server runs in-process here).
+#[test]
+fn traced_replay_round_trips_through_jsonl() {
+    let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+    trace::enable();
+    let cfg = LoadgenConfig {
+        machines: 2,
+        ticks: 8,
+        connections: 2,
+        predicts: false,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(server.addr(), &cfg).unwrap();
+    trace::disable();
+    server.shutdown();
+    assert_eq!(report.failed_connections, 0, "{:?}", report.conn_failures);
+
+    let events = trace::drain();
+    let mut buf = Vec::new();
+    trace::write_jsonl(&mut buf, &events).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let parsed = overcommit_repro::telemetry::json::parse_jsonl(&text).unwrap();
+    assert_eq!(parsed.len(), events.len());
+    for (p, e) in parsed.iter().zip(&events) {
+        assert!(p.matches(e), "{p:?} != {e:?}");
+    }
+
+    // One loadgen.conn span per connection (>=: parallel tests in this
+    // binary may also record while tracing is enabled).
+    let conn_spans = parsed.iter().filter(|p| p.name == "loadgen.conn").count();
+    assert!(conn_spans >= 2, "{conn_spans} loadgen.conn spans");
+    // The in-process server traced its request handling too.
+    let req_spans = parsed.iter().filter(|p| p.name == "serve.request").count();
+    assert!(req_spans > 0, "no serve.request spans recorded");
+}
