@@ -2,15 +2,22 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--machines N] [--ticks N] [--connections N]
-//!         [--qps N] [--seed U64] [--no-predicts] [--chaos RATE]
+//!         [--qps N] [--seed U64] [--no-predicts] [--batch N] [--chaos RATE]
 //!         [--chaos-seed U64] [--out BENCH_serve.json] [--trace-out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (4 shards, default
-//! queues) and two phases run: a **sustained** phase on the default config
-//! and an **overload** phase against a deliberately tiny queue
+//! queues) and four phases run: a **sustained** phase on the default
+//! config, a **serve_batched** phase replaying the same workload with
+//! `BATCH` framing (`--batch`, default 32) paced at 3x the sustained
+//! target (so server-side queueing stays comparable while throughput
+//! triples), a **batched-chaos** phase repeating it under seeded fault
+//! injection (the `--chaos` rate, default 2%) to prove framing loses no
+//! acknowledged samples, and an **overload** phase against a deliberately
+//! tiny queue
 //! (`queue_depth = 8`) to demonstrate `BUSY` backpressure. With `--addr`
-//! only the sustained phase runs, against the external server.
+//! only the sustained phase runs, against the external server, honoring
+//! `--batch` as given (default 1 = unframed).
 //!
 //! `--chaos RATE` injects seeded faults (delays, partial reads/writes,
 //! dropped connections) into that fraction of client socket operations;
@@ -45,7 +52,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--machines N] [--ticks N] \
-         [--connections N] [--qps N] [--seed U64] [--no-predicts] \
+         [--connections N] [--qps N] [--seed U64] [--no-predicts] [--batch N] \
          [--chaos RATE] [--chaos-seed U64] [--out FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -80,6 +87,7 @@ fn parse_args() -> Args {
             "--qps" => out.cfg.target_qps = val("--qps").parse().unwrap_or_else(|_| usage()),
             "--seed" => out.cfg.seed = Some(val("--seed").parse().unwrap_or_else(|_| usage())),
             "--no-predicts" => out.cfg.predicts = false,
+            "--batch" => out.cfg.batch = val("--batch").parse().unwrap_or_else(|_| usage()),
             "--chaos" => out.chaos_rate = Some(val("--chaos").parse().unwrap_or_else(|_| usage())),
             "--chaos-seed" => {
                 out.chaos_seed = val("--chaos-seed").parse().unwrap_or_else(|_| usage())
@@ -154,6 +162,40 @@ fn main() -> ExitCode {
                 phases.push(phase_json("sustained", &report));
                 server.shutdown();
 
+                // Batched phase: same workload with BATCH framing, paced
+                // at 3x the sustained target — shows what the
+                // zero-allocation data plane absorbs once per-line round
+                // trips stop dominating, while keeping the offered load
+                // paced so server-side queueing latency stays comparable
+                // to the sustained phase.
+                let mut batched_cfg = args.cfg.clone();
+                batched_cfg.batch = if args.cfg.batch > 1 {
+                    args.cfg.batch
+                } else {
+                    32
+                };
+                batched_cfg.target_qps = args.cfg.target_qps.saturating_mul(3);
+                let server = Server::start(ServeConfig::default())
+                    .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
+                let report = run(server.addr(), &batched_cfg)?;
+                lost_total += report.lost;
+                phases.push(phase_json("serve_batched", &report));
+                server.shutdown();
+
+                // Batched chaos phase: the same framed replay under
+                // seeded fault injection; acked samples must all land.
+                let mut chaos_cfg = batched_cfg.clone();
+                chaos_cfg.chaos = Some(FaultPlan::new(
+                    args.chaos_seed,
+                    args.chaos_rate.unwrap_or(0.02),
+                ));
+                let server = Server::start(ServeConfig::default())
+                    .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
+                let report = run(server.addr(), &chaos_cfg)?;
+                lost_total += report.lost;
+                phases.push(phase_json("batched-chaos", &report));
+                server.shutdown();
+
                 // Overload phase: tiny queues, open throttle, so bounded
                 // queues visibly reject with BUSY instead of buffering.
                 let server =
@@ -182,13 +224,17 @@ fn main() -> ExitCode {
             "  \"command\": \"cargo run --release -p oc-client --bin loadgen\",\n",
             "  \"workload\": {{\"preset\": \"{:?}\", \"machines\": {}, \"ticks\": {}, ",
             "\"connections\": {}, \"target_qps\": {}, \"predicts\": {}, ",
-            "\"chaos_rate\": {}, \"chaos_seed\": {}}},\n",
+            "\"batch\": {}, \"chaos_rate\": {}, \"chaos_seed\": {}}},\n",
             "  \"phases\": [\n    {}\n  ],\n",
             "  \"notes\": \"sustained = default 4-shard server with 4096-deep queues; ",
-            "overload-q8 = 2 shards with queue_depth 8 at open throttle to surface BUSY ",
-            "backpressure. busy counts client-absorbed retries. Latencies are ",
-            "client-observed (include pipelining queue time). Absolute numbers vary by ",
-            "host.\"\n}}\n"
+            "serve_batched = same workload with BATCH framing (32 sub-requests/frame ",
+            "unless --batch overrides) paced at 3x the sustained target so queueing ",
+            "latency stays comparable while throughput triples; batched-chaos = the framed ",
+            "replay under seeded fault injection (lost must be 0); overload-q8 = 2 shards ",
+            "with queue_depth 8 at open throttle to surface BUSY backpressure. busy counts ",
+            "client-absorbed retries; reject_rate = busy/(ok+busy), retry_ratio = ",
+            "busy/sent. Latencies are client-observed (include pipelining queue time). ",
+            "Absolute numbers vary by host.\"\n}}\n"
         ),
         args.cfg.preset,
         args.cfg.machines,
@@ -196,6 +242,7 @@ fn main() -> ExitCode {
         args.cfg.connections,
         args.cfg.target_qps,
         args.cfg.predicts,
+        args.cfg.batch,
         args.chaos_rate.unwrap_or(0.0),
         args.chaos_seed,
         phases.join(",\n    "),

@@ -34,7 +34,10 @@
 
 use crate::error::ClientError;
 use oc_serve::fault::{FaultCounters, FaultPlan, FaultStream};
-use oc_serve::proto::{ErrCode, Request, Response, StatsSnapshot};
+use oc_serve::proto::{
+    parse_batchr_header, push_u64, ErrCode, ProtoError, ProtoScratch, Request, Response,
+    StatsSnapshot, MAX_BATCH,
+};
 use oc_telemetry::{trace, Counter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +88,13 @@ pub struct ClientConfig {
     pub faults: Option<FaultPlan>,
     /// Max requests in flight before the oldest response is awaited.
     pub pipeline_window: usize,
+    /// Sub-requests per `BATCH` wire frame in pipelined ingest (`1`
+    /// disables framing). Runs of consecutive data-plane requests
+    /// (`OBSERVE`/`PREDICT`/`ADMIT`) are framed transparently — responses
+    /// still resolve per request, in order — amortizing one round of
+    /// server-side parse/dispatch bookkeeping per frame. Control verbs
+    /// are never framed.
+    pub batch: usize,
 }
 
 impl Default for ClientConfig {
@@ -97,6 +107,7 @@ impl Default for ClientConfig {
             seed: 0,
             faults: None,
             pipeline_window: 512,
+            batch: 1,
         }
     }
 }
@@ -126,6 +137,12 @@ impl ClientConfig {
         self
     }
 
+    /// Sets the `BATCH` frame size for pipelined ingest (1 = off).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -138,6 +155,11 @@ impl ClientConfig {
         }
         if self.pipeline_window == 0 {
             return Err(ClientError::Config("pipeline_window must be >= 1".into()));
+        }
+        if self.batch == 0 || self.batch > MAX_BATCH {
+            return Err(ClientError::Config(format!(
+                "batch must be in 1..={MAX_BATCH}"
+            )));
         }
         if let Some(plan) = &self.faults {
             plan.validate()
@@ -646,6 +668,12 @@ impl Client {
 
     /// Writes one window and drains its responses. Unresolved indices go
     /// back onto the *front* of `todo`, in order.
+    ///
+    /// With `cfg.batch > 1`, consecutive data-plane requests (`OBSERVE`,
+    /// `PREDICT`, `ADMIT`) are framed as `BATCH` frames of up to
+    /// `cfg.batch` sub-requests; control verbs and singleton runs are
+    /// sent bare. The reply stream stays one line per request in order,
+    /// with a `BATCHR <n>` header preceding each frame's replies.
     fn run_window<F>(
         &mut self,
         reqs: &[Request],
@@ -656,13 +684,24 @@ impl Client {
     where
         F: FnMut(usize, &Response, f64),
     {
+        let frames = plan_frames(reqs, window, self.cfg.batch);
         let conn = self.conn.as_mut().expect("caller ensured a connection");
         let wrote = (|| -> std::io::Result<Vec<Instant>> {
             let mut stamps = Vec::with_capacity(window.len());
-            for &idx in window {
-                stamps.push(Instant::now());
-                conn.writer.write_all(reqs[idx].encode().as_bytes())?;
-                conn.writer.write_all(b"\n")?;
+            let mut line = Vec::new();
+            for frame in &frames {
+                line.clear();
+                if frame.batched {
+                    line.extend_from_slice(b"BATCH ");
+                    push_u64(&mut line, frame.len as u64);
+                    line.push(b'\n');
+                }
+                for &idx in &window[frame.start..frame.start + frame.len] {
+                    stamps.push(Instant::now());
+                    reqs[idx].encode_into(&mut line);
+                    line.push(b'\n');
+                }
+                conn.writer.write_all(&line)?;
             }
             conn.writer.flush()?;
             Ok(stamps)
@@ -685,52 +724,97 @@ impl Client {
         let mut resolved = false;
         let mut deferred: Vec<usize> = Vec::new();
         let mut stalled: Option<String> = None;
-        for (k, &idx) in window.iter().enumerate() {
-            let conn = self.conn.as_mut().expect("window holds the connection");
-            let mut buf = String::new();
-            let read = match conn.reader.read_line(&mut buf) {
-                Ok(0) => Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )),
-                Ok(_) => Ok(()),
-                Err(e) => Err(e),
-            };
-            if let Err(e) = read {
-                if !is_transient(&e) {
-                    return Err(ClientError::Io(e));
-                }
-                // This and all later responses of the window are gone;
-                // re-send the lot (idempotent, see module docs).
-                self.conn = None;
-                let rest: Vec<usize> = window[k..].to_vec();
-                self.note_io(rest.len() as u64);
-                self.note_retries(rest.len() as u64);
-                requeue_front(todo, deferred.iter().copied().chain(rest));
-                stalled = Some(e.to_string());
-                break;
-            }
-            let resp = Response::parse(buf.trim_end()).map_err(ClientError::Proto)?;
-            match self.classify(resp) {
-                Attempt::Done(resp) => {
-                    on_resp(idx, &resp, stamps[k].elapsed().as_secs_f64() * 1e6);
-                    resolved = true;
-                }
-                Attempt::Busy => {
-                    self.note_busy(1);
-                    self.note_retries(1);
-                    deferred.push(idx);
-                }
-                Attempt::Transient(what) => {
-                    // classify() dropped the connection (server closed
-                    // it); later responses cannot arrive.
-                    let rest: Vec<usize> = window[k + 1..].to_vec();
-                    self.note_io(1 + rest.len() as u64);
-                    self.note_retries(1 + rest.len() as u64);
-                    deferred.push(idx);
+        let mut scratch = ProtoScratch::new();
+        'frames: for frame in &frames {
+            if frame.batched {
+                let conn = self.conn.as_mut().expect("frame holds the connection");
+                let mut buf = String::new();
+                let read = match conn.reader.read_line(&mut buf) {
+                    Ok(0) => Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )),
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(e),
+                };
+                if let Err(e) = read {
+                    if !is_transient(&e) {
+                        return Err(ClientError::Io(e));
+                    }
+                    // The whole frame (and everything after it) is gone;
+                    // re-send the lot (idempotent, see module docs).
+                    self.conn = None;
+                    let rest: Vec<usize> = window[frame.start..].to_vec();
+                    self.note_io(rest.len() as u64);
+                    self.note_retries(rest.len() as u64);
                     requeue_front(todo, deferred.iter().copied().chain(rest));
-                    stalled = Some(what);
-                    break;
+                    stalled = Some(e.to_string());
+                    break 'frames;
+                }
+                // A count mismatch means the reply stream is out of step
+                // with what we sent: unrecoverable, so fail loudly rather
+                // than mis-attributing responses.
+                match parse_batchr_header(buf.trim_end(), &mut scratch) {
+                    Ok(Some(n)) if n == frame.len => {}
+                    Ok(_) => {
+                        return Err(ClientError::Proto(ProtoError::BadResponse {
+                            line: buf.trim_end().chars().take(80).collect(),
+                        }))
+                    }
+                    Err(e) => return Err(ClientError::Proto(e)),
+                }
+            }
+            for (k, &idx) in window[frame.start..frame.start + frame.len]
+                .iter()
+                .enumerate()
+            {
+                let pos = frame.start + k;
+                let conn = self.conn.as_mut().expect("window holds the connection");
+                let mut buf = String::new();
+                let read = match conn.reader.read_line(&mut buf) {
+                    Ok(0) => Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )),
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(e),
+                };
+                if let Err(e) = read {
+                    if !is_transient(&e) {
+                        return Err(ClientError::Io(e));
+                    }
+                    // This and all later responses of the window are gone;
+                    // re-send the lot (idempotent, see module docs).
+                    self.conn = None;
+                    let rest: Vec<usize> = window[pos..].to_vec();
+                    self.note_io(rest.len() as u64);
+                    self.note_retries(rest.len() as u64);
+                    requeue_front(todo, deferred.iter().copied().chain(rest));
+                    stalled = Some(e.to_string());
+                    break 'frames;
+                }
+                let resp = Response::parse(buf.trim_end()).map_err(ClientError::Proto)?;
+                match self.classify(resp) {
+                    Attempt::Done(resp) => {
+                        on_resp(idx, &resp, stamps[pos].elapsed().as_secs_f64() * 1e6);
+                        resolved = true;
+                    }
+                    Attempt::Busy => {
+                        self.note_busy(1);
+                        self.note_retries(1);
+                        deferred.push(idx);
+                    }
+                    Attempt::Transient(what) => {
+                        // classify() dropped the connection (server closed
+                        // it); later responses cannot arrive.
+                        let rest: Vec<usize> = window[pos + 1..].to_vec();
+                        self.note_io(1 + rest.len() as u64);
+                        self.note_retries(1 + rest.len() as u64);
+                        deferred.push(idx);
+                        requeue_front(todo, deferred.iter().copied().chain(rest));
+                        stalled = Some(what);
+                        break 'frames;
+                    }
                 }
             }
         }
@@ -748,6 +832,54 @@ impl Client {
             WindowOutcome::Stalled("every request in the window was deferred".to_string())
         })
     }
+}
+
+/// One contiguous run of window positions written as a unit.
+struct Frame {
+    /// First window position of the run.
+    start: usize,
+    /// Number of positions in the run.
+    len: usize,
+    /// Whether the run is wrapped in a `BATCH` frame.
+    batched: bool,
+}
+
+/// True for the data-plane verbs the protocol allows inside `BATCH`.
+fn is_batchable(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Observe { .. } | Request::Predict { .. } | Request::Admit { .. }
+    )
+}
+
+/// Splits window positions into frames: maximal runs of consecutive
+/// batchable requests, chunked to at most `batch` sub-requests each.
+/// Singleton runs skip the frame overhead and go bare.
+fn plan_frames(reqs: &[Request], window: &[usize], batch: usize) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    while pos < window.len() {
+        if batch > 1 && is_batchable(&reqs[window[pos]]) {
+            let mut end = pos + 1;
+            while end < window.len() && end - pos < batch && is_batchable(&reqs[window[end]]) {
+                end += 1;
+            }
+            frames.push(Frame {
+                start: pos,
+                len: end - pos,
+                batched: end - pos > 1,
+            });
+            pos = end;
+        } else {
+            frames.push(Frame {
+                start: pos,
+                len: 1,
+                batched: false,
+            });
+            pos += 1;
+        }
+    }
+    frames
 }
 
 /// How one pipelined window ended.
@@ -1014,5 +1146,112 @@ mod tests {
             .with_faults(FaultPlan::new(0, 7.0))
             .validate()
             .is_err());
+        assert!(ClientConfig::default().with_batch(0).validate().is_err());
+        assert!(ClientConfig::default()
+            .with_batch(MAX_BATCH + 1)
+            .validate()
+            .is_err());
+        assert!(ClientConfig::default()
+            .with_batch(MAX_BATCH)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn batched_pipeline_matches_unbatched() {
+        let mk_reqs = || -> Vec<Request> {
+            let mut reqs: Vec<Request> = Vec::new();
+            for t in 0..100u64 {
+                reqs.push(Request::Observe {
+                    cell: cell(),
+                    machine: MachineId(t as u32 % 4),
+                    task: task(0),
+                    usage: 0.1 + (t as f64) * 0.003,
+                    limit: 0.5,
+                    tick: t / 4,
+                });
+                if t % 10 == 9 {
+                    reqs.push(Request::Predict {
+                        cell: cell(),
+                        machine: MachineId(t as u32 % 4),
+                    });
+                }
+            }
+            reqs
+        };
+        let run = |batch: usize| -> (Vec<u64>, StatsSnapshot) {
+            let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+            let mut c = Client::connect(
+                server.addr(),
+                ClientConfig::default()
+                    .with_pipeline_window(32)
+                    .with_batch(batch),
+            )
+            .unwrap();
+            let reqs = mk_reqs();
+            let mut peaks: Vec<u64> = Vec::new();
+            c.pipeline_with(&reqs, |_, resp, _| {
+                if let Response::Pred { peak } = resp {
+                    peaks.push(peak.to_bits());
+                }
+            })
+            .unwrap();
+            drop(c);
+            (peaks, server.shutdown())
+        };
+        let (plain_peaks, plain_stats) = run(1);
+        let (batched_peaks, batched_stats) = run(8);
+        assert_eq!(plain_peaks.len(), 10);
+        assert_eq!(
+            plain_peaks, batched_peaks,
+            "batching must not change prediction bits"
+        );
+        assert_eq!(plain_stats.observes, batched_stats.observes);
+        assert_eq!(plain_stats.predicts, batched_stats.predicts);
+    }
+
+    #[test]
+    fn batched_pipeline_survives_chaos() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let plan = FaultPlan::new(4321, 0.2).with_max_delay(Duration::from_micros(200));
+        let mut c = Client::connect(
+            server.addr(),
+            ClientConfig::default()
+                .with_seed(11)
+                .with_faults(plan)
+                .with_pipeline_window(32)
+                .with_batch(8)
+                .with_retry(RetryPolicy {
+                    max_attempts: 12,
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(20),
+                }),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..400u64)
+            .map(|t| Request::Observe {
+                cell: cell(),
+                machine: MachineId(t as u32 % 8),
+                task: task(0),
+                usage: 0.2,
+                limit: 0.5,
+                tick: t / 3,
+            })
+            .collect();
+        let mut acked = 0u64;
+        c.pipeline_with(&reqs, |_, resp, _| {
+            if matches!(resp, Response::Ok) {
+                acked += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(acked, 400, "every request must eventually resolve OK");
+        assert!(c.faults_injected() > 0);
+        drop(c);
+        let stats = server.shutdown();
+        assert!(
+            stats.observes + stats.stale >= acked,
+            "lost acked samples: {stats:?}"
+        );
     }
 }

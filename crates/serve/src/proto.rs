@@ -28,6 +28,26 @@
 //! `parse(encode(x))` reproduces the exact bit pattern — the property the
 //! served-vs-offline bit-identity test relies on, and the property the
 //! proptest suite in `tests/proto.rs` pins down.
+//!
+//! # Batched framing
+//!
+//! `BATCH <n>` frames `n` data-plane sub-requests (`OBSERVE`, `PREDICT`,
+//! `ADMIT`) into one round trip: the header line is followed by exactly
+//! `n` ordinary request lines, and the server answers with a `BATCHR <n>`
+//! header followed by exactly `n` ordinary response lines, in
+//! sub-request order. See `docs/PROTOCOL.md` §2.1. Framing helpers live
+//! here ([`encode_batch_into`], [`parse_batch_header`],
+//! [`parse_batchr_header`]); the connection loop owns the line-by-line
+//! streaming.
+//!
+//! # Allocation discipline
+//!
+//! The `parse`/`encode` methods are convenience wrappers that allocate.
+//! The data plane uses [`Request::parse_in`] (tokenizes into a reusable
+//! [`ProtoScratch`], interns cell names) and
+//! [`Request::encode_into`]/[`Response::encode_into`] (append to a reused
+//! `Vec<u8>` with manual integer/float formatters) — zero heap
+//! allocations per request once the connection's scratch is warm.
 
 use oc_trace::ids::{CellId, JobId, MachineId, TaskId};
 use std::fmt;
@@ -35,6 +55,67 @@ use std::fmt;
 /// Hard cap on the length of one protocol line, in bytes. Connections
 /// exceeding it are answered with a parse error and closed.
 pub const MAX_LINE_BYTES: usize = 512;
+
+/// Hard cap on the sub-request count of one `BATCH` frame.
+pub const MAX_BATCH: usize = 1024;
+
+/// Cap on distinct cell names interned per connection scratch; a peer
+/// cycling through more than this many names falls back to re-allocating
+/// (the cache is cleared), never to unbounded growth.
+const CELL_CACHE_CAP: usize = 32;
+
+/// Reusable per-connection parse state: token spans and an interned cell
+/// table. Feeding every request of a connection through one scratch makes
+/// parsing allocation-free in the steady state — token boundaries go into
+/// a recycled span vector and repeated cell names are served as reference
+/// clones of previously seen [`CellId`]s.
+#[derive(Debug, Default)]
+pub struct ProtoScratch {
+    /// Byte ranges of the line's whitespace-separated tokens.
+    spans: Vec<(u32, u32)>,
+    /// Cell names already seen on this connection.
+    cells: Vec<CellId>,
+}
+
+impl ProtoScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> ProtoScratch {
+        ProtoScratch::default()
+    }
+
+    /// Records the token spans of `line` (ASCII-whitespace separated).
+    fn tokenize(&mut self, line: &str) {
+        self.spans.clear();
+        let bytes = line.as_bytes();
+        let mut start: Option<usize> = None;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b.is_ascii_whitespace() {
+                if let Some(s) = start.take() {
+                    self.spans.push((s as u32, i as u32));
+                }
+            } else if start.is_none() {
+                start = Some(i);
+            }
+        }
+        if let Some(s) = start {
+            self.spans.push((s as u32, bytes.len() as u32));
+        }
+    }
+
+    /// Returns the cached [`CellId`] for `name`, creating (and caching) it
+    /// on first sight. Bounded by [`CELL_CACHE_CAP`].
+    fn intern_cell(&mut self, name: &str) -> CellId {
+        if let Some(c) = self.cells.iter().find(|c| c.name() == name) {
+            return c.clone();
+        }
+        if self.cells.len() >= CELL_CACHE_CAP {
+            self.cells.clear();
+        }
+        let cell = CellId::new(name);
+        self.cells.push(cell.clone());
+        cell
+    }
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +331,19 @@ pub enum ProtoError {
         /// The offending token.
         token: String,
     },
+    /// A `STATS` field was missing, misnamed, or out of order.
+    StatsField {
+        /// The key expected at this position.
+        expected: &'static str,
+        /// The token found instead.
+        got: String,
+    },
+    /// A `BATCH`/`BATCHR` frame header counted an out-of-range number of
+    /// sub-messages (must be `1..=MAX_BATCH`).
+    BatchSize {
+        /// The offending count.
+        got: u64,
+    },
     /// A response line did not match any response form.
     BadResponse {
         /// The offending line (truncated).
@@ -279,12 +373,155 @@ impl fmt::Display for ProtoError {
             ProtoError::BadTaskId { token } => {
                 write!(f, "task id '{token}' is not <job>:<index>")
             }
+            ProtoError::StatsField { expected, got } => {
+                write!(f, "STATS field: expected '{expected}', got '{got}'")
+            }
+            ProtoError::BatchSize { got } => {
+                write!(f, "batch of {got} sub-requests outside 1..={MAX_BATCH}")
+            }
             ProtoError::BadResponse { line } => write!(f, "unparseable response '{line}'"),
         }
     }
 }
 
 impl std::error::Error for ProtoError {}
+
+/// `fmt::Write` adapter appending to a byte buffer (never fails).
+struct ByteFmt<'a>(&'a mut Vec<u8>);
+
+impl fmt::Write for ByteFmt<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Appends `format_args!` output to `out` without an intermediate String.
+macro_rules! push_fmt {
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = write!(ByteFmt($out), $($arg)*);
+    }};
+}
+
+/// Appends the decimal digits of `v` (same bytes as `format!("{v}")`)
+/// without going through the `fmt` machinery.
+pub fn push_u64(out: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Largest f64 magnitude whose integral values are all exactly
+/// representable (2^53): below it, an integral float prints as plain
+/// digits and the manual integer formatter is bit-faithful.
+const EXACT_INT_BOUND: f64 = 9_007_199_254_740_992.0;
+
+/// Appends `v` exactly as `format!("{v}")` would render it (shortest
+/// round trip). Integral values — the common case for ticks, counters,
+/// and whole-unit limits — take a manual digit path; everything else
+/// falls back to the standard formatter, writing straight into `out`.
+pub fn push_f64(out: &mut Vec<u8>, v: f64) {
+    if v.is_finite() && v.trunc() == v && v.abs() <= EXACT_INT_BOUND {
+        // `Display` prints integral f64s as bare digits ("-0" kept for
+        // the negative-zero bit pattern).
+        if v.is_sign_negative() {
+            out.push(b'-');
+        }
+        push_u64(out, v.abs() as u64);
+    } else {
+        push_fmt!(out, "{v}");
+    }
+}
+
+/// Encodes a `BATCH` frame: the header line plus one line per
+/// sub-request, each `\n`-terminated. The caller is responsible for
+/// `reqs.len()` being in `1..=MAX_BATCH` and every sub-request being a
+/// data-plane verb (the server answers `ERR parse` per offending
+/// sub-request otherwise).
+pub fn encode_batch_into(reqs: &[Request], out: &mut Vec<u8>) {
+    out.extend_from_slice(b"BATCH ");
+    push_u64(out, reqs.len() as u64);
+    out.push(b'\n');
+    for req in reqs {
+        req.encode_into(out);
+        out.push(b'\n');
+    }
+}
+
+/// Appends a `BATCHR <n>` multi-response header line (no newline).
+pub fn encode_batchr_header_into(n: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"BATCHR ");
+    push_u64(out, n as u64);
+}
+
+fn parse_frame_header(
+    verb: &'static str,
+    line: &str,
+    scratch: &mut ProtoScratch,
+) -> Result<Option<usize>, ProtoError> {
+    scratch.tokenize(line);
+    let tok = |i: usize| {
+        let (s, e) = scratch.spans[i];
+        &line[s as usize..e as usize]
+    };
+    if scratch.spans.is_empty() || tok(0) != verb {
+        return Ok(None);
+    }
+    if scratch.spans.len() != 2 {
+        return Err(ProtoError::Arity {
+            verb,
+            expected: 1,
+            got: scratch.spans.len() - 1,
+        });
+    }
+    let n = parse_u64("batch", tok(1))?;
+    if n == 0 || n > MAX_BATCH as u64 {
+        return Err(ProtoError::BatchSize { got: n });
+    }
+    Ok(Some(n as usize))
+}
+
+/// Recognizes a `BATCH <n>` frame header. `Ok(None)` means the line is
+/// not a batch header at all (parse it as an ordinary request);
+/// `Ok(Some(n))` announces `n` sub-request lines to follow.
+///
+/// # Errors
+///
+/// A line that *is* a `BATCH` header but malformed — wrong arity, bad
+/// count, count outside `1..=MAX_BATCH` — is a typed [`ProtoError`]. The
+/// connection cannot be resynchronized after one (the number of
+/// follow-up lines is unknown), so servers close on it.
+pub fn parse_batch_header(
+    line: &str,
+    scratch: &mut ProtoScratch,
+) -> Result<Option<usize>, ProtoError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtoError::LineTooLong { len: line.len() });
+    }
+    parse_frame_header("BATCH", line, scratch)
+}
+
+/// Recognizes a `BATCHR <n>` multi-response header; same contract as
+/// [`parse_batch_header`].
+///
+/// # Errors
+///
+/// Typed [`ProtoError`] for a malformed `BATCHR` header.
+pub fn parse_batchr_header(
+    line: &str,
+    scratch: &mut ProtoScratch,
+) -> Result<Option<usize>, ProtoError> {
+    parse_frame_header("BATCHR", line, scratch)
+}
 
 fn parse_f64(field: &'static str, token: &str) -> Result<f64, ProtoError> {
     let v: f64 = token.parse().map_err(|_| ProtoError::BadNumber {
@@ -336,55 +573,100 @@ fn expect_arity(verb: &'static str, operands: &[&str], expected: usize) -> Resul
 }
 
 impl Request {
-    /// Parses one request line (without the trailing newline).
+    /// Parses one request line (without the trailing newline),
+    /// allocating fresh parse state. Convenience wrapper over
+    /// [`Request::parse_in`] for tests and one-shot callers.
     ///
     /// # Errors
     ///
     /// Returns a typed [`ProtoError`]; malformed input never panics.
     pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        Request::parse_in(line, &mut ProtoScratch::new())
+    }
+
+    /// Parses one request line using a reusable [`ProtoScratch`]. In the
+    /// steady state this performs no heap allocation: token spans go into
+    /// the scratch's recycled vector and repeated cell names come back as
+    /// reference clones from its intern table. Error paths may allocate
+    /// (they copy the offending token into the error).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ProtoError`]; malformed input never panics.
+    pub fn parse_in(line: &str, scratch: &mut ProtoScratch) -> Result<Request, ProtoError> {
         if line.len() > MAX_LINE_BYTES {
             return Err(ProtoError::LineTooLong { len: line.len() });
         }
-        let mut tokens = line.split_ascii_whitespace();
-        let verb = tokens.next().ok_or(ProtoError::Empty)?;
-        let operands: Vec<&str> = tokens.collect();
-        match verb {
+        scratch.tokenize(line);
+        if scratch.spans.is_empty() {
+            return Err(ProtoError::Empty);
+        }
+        let tok = |i: usize| {
+            let (s, e) = scratch.spans[i];
+            &line[s as usize..e as usize]
+        };
+        let n_operands = scratch.spans.len() - 1;
+        let arity = |verb: &'static str, expected: usize| {
+            if n_operands != expected {
+                return Err(ProtoError::Arity {
+                    verb,
+                    expected,
+                    got: n_operands,
+                });
+            }
+            Ok(())
+        };
+        match tok(0) {
             "OBSERVE" => {
-                expect_arity("OBSERVE", &operands, 6)?;
+                arity("OBSERVE", 6)?;
+                let machine = parse_machine(tok(2))?;
+                let task = parse_task(tok(3))?;
+                let usage = parse_f64("usage", tok(4))?;
+                let limit = parse_f64("limit", tok(5))?;
+                let tick = parse_u64("tick", tok(6))?;
                 Ok(Request::Observe {
-                    cell: CellId::new(operands[0]),
-                    machine: parse_machine(operands[1])?,
-                    task: parse_task(operands[2])?,
-                    usage: parse_f64("usage", operands[3])?,
-                    limit: parse_f64("limit", operands[4])?,
-                    tick: parse_u64("tick", operands[5])?,
+                    cell: scratch.intern_cell(
+                        &line[scratch.spans[1].0 as usize..scratch.spans[1].1 as usize],
+                    ),
+                    machine,
+                    task,
+                    usage,
+                    limit,
+                    tick,
                 })
             }
             "PREDICT" => {
-                expect_arity("PREDICT", &operands, 2)?;
+                arity("PREDICT", 2)?;
+                let machine = parse_machine(tok(2))?;
                 Ok(Request::Predict {
-                    cell: CellId::new(operands[0]),
-                    machine: parse_machine(operands[1])?,
+                    cell: scratch.intern_cell(
+                        &line[scratch.spans[1].0 as usize..scratch.spans[1].1 as usize],
+                    ),
+                    machine,
                 })
             }
             "ADMIT" => {
-                expect_arity("ADMIT", &operands, 3)?;
+                arity("ADMIT", 3)?;
+                let machine = parse_machine(tok(2))?;
+                let limit = parse_f64("limit", tok(3))?;
                 Ok(Request::Admit {
-                    cell: CellId::new(operands[0]),
-                    machine: parse_machine(operands[1])?,
-                    limit: parse_f64("limit", operands[2])?,
+                    cell: scratch.intern_cell(
+                        &line[scratch.spans[1].0 as usize..scratch.spans[1].1 as usize],
+                    ),
+                    machine,
+                    limit,
                 })
             }
             "STATS" => {
-                expect_arity("STATS", &operands, 0)?;
+                arity("STATS", 0)?;
                 Ok(Request::Stats)
             }
             "METRICS" => {
-                expect_arity("METRICS", &operands, 0)?;
+                arity("METRICS", 0)?;
                 Ok(Request::Metrics)
             }
             "SHUTDOWN" => {
-                expect_arity("SHUTDOWN", &operands, 0)?;
+                arity("SHUTDOWN", 0)?;
                 Ok(Request::Shutdown)
             }
             other => Err(ProtoError::UnknownVerb {
@@ -393,8 +675,9 @@ impl Request {
         }
     }
 
-    /// Encodes the request as one line (no trailing newline).
-    pub fn encode(&self) -> String {
+    /// Appends the request's wire line (no trailing newline) to `out`
+    /// without intermediate allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Request::Observe {
                 cell,
@@ -403,28 +686,52 @@ impl Request {
                 usage,
                 limit,
                 tick,
-            } => format!(
-                "OBSERVE {} {} {}:{} {} {} {}",
-                cell.name(),
-                machine.0,
-                task.job.0,
-                task.index,
-                usage,
-                limit,
-                tick
-            ),
+            } => {
+                out.extend_from_slice(b"OBSERVE ");
+                out.extend_from_slice(cell.name().as_bytes());
+                out.push(b' ');
+                push_u64(out, u64::from(machine.0));
+                out.push(b' ');
+                push_u64(out, task.job.0);
+                out.push(b':');
+                push_u64(out, u64::from(task.index));
+                out.push(b' ');
+                push_f64(out, *usage);
+                out.push(b' ');
+                push_f64(out, *limit);
+                out.push(b' ');
+                push_u64(out, *tick);
+            }
             Request::Predict { cell, machine } => {
-                format!("PREDICT {} {}", cell.name(), machine.0)
+                out.extend_from_slice(b"PREDICT ");
+                out.extend_from_slice(cell.name().as_bytes());
+                out.push(b' ');
+                push_u64(out, u64::from(machine.0));
             }
             Request::Admit {
                 cell,
                 machine,
                 limit,
-            } => format!("ADMIT {} {} {}", cell.name(), machine.0, limit),
-            Request::Stats => "STATS".to_string(),
-            Request::Metrics => "METRICS".to_string(),
-            Request::Shutdown => "SHUTDOWN".to_string(),
+            } => {
+                out.extend_from_slice(b"ADMIT ");
+                out.extend_from_slice(cell.name().as_bytes());
+                out.push(b' ');
+                push_u64(out, u64::from(machine.0));
+                out.push(b' ');
+                push_f64(out, *limit);
+            }
+            Request::Stats => out.extend_from_slice(b"STATS"),
+            Request::Metrics => out.extend_from_slice(b"METRICS"),
+            Request::Shutdown => out.extend_from_slice(b"SHUTDOWN"),
         }
+    }
+
+    /// Encodes the request as one line (no trailing newline). Allocating
+    /// wrapper over [`Request::encode_into`].
+    pub fn encode(&self) -> String {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        String::from_utf8(out).expect("encoded line is ASCII")
     }
 }
 
@@ -449,9 +756,14 @@ const STATS_KEYS: [&str; 14] = [
 impl StatsSnapshot {
     /// The `k=v` payload of a `STATS` response line, without the verb.
     pub fn encode_fields(&self) -> String {
-        format!(
-            "observes={} predicts={} admits={} busy={} stale={} errors={} machines={} \
-             faults={} timeouts={} conn_rejects={} p50_us={} p99_us={} mean_us={} max_us={}",
+        let mut out = Vec::new();
+        self.encode_fields_into(&mut out);
+        String::from_utf8(out).expect("encoded fields are ASCII")
+    }
+
+    /// Appends the `k=v` payload (without the verb) to `out`.
+    pub fn encode_fields_into(&self, out: &mut Vec<u8>) {
+        let u = [
             self.observes,
             self.predicts,
             self.admits,
@@ -462,42 +774,68 @@ impl StatsSnapshot {
             self.faults,
             self.timeouts,
             self.conn_rejects,
-            self.p50_us,
-            self.p99_us,
-            self.mean_us,
-            self.max_us
-        )
+        ];
+        let f = [self.p50_us, self.p99_us, self.mean_us, self.max_us];
+        for (i, key) in STATS_KEYS.iter().enumerate() {
+            if i > 0 {
+                out.push(b' ');
+            }
+            out.extend_from_slice(key.as_bytes());
+            out.push(b'=');
+            if i < u.len() {
+                push_u64(out, u[i]);
+            } else {
+                push_f64(out, f[i - u.len()]);
+            }
+        }
     }
 
-    fn parse_fields(operands: &[&str]) -> Option<StatsSnapshot> {
-        if operands.len() != STATS_KEYS.len() {
-            return None;
-        }
+    /// Parses the `k=v` operands of a `STATS` line, in `STATS_KEYS`
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Arity`] for a wrong field count,
+    /// [`ProtoError::StatsField`] for a missing `=` or a key out of
+    /// order, [`ProtoError::BadNumber`]/[`ProtoError::OutOfDomain`] for
+    /// an unparseable value — naming the offending field, like the rest
+    /// of the codec.
+    pub fn parse_fields(operands: &[&str]) -> Result<StatsSnapshot, ProtoError> {
+        expect_arity("STATS", operands, STATS_KEYS.len())?;
         let mut s = StatsSnapshot::default();
         for (key, token) in STATS_KEYS.iter().zip(operands) {
-            let (k, v) = token.split_once('=')?;
-            if k != *key {
-                return None;
+            let key_s: &'static str = key;
+            let Some((k, v)) = token.split_once('=') else {
+                return Err(ProtoError::StatsField {
+                    expected: key_s,
+                    got: token.to_string(),
+                });
+            };
+            if k != key_s {
+                return Err(ProtoError::StatsField {
+                    expected: key_s,
+                    got: token.to_string(),
+                });
             }
-            match *key {
-                "observes" => s.observes = v.parse().ok()?,
-                "predicts" => s.predicts = v.parse().ok()?,
-                "admits" => s.admits = v.parse().ok()?,
-                "busy" => s.busy = v.parse().ok()?,
-                "stale" => s.stale = v.parse().ok()?,
-                "errors" => s.errors = v.parse().ok()?,
-                "machines" => s.machines = v.parse().ok()?,
-                "faults" => s.faults = v.parse().ok()?,
-                "timeouts" => s.timeouts = v.parse().ok()?,
-                "conn_rejects" => s.conn_rejects = v.parse().ok()?,
-                "p50_us" => s.p50_us = v.parse().ok()?,
-                "p99_us" => s.p99_us = v.parse().ok()?,
-                "mean_us" => s.mean_us = v.parse().ok()?,
-                "max_us" => s.max_us = v.parse().ok()?,
+            match key_s {
+                "observes" => s.observes = parse_u64(key_s, v)?,
+                "predicts" => s.predicts = parse_u64(key_s, v)?,
+                "admits" => s.admits = parse_u64(key_s, v)?,
+                "busy" => s.busy = parse_u64(key_s, v)?,
+                "stale" => s.stale = parse_u64(key_s, v)?,
+                "errors" => s.errors = parse_u64(key_s, v)?,
+                "machines" => s.machines = parse_u64(key_s, v)?,
+                "faults" => s.faults = parse_u64(key_s, v)?,
+                "timeouts" => s.timeouts = parse_u64(key_s, v)?,
+                "conn_rejects" => s.conn_rejects = parse_u64(key_s, v)?,
+                "p50_us" => s.p50_us = parse_f64(key_s, v)?,
+                "p99_us" => s.p99_us = parse_f64(key_s, v)?,
+                "mean_us" => s.mean_us = parse_f64(key_s, v)?,
+                "max_us" => s.max_us = parse_f64(key_s, v)?,
                 _ => unreachable!("key list is fixed"),
             }
         }
-        Some(s)
+        Ok(s)
     }
 }
 
@@ -535,9 +873,7 @@ impl Response {
                     projected: parse_f64("projected", operands[1])?,
                 })
             }
-            "STATS" => StatsSnapshot::parse_fields(&operands)
-                .map(Response::Stats)
-                .ok_or_else(bad),
+            "STATS" => StatsSnapshot::parse_fields(&operands).map(Response::Stats),
             "METRICS" => {
                 let exposition = operands.join(" ");
                 if oc_telemetry::metrics::parse_exposition(&exposition).is_none() {
@@ -559,34 +895,55 @@ impl Response {
         }
     }
 
-    /// Encodes the response as one line (no trailing newline). Error
-    /// details are flattened to a single line.
-    pub fn encode(&self) -> String {
+    /// Appends the response's wire line (no trailing newline) to `out`.
+    /// Error details are flattened to a single line. The hot-path
+    /// variants (`OK`, `BUSY`, `PRED`, `ADMITTED`) never allocate; the
+    /// snapshot variants go through the formatter.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            Response::Ok => "OK".to_string(),
-            Response::Busy => "BUSY".to_string(),
-            Response::Pred { peak } => format!("PRED {peak}"),
-            Response::Admitted { admit, projected } => {
-                format!(
-                    "ADMITTED {} {}",
-                    if *admit { "yes" } else { "no" },
-                    projected
-                )
+            Response::Ok => out.extend_from_slice(b"OK"),
+            Response::Busy => out.extend_from_slice(b"BUSY"),
+            Response::Pred { peak } => {
+                out.extend_from_slice(b"PRED ");
+                push_f64(out, *peak);
             }
-            Response::Stats(s) => format!("STATS {}", s.encode_fields()),
-            Response::Metrics { exposition } => format!("METRICS {exposition}"),
-            Response::Err { code, detail } => {
-                let detail: String = detail
-                    .chars()
-                    .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
-                    .collect();
-                if detail.is_empty() {
-                    format!("ERR {}", code.as_str())
+            Response::Admitted { admit, projected } => {
+                out.extend_from_slice(if *admit {
+                    b"ADMITTED yes ".as_slice()
                 } else {
-                    format!("ERR {} {}", code.as_str(), detail)
+                    b"ADMITTED no ".as_slice()
+                });
+                push_f64(out, *projected);
+            }
+            Response::Stats(s) => {
+                out.extend_from_slice(b"STATS ");
+                s.encode_fields_into(out);
+            }
+            Response::Metrics { exposition } => {
+                out.extend_from_slice(b"METRICS ");
+                out.extend_from_slice(exposition.as_bytes());
+            }
+            Response::Err { code, detail } => {
+                out.extend_from_slice(b"ERR ");
+                out.extend_from_slice(code.as_str().as_bytes());
+                if !detail.is_empty() {
+                    out.push(b' ');
+                    for c in detail.chars() {
+                        let c = if c == '\n' || c == '\r' { ' ' } else { c };
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
                 }
             }
         }
+    }
+
+    /// Encodes the response as one line (no trailing newline).
+    /// Allocating wrapper over [`Response::encode_into`].
+    pub fn encode(&self) -> String {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        String::from_utf8(out).expect("encoded line is valid UTF-8")
     }
 }
 

@@ -38,11 +38,17 @@
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::fault::{FaultCounters, FaultStream};
-use crate::proto::{ErrCode, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
-use crate::shard::{SendFail, ShardMsg, ShardPool};
+use crate::proto::{
+    parse_batch_header, ErrCode, ProtoScratch, Request, Response, StatsSnapshot, MAX_LINE_BYTES,
+};
+use crate::shard::{
+    key_hash, MachineKey, ObserveChunk, ObserveItem, SendFail, ShardMsg, ShardPool, OBS_CHUNK,
+};
 use oc_telemetry::metrics::{encode_exposition, HistogramSnapshot};
 use oc_telemetry::{trace, Counter, Gauge, MetricsRegistry};
+use oc_trace::time::Tick;
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -78,6 +84,14 @@ struct Shared {
     parse_errors: Arc<Counter>,
     /// Per-verb request counters (`serve.requests.<verb>`).
     requests: RequestCounters,
+    /// Sub-requests received inside `BATCH` frames
+    /// (`serve.batch.requests`).
+    batch_requests: Arc<Counter>,
+    /// Queue hops saved by the frontend micro-batcher: for every
+    /// multi-sample chunk enqueued, `len - 1` (`serve.batch.coalesced`).
+    batch_coalesced: Arc<Counter>,
+    /// Frontend `PREDICT` result cache.
+    cache: PredictCache,
     /// Faults injected by the server-side chaos plan (if configured).
     faults: Arc<FaultCounters>,
     /// Live connection handlers.
@@ -110,6 +124,79 @@ impl RequestCounters {
             metrics: registry.counter("serve.requests.metrics"),
             shutdown: registry.counter("serve.requests.shutdown"),
         }
+    }
+}
+
+/// Generation stripes in the [`PredictCache`]. Collisions between
+/// machines on one stripe only cause spurious invalidation (extra cache
+/// misses), never a stale hit.
+const GEN_STRIPES: usize = 1024;
+
+/// Frontend `PREDICT` result cache, invalidated by observe-generation
+/// stamps.
+///
+/// Every successfully *enqueued* observe bumps its machine's generation
+/// stripe (bump strictly after the enqueue, before the `OK` is written,
+/// so a connection's own predicts always see its own acknowledged
+/// samples). A predict reads the generation *before* dispatching to the
+/// shard and stores the computed peak stamped with that generation; a
+/// later predict whose current generation still matches is served the
+/// stored bits without the queue hop. A matching generation proves no
+/// sample was enqueued for the stripe since the stored value was
+/// computed, and predictions are a pure function of ingested state — so
+/// a hit is bit-identical to what the shard would recompute, preserving
+/// the served-vs-offline identity (including under chaos, where retried
+/// observes simply bump again). Races only ever invalidate
+/// conservatively: a generation read concurrent with an enqueue misses.
+#[derive(Debug)]
+struct PredictCache {
+    /// Striped observe-generation stamps, indexed by [`key_hash`].
+    gens: Vec<AtomicU64>,
+    /// Last computed peak per machine, stamped with the generation read
+    /// before its shard dispatch.
+    entries: Mutex<HashMap<MachineKey, (u64, f64)>>,
+    /// Predicts served from the cache (`serve.predict.cache_hit`).
+    hits: Arc<Counter>,
+    /// Predicts dispatched to a shard (`serve.predict.cache_miss`).
+    misses: Arc<Counter>,
+}
+
+impl PredictCache {
+    fn new(registry: &MetricsRegistry) -> PredictCache {
+        PredictCache {
+            gens: (0..GEN_STRIPES).map(|_| AtomicU64::new(0)).collect(),
+            entries: Mutex::new(HashMap::new()),
+            hits: registry.counter("serve.predict.cache_hit"),
+            misses: registry.counter("serve.predict.cache_miss"),
+        }
+    }
+
+    fn stripe_of(&self, key: &MachineKey) -> usize {
+        (key_hash(key) % GEN_STRIPES as u64) as usize
+    }
+
+    fn generation(&self, stripe: usize) -> u64 {
+        self.gens[stripe].load(Ordering::SeqCst)
+    }
+
+    fn bump(&self, stripe: usize) {
+        self.gens[stripe].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The cached peak for `key`, if its stamp still matches `gen_now`.
+    fn lookup(&self, key: &MachineKey, gen_now: u64) -> Option<f64> {
+        let entries = self.entries.lock().expect("predict cache lock");
+        match entries.get(key) {
+            Some(&(gen, peak)) if gen == gen_now => Some(peak),
+            _ => None,
+        }
+    }
+
+    fn store(&self, key: MachineKey, gen: u64, peak: f64) {
+        self.entries
+            .lock()
+            .expect("predict cache lock")
+            .insert(key, (gen, peak));
     }
 }
 
@@ -258,6 +345,9 @@ impl Server {
             connections: metrics.gauge("serve.connections"),
             parse_errors: metrics.counter("serve.parse_errors"),
             requests: RequestCounters::new(&metrics),
+            batch_requests: metrics.counter("serve.batch.requests"),
+            batch_coalesced: metrics.counter("serve.batch.coalesced"),
+            cache: PredictCache::new(&metrics),
             metrics,
             faults: Arc::new(FaultCounters::default()),
             registry: Registry::default(),
@@ -349,6 +439,9 @@ impl Server {
                 metrics.faults += faults;
                 metrics.timeouts += timeouts;
                 metrics.conn_rejects += conn_rejects;
+                // "Predictions served" includes cache hits (the shard
+                // counter only sees misses).
+                metrics.predicts += self.shared.cache.hits.get();
                 ShutdownOutcome {
                     stats: metrics.snapshot(busy),
                     clean,
@@ -516,7 +609,231 @@ fn read_line_step<R: BufRead>(reader: &mut R, acc: &mut Vec<u8>) -> ReadStep {
     }
 }
 
-/// Serves one connection: one response line per request line, in order.
+/// Per-connection reusable state: the parse scratch, the response encode
+/// buffer, the observe micro-batcher, and `BATCH` framing progress. All
+/// buffers are recycled line over line, so the steady-state request path
+/// performs no per-request heap allocation.
+struct ConnState {
+    scratch: ProtoScratch,
+    out: Vec<u8>,
+    chunk: Box<ObserveChunk>,
+    /// Shard the current chunk routes to (meaningful when `chunk.len > 0`).
+    chunk_shard: usize,
+    /// Sub-request lines still expected in the current `BATCH` frame.
+    batch_left: usize,
+}
+
+impl ConnState {
+    fn new() -> ConnState {
+        ConnState {
+            scratch: ProtoScratch::new(),
+            out: Vec::with_capacity(256),
+            chunk: Box::new(ObserveChunk::new()),
+            chunk_shard: 0,
+            batch_left: 0,
+        }
+    }
+}
+
+/// Encodes `resp` into the recycled buffer and writes it with its
+/// newline.
+fn write_resp<W: Write>(writer: &mut W, out: &mut Vec<u8>, resp: &Response) -> std::io::Result<()> {
+    out.clear();
+    resp.encode_into(out);
+    out.push(b'\n');
+    writer.write_all(out)
+}
+
+/// Enqueues the pending observe chunk (if any) and writes the deferred
+/// acknowledgements, one per sample, in order. `try_send` is all-or-
+/// nothing for the chunk: on `BUSY` every sample is answered `BUSY` and
+/// the client retries them individually (ingestion is idempotent, so the
+/// partial overlap of a retried run is harmless). Generation stripes are
+/// bumped strictly after a successful enqueue and before the `OK`s are
+/// written — the predict cache's read-your-writes edge.
+fn flush_chunk<W: Write>(
+    state: &mut ConnState,
+    writer: &mut W,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let len = state.chunk.len;
+    if len == 0 {
+        return Ok(());
+    }
+    let shard = state.chunk_shard;
+    let mut stripes = [0usize; OBS_CHUNK];
+    for (s, item) in stripes.iter_mut().zip(&state.chunk.items[..len]) {
+        *s = shared.cache.stripe_of(&item.key);
+    }
+    let sent = if len == 1 {
+        // A lone sample skips the chunk wrapper (and its box) entirely.
+        let item = std::mem::take(&mut state.chunk.items[0]);
+        state.chunk.len = 0;
+        pool.try_send(
+            shard,
+            ShardMsg::Observe {
+                key: item.key,
+                task: item.task,
+                usage: item.usage,
+                limit: item.limit,
+                tick: item.tick,
+                enqueued: state.chunk.enqueued,
+            },
+        )
+    } else {
+        let chunk = std::mem::replace(&mut state.chunk, Box::new(ObserveChunk::new()));
+        pool.try_send(shard, ShardMsg::ObserveBatch(chunk))
+    };
+    match sent {
+        Ok(()) => {
+            if len > 1 {
+                shared.batch_coalesced.add(len as u64 - 1);
+            }
+            for s in &stripes[..len] {
+                shared.cache.bump(*s);
+            }
+            for _ in 0..len {
+                writer.write_all(b"OK\n")?;
+            }
+        }
+        Err(SendFail::Busy) => {
+            shared.busy.add(len as u64);
+            trace::event("serve.busy", shard as u64, len as u64);
+            for _ in 0..len {
+                writer.write_all(b"BUSY\n")?;
+            }
+        }
+        Err(SendFail::Closed) => {
+            let resp = shutting_down();
+            for _ in 0..len {
+                write_resp(writer, &mut state.out, &resp)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Handles one complete request line (batch header, batched sub-request,
+/// or ordinary request). Returns `Ok(false)` when the connection must
+/// close (unrecoverable framing).
+fn process_line<W: Write>(
+    raw: &[u8],
+    state: &mut ConnState,
+    writer: &mut W,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<bool> {
+    let parse_err = |e: &dyn fmt::Display| Response::Err {
+        code: ErrCode::Parse,
+        detail: e.to_string(),
+    };
+    let Ok(line) = std::str::from_utf8(raw) else {
+        flush_chunk(state, writer, pool, shared)?;
+        shared.parse_errors.inc();
+        state.batch_left = state.batch_left.saturating_sub(1);
+        let resp = parse_err(&"request line is not valid UTF-8");
+        write_resp(writer, &mut state.out, &resp)?;
+        return Ok(true);
+    };
+    let line = line.trim_end_matches(['\r', '\n']);
+    let in_batch = state.batch_left > 0;
+    if in_batch {
+        state.batch_left -= 1;
+    } else {
+        match parse_batch_header(line, &mut state.scratch) {
+            // Not a batch header: fall through to the ordinary parse.
+            Ok(None) => {}
+            Ok(Some(n)) => {
+                flush_chunk(state, writer, pool, shared)?;
+                shared.batch_requests.add(n as u64);
+                state.batch_left = n;
+                // The multi-response header goes out up front — the count
+                // is known from the frame header, and sub-responses then
+                // stream in sub-request order.
+                state.out.clear();
+                crate::proto::encode_batchr_header_into(n, &mut state.out);
+                state.out.push(b'\n');
+                writer.write_all(&state.out)?;
+                return Ok(true);
+            }
+            Err(e) => {
+                // A malformed BATCH header is unrecoverable: the number
+                // of follow-up lines is unknown, so the stream cannot be
+                // resynchronized. Answer and close.
+                flush_chunk(state, writer, pool, shared)?;
+                shared.parse_errors.inc();
+                let resp = parse_err(&e);
+                write_resp(writer, &mut state.out, &resp)?;
+                return Ok(false);
+            }
+        }
+    }
+    match Request::parse_in(line, &mut state.scratch) {
+        Err(e) => {
+            flush_chunk(state, writer, pool, shared)?;
+            shared.parse_errors.inc();
+            let resp = parse_err(&e);
+            write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+        Ok(Request::Observe {
+            cell,
+            machine,
+            task,
+            usage,
+            limit,
+            tick,
+        }) => {
+            shared.requests.observe.inc();
+            let key = (cell, machine);
+            let shard = pool.route(&key);
+            if state.chunk.len > 0 && (shard != state.chunk_shard || state.chunk.len == OBS_CHUNK) {
+                flush_chunk(state, writer, pool, shared)?;
+            }
+            if state.chunk.len == 0 {
+                state.chunk_shard = shard;
+                state.chunk.enqueued = Instant::now();
+            }
+            let slot = state.chunk.len;
+            state.chunk.items[slot] = ObserveItem {
+                key,
+                task,
+                usage,
+                limit,
+                tick: Tick(tick),
+            };
+            state.chunk.len = slot + 1;
+            Ok(true)
+        }
+        Ok(req @ (Request::Stats | Request::Metrics | Request::Shutdown)) if in_batch => {
+            // Control verbs are not batchable: one per-sub-request parse
+            // error, and the rest of the frame proceeds normally.
+            flush_chunk(state, writer, pool, shared)?;
+            shared.parse_errors.inc();
+            let verb = match req {
+                Request::Stats => "STATS",
+                Request::Metrics => "METRICS",
+                _ => "SHUTDOWN",
+            };
+            let resp = parse_err(&format_args!("{verb} is not allowed inside BATCH"));
+            write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+        Ok(req) => {
+            // Ordering: every coalesced sample must be enqueued before a
+            // PREDICT/ADMIT/STATS sees the shard, so a connection always
+            // reads its own acknowledged writes.
+            flush_chunk(state, writer, pool, shared)?;
+            let resp = dispatch(req, pool, shared);
+            write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Serves one connection: one response line per request line, in order
+/// (plus one `BATCHR` header line per `BATCH` frame).
 fn serve_lines<R: Read, W: Write>(
     read_half: R,
     write_half: W,
@@ -528,6 +845,7 @@ fn serve_lines<R: Read, W: Write>(
     let mut acc: Vec<u8> = Vec::with_capacity(256);
     let mut last_activity = Instant::now();
     let mut seen = 0usize; // bytes of `acc` already counted as activity
+    let mut state = ConnState::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             // In-flight connections are abandoned at shutdown; anything
@@ -540,32 +858,24 @@ fn serve_lines<R: Read, W: Write>(
                 // Spans the whole request: parse, shard round-trip, and
                 // response encode. Inert unless tracing is enabled.
                 let req_span = trace::span("serve.request");
-                let line = String::from_utf8_lossy(&acc);
-                let trimmed = line.trim_end_matches(['\r', '\n']);
-                let resp = match Request::parse(trimmed) {
-                    Err(e) => {
-                        shared.parse_errors.inc();
-                        Response::Err {
-                            code: ErrCode::Parse,
-                            detail: e.to_string(),
-                        }
-                    }
-                    Ok(req) => dispatch(req, pool, shared),
-                };
-                drop(line);
+                let keep_open = process_line(&acc, &mut state, &mut writer, pool, shared)?;
                 drop(req_span);
                 acc.clear();
                 seen = 0;
-                writer.write_all(resp.encode().as_bytes())?;
-                writer.write_all(b"\n")?;
-                // Flush only when the pipeline runs dry: pipelined clients
-                // get batched writes, interactive clients an immediate
-                // answer.
-                if reader.buffer().is_empty() {
+                if !keep_open {
+                    return writer.flush(); // Cannot resynchronize: close.
+                }
+                // Coalesce and buffer only while another complete request
+                // is already waiting: once the pipeline runs dry, enqueue
+                // the pending chunk and push every response out.
+                if !reader.buffer().contains(&b'\n') {
+                    flush_chunk(&mut state, &mut writer, pool, shared)?;
                     writer.flush()?;
                 }
             }
             ReadStep::Timeout => {
+                flush_chunk(&mut state, &mut writer, pool, shared)?;
+                writer.flush()?;
                 if acc.len() > seen {
                     // A partial line is still progress; only complete
                     // silence counts toward the idle deadline.
@@ -579,75 +889,72 @@ fn serve_lines<R: Read, W: Write>(
                         code: ErrCode::Timeout,
                         detail: "idle past deadline; reconnect to resume".to_string(),
                     };
-                    writer.write_all(resp.encode().as_bytes())?;
-                    writer.write_all(b"\n")?;
+                    write_resp(&mut writer, &mut state.out, &resp)?;
                     return writer.flush();
                 }
             }
             ReadStep::Eof => {
                 // A trailing fragment without a newline is a truncated
                 // request from a peer that died mid-write: discard it
-                // rather than guessing at half a request.
+                // rather than guessing at half a request. (A truncated
+                // BATCH frame's already-received sub-requests were
+                // dispatched; their responses are simply undeliverable —
+                // safe, because ingestion is idempotent.)
                 break;
             }
             ReadStep::Oversize => {
+                flush_chunk(&mut state, &mut writer, pool, shared)?;
                 let resp = Response::Err {
                     code: ErrCode::Parse,
                     detail: format!("line exceeds {MAX_LINE_BYTES} bytes"),
                 };
-                writer.write_all(resp.encode().as_bytes())?;
-                writer.write_all(b"\n")?;
+                write_resp(&mut writer, &mut state.out, &resp)?;
                 writer.flush()?;
                 break; // Cannot resynchronize: close.
             }
             ReadStep::Failed(e) => return Err(e),
         }
     }
+    flush_chunk(&mut state, &mut writer, pool, shared)?;
     writer.flush()
 }
 
 fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
     match req {
-        Request::Observe {
-            cell,
-            machine,
-            task,
-            usage,
-            limit,
-            tick,
-        } => {
-            shared.requests.observe.inc();
-            let key = (cell, machine);
-            let shard = pool.route(&key);
-            let msg = ShardMsg::Observe {
-                key,
-                task,
-                usage,
-                limit,
-                tick: oc_trace::time::Tick(tick),
-                enqueued: Instant::now(),
-            };
-            match pool.try_send(shard, msg) {
-                Ok(()) => Response::Ok,
-                Err(SendFail::Busy) => {
-                    shared.busy.inc();
-                    trace::event("serve.busy", shard as u64, 0);
-                    Response::Busy
-                }
-                Err(SendFail::Closed) => shutting_down(),
-            }
+        Request::Observe { .. } => {
+            // Observes are coalesced by `process_line` and enqueued via
+            // `flush_chunk`; routing one here would skip the generation
+            // bump and poison the predict cache.
+            unreachable!("OBSERVE is handled by the connection micro-batcher")
         }
         Request::Predict { cell, machine } => {
             shared.requests.predict.inc();
             let key = (cell, machine);
+            // The generation is read before the shard dispatch, so the
+            // stored stamp can only ever be conservative (a sample racing
+            // in after this read forces a later miss, never a stale hit).
+            let stripe = shared.cache.stripe_of(&key);
+            let gen = shared.cache.generation(stripe);
+            if let Some(peak) = shared.cache.lookup(&key, gen) {
+                shared.cache.hits.inc();
+                return Response::Pred { peak };
+            }
+            shared.cache.misses.inc();
             let shard = pool.route(&key);
             let (reply, rx) = sync_channel(1);
             let msg = ShardMsg::Predict {
-                key,
+                key: key.clone(),
                 reply,
                 enqueued: Instant::now(),
             };
-            request_reply(pool, shard, msg, rx, shared)
+            let resp = request_reply(pool, shard, msg, rx, shared);
+            if let Response::Pred { peak } = resp {
+                // Only successful predictions are cached; unknown-machine
+                // errors must re-check the shard (an ADMIT may create the
+                // machine at any time).
+                shared.cache.store(key, gen, peak);
+            }
+            resp
         }
         Request::Admit {
             cell,
@@ -675,6 +982,9 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             merged.faults += shared.faults.total();
             merged.timeouts += shared.timeouts.get();
             merged.conn_rejects += shared.conn_rejects.get();
+            // `predicts` reports predictions *served*: the shard counter
+            // only sees cache misses.
+            merged.predicts += shared.cache.hits.get();
             Response::Stats(merged.snapshot(shared.busy.get()))
         }
         Request::Metrics => {
@@ -688,7 +998,7 @@ fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
             // in one exposition.
             let mut snap = shared.metrics.snapshot();
             snap.set_counter("serve.observes", merged.observes);
-            snap.set_counter("serve.predicts", merged.predicts);
+            snap.set_counter("serve.predicts", merged.predicts + shared.cache.hits.get());
             snap.set_counter("serve.admits", merged.admits);
             snap.set_counter("serve.stale", merged.stale);
             snap.set_counter("serve.errors", merged.errors);

@@ -42,6 +42,60 @@ use std::time::Instant;
 /// A machine's routing key.
 pub type MachineKey = (CellId, MachineId);
 
+/// Samples carried by one coalesced [`ShardMsg::ObserveBatch`] message.
+/// Small and fixed: the chunk lives inline in one boxed message, so the
+/// `sync_channel` hop and the shard wakeup are amortized across up to
+/// this many samples while a stalled flush can only ever defer this many
+/// acknowledgements.
+pub const OBS_CHUNK: usize = 16;
+
+/// One coalesced sample inside an [`ObserveChunk`].
+#[derive(Debug, Clone, Default)]
+pub struct ObserveItem {
+    /// Routing key (every item of a chunk routes to the same shard, but
+    /// not necessarily to the same machine).
+    pub key: MachineKey,
+    /// The sampled task.
+    pub task: TaskId,
+    /// Observed usage.
+    pub usage: f64,
+    /// Task limit.
+    pub limit: f64,
+    /// Sample tick.
+    pub tick: Tick,
+}
+
+/// A fixed-capacity run of consecutive same-shard samples, built by the
+/// connection handler's micro-batcher and applied by the worker in
+/// arrival order (identical outcome to sending each item individually).
+#[derive(Debug)]
+pub struct ObserveChunk {
+    /// The samples; only `items[..len]` are meaningful.
+    pub items: [ObserveItem; OBS_CHUNK],
+    /// Number of live items.
+    pub len: usize,
+    /// Enqueue instant of the chunk, for per-item service-latency
+    /// accounting.
+    pub enqueued: Instant,
+}
+
+impl ObserveChunk {
+    /// An empty chunk stamped `now`.
+    pub fn new() -> ObserveChunk {
+        ObserveChunk {
+            items: Default::default(),
+            len: 0,
+            enqueued: Instant::now(),
+        }
+    }
+}
+
+impl Default for ObserveChunk {
+    fn default() -> ObserveChunk {
+        ObserveChunk::new()
+    }
+}
+
 /// One message on a shard queue.
 #[derive(Debug)]
 pub enum ShardMsg {
@@ -60,6 +114,11 @@ pub enum ShardMsg {
         /// Enqueue instant, for service-latency accounting.
         enqueued: Instant,
     },
+    /// Ingest a coalesced run of same-shard samples (fire-and-forget;
+    /// acked on enqueue). Applied item by item in order — outcome
+    /// identical to the equivalent sequence of `Observe` messages, but
+    /// with one queue hop for the whole run.
+    ObserveBatch(Box<ObserveChunk>),
     /// Predict a machine's peak; the response is sent on `reply`.
     ///
     /// The reply is a `SyncSender` so callers choose the blocking
@@ -104,6 +163,18 @@ pub enum SendFail {
     Busy,
     /// The shard has exited (server shutting down).
     Closed,
+}
+
+/// Stable hash of a machine key — the basis of [`ShardPool::route`] and
+/// of the frontend predict cache's generation stripes, so "same stripe"
+/// implies "same shard queue" and generation bumps are ordered with the
+/// samples they describe.
+pub fn key_hash(key: &MachineKey) -> u64 {
+    // DefaultHasher::new() is deterministic (fixed keys), unlike
+    // RandomState — routing must not change across connections.
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
 }
 
 /// The pool of shard workers.
@@ -159,11 +230,7 @@ impl ShardPool {
     /// The shard a key routes to: a stable hash, so one machine's state
     /// always lives on one worker.
     pub fn route(&self, key: &MachineKey) -> usize {
-        // DefaultHasher::new() is deterministic (fixed keys), unlike
-        // RandomState — routing must not change across connections.
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.senders.len() as u64) as usize
+        (key_hash(key) % self.senders.len() as u64) as usize
     }
 
     /// Non-blocking enqueue onto the shard owning `key`'s machine.
@@ -273,6 +340,23 @@ fn shard_worker(
                     Err(_) => metrics.errors += 1,
                 }
                 metrics.record_latency(enqueued.elapsed());
+            }
+            ShardMsg::ObserveBatch(chunk) => {
+                // One latency sample per item, not per chunk, so the
+                // `latency_us.count == observes+stale+errors+…` identity
+                // holds whether or not samples were coalesced.
+                let elapsed = chunk.enqueued.elapsed();
+                for item in &chunk.items[..chunk.len] {
+                    let view = views
+                        .entry(item.key.clone())
+                        .or_insert_with(|| new_view(&cfg));
+                    match view.ingest(item.tick, item.task, item.limit, item.usage) {
+                        Ok(()) => metrics.observes += 1,
+                        Err(CoreError::StaleSample { .. }) => metrics.stale += 1,
+                        Err(_) => metrics.errors += 1,
+                    }
+                    metrics.record_latency(elapsed);
+                }
             }
             ShardMsg::Predict {
                 key,

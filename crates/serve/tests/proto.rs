@@ -2,7 +2,11 @@
 //! request and response, and malformed input always yields a typed
 //! [`ProtoError`] — never a panic.
 
-use oc_serve::proto::{ErrCode, ProtoError, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
+use oc_serve::proto::{
+    encode_batch_into, encode_batchr_header_into, parse_batch_header, parse_batchr_header,
+    push_f64, push_u64, ErrCode, ProtoError, ProtoScratch, Request, Response, StatsSnapshot,
+    MAX_BATCH, MAX_LINE_BYTES,
+};
 use oc_trace::ids::{CellId, JobId, MachineId, TaskId};
 use proptest::prelude::*;
 
@@ -138,6 +142,142 @@ proptest! {
             .collect();
         let _ = Request::parse(&line);
         let _ = Response::parse(&line);
+    }
+
+    /// BATCH framing round-trips: the encoded frame's header announces
+    /// the sub-request count and every sub-line parses back bit-exact.
+    #[test]
+    fn batch_frame_round_trips(
+        n in 1usize..40,
+        selector in 0u32..3, // data-plane verbs only
+        cell_idx in 0usize..4,
+        machine in 0u32..1_000_000,
+        usage in 0.0f64..1e9,
+        limit in 0.0f64..1e9,
+        tick in 0u64..=u64::MAX,
+    ) {
+        let reqs: Vec<Request> = (0..n)
+            .map(|i| make_request(
+                selector,
+                cell_idx,
+                machine.wrapping_add(i as u32),
+                i as u64,
+                i as u32,
+                usage,
+                limit,
+                tick.wrapping_add(i as u64),
+            ))
+            .collect();
+        let mut frame = Vec::new();
+        encode_batch_into(&reqs, &mut frame);
+        let text = std::str::from_utf8(&frame).expect("frames are UTF-8");
+        let mut lines = text.lines();
+        let mut scratch = ProtoScratch::new();
+        let header = lines.next().expect("frame has a header");
+        prop_assert_eq!(parse_batch_header(header, &mut scratch), Ok(Some(n)));
+        let mut parsed = 0usize;
+        for (line, want) in lines.zip(&reqs) {
+            prop_assert!(line.len() <= MAX_LINE_BYTES);
+            prop_assert_eq!(Request::parse(line), Ok(want.clone()));
+            parsed += 1;
+        }
+        prop_assert_eq!(parsed, n, "frame must carry exactly n sub-lines");
+    }
+
+    /// BATCHR headers round-trip through the header codec for every legal
+    /// count, and the count cap is enforced on both header verbs.
+    #[test]
+    fn batchr_header_round_trips(n in 1usize..=MAX_BATCH) {
+        let mut out = Vec::new();
+        encode_batchr_header_into(n, &mut out);
+        let line = std::str::from_utf8(&out).unwrap();
+        let mut scratch = ProtoScratch::new();
+        prop_assert_eq!(parse_batchr_header(line, &mut scratch), Ok(Some(n)));
+        // A BATCHR header is not a BATCH header and vice versa.
+        prop_assert_eq!(parse_batch_header(line, &mut scratch), Ok(None));
+    }
+
+    /// A BATCH header truncated mid-token, oversized, or with an
+    /// out-of-range count is a typed error or a non-header — never a
+    /// panic, never a bogus frame.
+    #[test]
+    fn batch_header_abuse_is_typed(count in 0u64..=u64::MAX, pad in 0usize..16) {
+        let mut scratch = ProtoScratch::new();
+        let line = format!("BATCH {count}");
+        match parse_batch_header(&line, &mut scratch) {
+            Ok(Some(n)) => {
+                prop_assert!(n as u64 == count && (1..=MAX_BATCH as u64).contains(&count));
+            }
+            Err(ProtoError::BatchSize { got }) => prop_assert_eq!(got, count),
+            other => return Err(format!("unexpected: {other:?}")),
+        }
+        // Truncation at the 512-byte cap: any header line longer than
+        // MAX_LINE_BYTES is rejected before the count is even looked at.
+        let long = format!("BATCH {}{}", "9".repeat(MAX_LINE_BYTES), " ".repeat(pad));
+        prop_assert!(matches!(
+            parse_batch_header(&long, &mut scratch),
+            Err(ProtoError::LineTooLong { .. })
+        ));
+    }
+
+    /// Manual float formatting is byte-identical to `format!("{v}")` for
+    /// every finite input — the property the zero-allocation encoder's
+    /// bit-exactness rests on.
+    #[test]
+    fn push_f64_matches_display(bits in 0u64..=u64::MAX) {
+        let v = f64::from_bits(bits);
+        if !v.is_finite() {
+            return Ok(());
+        }
+        let mut out = Vec::new();
+        push_f64(&mut out, v);
+        prop_assert_eq!(String::from_utf8(out).unwrap(), format!("{v}"));
+    }
+
+    /// Same for the integer formatter.
+    #[test]
+    fn push_u64_matches_display(v in 0u64..=u64::MAX) {
+        let mut out = Vec::new();
+        push_u64(&mut out, v);
+        prop_assert_eq!(String::from_utf8(out).unwrap(), format!("{v}"));
+    }
+
+    /// Corrupting any one STATS field yields the typed [`ProtoError`]
+    /// naming the expected key — never a silent default or a panic.
+    #[test]
+    fn corrupted_stats_fields_are_typed(victim in 0usize..14, mode in 0u32..2) {
+        let snapshot = StatsSnapshot {
+            observes: 1,
+            predicts: 2,
+            admits: 3,
+            busy: 4,
+            stale: 5,
+            errors: 6,
+            machines: 7,
+            faults: 8,
+            timeouts: 9,
+            conn_rejects: 10,
+            p50_us: 1.5,
+            p99_us: 9.5,
+            mean_us: 2.25,
+            max_us: 99.0,
+        };
+        let encoded = snapshot.encode_fields();
+        let mut operands: Vec<String> =
+            encoded.split_ascii_whitespace().map(str::to_string).collect();
+        match mode {
+            0 => operands[victim] = operands[victim].replace('=', ":"), // no '='
+            _ => operands[victim] = format!("bogus{}", &operands[victim]), // wrong key
+        }
+        let refs: Vec<&str> = operands.iter().map(String::as_str).collect();
+        match StatsSnapshot::parse_fields(&refs) {
+            Err(ProtoError::StatsField { expected, got }) => {
+                prop_assert_eq!(expected, encoded.split_ascii_whitespace()
+                    .nth(victim).unwrap().split('=').next().unwrap());
+                prop_assert_eq!(got, operands[victim].clone());
+            }
+            other => return Err(format!("expected StatsField, got {other:?}")),
+        }
     }
 
     /// Truncating a valid OBSERVE line at any token boundary yields a typed

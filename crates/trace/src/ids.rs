@@ -1,23 +1,36 @@
 //! Identifier newtypes for cells, machines, jobs and tasks.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a cell (a cluster of machines managed by one scheduler).
 ///
 /// The paper uses trace cells `a..h` and five anonymous production cells;
 /// both kinds are just short names here.
+///
+/// The name is reference-counted (`Arc<str>`), so cloning a `CellId` —
+/// which the serving data plane does once per routed sample — is a
+/// refcount bump, never a heap allocation. Equality, ordering, and
+/// hashing all delegate to the string contents.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CellId(pub String);
+pub struct CellId(Arc<str>);
 
 impl CellId {
     /// Creates a cell id from a name.
-    pub fn new(name: impl Into<String>) -> CellId {
-        CellId(name.into())
+    pub fn new(name: impl AsRef<str>) -> CellId {
+        CellId(Arc::from(name.as_ref()))
     }
 
     /// The cell's name.
     pub fn name(&self) -> &str {
         &self.0
+    }
+}
+
+impl Default for CellId {
+    /// The empty cell name.
+    fn default() -> CellId {
+        CellId(Arc::from(""))
     }
 }
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Validates the checked-in BENCH_*.json result files: every file must be
+# well-formed JSON with the common envelope (bench, command), and
+# BENCH_serve.json must additionally uphold the loadgen invariants the
+# benchmark is meant to demonstrate — zero lost acknowledged samples in
+# every phase, reject_rate a true rate in [0, 1], and the BATCH-framed
+# phase actually beating the paced sustained phase (>= 1.5x throughput
+# without a worse server-side p99) when both were measured in the same
+# run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_bench_json: no BENCH_*.json files found" >&2
+  exit 1
+fi
+
+python3 - "${files[@]}" <<'PYEOF'
+import json
+import sys
+
+failures = []
+
+
+def fail(path, msg):
+    failures.append(f"{path}: {msg}")
+
+
+def check_serve(path, doc):
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(path, "'phases' must be a non-empty list")
+        return
+    by_label = {}
+    numeric_keys = (
+        "sent", "ok", "busy", "errors", "retries", "lost",
+        "failed_connections", "wall_secs", "achieved_qps",
+        "reject_rate", "retry_ratio",
+        "client_p50_us", "client_p99_us",
+        "server_p50_us", "server_p99_us", "server_observes",
+    )
+    for phase in phases:
+        label = phase.get("label")
+        if not isinstance(label, str) or not label:
+            fail(path, f"phase without a label: {phase!r:.80}")
+            continue
+        by_label[label] = phase
+        for key in numeric_keys:
+            if not isinstance(phase.get(key), (int, float)):
+                fail(path, f"phase '{label}': missing numeric '{key}'")
+        lost = phase.get("lost")
+        if isinstance(lost, (int, float)) and lost != 0:
+            fail(path, f"phase '{label}': lost={lost} acknowledged samples")
+        rate = phase.get("reject_rate")
+        if isinstance(rate, (int, float)) and not 0.0 <= rate <= 1.0:
+            fail(path, f"phase '{label}': reject_rate={rate} outside [0, 1]")
+        failed = phase.get("failed_connections")
+        if isinstance(failed, (int, float)) and failed != 0:
+            fail(path, f"phase '{label}': {failed} failed connections")
+    sustained = by_label.get("sustained")
+    batched = by_label.get("serve_batched")
+    if sustained and batched:
+        base = sustained.get("achieved_qps") or 0
+        got = batched.get("achieved_qps") or 0
+        if base and got < 1.5 * base:
+            fail(path, f"serve_batched achieved {got:.0f} qps < 1.5x "
+                       f"sustained ({base:.0f} qps)")
+        base_p99 = sustained.get("server_p99_us") or 0
+        got_p99 = batched.get("server_p99_us") or 0
+        if base_p99 and got_p99 > base_p99:
+            fail(path, f"serve_batched server_p99_us {got_p99:.1f} worse "
+                       f"than sustained ({base_p99:.1f})")
+    chaos = by_label.get("batched-chaos")
+    if chaos is not None and not chaos.get("faults"):
+        fail(path, "batched-chaos phase injected no faults")
+
+
+for path in sys.argv[1:]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        fail(path, f"not valid JSON: {exc}")
+        continue
+    if not isinstance(doc, dict):
+        fail(path, "top level must be a JSON object")
+        continue
+    for key in ("bench", "command"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            fail(path, f"missing or empty string field '{key}'")
+    if "phases" in doc:
+        check_serve(path, doc)
+
+if failures:
+    for line in failures:
+        print(f"check_bench_json: {line}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_bench_json: {len(sys.argv) - 1} file(s) OK")
+PYEOF

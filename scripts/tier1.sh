@@ -56,3 +56,8 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Benchmarks must at least keep compiling (running them is tier-2), and
+# the checked-in BENCH_*.json result files must stay structurally sound.
+cargo bench --workspace --no-run
+scripts/check_bench_json.sh

@@ -55,20 +55,89 @@ fn server_metrics_reconcile_with_load_report() {
 
     // Shard latency sampling covers exactly the shard-processed requests
     // (every OBSERVE outcome — applied, stale, or error — plus every
-    // PREDICT and ADMIT).
+    // PREDICT that missed the frontend cache and every ADMIT).
+    // `serve.predicts` counts predictions *served*, so cache hits — which
+    // never reach a shard — are subtracted back out.
     assert_eq!(
         m["serve.latency_us.count"],
         m["serve.observes"]
             + m["serve.stale"]
             + m["serve.errors"]
-            + m["serve.predicts"]
+            + (m["serve.predicts"] - m["serve.predict.cache_hit"])
             + m["serve.admits"]
     );
+
+    // Every PREDICT dispatch is either a frontend cache hit or a miss.
+    assert_eq!(
+        m["serve.predict.cache_hit"] + m["serve.predict.cache_miss"],
+        m["serve.requests.predict"]
+    );
+
+    // No BATCH frames on the wire — but frontend coalescing is
+    // independent of framing: any pipelined run of same-shard OBSERVEs
+    // micro-batches, so `serve.batch.coalesced` may still count.
+    assert_eq!(m["serve.batch.requests"], 0.0);
 
     // The replay is over and every request acked, so both shard queues
     // must have drained back to empty.
     assert_eq!(m["serve.shard.queue_depth.0"], 0.0);
     assert_eq!(m["serve.shard.queue_depth.1"], 0.0);
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Same reconciliation for a `BATCH`-framed replay, plus the framing
+/// counters themselves: every framed sub-request is counted, frontend
+/// coalescing fires, and the latency identity still balances with the
+/// prediction cache in play.
+#[test]
+fn batched_replay_metrics_reconcile() {
+    let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+    let cfg = LoadgenConfig {
+        machines: 4,
+        ticks: 16,
+        connections: 2,
+        predicts: true,
+        batch: 32,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(server.addr(), &cfg).unwrap();
+    assert_eq!(report.failed_connections, 0, "{:?}", report.conn_failures);
+    assert_eq!(report.lost, 0);
+
+    let mut client = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+    let m = client.server_metrics().unwrap();
+
+    assert_eq!(m["serve.observes"], report.server.observes as f64);
+    assert_eq!(m["serve.predicts"], report.server.predicts as f64);
+
+    // Nearly the whole replay travels inside BATCH frames (the trailing
+    // partial window of each connection may go unframed), and frames of
+    // consecutive same-shard samples must coalesce at least once.
+    assert!(
+        m["serve.batch.requests"] >= report.sent as f64 * 0.5,
+        "only {} of {} requests were framed",
+        m["serve.batch.requests"],
+        report.sent
+    );
+    assert!(
+        m["serve.batch.coalesced"] > 0.0,
+        "frontend coalescing never fired"
+    );
+
+    assert_eq!(
+        m["serve.predict.cache_hit"] + m["serve.predict.cache_miss"],
+        m["serve.requests.predict"]
+    );
+    assert_eq!(
+        m["serve.latency_us.count"],
+        m["serve.observes"]
+            + m["serve.stale"]
+            + m["serve.errors"]
+            + (m["serve.predicts"] - m["serve.predict.cache_hit"])
+            + m["serve.admits"]
+    );
 
     drop(client);
     server.shutdown();
