@@ -2,28 +2,41 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--machines N] [--ticks N] [--connections N]
-//!         [--qps N] [--seed U64] [--no-predicts] [--batch N] [--chaos RATE]
-//!         [--chaos-seed U64] [--out BENCH_serve.json] [--trace-out FILE]
+//!         [--qps N] [--rate-per-conn R] [--seed U64] [--no-predicts]
+//!         [--batch N] [--chaos RATE] [--chaos-seed U64] [--frontend F]
+//!         [--out BENCH_serve.json] [--trace-out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is started (4 shards, default
-//! queues) and four phases run: a **sustained** phase on the default
+//! queues) and five phases run: a **sustained** phase on the default
 //! config, a **serve_batched** phase replaying the same workload with
 //! `BATCH` framing (`--batch`, default 32) paced at 3x the sustained
 //! target (so server-side queueing stays comparable while throughput
 //! triples), a **batched-chaos** phase repeating it under seeded fault
 //! injection (the `--chaos` rate, default 2%) to prove framing loses no
-//! acknowledged samples, and an **overload** phase against a deliberately
-//! tiny queue
-//! (`queue_depth = 8`) to demonstrate `BUSY` backpressure. With `--addr`
-//! only the sustained phase runs, against the external server, honoring
-//! `--batch` as given (default 1 = unframed).
+//! acknowledged samples, an **overload** phase against a deliberately
+//! tiny queue (`queue_depth = 8`) to demonstrate `BUSY` backpressure,
+//! and a **reactor-10k** phase driving 10 000 concurrent connections at
+//! a low per-connection rate (107 lines/s/conn ≈ 1.07M qps offered, the
+//! fan-in driver from `oc_client::fanin`) against a reactor-frontend
+//! server in a *child process* — two processes because one address space
+//! cannot hold 20 000 socket fds under the default `RLIMIT_NOFILE` hard
+//! cap.
+//!
+//! With `--addr` only one phase runs against the external server:
+//! **sustained** by default, or a **fanin** phase when `--rate-per-conn`
+//! is given (then `--connections` is the fan-in width and `--batch`
+//! defaults to 64). Without `--addr`, `--rate-per-conn` overrides the
+//! reactor-10k phase's per-connection rate.
 //!
 //! `--chaos RATE` injects seeded faults (delays, partial reads/writes,
 //! dropped connections) into that fraction of client socket operations;
 //! the run must still finish with `lost == 0` — every acknowledged sample
 //! accounted for on the server — which the process enforces by exiting
 //! nonzero otherwise.
+//!
+//! `--frontend threaded|reactor` selects the frontend of every
+//! in-process (and child) server; the default is the reactor.
 //!
 //! With `--out`, a JSON report in the style of `BENCH_hot_path.json` is
 //! written; otherwise the same JSON goes to stdout.
@@ -33,27 +46,38 @@
 //! `client.retry.*` / `client.reconnect` events) are written to FILE as
 //! JSONL on exit — see `docs/OPERATIONS.md` for the event dictionary.
 
-use oc_client::loadgen::{run, LoadgenConfig};
+use oc_client::fanin::{self, FaninConfig};
+use oc_client::loadgen::{request_shutdown, run, LoadgenConfig};
 use oc_client::LoadReport;
 use oc_serve::fault::FaultPlan;
-use oc_serve::{ServeConfig, Server};
+use oc_serve::{Frontend, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
-use std::process::ExitCode;
+use std::process::{Child, Command, ExitCode, Stdio};
 
 struct Args {
     addr: Option<SocketAddr>,
     cfg: LoadgenConfig,
+    rate_per_conn: Option<u64>,
+    frontend: Option<Frontend>,
     chaos_rate: Option<f64>,
     chaos_seed: u64,
     out: Option<String>,
     trace_out: Option<String>,
+    /// Hidden mode: run as the benchmark's server child process.
+    serve_child: bool,
+    /// Server tuning consumed by `--serve-child` (and forwarded to the
+    /// reactor-10k child): shards, queue depth, connection cap, reactor
+    /// threads.
+    serve_cfg: ServeConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--machines N] [--ticks N] \
-         [--connections N] [--qps N] [--seed U64] [--no-predicts] [--batch N] \
-         [--chaos RATE] [--chaos-seed U64] [--out FILE] [--trace-out FILE]"
+         [--connections N] [--qps N] [--rate-per-conn R] [--seed U64] \
+         [--no-predicts] [--batch N] [--chaos RATE] [--chaos-seed U64] \
+         [--frontend threaded|reactor] [--out FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -62,10 +86,14 @@ fn parse_args() -> Args {
     let mut out = Args {
         addr: None,
         cfg: LoadgenConfig::default(),
+        rate_per_conn: None,
+        frontend: None,
         chaos_rate: None,
         chaos_seed: 42,
         out: None,
         trace_out: None,
+        serve_child: false,
+        serve_cfg: ServeConfig::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,6 +113,9 @@ fn parse_args() -> Args {
                 out.cfg.connections = val("--connections").parse().unwrap_or_else(|_| usage())
             }
             "--qps" => out.cfg.target_qps = val("--qps").parse().unwrap_or_else(|_| usage()),
+            "--rate-per-conn" => {
+                out.rate_per_conn = Some(val("--rate-per-conn").parse().unwrap_or_else(|_| usage()))
+            }
             "--seed" => out.cfg.seed = Some(val("--seed").parse().unwrap_or_else(|_| usage())),
             "--no-predicts" => out.cfg.predicts = false,
             "--batch" => out.cfg.batch = val("--batch").parse().unwrap_or_else(|_| usage()),
@@ -92,8 +123,26 @@ fn parse_args() -> Args {
             "--chaos-seed" => {
                 out.chaos_seed = val("--chaos-seed").parse().unwrap_or_else(|_| usage())
             }
+            "--frontend" => {
+                out.frontend = Some(val("--frontend").parse().unwrap_or_else(|_| usage()))
+            }
             "--out" => out.out = Some(val("--out")),
             "--trace-out" => out.trace_out = Some(val("--trace-out")),
+            "--serve-child" => out.serve_child = true,
+            "--shards" => {
+                out.serve_cfg.shards = val("--shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-depth" => {
+                out.serve_cfg.queue_depth = val("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                out.serve_cfg.max_connections =
+                    val("--max-connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--reactor-threads" => {
+                out.serve_cfg.reactor_threads =
+                    val("--reactor-threads").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -103,6 +152,9 @@ fn parse_args() -> Args {
     }
     if let Some(rate) = out.chaos_rate {
         out.cfg.chaos = Some(FaultPlan::new(out.chaos_seed, rate));
+    }
+    if let Some(f) = out.frontend {
+        out.serve_cfg.frontend = f;
     }
     out
 }
@@ -138,8 +190,93 @@ fn write_trace(path: &str) -> std::io::Result<usize> {
     Ok(events.len())
 }
 
+/// Hidden `--serve-child` mode: start a server on an ephemeral port,
+/// announce it as `ADDR <addr>` on stdout, and block until a client
+/// sends `SHUTDOWN`.
+fn serve_child(mut cfg: ServeConfig) -> ExitCode {
+    cfg.addr = "127.0.0.1:0".to_string();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen[serve-child]: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ADDR {}", server.addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Spawns this binary as a `--serve-child` server and parses the
+/// announced address.
+fn spawn_server_child(serve_cfg: &ServeConfig) -> std::io::Result<(Child, SocketAddr)> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg("--serve-child")
+        .args(["--shards", &serve_cfg.shards.to_string()])
+        .args(["--queue-depth", &serve_cfg.queue_depth.to_string()])
+        .args(["--max-connections", &serve_cfg.max_connections.to_string()])
+        .args(["--reactor-threads", &serve_cfg.reactor_threads.to_string()])
+        .args(["--frontend", &serve_cfg.frontend.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    let addr = line
+        .strip_prefix("ADDR ")
+        .map(str::trim)
+        .and_then(|a| a.parse::<SocketAddr>().ok());
+    match addr {
+        Some(addr) => Ok((child, addr)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(std::io::Error::other(format!(
+                "server child did not announce an address (got {line:?})"
+            )))
+        }
+    }
+}
+
+/// Runs the reactor-10k phase: a child-process reactor server and the
+/// single-threaded fan-in driver at 10 000 connections.
+fn reactor_10k(args: &Args) -> Result<LoadReport, oc_client::ClientError> {
+    let mut serve_cfg = ServeConfig::default()
+        .with_shards(args.serve_cfg.shards.min(2))
+        .with_queue_depth(65_536)
+        .with_max_connections(10_100)
+        .with_reactor_threads(1);
+    serve_cfg.frontend = args.serve_cfg.frontend;
+    // Tuned operating point for one reactor thread on one core: 10 000
+    // conns x 107 lines/s/conn offers ~1.07M qps, just under the
+    // measured ~1.1M saturation, and 128-line frames keep per-conn
+    // in-flight bytes low enough that full socket buffers don't degrade
+    // into TCP-window-dribble syscall amplification.
+    let fanin_cfg = FaninConfig {
+        rate_per_conn: args.rate_per_conn.unwrap_or(107),
+        batch: if args.cfg.batch > 1 {
+            args.cfg.batch
+        } else {
+            128
+        },
+        ..FaninConfig::default()
+    };
+    let (mut child, addr) = spawn_server_child(&serve_cfg).map_err(oc_client::ClientError::Io)?;
+    let result = fanin::run(addr, &fanin_cfg);
+    let _ = request_shutdown(addr);
+    let _ = child.wait();
+    result
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.serve_child {
+        return serve_child(args.serve_cfg);
+    }
     if args.trace_out.is_some() {
         oc_telemetry::trace::enable();
     }
@@ -148,14 +285,44 @@ fn main() -> ExitCode {
 
     let result = (|| -> Result<(), oc_client::ClientError> {
         match args.addr {
-            Some(addr) => {
-                let report = run(addr, &args.cfg)?;
-                lost_total += report.lost;
-                phases.push(phase_json("sustained", &report));
-            }
+            Some(addr) => match args.rate_per_conn {
+                Some(rate) => {
+                    // High fan-in replay against the external server.
+                    let cfg = FaninConfig {
+                        connections: args.cfg.connections,
+                        rate_per_conn: rate,
+                        batch: if args.cfg.batch > 1 {
+                            args.cfg.batch
+                        } else {
+                            64
+                        },
+                        ticks: args.cfg.ticks,
+                        ..FaninConfig::default()
+                    };
+                    let cfg = FaninConfig {
+                        tasks: cfg.tasks.min(cfg.batch),
+                        ..cfg
+                    };
+                    let report = fanin::run(addr, &cfg)?;
+                    lost_total += report.lost;
+                    phases.push(phase_json("fanin", &report));
+                }
+                None => {
+                    let report = run(addr, &args.cfg)?;
+                    lost_total += report.lost;
+                    phases.push(phase_json("sustained", &report));
+                }
+            },
             None => {
+                let base_serve = || {
+                    let mut cfg = ServeConfig::default();
+                    if let Some(f) = args.frontend {
+                        cfg.frontend = f;
+                    }
+                    cfg
+                };
                 // Sustained phase: default server, default (deep) queues.
-                let server = Server::start(ServeConfig::default())
+                let server = Server::start(base_serve())
                     .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
                 let report = run(server.addr(), &args.cfg)?;
                 lost_total += report.lost;
@@ -175,7 +342,7 @@ fn main() -> ExitCode {
                     32
                 };
                 batched_cfg.target_qps = args.cfg.target_qps.saturating_mul(3);
-                let server = Server::start(ServeConfig::default())
+                let server = Server::start(base_serve())
                     .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
                 let report = run(server.addr(), &batched_cfg)?;
                 lost_total += report.lost;
@@ -189,7 +356,7 @@ fn main() -> ExitCode {
                     args.chaos_seed,
                     args.chaos_rate.unwrap_or(0.02),
                 ));
-                let server = Server::start(ServeConfig::default())
+                let server = Server::start(base_serve())
                     .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
                 let report = run(server.addr(), &chaos_cfg)?;
                 lost_total += report.lost;
@@ -198,9 +365,8 @@ fn main() -> ExitCode {
 
                 // Overload phase: tiny queues, open throttle, so bounded
                 // queues visibly reject with BUSY instead of buffering.
-                let server =
-                    Server::start(ServeConfig::default().with_shards(2).with_queue_depth(8))
-                        .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
+                let server = Server::start(base_serve().with_shards(2).with_queue_depth(8))
+                    .map_err(|e| oc_client::ClientError::Config(e.to_string()))?;
                 let mut overload_cfg = args.cfg.clone();
                 overload_cfg.target_qps = 0;
                 overload_cfg.connections = overload_cfg.connections.max(4);
@@ -208,6 +374,13 @@ fn main() -> ExitCode {
                 lost_total += report.lost;
                 phases.push(phase_json("overload-q8", &report));
                 server.shutdown();
+
+                // Fan-in phase: 10k connections at a low per-connection
+                // rate against the reactor frontend, server in a child
+                // process (20k fds don't fit one RLIMIT_NOFILE budget).
+                let report = reactor_10k(&args)?;
+                lost_total += report.lost;
+                phases.push(phase_json("reactor-10k", &report));
             }
         }
         Ok(())
@@ -231,7 +404,11 @@ fn main() -> ExitCode {
             "unless --batch overrides) paced at 3x the sustained target so queueing ",
             "latency stays comparable while throughput triples; batched-chaos = the framed ",
             "replay under seeded fault injection (lost must be 0); overload-q8 = 2 shards ",
-            "with queue_depth 8 at open throttle to surface BUSY backpressure. busy counts ",
+            "with queue_depth 8 at open throttle to surface BUSY backpressure; ",
+            "reactor-10k = 10000 connections from the single-threaded fan-in driver ",
+            "(128-line BATCH frames, no retries) against a 2-shard reactor-frontend server ",
+            "in a child process — its latencies are frame (not line) latencies and ",
+            "setup_* report per-connection connect time. busy counts ",
             "client-absorbed retries; reject_rate = busy/(ok+busy), retry_ratio = ",
             "busy/sent. Latencies are client-observed (include pipelining queue time). ",
             "Absolute numbers vary by host.\"\n}}\n"

@@ -15,6 +15,12 @@
 //!   [`Client`]s, captures per-connection failures into the report
 //!   instead of aborting, and optionally wraps every connection in the
 //!   seeded fault-injection plan from [`oc_serve::fault`] (chaos mode).
+//! * [`fanin`] — the high fan-in driver: one event-loop thread (via the
+//!   vendored `oc-reactor` poller) multiplexing thousands of
+//!   connections at a low per-connection rate, the shape of a real
+//!   node-agent fleet. Frames are pre-encoded once and tick fields
+//!   patched in place; responses are byte-compared. Reports
+//!   per-connection setup time separately from steady-state latency.
 //!
 //! # Examples
 //!
@@ -44,8 +50,10 @@
 
 pub mod client;
 pub mod error;
+pub mod fanin;
 pub mod loadgen;
 
 pub use client::{Client, ClientConfig, ClientMetrics, RetryPolicy};
 pub use error::ClientError;
+pub use fanin::FaninConfig;
 pub use loadgen::{LoadReport, LoadgenConfig};

@@ -113,6 +113,8 @@ pub struct LoadReport {
     pub failed_connections: u64,
     /// One description per failed connection.
     pub conn_failures: Vec<String>,
+    /// Connections the run drove (including failed ones).
+    pub connections: u64,
     /// Wall-clock duration of the replay, seconds.
     pub wall_secs: f64,
     /// Achieved request throughput (resolved / wall), requests per second.
@@ -123,6 +125,15 @@ pub struct LoadReport {
     pub p99_us: f64,
     /// Client-observed maximum latency, microseconds.
     pub max_us: f64,
+    /// Per-connection connect/setup time, p50, microseconds. Setup time
+    /// (TCP connect + socket configuration) is reported separately so
+    /// steady-state latency percentiles are not polluted by the one-off
+    /// connection storm of a high fan-in run.
+    pub setup_p50_us: f64,
+    /// Per-connection connect/setup time, p99, microseconds.
+    pub setup_p99_us: f64,
+    /// Per-connection connect/setup time, maximum, microseconds.
+    pub setup_max_us: f64,
     /// Server-side snapshot taken right after the replay.
     pub server: StatsSnapshot,
 }
@@ -162,11 +173,13 @@ impl LoadReport {
                 "{{\"label\":\"{}\",\"sent\":{},\"ok\":{},\"busy\":{},",
                 "\"errors\":{},\"retries\":{},\"reconnects\":{},",
                 "\"faults\":{},\"acked_observes\":{},\"lost\":{},",
-                "\"failed_connections\":{},",
+                "\"failed_connections\":{},\"connections\":{},",
                 "\"wall_secs\":{:.6},\"achieved_qps\":{:.1},",
                 "\"reject_rate\":{:.6},\"retry_ratio\":{:.6},",
                 "\"client_p50_us\":{:.1},",
                 "\"client_p99_us\":{:.1},\"client_max_us\":{:.1},",
+                "\"setup_p50_us\":{:.1},\"setup_p99_us\":{:.1},",
+                "\"setup_max_us\":{:.1},",
                 "\"server_p50_us\":{:.1},\"server_p99_us\":{:.1},",
                 "\"server_mean_us\":{:.1},\"server_observes\":{},",
                 "\"server_stale\":{},\"server_machines\":{}}}"
@@ -182,6 +195,7 @@ impl LoadReport {
             self.acked_observes,
             self.lost,
             self.failed_connections,
+            self.connections,
             self.wall_secs,
             self.achieved_qps,
             self.reject_rate(),
@@ -189,6 +203,9 @@ impl LoadReport {
             self.p50_us,
             self.p99_us,
             self.max_us,
+            self.setup_p50_us,
+            self.setup_p99_us,
+            self.setup_max_us,
             self.server.p50_us,
             self.server.p99_us,
             self.server.mean_us,
@@ -254,6 +271,8 @@ struct ConnResult {
     faults: u64,
     acked_observes: u64,
     latencies_us: Vec<f64>,
+    /// Connect/setup time for this connection, microseconds.
+    setup_us: f64,
     /// Set when the connection gave up before resolving its whole plan.
     failure: Option<String>,
 }
@@ -291,6 +310,7 @@ fn run_conn(
     if !pace.is_zero() {
         cfg = cfg.with_pipeline_window(BATCH);
     }
+    let setup_start = Instant::now();
     let mut client = match Client::connect(addr, cfg) {
         Ok(c) => c,
         Err(e) => {
@@ -299,6 +319,7 @@ fn run_conn(
             return res;
         }
     };
+    res.setup_us = setup_start.elapsed().as_secs_f64() * 1e6;
     let start = Instant::now();
     let mut submitted = 0usize;
     for chunk in plan.chunks(BATCH) {
@@ -370,6 +391,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ClientEr
         );
     }
     let mut totals = ConnResult::default();
+    let mut setup_us: Vec<f64> = Vec::with_capacity(n_conns);
     let mut conn_failures: Vec<String> = Vec::new();
     for (i, j) in joins.into_iter().enumerate() {
         let res = match j.join() {
@@ -391,6 +413,9 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ClientEr
         totals.faults += res.faults;
         totals.acked_observes += res.acked_observes;
         totals.latencies_us.extend(res.latencies_us);
+        if res.setup_us > 0.0 {
+            setup_us.push(res.setup_us);
+        }
     }
     let wall_secs = start.elapsed().as_secs_f64();
     let server = match fetch_stats(addr) {
@@ -413,6 +438,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ClientEr
         lost: totals.acked_observes.saturating_sub(accounted),
         failed_connections: conn_failures.len() as u64,
         conn_failures,
+        connections: n_conns as u64,
         wall_secs,
         achieved_qps: if wall_secs > 0.0 {
             resolved as f64 / wall_secs
@@ -422,6 +448,9 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ClientEr
         p50_us: q(50.0),
         p99_us: q(99.0),
         max_us: totals.latencies_us.iter().cloned().fold(0.0, f64::max),
+        setup_p50_us: percentile_slice(&setup_us, 50.0).unwrap_or(0.0),
+        setup_p99_us: percentile_slice(&setup_us, 99.0).unwrap_or(0.0),
+        setup_max_us: setup_us.iter().cloned().fold(0.0, f64::max),
         server,
     })
 }
@@ -514,11 +543,15 @@ mod tests {
             lost: 0,
             failed_connections: 0,
             conn_failures: Vec::new(),
+            connections: 1,
             wall_secs: 1.0,
             achieved_qps: 10.0,
             p50_us: 0.0,
             p99_us: 0.0,
             max_us: 0.0,
+            setup_p50_us: 0.0,
+            setup_p99_us: 0.0,
+            setup_max_us: 0.0,
             server: StatsSnapshot::default(),
         };
         assert!((report.reject_rate() - 0.75).abs() < 1e-12);
@@ -536,9 +569,13 @@ mod tests {
     #[test]
     fn paced_replay_respects_target() {
         let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        // Pacing sleeps between 64-request chunks, so the plan must span
+        // several chunks for the meter to engage at all — 8 ticks of one
+        // machine is exactly one chunk, which a fast frontend resolves in
+        // a couple of milliseconds, no pacing involved.
         let cfg = LoadgenConfig {
             machines: 1,
-            ticks: 8,
+            ticks: 32,
             connections: 1,
             target_qps: 2_000,
             predicts: false,

@@ -1,0 +1,26 @@
+//! Platform backends. All `unsafe` in the crate lives below this module:
+//! raw `extern "C"` declarations for the libc symbols every Rust binary
+//! already links (no external crates — the build environment vendors
+//! everything).
+
+#[cfg(unix)]
+mod fd;
+#[cfg(unix)]
+pub use fd::{close_fd, pipe_nonblocking, raise_nofile_limit, read_fd, write_fd};
+
+#[cfg(target_os = "linux")]
+mod epoll;
+#[cfg(target_os = "linux")]
+pub use epoll::{EventBuf, Selector};
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod poll;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use poll::{EventBuf, Selector};
+
+#[cfg(not(unix))]
+mod unsupported;
+#[cfg(not(unix))]
+pub use unsupported::{
+    close_fd, pipe_nonblocking, raise_nofile_limit, read_fd, write_fd, EventBuf, Selector,
+};

@@ -1,0 +1,130 @@
+//! Shared Unix fd helpers: pipe creation, raw read/write/close, and the
+//! best-effort `RLIMIT_NOFILE` raise.
+
+use crate::RawFd;
+use std::io;
+use std::os::raw::{c_int, c_void};
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+}
+
+#[cfg(not(target_os = "linux"))]
+extern "C" {
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: c_int = 7;
+#[cfg(not(target_os = "linux"))]
+const RLIMIT_NOFILE: c_int = 8; // macOS / BSD value
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// Close an fd, ignoring errors (used from `Drop` paths).
+pub fn close_fd(fd: RawFd) {
+    unsafe {
+        close(fd);
+    }
+}
+
+/// Raw non-blocking read. Returns `Ok(0)` on EOF.
+pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Raw non-blocking write.
+pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr() as *const c_void, buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Create a non-blocking close-on-exec pipe; returns `(read, write)`.
+#[cfg(target_os = "linux")]
+pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+    let mut fds = [0 as c_int; 2];
+    if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Create a non-blocking close-on-exec pipe; returns `(read, write)`.
+/// Non-Linux Unix lacks `pipe2`, so flags are applied with `fcntl`
+/// afterwards (a benign race in multi-threaded exec'ing programs; this
+/// workspace does not exec between the two calls).
+#[cfg(not(target_os = "linux"))]
+pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    const F_SETFL: c_int = 4;
+    const F_SETFD: c_int = 2;
+    const FD_CLOEXEC: c_int = 1;
+    const O_NONBLOCK: c_int = 0o4; // macOS / BSD value
+    let mut fds = [0 as c_int; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    for fd in fds {
+        if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0
+            || unsafe { fcntl(fd, F_SETFD, FD_CLOEXEC) } < 0
+        {
+            let err = io::Error::last_os_error();
+            close_fd(fds[0]);
+            close_fd(fds[1]);
+            return Err(err);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Best-effort raise of the `RLIMIT_NOFILE` soft limit to the hard
+/// limit. Returns the soft limit now in effect; a denied raise (e.g. no
+/// `CAP_SYS_RESOURCE` trying to exceed the hard cap — not possible here,
+/// we only go up to it) degrades to the old soft limit.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= lim.rlim_max {
+        return Ok(lim.rlim_cur);
+    }
+    let want = Rlimit {
+        rlim_cur: lim.rlim_max,
+        rlim_max: lim.rlim_max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &want) } != 0 {
+        return Ok(lim.rlim_cur); // best-effort: keep the old soft limit
+    }
+    Ok(want.rlim_cur)
+}

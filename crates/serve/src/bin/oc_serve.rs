@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! oc-serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--capacity F]
-//!          [--trace-out FILE]
+//!          [--frontend threaded|reactor] [--reactor-threads N]
+//!          [--max-connections N] [--trace-out FILE]
 //! ```
 //!
 //! The server runs until a client sends `SHUTDOWN`; it then drains every
@@ -17,6 +18,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: oc-serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--capacity F] \
+         [--frontend threaded|reactor] [--reactor-threads N] [--max-connections N] \
          [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -48,6 +50,15 @@ fn parse_args() -> Args {
             }
             "--capacity" => {
                 cfg.machine_capacity = val("--capacity").parse().unwrap_or_else(|_| usage());
+            }
+            "--frontend" => {
+                cfg.frontend = val("--frontend").parse().unwrap_or_else(|_| usage());
+            }
+            "--reactor-threads" => {
+                cfg.reactor_threads = val("--reactor-threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-connections" => {
+                cfg.max_connections = val("--max-connections").parse().unwrap_or_else(|_| usage());
             }
             "--trace-out" => trace_out = Some(val("--trace-out")),
             "--help" | "-h" => usage(),

@@ -18,6 +18,62 @@ pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Default cap on concurrently served connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 
+/// Which connection-handling frontend a [`crate::server::Server`] runs.
+///
+/// Both frontends speak the same wire protocol with bit-identical
+/// responses (`tests/serve_smoke.rs` pins this) and share the shard
+/// pool, deadlines, connection cap, fault injection, and the graceful
+/// drain-then-snapshot shutdown. They differ only in how connections
+/// are multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// One handler thread per connection (the original design). Simple
+    /// and portable, but caps out at a few thousand connections — each
+    /// costs a thread stack and a scheduler entry.
+    Threaded,
+    /// A small fixed pool of reactor threads driving per-connection
+    /// state machines over readiness events (`epoll`/`poll` via
+    /// `oc-reactor`). Tens of thousands of mostly-idle connections
+    /// multiplex onto a few threads. Unix only — on other targets
+    /// [`crate::server::Server::start`] falls back with an error and the
+    /// threaded frontend must be selected explicitly.
+    Reactor,
+}
+
+impl Default for Frontend {
+    /// [`Frontend::Reactor`] on Unix, [`Frontend::Threaded`] elsewhere.
+    fn default() -> Self {
+        if cfg!(unix) {
+            Frontend::Reactor
+        } else {
+            Frontend::Threaded
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Frontend::Threaded => "threaded",
+            Frontend::Reactor => "reactor",
+        })
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Frontend::Threaded),
+            "reactor" => Ok(Frontend::Reactor),
+            other => Err(format!(
+                "unknown frontend '{other}' (expected 'threaded' or 'reactor')"
+            )),
+        }
+    }
+}
+
 /// Configuration of one [`crate::server::Server`].
 ///
 /// # Examples
@@ -58,6 +114,13 @@ pub struct ServeConfig {
     /// Optional seeded fault injection on every accepted connection
     /// (chaos testing). `None` in production.
     pub faults: Option<FaultPlan>,
+    /// Which connection-handling frontend to run (see [`Frontend`]).
+    pub frontend: Frontend,
+    /// Reactor thread count for [`Frontend::Reactor`]; `0` sizes the pool
+    /// automatically from the host's available parallelism (clamped to
+    /// `[1, 4]` — readiness dispatch is cheap, the shard pool does the
+    /// heavy lifting). Ignored by [`Frontend::Threaded`].
+    pub reactor_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +139,8 @@ impl Default for ServeConfig {
             write_timeout: DEFAULT_WRITE_TIMEOUT,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             faults: None,
+            frontend: Frontend::default(),
+            reactor_threads: 0,
         }
     }
 }
@@ -141,6 +206,31 @@ impl ServeConfig {
         self
     }
 
+    /// Selects the connection-handling frontend.
+    pub fn with_frontend(mut self, frontend: Frontend) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Sets the reactor thread count (`0` = auto-size from the host).
+    pub fn with_reactor_threads(mut self, threads: usize) -> Self {
+        self.reactor_threads = threads;
+        self
+    }
+
+    /// The reactor pool size [`Frontend::Reactor`] will actually run:
+    /// `reactor_threads`, or an auto-sized value when it is `0`.
+    pub fn effective_reactor_threads(&self) -> usize {
+        if self.reactor_threads > 0 {
+            self.reactor_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 4)
+        }
+    }
+
     /// Validates every field.
     ///
     /// # Errors
@@ -185,6 +275,27 @@ mod tests {
     #[test]
     fn default_is_valid() {
         ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn frontend_parses_and_displays() {
+        assert_eq!("threaded".parse::<Frontend>().unwrap(), Frontend::Threaded);
+        assert_eq!("reactor".parse::<Frontend>().unwrap(), Frontend::Reactor);
+        assert!("tokio".parse::<Frontend>().is_err());
+        assert_eq!(Frontend::Threaded.to_string(), "threaded");
+        assert_eq!(Frontend::Reactor.to_string(), "reactor");
+    }
+
+    #[test]
+    fn reactor_threads_auto_sizes_when_zero() {
+        let auto = ServeConfig::default().effective_reactor_threads();
+        assert!((1..=4).contains(&auto));
+        assert_eq!(
+            ServeConfig::default()
+                .with_reactor_threads(7)
+                .effective_reactor_threads(),
+            7
+        );
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Per-connection protocol machinery shared by both frontends.
+//!
+//! The wire behavior of a connection — line framing, the observe
+//! micro-batcher, `BATCH` framing, error handling — lives here exactly
+//! once. The threaded frontend (`serve_lines`, driven by blocking
+//! reads with a poll deadline) and the reactor frontend (the `reactor`
+//! module, driven by readiness events) both feed bytes through the same
+//! [`LineAccumulator`] and dispatch complete lines through the same
+//! `process_line`, so their responses are bit-identical by construction
+//! (`tests/serve_smoke.rs` pins this).
+
+use crate::fault::FaultStream;
+use crate::proto::{parse_batch_header, ErrCode, ProtoScratch, Request, Response, MAX_LINE_BYTES};
+use crate::server::{dispatch, shutting_down, Shared, STOP_POLL};
+use crate::shard::{ObserveChunk, ObserveItem, SendFail, ShardMsg, ShardPool, OBS_CHUNK};
+use oc_telemetry::trace;
+use oc_trace::time::Tick;
+use std::fmt;
+use std::io::{BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What a [`LineAccumulator::feed`] call concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feed {
+    /// Every complete line in the fed bytes was handled; any trailing
+    /// partial line is retained for the next feed.
+    More,
+    /// The line handler asked to close the connection (unrecoverable
+    /// framing; its response was already emitted). Remaining fed bytes
+    /// were discarded.
+    Close,
+    /// The retained partial line exceeded [`MAX_LINE_BYTES`] without a
+    /// newline. The connection cannot be resynchronized; the caller
+    /// answers `ERR parse` and closes.
+    Oversize,
+}
+
+/// The per-connection read state machine: splits an arbitrary sequence
+/// of byte chunks (however the transport happened to segment them) into
+/// complete protocol lines.
+///
+/// Invariants, pinned by the proptests in
+/// `crates/serve/tests/line_accumulator.rs`:
+///
+/// * complete lines come out byte-identical no matter where chunk
+///   boundaries fall (a chunk boundary mid-line loses nothing);
+/// * a line is delivered only once its `\n` arrives — a truncated final
+///   line is *never* delivered (the caller discards it at EOF via
+///   [`LineAccumulator::discard_partial`], so a peer that died mid-write
+///   cannot ingest half a request);
+/// * an unterminated accumulation longer than [`MAX_LINE_BYTES`] is
+///   reported as [`Feed::Oversize`] instead of buffering without bound.
+///   (A *terminated* over-long line is delivered and rejected by the
+///   parser as a recoverable `ERR parse` — the newline proves the stream
+///   is still in sync.)
+///
+/// Chunks whose lines are already complete are handed to the callback
+/// straight from the caller's buffer (zero-copy); only partial lines are
+/// copied into the retained buffer.
+#[derive(Debug, Default)]
+pub struct LineAccumulator {
+    acc: Vec<u8>,
+}
+
+impl LineAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> LineAccumulator {
+        LineAccumulator { acc: Vec::new() }
+    }
+
+    /// Bytes of the retained partial line (no newline seen yet).
+    pub fn partial_len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Discards the retained partial line, returning its length. Called
+    /// at EOF: a trailing fragment without a newline is a truncated
+    /// request from a peer that died mid-write — dropping it (rather
+    /// than guessing at half a request) is part of the wire contract.
+    pub fn discard_partial(&mut self) -> usize {
+        let n = self.acc.len();
+        self.acc.clear();
+        n
+    }
+
+    /// Feeds one chunk of received bytes, invoking `on_line` for every
+    /// complete line (terminator included). `on_line` returns
+    /// `Ok(false)` to close the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `on_line`; remaining fed
+    /// bytes are discarded.
+    pub fn feed<F>(&mut self, mut chunk: &[u8], mut on_line: F) -> std::io::Result<Feed>
+    where
+        F: FnMut(&[u8]) -> std::io::Result<bool>,
+    {
+        loop {
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let (head, rest) = chunk.split_at(pos + 1);
+                    chunk = rest;
+                    let keep_open = if self.acc.is_empty() {
+                        on_line(head)?
+                    } else {
+                        self.acc.extend_from_slice(head);
+                        let keep = on_line(&self.acc);
+                        self.acc.clear();
+                        keep?
+                    };
+                    if !keep_open {
+                        return Ok(Feed::Close);
+                    }
+                }
+                None => {
+                    self.acc.extend_from_slice(chunk);
+                    if self.acc.len() > MAX_LINE_BYTES {
+                        self.acc.clear();
+                        return Ok(Feed::Oversize);
+                    }
+                    return Ok(Feed::More);
+                }
+            }
+        }
+    }
+}
+
+/// Per-connection reusable state: the parse scratch, the response encode
+/// buffer, the observe micro-batcher, and `BATCH` framing progress. All
+/// buffers are recycled line over line, so the steady-state request path
+/// performs no per-request heap allocation.
+pub(crate) struct ConnState {
+    pub(crate) scratch: ProtoScratch,
+    pub(crate) out: Vec<u8>,
+    pub(crate) chunk: Box<ObserveChunk>,
+    /// Shard the current chunk routes to (meaningful when `chunk.len > 0`).
+    pub(crate) chunk_shard: usize,
+    /// Sub-request lines still expected in the current `BATCH` frame.
+    pub(crate) batch_left: usize,
+    /// Last observed routing key and its shard. A connection almost
+    /// always streams samples for one machine (the node-agent shape), so
+    /// this memo replaces the per-line routing hash with an equality
+    /// check.
+    route_memo: Option<(crate::shard::MachineKey, usize)>,
+}
+
+impl ConnState {
+    pub(crate) fn new() -> ConnState {
+        ConnState {
+            scratch: ProtoScratch::new(),
+            out: Vec::with_capacity(256),
+            chunk: Box::new(ObserveChunk::new()),
+            chunk_shard: 0,
+            batch_left: 0,
+            route_memo: None,
+        }
+    }
+}
+
+/// Encodes `resp` into the recycled buffer and writes it with its
+/// newline.
+pub(crate) fn write_resp<W: Write>(
+    writer: &mut W,
+    out: &mut Vec<u8>,
+    resp: &Response,
+) -> std::io::Result<()> {
+    out.clear();
+    resp.encode_into(out);
+    out.push(b'\n');
+    writer.write_all(out)
+}
+
+/// Enqueues the pending observe chunk (if any) and writes the deferred
+/// acknowledgements, one per sample, in order. `try_send` is all-or-
+/// nothing for the chunk: on `BUSY` every sample is answered `BUSY` and
+/// the client retries them individually (ingestion is idempotent, so the
+/// partial overlap of a retried run is harmless). Generation stripes are
+/// bumped strictly after a successful enqueue and before the `OK`s are
+/// written — the predict cache's read-your-writes edge.
+pub(crate) fn flush_chunk<W: Write>(
+    state: &mut ConnState,
+    writer: &mut W,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let len = state.chunk.len;
+    if len == 0 {
+        return Ok(());
+    }
+    let shard = state.chunk_shard;
+    // One stripe hash per run of same-machine samples (a fan-in
+    // connection fills whole chunks from one machine); each run's
+    // generation stripe is bumped once with the run length.
+    let mut runs = [(0usize, 0u64); OBS_CHUNK];
+    let mut n_runs = 0;
+    {
+        let items = &state.chunk.items[..len];
+        let mut i = 0;
+        while i < items.len() {
+            let key = &items[i].key;
+            let start = i;
+            while i < items.len() && items[i].key == *key {
+                i += 1;
+            }
+            runs[n_runs] = (shared.cache.stripe_of(key), (i - start) as u64);
+            n_runs += 1;
+        }
+    }
+    let sent = if len == 1 {
+        // A lone sample skips the chunk wrapper (and its box) entirely.
+        let item = std::mem::take(&mut state.chunk.items[0]);
+        state.chunk.len = 0;
+        pool.try_send(
+            shard,
+            ShardMsg::Observe {
+                key: item.key,
+                task: item.task,
+                usage: item.usage,
+                limit: item.limit,
+                tick: item.tick,
+                enqueued: state.chunk.enqueued,
+            },
+        )
+    } else {
+        let chunk = std::mem::replace(&mut state.chunk, Box::new(ObserveChunk::new()));
+        pool.try_send(shard, ShardMsg::ObserveBatch(chunk))
+    };
+    match sent {
+        Ok(()) => {
+            if len > 1 {
+                shared.batch_coalesced.add(len as u64 - 1);
+            }
+            for (stripe, n) in &runs[..n_runs] {
+                shared.cache.bump_n(*stripe, *n);
+            }
+            for _ in 0..len {
+                writer.write_all(b"OK\n")?;
+            }
+        }
+        Err(SendFail::Busy) => {
+            shared.busy.add(len as u64);
+            trace::event("serve.busy", shard as u64, len as u64);
+            for _ in 0..len {
+                writer.write_all(b"BUSY\n")?;
+            }
+        }
+        Err(SendFail::Closed) => {
+            let resp = shutting_down();
+            for _ in 0..len {
+                write_resp(writer, &mut state.out, &resp)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Handles one complete request line (batch header, batched sub-request,
+/// or ordinary request). Returns `Ok(false)` when the connection must
+/// close (unrecoverable framing).
+pub(crate) fn process_line<W: Write>(
+    raw: &[u8],
+    state: &mut ConnState,
+    writer: &mut W,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<bool> {
+    let parse_err = |e: &dyn fmt::Display| Response::Err {
+        code: ErrCode::Parse,
+        detail: e.to_string(),
+    };
+    let Ok(line) = std::str::from_utf8(raw) else {
+        flush_chunk(state, writer, pool, shared)?;
+        shared.parse_errors.inc();
+        state.batch_left = state.batch_left.saturating_sub(1);
+        let resp = parse_err(&"request line is not valid UTF-8");
+        write_resp(writer, &mut state.out, &resp)?;
+        return Ok(true);
+    };
+    let line = line.trim_end_matches(['\r', '\n']);
+    let in_batch = state.batch_left > 0;
+    if in_batch {
+        state.batch_left -= 1;
+    } else {
+        match parse_batch_header(line, &mut state.scratch) {
+            // Not a batch header: fall through to the ordinary parse.
+            Ok(None) => {}
+            Ok(Some(n)) => {
+                flush_chunk(state, writer, pool, shared)?;
+                shared.batch_requests.add(n as u64);
+                state.batch_left = n;
+                // The multi-response header goes out up front — the count
+                // is known from the frame header, and sub-responses then
+                // stream in sub-request order.
+                state.out.clear();
+                crate::proto::encode_batchr_header_into(n, &mut state.out);
+                state.out.push(b'\n');
+                writer.write_all(&state.out)?;
+                return Ok(true);
+            }
+            Err(e) => {
+                // A malformed BATCH header is unrecoverable: the number
+                // of follow-up lines is unknown, so the stream cannot be
+                // resynchronized. Answer and close.
+                flush_chunk(state, writer, pool, shared)?;
+                shared.parse_errors.inc();
+                let resp = parse_err(&e);
+                write_resp(writer, &mut state.out, &resp)?;
+                return Ok(false);
+            }
+        }
+    }
+    match Request::parse_in(line, &mut state.scratch) {
+        Err(e) => {
+            flush_chunk(state, writer, pool, shared)?;
+            shared.parse_errors.inc();
+            let resp = parse_err(&e);
+            write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+        Ok(Request::Observe {
+            cell,
+            machine,
+            task,
+            usage,
+            limit,
+            tick,
+        }) => {
+            shared.requests.observe.inc();
+            let key = (cell, machine);
+            let shard = match &state.route_memo {
+                Some((memo_key, memo_shard)) if *memo_key == key => *memo_shard,
+                _ => {
+                    let s = pool.route(&key);
+                    state.route_memo = Some((key.clone(), s));
+                    s
+                }
+            };
+            if state.chunk.len > 0 && (shard != state.chunk_shard || state.chunk.len == OBS_CHUNK) {
+                flush_chunk(state, writer, pool, shared)?;
+            }
+            if state.chunk.len == 0 {
+                state.chunk_shard = shard;
+                state.chunk.enqueued = Instant::now();
+            }
+            let slot = state.chunk.len;
+            state.chunk.items[slot] = ObserveItem {
+                key,
+                task,
+                usage,
+                limit,
+                tick: Tick(tick),
+            };
+            state.chunk.len = slot + 1;
+            Ok(true)
+        }
+        Ok(req @ (Request::Stats | Request::Metrics | Request::Shutdown)) if in_batch => {
+            // Control verbs are not batchable: one per-sub-request parse
+            // error, and the rest of the frame proceeds normally.
+            flush_chunk(state, writer, pool, shared)?;
+            shared.parse_errors.inc();
+            let verb = match req {
+                Request::Stats => "STATS",
+                Request::Metrics => "METRICS",
+                _ => "SHUTDOWN",
+            };
+            let resp = parse_err(&format_args!("{verb} is not allowed inside BATCH"));
+            write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+        Ok(req) => {
+            // Ordering: every coalesced sample must be enqueued before a
+            // PREDICT/ADMIT/STATS sees the shard, so a connection always
+            // reads its own acknowledged writes.
+            flush_chunk(state, writer, pool, shared)?;
+            let resp = dispatch(req, pool, shared);
+            write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+    }
+}
+
+/// The `ERR parse` response for an unterminated over-long line.
+pub(crate) fn oversize_resp() -> Response {
+    Response::Err {
+        code: ErrCode::Parse,
+        detail: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+    }
+}
+
+/// The `ERR timeout` response for a connection idle past its deadline.
+pub(crate) fn idle_resp() -> Response {
+    Response::Err {
+        code: ErrCode::Timeout,
+        detail: "idle past deadline; reconnect to resume".to_string(),
+    }
+}
+
+/// Sets deadlines, wraps the stream in the fault plan if configured, and
+/// runs the request loop (threaded frontend).
+pub(crate) fn handle_connection(
+    stream: TcpStream,
+    pool: &ShardPool,
+    shared: &Shared,
+    conn_id: u64,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(STOP_POLL))?;
+    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
+    let read_half = stream.try_clone()?;
+    match &shared.cfg.faults {
+        Some(plan) => {
+            let r = FaultStream::new(
+                read_half,
+                plan,
+                plan.stream_seed(conn_id * 2),
+                Arc::clone(&shared.faults),
+            );
+            let w = FaultStream::new(
+                stream,
+                plan,
+                plan.stream_seed(conn_id * 2 + 1),
+                Arc::clone(&shared.faults),
+            );
+            serve_lines(r, w, pool, shared)
+        }
+        None => serve_lines(read_half, stream, pool, shared),
+    }
+}
+
+/// Serves one connection with blocking reads (threaded frontend): one
+/// response line per request line, in order (plus one `BATCHR` header
+/// line per `BATCH` frame).
+///
+/// The read deadline ([`STOP_POLL`]) doubles as the poll interval for
+/// the stop flag and the idle deadline; any read progress (even a
+/// partial line) counts as activity.
+pub(crate) fn serve_lines<R: Read, W: Write>(
+    mut read_half: R,
+    write_half: W,
+    pool: &ShardPool,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let mut writer = BufWriter::new(write_half);
+    let mut acc = LineAccumulator::new();
+    let mut state = ConnState::new();
+    let mut buf = [0u8; 8192];
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            // In-flight connections are abandoned at shutdown; anything
+            // already queued on the shards is still drained and counted.
+            break;
+        }
+        match read_half.read(&mut buf) {
+            Ok(0) => {
+                // A trailing fragment without a newline is a truncated
+                // request from a peer that died mid-write: discard it
+                // rather than guessing at half a request. (A truncated
+                // BATCH frame's already-received sub-requests were
+                // dispatched; their responses are simply undeliverable —
+                // safe, because ingestion is idempotent.)
+                acc.discard_partial();
+                break;
+            }
+            Ok(n) => {
+                last_activity = Instant::now();
+                let fed = acc.feed(&buf[..n], |line| {
+                    // Spans the whole request: parse, shard round-trip,
+                    // and response encode. Inert unless tracing is on.
+                    let req_span = trace::span("serve.request");
+                    let keep = process_line(line, &mut state, &mut writer, pool, shared)?;
+                    drop(req_span);
+                    Ok(keep)
+                })?;
+                match fed {
+                    Feed::More => {
+                        // Requests that arrived in one chunk were
+                        // coalesced; the pipeline has now run dry —
+                        // enqueue the pending chunk and push every
+                        // response out.
+                        flush_chunk(&mut state, &mut writer, pool, shared)?;
+                        writer.flush()?;
+                    }
+                    Feed::Close => return writer.flush(), // cannot resync
+                    Feed::Oversize => {
+                        flush_chunk(&mut state, &mut writer, pool, shared)?;
+                        write_resp(&mut writer, &mut state.out, &oversize_resp())?;
+                        writer.flush()?;
+                        break; // Cannot resynchronize: close.
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                flush_chunk(&mut state, &mut writer, pool, shared)?;
+                writer.flush()?;
+                if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    shared.timeouts.inc();
+                    trace::event("serve.conn.idle_close", 0, 0);
+                    write_resp(&mut writer, &mut state.out, &idle_resp())?;
+                    return writer.flush();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    flush_chunk(&mut state, &mut writer, pool, shared)?;
+    writer.flush()
+}

@@ -16,11 +16,19 @@
 //!   exclusively owning its machines' [`oc_core::IncrementalView`]s behind a
 //!   bounded MPSC queue. Full queue ⇒ retryable `BUSY`, never unbounded
 //!   buffering.
-//! * [`server`] — the TCP front end: per-connection handler threads with
-//!   read/write/idle deadlines, a live-connection registry with a
-//!   max-connections cap, pipelining-friendly (one response line per
-//!   request line, in order), graceful drain-then-snapshot shutdown that
-//!   joins every handler.
+//! * [`server`] — the TCP front end: a readiness-driven accept loop
+//!   feeding one of two frontends behind [`config::Frontend`] — the
+//!   default *reactor* (a small fixed pool of event-loop threads
+//!   multiplexing every connection over `epoll`/`poll` via the vendored
+//!   `oc-reactor` crate) or the original *threaded* frontend (one handler
+//!   thread per connection). Both enforce read/write/idle deadlines and a
+//!   max-connections cap, stay pipelining-friendly (one response line per
+//!   request line, in order), and share the graceful drain-then-snapshot
+//!   shutdown that joins every frontend thread.
+//! * [`conn`] — the per-connection protocol machinery both frontends
+//!   share: the [`conn::LineAccumulator`] read state machine, the observe
+//!   micro-batcher, and the line dispatch path — so the two frontends'
+//!   responses are bit-identical by construction.
 //! * [`metrics`] — per-shard counters plus a service-latency histogram
 //!   (reusing [`oc_stats::Histogram`]), merged bin-wise for `STATS` and
 //!   into the unified registry for `METRICS`.
@@ -57,15 +65,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod accept;
 pub mod config;
+pub mod conn;
 pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod server;
 pub mod shard;
 
-pub use config::ServeConfig;
+pub use config::{Frontend, ServeConfig};
 pub use error::ServeError;
 pub use fault::{FaultCounters, FaultKinds, FaultPlan, FaultStream};
 pub use proto::{ErrCode, ProtoError, Request, Response, StatsSnapshot};

@@ -80,10 +80,20 @@ impl Default for ShardMetrics {
 impl ShardMetrics {
     /// Records one service latency.
     pub fn record_latency(&mut self, d: Duration) {
+        self.record_latency_n(d, 1);
+    }
+
+    /// Records `n` samples of the same service latency in one histogram
+    /// update — a coalesced chunk's items all share an enqueue instant,
+    /// so the bin search need not repeat per item.
+    pub fn record_latency_n(&mut self, d: Duration, n: u64) {
+        if n == 0 {
+            return;
+        }
         let us = d.as_secs_f64() * 1e6;
-        self.latency.push(us);
-        self.lat_count += 1;
-        self.lat_sum_us += us;
+        self.latency.push_n(us, n);
+        self.lat_count += n;
+        self.lat_sum_us += us * n as f64;
         if us > self.lat_max_us {
             self.lat_max_us = us;
         }

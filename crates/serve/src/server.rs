@@ -1,9 +1,14 @@
 //! The TCP front end.
 //!
-//! One accept thread, one handler thread per connection, `N` shard workers
-//! behind bounded queues (see [`crate::shard`]). A handler parses each
-//! line, routes it to the owning shard, and writes exactly one response
-//! line per request, in request order, so clients may pipeline freely.
+//! One readiness-driven accept thread feeds the configured
+//! [`Frontend`](crate::config::Frontend): either one handler thread per
+//! connection (`conn::serve_lines`) or a small fixed pool of reactor
+//! threads multiplexing every connection over `epoll`/`poll` (the
+//! `reactor` module). Both frontends route each request line to the
+//! owning shard worker (see [`crate::shard`]) and write exactly one
+//! response line per request, in request order, so clients may pipeline
+//! freely; their wire behavior is bit-identical (`tests/serve_smoke.rs`
+//! pins this).
 //!
 //! `OBSERVE` is acknowledged on *enqueue* (`OK` means "accepted for
 //! ingestion", not "applied"): ingestion outcomes of a fire-and-forget
@@ -12,44 +17,42 @@
 //! reflect every sample enqueued for that machine before them on the same
 //! connection.
 //!
-//! **Connection lifecycle.** Every accepted socket gets a read poll
-//! deadline ([`STOP_POLL`]) so handlers re-check the server's stop flag
-//! and the idle deadline a few dozen times a second instead of blocking
-//! forever in `read`; a write deadline (`write_timeout`) so a peer that
-//! stops reading its responses cannot pin a handler; and an idle deadline
-//! (`idle_timeout`) after which the connection is answered `ERR timeout`
-//! and closed. Live handlers are tracked in a registry with a
-//! `max_connections` cap — excess connects get `ERR conn-limit` and are
-//! closed immediately (both are retryable; `oc-client` does so).
+//! **Connection lifecycle.** Every accepted socket is bounded by an idle
+//! deadline (`idle_timeout`, after which the connection is answered
+//! `ERR timeout` and closed) and a write deadline (`write_timeout`, so a
+//! peer that stops reading its responses cannot pin server resources),
+//! and counted against a `max_connections` cap — excess connects get
+//! `ERR conn-limit` and are closed immediately (both are retryable;
+//! `oc-client` does so). In the threaded frontend the deadlines ride on
+//! socket timeouts ([`STOP_POLL`] read polls); in the reactor frontend
+//! they are enforced by a periodic deadline sweep (see
+//! `docs/PROTOCOL.md` for the timing contract).
 //!
-//! **Shutdown.** [`Server::shutdown`] stops the accept loop (non-blocking
-//! accept, so no wake-up connection is needed), joins every connection
-//! handler via the registry (each exits within one poll interval), sends
-//! a drain marker down every shard queue (FIFO ⇒ all previously queued
-//! work is applied first), joins the workers, and returns the final
-//! merged [`StatsSnapshot`] — the "flush a final snapshot" part of the
-//! contract. Because all handlers are joined first, the pool is always
-//! drained through the full consuming path; [`ShutdownOutcome::clean`]
-//! records that no degraded shared-pool fallback was taken. A truncated
-//! final line (EOF without a newline) is discarded as an incomplete
-//! request, never dispatched — a client that died mid-write cannot ingest
-//! a half request.
+//! **Shutdown.** [`Server::shutdown`] raises the stop flag and fires the
+//! accept waker (the accept thread is readiness-driven — there is no
+//! polling interval to wait out), joins every threaded handler via the
+//! registry, wakes and joins the reactor threads, sends a drain marker
+//! down every shard queue (FIFO ⇒ all previously queued work is applied
+//! first), joins the workers, and returns the final merged
+//! [`StatsSnapshot`] — the "flush a final snapshot" part of the
+//! contract. Because every frontend thread is joined first, the pool is
+//! always drained through the full consuming path;
+//! [`ShutdownOutcome::clean`] records that no degraded shared-pool
+//! fallback was taken. A truncated final line (EOF without a newline) is
+//! discarded as an incomplete request, never dispatched — a client that
+//! died mid-write cannot ingest a half request.
 
+use crate::accept::{accept_loop, accept_poller, FrontendRuntime};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::fault::{FaultCounters, FaultStream};
-use crate::proto::{
-    parse_batch_header, ErrCode, ProtoScratch, Request, Response, StatsSnapshot, MAX_LINE_BYTES,
-};
-use crate::shard::{
-    key_hash, MachineKey, ObserveChunk, ObserveItem, SendFail, ShardMsg, ShardPool, OBS_CHUNK,
-};
+use crate::fault::FaultCounters;
+use crate::proto::{ErrCode, Request, Response, StatsSnapshot};
+use crate::reactor::ReactorPool;
+use crate::shard::{key_hash, MachineKey, SendFail, ShardMsg, ShardPool};
 use oc_telemetry::metrics::{encode_exposition, HistogramSnapshot};
 use oc_telemetry::{trace, Counter, Gauge, MetricsRegistry};
-use oc_trace::time::Tick;
 use std::collections::HashMap;
-use std::fmt;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
@@ -57,61 +60,77 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How often blocked reads and the accept loop re-check the stop flag.
-/// Bounds both shutdown latency (handlers notice `stop` within one poll)
-/// and accept latency for new connections.
+/// How often the threaded frontend's blocking reads time out to re-check
+/// the stop flag and the idle deadline. (The accept loop and the reactor
+/// frontend are readiness-driven and do not poll on this interval.)
 pub const STOP_POLL: Duration = Duration::from_millis(25);
 
 /// Shared state between the server handle and its threads.
 #[derive(Debug)]
-struct Shared {
-    /// Accept no further connections; handlers exit at the next poll.
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    /// Accept no further connections; frontend threads exit promptly
+    /// (handlers at the next poll, reactors at the next wake).
+    pub(crate) stop: AtomicBool,
     /// The server's metrics registry — every counter/gauge below lives
     /// here so the `METRICS` verb can expose them by name (see
     /// `docs/OPERATIONS.md` for the dictionary).
-    metrics: MetricsRegistry,
+    pub(crate) metrics: MetricsRegistry,
     /// `BUSY` rejects (`serve.busy`), counted at the server — they never
     /// reach a shard.
-    busy: Arc<Counter>,
+    pub(crate) busy: Arc<Counter>,
     /// Connections closed at the idle deadline (`serve.timeouts`).
-    timeouts: Arc<Counter>,
+    pub(crate) timeouts: Arc<Counter>,
     /// Connections rejected at the cap (`serve.conn_rejects`).
-    conn_rejects: Arc<Counter>,
+    pub(crate) conn_rejects: Arc<Counter>,
+    /// Accept-path failures — a socket dropped because its blocking mode
+    /// could not be set, a failed handler spawn, or a listener `accept`
+    /// error (`serve.accept.errors`).
+    pub(crate) accept_errors: Arc<Counter>,
     /// Live connections (`serve.connections`).
-    connections: Arc<Gauge>,
+    pub(crate) connections: Arc<Gauge>,
+    /// Reactor event-loop iterations (`serve.reactor.wakeups`).
+    pub(crate) reactor_wakeups: Arc<Counter>,
+    /// Connections currently owned by reactor threads
+    /// (`serve.reactor.conns_active`).
+    pub(crate) reactor_conns: Arc<Gauge>,
+    /// Writes that hit `WouldBlock` and armed write interest — one per
+    /// blocked transition, not per retry
+    /// (`serve.reactor.writes_blocked`).
+    pub(crate) reactor_writes_blocked: Arc<Counter>,
     /// Request lines answered `ERR parse` (`serve.parse_errors`).
-    parse_errors: Arc<Counter>,
+    pub(crate) parse_errors: Arc<Counter>,
     /// Per-verb request counters (`serve.requests.<verb>`).
-    requests: RequestCounters,
+    pub(crate) requests: RequestCounters,
     /// Sub-requests received inside `BATCH` frames
     /// (`serve.batch.requests`).
-    batch_requests: Arc<Counter>,
+    pub(crate) batch_requests: Arc<Counter>,
     /// Queue hops saved by the frontend micro-batcher: for every
     /// multi-sample chunk enqueued, `len - 1` (`serve.batch.coalesced`).
-    batch_coalesced: Arc<Counter>,
+    pub(crate) batch_coalesced: Arc<Counter>,
     /// Frontend `PREDICT` result cache.
-    cache: PredictCache,
+    pub(crate) cache: PredictCache,
     /// Faults injected by the server-side chaos plan (if configured).
-    faults: Arc<FaultCounters>,
-    /// Live connection handlers.
-    registry: Registry,
-    /// Per-connection deadlines and the optional fault plan.
-    cfg: ConnSettings,
+    pub(crate) faults: Arc<FaultCounters>,
+    /// Live connection handlers (threaded frontend) and the connection-id
+    /// allocator shared by both frontends.
+    pub(crate) registry: Registry,
+    /// Per-connection deadlines, the frontend selection, and the optional
+    /// fault plan.
+    pub(crate) cfg: ConnSettings,
     /// Set when a client sent `SHUTDOWN`; wakes [`Server::wait`].
-    shutdown_requested: Mutex<bool>,
-    shutdown_cv: Condvar,
+    pub(crate) shutdown_requested: Mutex<bool>,
+    pub(crate) shutdown_cv: Condvar,
 }
 
 /// One counter per protocol verb, bumped at dispatch.
 #[derive(Debug)]
-struct RequestCounters {
-    observe: Arc<Counter>,
-    predict: Arc<Counter>,
-    admit: Arc<Counter>,
-    stats: Arc<Counter>,
-    metrics: Arc<Counter>,
-    shutdown: Arc<Counter>,
+pub(crate) struct RequestCounters {
+    pub(crate) observe: Arc<Counter>,
+    pub(crate) predict: Arc<Counter>,
+    pub(crate) admit: Arc<Counter>,
+    pub(crate) stats: Arc<Counter>,
+    pub(crate) metrics: Arc<Counter>,
+    pub(crate) shutdown: Arc<Counter>,
 }
 
 impl RequestCounters {
@@ -149,16 +168,16 @@ const GEN_STRIPES: usize = 1024;
 /// observes simply bump again). Races only ever invalidate
 /// conservatively: a generation read concurrent with an enqueue misses.
 #[derive(Debug)]
-struct PredictCache {
+pub(crate) struct PredictCache {
     /// Striped observe-generation stamps, indexed by [`key_hash`].
     gens: Vec<AtomicU64>,
     /// Last computed peak per machine, stamped with the generation read
     /// before its shard dispatch.
     entries: Mutex<HashMap<MachineKey, (u64, f64)>>,
     /// Predicts served from the cache (`serve.predict.cache_hit`).
-    hits: Arc<Counter>,
+    pub(crate) hits: Arc<Counter>,
     /// Predicts dispatched to a shard (`serve.predict.cache_miss`).
-    misses: Arc<Counter>,
+    pub(crate) misses: Arc<Counter>,
 }
 
 impl PredictCache {
@@ -171,20 +190,23 @@ impl PredictCache {
         }
     }
 
-    fn stripe_of(&self, key: &MachineKey) -> usize {
+    pub(crate) fn stripe_of(&self, key: &MachineKey) -> usize {
         (key_hash(key) % GEN_STRIPES as u64) as usize
     }
 
-    fn generation(&self, stripe: usize) -> u64 {
+    pub(crate) fn generation(&self, stripe: usize) -> u64 {
         self.gens[stripe].load(Ordering::SeqCst)
     }
 
-    fn bump(&self, stripe: usize) {
-        self.gens[stripe].fetch_add(1, Ordering::SeqCst);
+    /// Bumps a stripe once for `n` samples. Generations are only ever
+    /// compared for equality, so one `+n` invalidates exactly like `n`
+    /// separate bumps while costing a single atomic.
+    pub(crate) fn bump_n(&self, stripe: usize, n: u64) {
+        self.gens[stripe].fetch_add(n, Ordering::SeqCst);
     }
 
     /// The cached peak for `key`, if its stamp still matches `gen_now`.
-    fn lookup(&self, key: &MachineKey, gen_now: u64) -> Option<f64> {
+    pub(crate) fn lookup(&self, key: &MachineKey, gen_now: u64) -> Option<f64> {
         let entries = self.entries.lock().expect("predict cache lock");
         match entries.get(key) {
             Some(&(gen, peak)) if gen == gen_now => Some(peak),
@@ -192,7 +214,7 @@ impl PredictCache {
         }
     }
 
-    fn store(&self, key: MachineKey, gen: u64, peak: f64) {
+    pub(crate) fn store(&self, key: MachineKey, gen: u64, peak: f64) {
         self.entries
             .lock()
             .expect("predict cache lock")
@@ -200,19 +222,25 @@ impl PredictCache {
     }
 }
 
-/// The slice of [`ServeConfig`] each connection handler needs.
+/// The slice of [`ServeConfig`] the accept loop and both frontends need.
 #[derive(Debug, Clone)]
-struct ConnSettings {
-    idle_timeout: Duration,
-    write_timeout: Duration,
-    max_connections: usize,
-    faults: Option<crate::fault::FaultPlan>,
+pub(crate) struct ConnSettings {
+    pub(crate) idle_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+    pub(crate) max_connections: usize,
+    pub(crate) faults: Option<crate::fault::FaultPlan>,
+    pub(crate) frontend: crate::config::Frontend,
+    /// Resolved reactor pool size
+    /// ([`ServeConfig::effective_reactor_threads`]).
+    pub(crate) reactor_threads_effective: usize,
 }
 
 /// Tracks live connection handler threads so shutdown can join every one
-/// of them (and the accept loop can enforce the connection cap).
+/// of them (and the accept loop can enforce the threaded frontend's
+/// connection cap). Also allocates connection ids — the fault plan seeds
+/// per-connection schedules from them — for both frontends.
 #[derive(Debug, Default)]
-struct Registry {
+pub(crate) struct Registry {
     next_id: AtomicU64,
     active: AtomicUsize,
     handles: Mutex<HashMap<u64, JoinHandle<()>>>,
@@ -223,14 +251,21 @@ struct Registry {
 }
 
 impl Registry {
-    /// Claims an id and a live slot for a new connection.
-    fn begin(&self) -> u64 {
-        self.active.fetch_add(1, Ordering::SeqCst);
+    /// Claims a connection id without a handler slot (reactor frontend:
+    /// connections do not own threads, but their fault schedules still
+    /// need distinct seeds).
+    pub(crate) fn next_conn_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Claims an id and a live slot for a new threaded connection.
+    pub(crate) fn begin(&self) -> u64 {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.next_conn_id()
+    }
+
     /// Records the spawned handler thread for `id`.
-    fn register(&self, id: u64, handle: JoinHandle<()>) {
+    pub(crate) fn register(&self, id: u64, handle: JoinHandle<()>) {
         self.handles
             .lock()
             .expect("registry lock")
@@ -238,20 +273,20 @@ impl Registry {
     }
 
     /// Releases `id`'s live slot (called by the handler itself on exit).
-    fn end(&self, id: u64) {
+    pub(crate) fn end(&self, id: u64) {
         self.active.fetch_sub(1, Ordering::SeqCst);
         self.finished.lock().expect("registry lock").push(id);
     }
 
-    /// Live connection count.
-    fn active(&self) -> usize {
+    /// Live threaded-connection count.
+    pub(crate) fn active(&self) -> usize {
         self.active.load(Ordering::SeqCst)
     }
 
     /// Joins handlers that already finished (instant — their threads have
     /// returned). An id whose handle was not yet registered (handler
     /// finished before `register` ran) is retried on a later reap.
-    fn reap(&self) {
+    pub(crate) fn reap(&self) {
         let ids: Vec<u64> = std::mem::take(&mut *self.finished.lock().expect("registry lock"));
         if ids.is_empty() {
             return;
@@ -274,7 +309,7 @@ impl Registry {
 
     /// Joins every registered handler. Callers must set the stop flag
     /// first so live handlers exit at their next poll.
-    fn join_all(&self) {
+    pub(crate) fn join_all(&self) {
         let handles: Vec<JoinHandle<()>> = {
             let mut map = self.handles.lock().expect("registry lock");
             map.drain().map(|(_, h)| h).collect()
@@ -311,29 +346,42 @@ pub struct ShutdownOutcome {
 /// let stats = server.shutdown();
 /// println!("served {} observes", stats.observes);
 /// ```
-#[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     pool: Option<Arc<ShardPool>>,
     accept_handle: Option<JoinHandle<()>>,
+    /// Wakes the accept thread out of its readiness wait at shutdown.
+    accept_waker: Arc<oc_reactor::Waker>,
+    /// The reactor pool, when [`crate::config::Frontend::Reactor`] runs.
+    reactor: Option<Arc<ReactorPool>>,
     shared: Arc<Shared>,
 }
 
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("frontend", &self.shared.cfg.frontend)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Server {
-    /// Binds `cfg.addr`, spawns the shard pool and the accept loop.
+    /// Binds `cfg.addr`, spawns the shard pool, the configured frontend,
+    /// and the accept loop.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Config`] for an invalid config and
-    /// [`ServeError::Io`] for bind failures.
+    /// [`ServeError::Io`] for bind failures — including an `Unsupported`
+    /// error on targets without a readiness backend (non-Unix), where
+    /// neither frontend's accept loop can run.
     pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
         cfg.validate()?;
+        // Serving tens of thousands of connections needs the fd headroom;
+        // best-effort, the connection cap still governs admission.
+        let _ = oc_reactor::raise_nofile_limit();
         let listener = TcpListener::bind(&cfg.addr)?;
-        // Non-blocking accept: the loop polls `stop` on a short interval,
-        // so shutdown never depends on a wake-up connection reaching the
-        // listener (the old fire-and-forget self-connect could fail and
-        // leave the join hanging forever).
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = MetricsRegistry::new();
         let pool = Arc::new(ShardPool::new(&cfg, &metrics)?);
@@ -342,7 +390,11 @@ impl Server {
             busy: metrics.counter("serve.busy"),
             timeouts: metrics.counter("serve.timeouts"),
             conn_rejects: metrics.counter("serve.conn_rejects"),
+            accept_errors: metrics.counter("serve.accept.errors"),
             connections: metrics.gauge("serve.connections"),
+            reactor_wakeups: metrics.counter("serve.reactor.wakeups"),
+            reactor_conns: metrics.gauge("serve.reactor.conns_active"),
+            reactor_writes_blocked: metrics.counter("serve.reactor.writes_blocked"),
             parse_errors: metrics.counter("serve.parse_errors"),
             requests: RequestCounters::new(&metrics),
             batch_requests: metrics.counter("serve.batch.requests"),
@@ -356,22 +408,42 @@ impl Server {
                 write_timeout: cfg.write_timeout,
                 max_connections: cfg.max_connections,
                 faults: cfg.faults.clone(),
+                frontend: cfg.frontend,
+                reactor_threads_effective: cfg.effective_reactor_threads(),
             },
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
 
+        // Readiness-driven accept: the thread sleeps until a connection
+        // arrives or the waker fires at shutdown — no stop-poll interval.
+        let (poller, waker) = accept_poller(&listener)?;
+        let frontend = FrontendRuntime::start(&shared, &pool)?;
+        let reactor = frontend.reactor();
+
         let accept_pool = Arc::clone(&pool);
         let accept_shared = Arc::clone(&shared);
+        let accept_waker = Arc::clone(&waker);
         let accept_handle = std::thread::Builder::new()
             .name("oc-serve-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_pool, accept_shared))
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    poller,
+                    accept_waker,
+                    frontend,
+                    accept_pool,
+                    accept_shared,
+                )
+            })
             .map_err(ServeError::Io)?;
 
         Ok(Server {
             addr,
             pool: Some(pool),
             accept_handle: Some(accept_handle),
+            accept_waker: waker,
+            reactor,
             shared,
         })
     }
@@ -397,9 +469,8 @@ impl Server {
         }
     }
 
-    /// Stops accepting, joins every connection handler, drains every
-    /// shard queue, joins the workers, and returns the final merged
-    /// snapshot.
+    /// Stops accepting, joins every frontend thread, drains every shard
+    /// queue, joins the workers, and returns the final merged snapshot.
     pub fn shutdown(self) -> StatsSnapshot {
         self.shutdown_outcome().stats
     }
@@ -412,15 +483,20 @@ impl Server {
 
     fn finish(&mut self) -> ShutdownOutcome {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // The accept loop polls `stop`, so the join completes within one
-        // poll interval without any wake-up connection.
+        // The accept thread is blocked in a readiness wait; the waker
+        // makes the join immediate.
+        let _ = self.accept_waker.wake();
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // Handlers notice `stop` within one read poll; blocked writes hit
-        // `write_timeout`. Joining them here is what guarantees the pool
-        // Arc below has exactly one strong reference left.
+        // Threaded handlers notice `stop` within one read poll; blocked
+        // writes hit `write_timeout`. Reactor threads are woken
+        // explicitly. Joining all of them here is what guarantees the
+        // pool Arc below has exactly one strong reference left.
         self.shared.registry.join_all();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.stop_and_join();
+        }
         let busy = self.shared.busy.get();
         let timeouts = self.shared.timeouts.get();
         let conn_rejects = self.shared.conn_rejects.get();
@@ -463,57 +539,11 @@ impl Drop for Server {
     }
 }
 
-/// Polls the non-blocking listener until the stop flag is set, enforcing
-/// the connection cap and reaping finished handlers along the way.
-fn accept_loop(listener: TcpListener, pool: Arc<ShardPool>, shared: Arc<Shared>) {
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Accepted sockets may inherit O_NONBLOCK on some
-                // platforms; handlers rely on timeout-based blocking.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                shared.registry.reap();
-                if shared.registry.active() >= shared.cfg.max_connections {
-                    shared.conn_rejects.inc();
-                    trace::event("serve.conn.reject", shared.registry.active() as u64, 0);
-                    reject_over_cap(stream, &shared);
-                    continue;
-                }
-                let id = shared.registry.begin();
-                shared.connections.inc();
-                let pool = Arc::clone(&pool);
-                let conn_shared = Arc::clone(&shared);
-                let spawned = std::thread::Builder::new()
-                    .name("oc-serve-conn".to_string())
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &pool, &conn_shared, id);
-                        conn_shared.registry.end(id);
-                        conn_shared.connections.dec();
-                    });
-                match spawned {
-                    Ok(handle) => shared.registry.register(id, handle),
-                    Err(_) => {
-                        shared.registry.end(id);
-                        shared.connections.dec();
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                shared.registry.reap();
-                std::thread::sleep(STOP_POLL);
-            }
-            Err(_) => std::thread::sleep(STOP_POLL),
-        }
-    }
-}
-
 /// Answers an over-cap connection with a retryable error and closes it.
-fn reject_over_cap(mut stream: TcpStream, shared: &Shared) {
+pub(crate) fn reject_over_cap(mut stream: TcpStream, shared: &Shared) {
+    // Accepted sockets may be non-blocking (reactor frontend); the
+    // one-line reject is simplest with blocking writes and a deadline.
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let resp = Response::Err {
         code: ErrCode::ConnLimit,
@@ -526,400 +556,7 @@ fn reject_over_cap(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.write_all(b"\n");
 }
 
-/// Sets deadlines, wraps the stream in the fault plan if configured, and
-/// runs the request loop.
-fn handle_connection(
-    stream: TcpStream,
-    pool: &ShardPool,
-    shared: &Shared,
-    conn_id: u64,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(STOP_POLL))?;
-    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
-    let read_half = stream.try_clone()?;
-    match &shared.cfg.faults {
-        Some(plan) => {
-            let r = FaultStream::new(
-                read_half,
-                plan,
-                plan.stream_seed(conn_id * 2),
-                Arc::clone(&shared.faults),
-            );
-            let w = FaultStream::new(
-                stream,
-                plan,
-                plan.stream_seed(conn_id * 2 + 1),
-                Arc::clone(&shared.faults),
-            );
-            serve_lines(r, w, pool, shared)
-        }
-        None => serve_lines(read_half, stream, pool, shared),
-    }
-}
-
-/// One step of deadline-aware line reading.
-enum ReadStep {
-    /// `acc` now ends with `\n`.
-    Line,
-    /// The read deadline elapsed with no new bytes; poll again.
-    Timeout,
-    /// Peer closed; any bytes left in `acc` are a truncated request.
-    Eof,
-    /// `acc` exceeded the line cap without a newline.
-    Oversize,
-    /// Hard transport error.
-    Failed(std::io::Error),
-}
-
-/// Appends buffered bytes to `acc` until a newline, EOF, deadline, or the
-/// size cap. Bytes are consumed exactly as appended, so a deadline in the
-/// middle of a line loses nothing — the next call keeps accumulating.
-fn read_line_step<R: BufRead>(reader: &mut R, acc: &mut Vec<u8>) -> ReadStep {
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok([]) => return ReadStep::Eof,
-            Ok(chunk) => chunk,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return ReadStep::Timeout
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return ReadStep::Failed(e),
-        };
-        match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                acc.extend_from_slice(&chunk[..=pos]);
-                reader.consume(pos + 1);
-                return ReadStep::Line;
-            }
-            None => {
-                let n = chunk.len();
-                acc.extend_from_slice(chunk);
-                reader.consume(n);
-                if acc.len() > MAX_LINE_BYTES {
-                    return ReadStep::Oversize;
-                }
-            }
-        }
-    }
-}
-
-/// Per-connection reusable state: the parse scratch, the response encode
-/// buffer, the observe micro-batcher, and `BATCH` framing progress. All
-/// buffers are recycled line over line, so the steady-state request path
-/// performs no per-request heap allocation.
-struct ConnState {
-    scratch: ProtoScratch,
-    out: Vec<u8>,
-    chunk: Box<ObserveChunk>,
-    /// Shard the current chunk routes to (meaningful when `chunk.len > 0`).
-    chunk_shard: usize,
-    /// Sub-request lines still expected in the current `BATCH` frame.
-    batch_left: usize,
-}
-
-impl ConnState {
-    fn new() -> ConnState {
-        ConnState {
-            scratch: ProtoScratch::new(),
-            out: Vec::with_capacity(256),
-            chunk: Box::new(ObserveChunk::new()),
-            chunk_shard: 0,
-            batch_left: 0,
-        }
-    }
-}
-
-/// Encodes `resp` into the recycled buffer and writes it with its
-/// newline.
-fn write_resp<W: Write>(writer: &mut W, out: &mut Vec<u8>, resp: &Response) -> std::io::Result<()> {
-    out.clear();
-    resp.encode_into(out);
-    out.push(b'\n');
-    writer.write_all(out)
-}
-
-/// Enqueues the pending observe chunk (if any) and writes the deferred
-/// acknowledgements, one per sample, in order. `try_send` is all-or-
-/// nothing for the chunk: on `BUSY` every sample is answered `BUSY` and
-/// the client retries them individually (ingestion is idempotent, so the
-/// partial overlap of a retried run is harmless). Generation stripes are
-/// bumped strictly after a successful enqueue and before the `OK`s are
-/// written — the predict cache's read-your-writes edge.
-fn flush_chunk<W: Write>(
-    state: &mut ConnState,
-    writer: &mut W,
-    pool: &ShardPool,
-    shared: &Shared,
-) -> std::io::Result<()> {
-    let len = state.chunk.len;
-    if len == 0 {
-        return Ok(());
-    }
-    let shard = state.chunk_shard;
-    let mut stripes = [0usize; OBS_CHUNK];
-    for (s, item) in stripes.iter_mut().zip(&state.chunk.items[..len]) {
-        *s = shared.cache.stripe_of(&item.key);
-    }
-    let sent = if len == 1 {
-        // A lone sample skips the chunk wrapper (and its box) entirely.
-        let item = std::mem::take(&mut state.chunk.items[0]);
-        state.chunk.len = 0;
-        pool.try_send(
-            shard,
-            ShardMsg::Observe {
-                key: item.key,
-                task: item.task,
-                usage: item.usage,
-                limit: item.limit,
-                tick: item.tick,
-                enqueued: state.chunk.enqueued,
-            },
-        )
-    } else {
-        let chunk = std::mem::replace(&mut state.chunk, Box::new(ObserveChunk::new()));
-        pool.try_send(shard, ShardMsg::ObserveBatch(chunk))
-    };
-    match sent {
-        Ok(()) => {
-            if len > 1 {
-                shared.batch_coalesced.add(len as u64 - 1);
-            }
-            for s in &stripes[..len] {
-                shared.cache.bump(*s);
-            }
-            for _ in 0..len {
-                writer.write_all(b"OK\n")?;
-            }
-        }
-        Err(SendFail::Busy) => {
-            shared.busy.add(len as u64);
-            trace::event("serve.busy", shard as u64, len as u64);
-            for _ in 0..len {
-                writer.write_all(b"BUSY\n")?;
-            }
-        }
-        Err(SendFail::Closed) => {
-            let resp = shutting_down();
-            for _ in 0..len {
-                write_resp(writer, &mut state.out, &resp)?;
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Handles one complete request line (batch header, batched sub-request,
-/// or ordinary request). Returns `Ok(false)` when the connection must
-/// close (unrecoverable framing).
-fn process_line<W: Write>(
-    raw: &[u8],
-    state: &mut ConnState,
-    writer: &mut W,
-    pool: &ShardPool,
-    shared: &Shared,
-) -> std::io::Result<bool> {
-    let parse_err = |e: &dyn fmt::Display| Response::Err {
-        code: ErrCode::Parse,
-        detail: e.to_string(),
-    };
-    let Ok(line) = std::str::from_utf8(raw) else {
-        flush_chunk(state, writer, pool, shared)?;
-        shared.parse_errors.inc();
-        state.batch_left = state.batch_left.saturating_sub(1);
-        let resp = parse_err(&"request line is not valid UTF-8");
-        write_resp(writer, &mut state.out, &resp)?;
-        return Ok(true);
-    };
-    let line = line.trim_end_matches(['\r', '\n']);
-    let in_batch = state.batch_left > 0;
-    if in_batch {
-        state.batch_left -= 1;
-    } else {
-        match parse_batch_header(line, &mut state.scratch) {
-            // Not a batch header: fall through to the ordinary parse.
-            Ok(None) => {}
-            Ok(Some(n)) => {
-                flush_chunk(state, writer, pool, shared)?;
-                shared.batch_requests.add(n as u64);
-                state.batch_left = n;
-                // The multi-response header goes out up front — the count
-                // is known from the frame header, and sub-responses then
-                // stream in sub-request order.
-                state.out.clear();
-                crate::proto::encode_batchr_header_into(n, &mut state.out);
-                state.out.push(b'\n');
-                writer.write_all(&state.out)?;
-                return Ok(true);
-            }
-            Err(e) => {
-                // A malformed BATCH header is unrecoverable: the number
-                // of follow-up lines is unknown, so the stream cannot be
-                // resynchronized. Answer and close.
-                flush_chunk(state, writer, pool, shared)?;
-                shared.parse_errors.inc();
-                let resp = parse_err(&e);
-                write_resp(writer, &mut state.out, &resp)?;
-                return Ok(false);
-            }
-        }
-    }
-    match Request::parse_in(line, &mut state.scratch) {
-        Err(e) => {
-            flush_chunk(state, writer, pool, shared)?;
-            shared.parse_errors.inc();
-            let resp = parse_err(&e);
-            write_resp(writer, &mut state.out, &resp)?;
-            Ok(true)
-        }
-        Ok(Request::Observe {
-            cell,
-            machine,
-            task,
-            usage,
-            limit,
-            tick,
-        }) => {
-            shared.requests.observe.inc();
-            let key = (cell, machine);
-            let shard = pool.route(&key);
-            if state.chunk.len > 0 && (shard != state.chunk_shard || state.chunk.len == OBS_CHUNK) {
-                flush_chunk(state, writer, pool, shared)?;
-            }
-            if state.chunk.len == 0 {
-                state.chunk_shard = shard;
-                state.chunk.enqueued = Instant::now();
-            }
-            let slot = state.chunk.len;
-            state.chunk.items[slot] = ObserveItem {
-                key,
-                task,
-                usage,
-                limit,
-                tick: Tick(tick),
-            };
-            state.chunk.len = slot + 1;
-            Ok(true)
-        }
-        Ok(req @ (Request::Stats | Request::Metrics | Request::Shutdown)) if in_batch => {
-            // Control verbs are not batchable: one per-sub-request parse
-            // error, and the rest of the frame proceeds normally.
-            flush_chunk(state, writer, pool, shared)?;
-            shared.parse_errors.inc();
-            let verb = match req {
-                Request::Stats => "STATS",
-                Request::Metrics => "METRICS",
-                _ => "SHUTDOWN",
-            };
-            let resp = parse_err(&format_args!("{verb} is not allowed inside BATCH"));
-            write_resp(writer, &mut state.out, &resp)?;
-            Ok(true)
-        }
-        Ok(req) => {
-            // Ordering: every coalesced sample must be enqueued before a
-            // PREDICT/ADMIT/STATS sees the shard, so a connection always
-            // reads its own acknowledged writes.
-            flush_chunk(state, writer, pool, shared)?;
-            let resp = dispatch(req, pool, shared);
-            write_resp(writer, &mut state.out, &resp)?;
-            Ok(true)
-        }
-    }
-}
-
-/// Serves one connection: one response line per request line, in order
-/// (plus one `BATCHR` header line per `BATCH` frame).
-fn serve_lines<R: Read, W: Write>(
-    read_half: R,
-    write_half: W,
-    pool: &ShardPool,
-    shared: &Shared,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(write_half);
-    let mut acc: Vec<u8> = Vec::with_capacity(256);
-    let mut last_activity = Instant::now();
-    let mut seen = 0usize; // bytes of `acc` already counted as activity
-    let mut state = ConnState::new();
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            // In-flight connections are abandoned at shutdown; anything
-            // already queued on the shards is still drained and counted.
-            break;
-        }
-        match read_line_step(&mut reader, &mut acc) {
-            ReadStep::Line => {
-                last_activity = Instant::now();
-                // Spans the whole request: parse, shard round-trip, and
-                // response encode. Inert unless tracing is enabled.
-                let req_span = trace::span("serve.request");
-                let keep_open = process_line(&acc, &mut state, &mut writer, pool, shared)?;
-                drop(req_span);
-                acc.clear();
-                seen = 0;
-                if !keep_open {
-                    return writer.flush(); // Cannot resynchronize: close.
-                }
-                // Coalesce and buffer only while another complete request
-                // is already waiting: once the pipeline runs dry, enqueue
-                // the pending chunk and push every response out.
-                if !reader.buffer().contains(&b'\n') {
-                    flush_chunk(&mut state, &mut writer, pool, shared)?;
-                    writer.flush()?;
-                }
-            }
-            ReadStep::Timeout => {
-                flush_chunk(&mut state, &mut writer, pool, shared)?;
-                writer.flush()?;
-                if acc.len() > seen {
-                    // A partial line is still progress; only complete
-                    // silence counts toward the idle deadline.
-                    seen = acc.len();
-                    last_activity = Instant::now();
-                }
-                if last_activity.elapsed() >= shared.cfg.idle_timeout {
-                    shared.timeouts.inc();
-                    trace::event("serve.conn.idle_close", 0, 0);
-                    let resp = Response::Err {
-                        code: ErrCode::Timeout,
-                        detail: "idle past deadline; reconnect to resume".to_string(),
-                    };
-                    write_resp(&mut writer, &mut state.out, &resp)?;
-                    return writer.flush();
-                }
-            }
-            ReadStep::Eof => {
-                // A trailing fragment without a newline is a truncated
-                // request from a peer that died mid-write: discard it
-                // rather than guessing at half a request. (A truncated
-                // BATCH frame's already-received sub-requests were
-                // dispatched; their responses are simply undeliverable —
-                // safe, because ingestion is idempotent.)
-                break;
-            }
-            ReadStep::Oversize => {
-                flush_chunk(&mut state, &mut writer, pool, shared)?;
-                let resp = Response::Err {
-                    code: ErrCode::Parse,
-                    detail: format!("line exceeds {MAX_LINE_BYTES} bytes"),
-                };
-                write_resp(&mut writer, &mut state.out, &resp)?;
-                writer.flush()?;
-                break; // Cannot resynchronize: close.
-            }
-            ReadStep::Failed(e) => return Err(e),
-        }
-    }
-    flush_chunk(&mut state, &mut writer, pool, shared)?;
-    writer.flush()
-}
-
-fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
+pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Response {
     match req {
         Request::Observe { .. } => {
             // Observes are coalesced by `process_line` and enqueued via
@@ -1074,7 +711,7 @@ fn request_reply(
     }
 }
 
-fn shutting_down() -> Response {
+pub(crate) fn shutting_down() -> Response {
     Response::Err {
         code: ErrCode::Shutdown,
         detail: "server is shutting down".to_string(),
@@ -1084,7 +721,9 @@ fn shutting_down() -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufRead;
+    use crate::config::Frontend;
+    use crate::proto::MAX_LINE_BYTES;
+    use std::io::{BufRead, BufReader};
     use std::net::Shutdown;
 
     fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
@@ -1131,6 +770,33 @@ mod tests {
         assert_eq!(final_stats.observes, 30);
     }
 
+    /// The same smoke flow on the explicitly-selected threaded frontend
+    /// (the reactor is the default on Unix).
+    #[test]
+    fn end_to_end_on_threaded_frontend() {
+        let server = Server::start(
+            ServeConfig::default()
+                .with_shards(2)
+                .with_frontend(Frontend::Threaded),
+        )
+        .unwrap();
+        let (mut r, mut w) = client(server.addr());
+        for t in 0..10u64 {
+            assert_eq!(
+                roundtrip(&mut r, &mut w, &format!("OBSERVE a 0 1:0 0.2 0.5 {t}")),
+                Response::Ok
+            );
+        }
+        assert!(matches!(
+            roundtrip(&mut r, &mut w, "PREDICT a 0"),
+            Response::Pred { .. }
+        ));
+        drop((r, w));
+        let outcome = server.shutdown_outcome();
+        assert!(outcome.clean);
+        assert_eq!(outcome.stats.observes, 10);
+    }
+
     #[test]
     fn metrics_verb_exposes_registry_and_shard_state() {
         let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
@@ -1159,6 +825,10 @@ mod tests {
         assert_eq!(m["serve.connections"], 1.0, "this connection is live");
         assert_eq!(m["serve.machines"], 1.0);
         assert_eq!(m["serve.busy"], 0.0);
+        assert_eq!(m["serve.accept.errors"], 0.0);
+        assert!(m.contains_key("serve.reactor.wakeups"));
+        assert!(m.contains_key("serve.reactor.conns_active"));
+        assert!(m.contains_key("serve.reactor.writes_blocked"));
         assert!(m.contains_key("serve.shard.queue_depth.0"));
         assert!(m.contains_key("serve.shard.queue_depth.1"));
         assert_eq!(m["serve.latency_us.count"], 26.0, "25 observes + 1 predict");
@@ -1170,6 +840,31 @@ mod tests {
         };
         assert_eq!(s.observes, m["serve.observes"] as u64);
         assert_eq!(s.predicts, m["serve.predicts"] as u64);
+        drop((r, w));
+        server.shutdown();
+    }
+
+    /// The reactor frontend reports its own liveness metrics.
+    #[test]
+    fn reactor_metrics_track_connection_ownership() {
+        if !cfg!(unix) {
+            return;
+        }
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        assert_eq!(
+            roundtrip(&mut r, &mut w, "OBSERVE a 0 1:0 0.2 0.5 1"),
+            Response::Ok
+        );
+        let Response::Metrics { exposition } = roundtrip(&mut r, &mut w, "METRICS") else {
+            panic!("expected METRICS");
+        };
+        let m = oc_telemetry::metrics::parse_exposition(&exposition).unwrap();
+        assert_eq!(
+            m["serve.reactor.conns_active"], 1.0,
+            "this connection is reactor-owned"
+        );
+        assert!(m["serve.reactor.wakeups"] >= 1.0);
         drop((r, w));
         server.shutdown();
     }
@@ -1301,8 +996,9 @@ mod tests {
 
     /// Regression (PR 3): the accept thread used to be woken by a single
     /// fire-and-forget self-connect; if that failed, the join hung. The
-    /// non-blocking accept loop needs no wake-up at all — prove shutdown
-    /// is promptly bounded across repeated start/stop cycles.
+    /// waker-driven accept loop needs no wake-up connection at all —
+    /// prove shutdown is promptly bounded across repeated start/stop
+    /// cycles.
     #[test]
     fn shutdown_never_hangs_on_the_accept_thread() {
         for _ in 0..10 {
@@ -1391,8 +1087,8 @@ mod tests {
         );
         buf.clear();
         assert_eq!(r2.read_line(&mut buf).unwrap(), 0);
-        // Free the slot; a later connection gets in (the handler exit and
-        // the accept loop's reap race with us, so poll briefly).
+        // Free the slot; a later connection gets in (the close runs on a
+        // server thread and races with us, so poll briefly).
         drop((r1, w1));
         let mut admitted = false;
         for _ in 0..100 {
@@ -1445,6 +1141,40 @@ mod tests {
         assert_eq!(final_stats.observes, 0);
     }
 
+    /// Write backpressure: a peer that pipelines a large frame but reads
+    /// nothing until the end still gets every response byte, in order.
+    #[test]
+    fn slow_reader_still_receives_every_response() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        let n = 20_000u64;
+        let mut frame = String::new();
+        for t in 0..n {
+            frame.push_str(&format!("OBSERVE a 9 1:0 0.2 0.5 {t}\n"));
+        }
+        // Blast the whole frame without reading a single response; the
+        // server's output buffer must absorb or backpressure it, never
+        // drop or reorder.
+        w.write_all(frame.as_bytes()).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        let mut oks = 0u64;
+        let mut busys = 0u64;
+        for i in 0..n {
+            line.clear();
+            r.read_line(&mut line).unwrap();
+            match line.trim_end() {
+                "OK" => oks += 1,
+                "BUSY" => busys += 1,
+                other => panic!("response {i}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(oks + busys, n);
+        assert!(oks > 0, "at least some observes must be accepted");
+        drop((r, w));
+        server.shutdown();
+    }
+
     /// Server-side fault injection: with only delay/partial faults (no
     /// drops) every request still completes, and the injected count
     /// surfaces in STATS.
@@ -1473,5 +1203,21 @@ mod tests {
         drop((r, w));
         let final_stats = server.shutdown();
         assert!(final_stats.faults > 0);
+    }
+
+    /// An accepted socket that cannot be switched to the frontend's
+    /// blocking mode is counted, not silently dropped — exercised
+    /// indirectly: the counter exists and starts at zero.
+    #[test]
+    fn accept_error_counter_is_registered() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        let Response::Metrics { exposition } = roundtrip(&mut r, &mut w, "METRICS") else {
+            panic!("expected METRICS");
+        };
+        let m = oc_telemetry::metrics::parse_exposition(&exposition).unwrap();
+        assert_eq!(m["serve.accept.errors"], 0.0);
+        drop((r, w));
+        server.shutdown();
     }
 }

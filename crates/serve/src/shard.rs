@@ -46,8 +46,10 @@ pub type MachineKey = (CellId, MachineId);
 /// Small and fixed: the chunk lives inline in one boxed message, so the
 /// `sync_channel` hop and the shard wakeup are amortized across up to
 /// this many samples while a stalled flush can only ever defer this many
-/// acknowledgements.
-pub const OBS_CHUNK: usize = 16;
+/// acknowledgements. Sized for the high fan-in workload, where whole
+/// `BATCH` frames stream in per connection and every chunk send costs a
+/// queue lock plus a possible futex wake.
+pub const OBS_CHUNK: usize = 64;
 
 /// One coalesced sample inside an [`ObserveChunk`].
 #[derive(Debug, Clone, Default)]
@@ -83,7 +85,8 @@ impl ObserveChunk {
     /// An empty chunk stamped `now`.
     pub fn new() -> ObserveChunk {
         ObserveChunk {
-            items: Default::default(),
+            // `[T; 64]` has no `Default` impl (std stops at 32).
+            items: std::array::from_fn(|_| ObserveItem::default()),
             len: 0,
             enqueued: Instant::now(),
         }
@@ -346,16 +349,26 @@ fn shard_worker(
                 // `latency_us.count == observes+stale+errors+…` identity
                 // holds whether or not samples were coalesced.
                 let elapsed = chunk.enqueued.elapsed();
-                for item in &chunk.items[..chunk.len] {
-                    let view = views
-                        .entry(item.key.clone())
-                        .or_insert_with(|| new_view(&cfg));
-                    match view.ingest(item.tick, item.task, item.limit, item.usage) {
-                        Ok(()) => metrics.observes += 1,
-                        Err(CoreError::StaleSample { .. }) => metrics.stale += 1,
-                        Err(_) => metrics.errors += 1,
+                let items = &chunk.items[..chunk.len];
+                let mut i = 0;
+                while i < items.len() {
+                    // One map lookup per run of same-machine samples: a
+                    // fan-in connection fills whole chunks from a single
+                    // machine, and the per-item key hash would otherwise
+                    // dominate the ingest loop.
+                    let key = &items[i].key;
+                    let view = views.entry(key.clone()).or_insert_with(|| new_view(&cfg));
+                    let run_start = i;
+                    while i < items.len() && items[i].key == *key {
+                        let item = &items[i];
+                        match view.ingest(item.tick, item.task, item.limit, item.usage) {
+                            Ok(()) => metrics.observes += 1,
+                            Err(CoreError::StaleSample { .. }) => metrics.stale += 1,
+                            Err(_) => metrics.errors += 1,
+                        }
+                        i += 1;
                     }
-                    metrics.record_latency(elapsed);
+                    metrics.record_latency_n(elapsed, (i - run_start) as u64);
                 }
             }
             ShardMsg::Predict {

@@ -69,6 +69,32 @@ impl Histogram {
         }
     }
 
+    /// Records the same observation `n` times in one bin update.
+    /// Equivalent to calling [`Histogram::push`] `n` times.
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total += n;
+        if x < self.lo {
+            self.underflow += n;
+        } else if x >= self.hi {
+            self.overflow += n;
+        } else {
+            let bins = self.bins.len();
+            let width = (self.hi - self.lo) / bins as f64;
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let mut idx = ((frac * bins as f64) as usize).min(bins - 1);
+            // Same edge-snapping as `push` so both placements agree.
+            if idx + 1 < bins && x >= self.lo + (idx + 1) as f64 * width {
+                idx += 1;
+            } else if idx > 0 && x < self.lo + idx as f64 * width {
+                idx -= 1;
+            }
+            self.bins[idx] += n;
+        }
+    }
+
     /// Records every observation in the iterator.
     pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
         for x in xs {

@@ -3,10 +3,12 @@
 # well-formed JSON with the common envelope (bench, command), and
 # BENCH_serve.json must additionally uphold the loadgen invariants the
 # benchmark is meant to demonstrate — zero lost acknowledged samples in
-# every phase, reject_rate a true rate in [0, 1], and the BATCH-framed
+# every phase, reject_rate a true rate in [0, 1], the BATCH-framed
 # phase actually beating the paced sustained phase (>= 1.5x throughput
 # without a worse server-side p99) when both were measured in the same
-# run.
+# run, and a mandatory reactor-10k phase proving the event-loop frontend
+# holds >= 10000 concurrent connections at >= 1M qps without losing an
+# acknowledged sample.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,9 +38,10 @@ def check_serve(path, doc):
     by_label = {}
     numeric_keys = (
         "sent", "ok", "busy", "errors", "retries", "lost",
-        "failed_connections", "wall_secs", "achieved_qps",
+        "failed_connections", "connections", "wall_secs", "achieved_qps",
         "reject_rate", "retry_ratio",
         "client_p50_us", "client_p99_us",
+        "setup_p50_us", "setup_p99_us", "setup_max_us",
         "server_p50_us", "server_p99_us", "server_observes",
     )
     for phase in phases:
@@ -75,6 +78,37 @@ def check_serve(path, doc):
     chaos = by_label.get("batched-chaos")
     if chaos is not None and not chaos.get("faults"):
         fail(path, "batched-chaos phase injected no faults")
+
+    # The reactor-10k phase is the point of the event-loop frontend; a
+    # BENCH_serve.json without it (e.g. regenerated with a stale binary
+    # or a truncated run) must not pass.
+    reactor = by_label.get("reactor-10k")
+    if reactor is None:
+        fail(path, "mandatory 'reactor-10k' phase missing")
+    else:
+        conns = reactor.get("connections") or 0
+        if conns < 10_000:
+            fail(path, f"reactor-10k held only {conns} connections "
+                       f"(need >= 10000)")
+        qps = reactor.get("achieved_qps") or 0
+        if qps < 1_000_000:
+            fail(path, f"reactor-10k achieved {qps:.0f} qps "
+                       f"(need >= 1000000)")
+        # Server-side p99 gate, relative to the serve_batched phase of
+        # the same run. The reactor phase runs ~40x the connection count
+        # on the same cores, so an absolute bound would just encode one
+        # host; instead require the event sweep not to *multiply* the
+        # data-plane tail. The 4x allowance covers single-core
+        # scheduling: on one core the reactor's sweep and the shard
+        # workers time-share, so enqueued chunks age behind the sweep in
+        # a way the low-fan-in batched phase never sees. (Before the
+        # reactor yielded mid-sweep this ratio measured ~66x, so the
+        # gate retains teeth against that regression class.)
+        base_p99 = (batched or {}).get("server_p99_us") or 0
+        got_p99 = reactor.get("server_p99_us") or 0
+        if base_p99 and got_p99 > 4.0 * base_p99:
+            fail(path, f"reactor-10k server_p99_us {got_p99:.1f} > 4x "
+                       f"serve_batched ({base_p99:.1f})")
 
 
 for path in sys.argv[1:]:
