@@ -1,0 +1,590 @@
+//! [`ClusterClient`] — one client over an N-process ring.
+//!
+//! A `ClusterClient` holds one [`Client`] per member and routes every
+//! data-plane call by the key's [`oc_serve::shard::key_hash`] through a
+//! shared [`HashRing`]: `OBSERVE`/`PREDICT`/`ADMIT` go to the live
+//! owner, and (with mirroring on) every `OBSERVE` is also queued for
+//! the key's replica — the ring successor, which is exactly the node
+//! that takes over if the owner dies. Because both copies see the same
+//! ordered per-machine stream, the replica's state is bit-identical and
+//! so are its predictions; a SIGKILLed owner therefore loses nothing an
+//! acknowledged sample ever carried.
+//!
+//! Failure handling:
+//!
+//! * `ERR not-mine` (a member enforcing its [`oc_serve::config::OwnershipMap`])
+//!   bumps `cluster.redirects` and the call retries on the replica,
+//!   then on any other live member.
+//! * A terminal transport error marks the member dead, replays its
+//!   still-queued mirrors to the takeover targets
+//!   (`cluster.replica_replays`), and re-routes the call.
+//!
+//! One degradation is deliberate: members classify keys against the
+//! *all-alive* ring (a process cannot observe peer deaths), so after a
+//! failure the new replica of a failed-over key would answer
+//! `not-mine` to mirrors. Mirrors are therefore only sent to targets
+//! that were owner or replica under the full ring — redundancy for the
+//! failed-over range is restored by replacing the member and adopting a
+//! generation-bumped [`RingSpec`], not by re-replication in place. See
+//! `docs/OPERATIONS.md` §5.6.
+
+use crate::client::{Client, ClientConfig};
+use crate::error::ClientError;
+use oc_cluster::{HashRing, RingSpec};
+use oc_serve::proto::{ErrCode, Request, Response, StatsSnapshot};
+use oc_serve::shard::key_hash;
+use oc_telemetry::Counter;
+use oc_trace::ids::{CellId, MachineId, TaskId};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Mirrors queued per replica before an automatic flush.
+const MIRROR_FLUSH_AT: usize = 64;
+
+/// Shape of a [`ClusterClient`].
+#[derive(Debug, Clone)]
+pub struct ClusterClientConfig {
+    /// Per-member connection config; the seed is salted by member index
+    /// so backoff jitter never locksteps across the fleet.
+    pub client: ClientConfig,
+    /// Mirror every `OBSERVE` to the key's replica. Costs one extra
+    /// write per sample; buys SIGKILL survival.
+    pub mirror: bool,
+}
+
+impl Default for ClusterClientConfig {
+    /// Mirroring on — the cluster's reason to exist.
+    fn default() -> ClusterClientConfig {
+        ClusterClientConfig {
+            client: ClientConfig::default(),
+            mirror: true,
+        }
+    }
+}
+
+/// What a [`ClusterClient`] did across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// `ERR not-mine` responses that forced a re-route.
+    pub redirects: u64,
+    /// Queued mirrors force-flushed by a member death, delivered to
+    /// their targets (including the takeover target) before any read
+    /// could observe a gap.
+    pub replica_replays: u64,
+    /// Queued mirrors dropped because their *target* died (the owner
+    /// still holds the data; redundancy is degraded, not lost).
+    pub mirror_drops: u64,
+    /// Members marked dead after a terminal transport error.
+    pub failovers: u64,
+}
+
+/// Handles into the process-wide registry mirroring [`ClusterMetrics`];
+/// names documented in `docs/OPERATIONS.md`.
+#[derive(Debug)]
+struct GlobalCounters {
+    redirects: Arc<Counter>,
+    replica_replays: Arc<Counter>,
+}
+
+impl GlobalCounters {
+    fn new() -> GlobalCounters {
+        let m = oc_telemetry::global_metrics();
+        GlobalCounters {
+            redirects: m.counter("cluster.redirects"),
+            replica_replays: m.counter("cluster.replica_replays"),
+        }
+    }
+}
+
+/// One logical client over a multi-process ring.
+#[derive(Debug)]
+pub struct ClusterClient {
+    ring: HashRing,
+    addrs: Vec<SocketAddr>,
+    alive: Vec<bool>,
+    clients: Vec<Option<Client>>,
+    /// Mirrors not yet written, per target member.
+    pending: Vec<Vec<Request>>,
+    cfg: ClusterClientConfig,
+    metrics: ClusterMetrics,
+    global: GlobalCounters,
+}
+
+impl ClusterClient {
+    /// Builds a client over the ring `spec` describes, with one address
+    /// per member. Connections are opened lazily, on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Config`] when `addrs` does not match `spec.nodes`
+    /// or the per-member config is invalid.
+    pub fn connect(
+        spec: RingSpec,
+        addrs: &[SocketAddr],
+        cfg: ClusterClientConfig,
+    ) -> Result<ClusterClient, ClientError> {
+        if addrs.len() != spec.nodes {
+            return Err(ClientError::Config(format!(
+                "{} addresses for a {}-node ring",
+                addrs.len(),
+                spec.nodes
+            )));
+        }
+        cfg.client.validate()?;
+        Ok(ClusterClient {
+            ring: spec.build(),
+            addrs: addrs.to_vec(),
+            alive: vec![true; spec.nodes],
+            clients: (0..spec.nodes).map(|_| None).collect(),
+            pending: vec![Vec::new(); spec.nodes],
+            cfg,
+            metrics: ClusterMetrics::default(),
+            global: GlobalCounters::new(),
+        })
+    }
+
+    /// The liveness mask this client has inferred, by ring index.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// What this client did so far.
+    pub fn metrics(&self) -> ClusterMetrics {
+        self.metrics
+    }
+
+    /// Switches to a new membership (e.g. after a retired member was
+    /// replaced under a bumped generation). Pending mirrors are flushed
+    /// under the *old* ring first; all members start presumed alive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterClient::connect`]-style validation.
+    pub fn adopt(&mut self, spec: RingSpec, addrs: &[SocketAddr]) -> Result<(), ClientError> {
+        self.flush_mirrors()?;
+        if addrs.len() != spec.nodes {
+            return Err(ClientError::Config(format!(
+                "{} addresses for a {}-node ring",
+                addrs.len(),
+                spec.nodes
+            )));
+        }
+        self.ring = spec.build();
+        self.addrs = addrs.to_vec();
+        self.alive = vec![true; spec.nodes];
+        self.clients = (0..spec.nodes).map(|_| None).collect();
+        self.pending = vec![Vec::new(); spec.nodes];
+        Ok(())
+    }
+
+    /// The lazily-opened client for member `index`.
+    fn client(&mut self, index: usize) -> Result<&mut Client, ClientError> {
+        if self.clients[index].is_none() {
+            let cfg = self
+                .cfg
+                .client
+                .clone()
+                .with_seed(self.cfg.client.seed.wrapping_add(index as u64 + 1));
+            self.clients[index] = Some(Client::connect(self.addrs[index], cfg)?);
+        }
+        Ok(self.clients[index].as_mut().expect("just connected"))
+    }
+
+    /// Marks `index` dead after a terminal failure: drops its
+    /// connection, abandons mirrors *targeted at* it, and replays every
+    /// other queued mirror immediately — keys the dead member owned now
+    /// resolve to their replica, and the replica's queue holds exactly
+    /// the samples it has not yet seen.
+    fn mark_dead(&mut self, index: usize) {
+        if !self.alive[index] {
+            return;
+        }
+        self.alive[index] = false;
+        self.clients[index] = None;
+        self.metrics.failovers += 1;
+        let dropped = std::mem::take(&mut self.pending[index]);
+        self.metrics.mirror_drops += dropped.len() as u64;
+        let replayed: u64 = self.pending.iter().map(|q| q.len() as u64).sum();
+        if replayed > 0 {
+            self.metrics.replica_replays += replayed;
+            self.global.replica_replays.add(replayed);
+            // Flush failures cascade into further mark_dead calls;
+            // recursion depth is bounded by membership.
+            let _ = self.flush_mirrors();
+        }
+    }
+
+    /// Writes every queued mirror to its (live) target. Called before
+    /// reads so replicas are never behind acknowledged ingest, and on
+    /// failover to complete the takeover target's stream.
+    ///
+    /// # Errors
+    ///
+    /// Only non-transport errors propagate; a member that fails
+    /// mid-flush is marked dead (degrading redundancy, never losing
+    /// owner-held data).
+    pub fn flush_mirrors(&mut self) -> Result<(), ClientError> {
+        for index in 0..self.pending.len() {
+            if self.pending[index].is_empty() {
+                continue;
+            }
+            if !self.alive[index] {
+                let dropped = std::mem::take(&mut self.pending[index]);
+                self.metrics.mirror_drops += dropped.len() as u64;
+                continue;
+            }
+            let batch = std::mem::take(&mut self.pending[index]);
+            let outcome = self
+                .client(index)
+                .and_then(|c| c.pipeline_with(&batch, |_, _, _| {}));
+            if let Err(e) = outcome {
+                match e {
+                    ClientError::Io(_) | ClientError::Exhausted { .. } => {
+                        self.metrics.mirror_drops += batch.len() as u64;
+                        self.mark_dead(index);
+                    }
+                    other => return Err(other),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Queues a mirror of `req` for member `target`, flushing when the
+    /// queue fills.
+    fn queue_mirror(&mut self, target: usize, req: Request) -> Result<(), ClientError> {
+        self.pending[target].push(req);
+        if self.pending[target].len() >= MIRROR_FLUSH_AT {
+            self.flush_mirrors()?;
+        }
+        Ok(())
+    }
+
+    /// Candidate members for a key, preference-ordered: live owner,
+    /// live replica, then every other live member.
+    fn candidates(&self, hash: u64) -> Vec<usize> {
+        let (owner, replica) = self.ring.routes(hash, &self.alive);
+        let mut order = Vec::with_capacity(self.alive.len());
+        order.extend(owner);
+        order.extend(replica.filter(|r| Some(*r) != owner));
+        for (i, &alive) in self.alive.iter().enumerate() {
+            if alive && !order.contains(&i) {
+                order.push(i);
+            }
+        }
+        order
+    }
+
+    /// Sends `req` to the key's owner, falling over on `not-mine`
+    /// redirects and member deaths.
+    fn send_routed(&mut self, hash: u64, req: &Request) -> Result<Response, ClientError> {
+        loop {
+            let order = self.candidates(hash);
+            if order.is_empty() {
+                return Err(ClientError::Exhausted {
+                    attempts: 0,
+                    last: "no live ring member".to_string(),
+                });
+            }
+            let mut redirected = false;
+            for index in order {
+                let outcome = self.client(index).and_then(|c| c.request(req));
+                match outcome {
+                    Ok(Response::Err {
+                        code: ErrCode::NotMine,
+                        ..
+                    }) => {
+                        self.metrics.redirects += 1;
+                        self.global.redirects.inc();
+                        redirected = true;
+                    }
+                    Ok(resp) => return Ok(resp),
+                    Err(ClientError::Io(_)) | Err(ClientError::Exhausted { .. }) => {
+                        self.mark_dead(index);
+                        // Membership changed; recompute the order.
+                        redirected = false;
+                        break;
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+            if redirected {
+                // Every live member redirected: the ring disagrees with
+                // the servers' ownership maps (stale spec).
+                return Err(ClientError::Exhausted {
+                    attempts: 0,
+                    last: "every live member answered not-mine; re-resolve the ring".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Streams a usage sample to the key's owner and (with mirroring
+    /// on) queues it for the replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing exhaustion and non-`OK` responses.
+    pub fn observe(
+        &mut self,
+        cell: &CellId,
+        machine: MachineId,
+        task: TaskId,
+        usage: f64,
+        limit: f64,
+        tick: u64,
+    ) -> Result<(), ClientError> {
+        let hash = key_hash(&(cell.clone(), machine));
+        let req = Request::Observe {
+            cell: cell.clone(),
+            machine,
+            task,
+            usage,
+            limit,
+            tick,
+        };
+        match self.send_routed(hash, &req)? {
+            Response::Ok => {}
+            other => return Err(ClientError::unexpected("OK", &other)),
+        }
+        if self.cfg.mirror {
+            if let Some(target) = self.mirror_target(hash) {
+                self.queue_mirror(target, req)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Where a mirror of this key may go: the current replica, but only
+    /// if it held a role under the full ring (members enforce all-alive
+    /// ownership; anything else would bounce with `not-mine`).
+    fn mirror_target(&self, hash: u64) -> Option<usize> {
+        let all = vec![true; self.alive.len()];
+        let (o_all, r_all) = self.ring.routes(hash, &all);
+        let (owner, replica) = self.ring.routes(hash, &self.alive);
+        replica
+            .filter(|r| Some(*r) == o_all || Some(*r) == r_all)
+            .filter(|r| Some(*r) != owner)
+    }
+
+    /// Fetches the predicted peak for one machine from its owner.
+    /// Queued mirrors are flushed first so a failover between this call
+    /// and the ingest that preceded it cannot lose acknowledged state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing exhaustion; a non-`PRED` response becomes
+    /// [`ClientError::Server`].
+    pub fn predict(&mut self, cell: &CellId, machine: MachineId) -> Result<f64, ClientError> {
+        self.flush_mirrors()?;
+        let hash = key_hash(&(cell.clone(), machine));
+        let req = Request::Predict {
+            cell: cell.clone(),
+            machine,
+        };
+        match self.send_routed(hash, &req)? {
+            Response::Pred { peak } => Ok(peak),
+            other => Err(ClientError::unexpected("PRED", &other)),
+        }
+    }
+
+    /// Runs an admission check against the machine's owner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing exhaustion; a non-`ADMITTED` response becomes
+    /// [`ClientError::Server`].
+    pub fn admit(
+        &mut self,
+        cell: &CellId,
+        machine: MachineId,
+        limit: f64,
+    ) -> Result<(bool, f64), ClientError> {
+        self.flush_mirrors()?;
+        let hash = key_hash(&(cell.clone(), machine));
+        let req = Request::Admit {
+            cell: cell.clone(),
+            machine,
+            limit,
+        };
+        match self.send_routed(hash, &req)? {
+            Response::Admitted { admit, projected } => Ok((admit, projected)),
+            other => Err(ClientError::unexpected("ADMITTED", &other)),
+        }
+    }
+
+    /// Cluster-wide `STATS`: every live member's snapshot folded through
+    /// [`StatsSnapshot::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-member request failures (a member that dies here
+    /// is marked dead and skipped).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.flush_mirrors()?;
+        let mut merged = StatsSnapshot::default();
+        for index in 0..self.alive.len() {
+            if !self.alive[index] {
+                continue;
+            }
+            match self.client(index).and_then(|c| c.stats()) {
+                Ok(s) => merged.merge(&s),
+                Err(ClientError::Io(_)) | Err(ClientError::Exhausted { .. }) => {
+                    self.mark_dead(index);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_serve::config::ServeConfig;
+    use oc_serve::server::Server;
+    use oc_trace::ids::JobId;
+
+    /// An in-process 3-member ring (cargo's test harness owns `main`,
+    /// so child processes are out; ownership maps make in-process
+    /// servers behave exactly like cluster members).
+    fn ring_servers(nodes: usize) -> (RingSpec, Vec<Server>, Vec<SocketAddr>) {
+        let spec = RingSpec::new(nodes);
+        let ring = spec.build();
+        let servers: Vec<Server> = (0..nodes)
+            .map(|i| {
+                let cfg = ServeConfig::default()
+                    .with_addr("127.0.0.1:0")
+                    .with_shards(1)
+                    .with_ownership(ring.ownership_for(i));
+                Server::start(cfg).expect("server starts")
+            })
+            .collect();
+        let addrs = servers.iter().map(|s| s.addr()).collect();
+        (spec, servers, addrs)
+    }
+
+    fn fleet_of(n: u32) -> (CellId, Vec<MachineId>) {
+        (CellId::new("cc"), (0..n).map(MachineId).collect())
+    }
+
+    #[test]
+    fn routes_and_mirrors_across_members() {
+        let (spec, servers, addrs) = ring_servers(3);
+        let mut cc =
+            ClusterClient::connect(spec, &addrs, ClusterClientConfig::default()).expect("connect");
+        let (cell, machines) = fleet_of(40);
+        let task = TaskId::new(JobId(1), 0);
+        for &m in &machines {
+            for t in 0..5 {
+                cc.observe(&cell, m, task, 0.2 + 0.01 * f64::from(m.0), 0.5, t)
+                    .expect("observe");
+            }
+        }
+        cc.flush_mirrors().expect("flush");
+        let stats = cc.stats().expect("stats");
+        // Owner + replica each ingested every sample.
+        assert_eq!(stats.observes, 40 * 5 * 2);
+        assert_eq!(stats.machines, 80, "each machine lives on two members");
+        assert_eq!(cc.metrics().redirects, 0, "routed sends never redirect");
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn predictions_survive_member_shutdown() {
+        let (spec, servers, addrs) = ring_servers(3);
+        let mut cc =
+            ClusterClient::connect(spec, &addrs, ClusterClientConfig::default()).expect("connect");
+        let (cell, machines) = fleet_of(30);
+        let task = TaskId::new(JobId(2), 0);
+        for t in 0..8 {
+            for &m in &machines {
+                let usage = 0.05 + 0.4 * f64::from((m.0 * 13 + t * 7) % 89) / 89.0;
+                cc.observe(&cell, m, task, usage, 0.5, u64::from(t))
+                    .expect("observe");
+            }
+        }
+        let before: Vec<f64> = machines
+            .iter()
+            .map(|&m| cc.predict(&cell, m).expect("predict"))
+            .collect();
+
+        // Stop member 0 abruptly; the client discovers the death on its
+        // next send and fails over to the replicas.
+        let mut servers = servers;
+        servers.remove(0).shutdown();
+        for (i, &m) in machines.iter().enumerate() {
+            let after = cc.predict(&cell, m).expect("predict after death");
+            assert_eq!(
+                after.to_bits(),
+                before[i].to_bits(),
+                "machine {} diverged after failover",
+                m.0
+            );
+        }
+        assert!(!cc.alive()[0], "member 0 marked dead");
+        assert!(cc.metrics().failovers >= 1);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn remote_member_redirects_to_owner() {
+        let (spec, _servers, addrs) = ring_servers(3);
+        let ring = spec.build();
+        let (cell, _) = fleet_of(1);
+        let task = TaskId::new(JobId(3), 0);
+        // Find a machine whose owner is NOT member 0, then force the
+        // first attempt at member 0 by shrinking the ring view.
+        let all = vec![true; 3];
+        let m = (0..200)
+            .map(MachineId)
+            .find(|m| {
+                let h = key_hash(&(cell.clone(), *m));
+                let (o, r) = ring.routes(h, &all);
+                o != Some(0) && r != Some(0)
+            })
+            .expect("some machine avoids member 0");
+        // A direct client pointed at the remote member sees the redirect
+        // error the ClusterClient would absorb.
+        let mut direct = Client::connect(addrs[0], ClientConfig::default()).expect("connect");
+        let resp = direct
+            .request(&Request::Observe {
+                cell: cell.clone(),
+                machine: m,
+                task,
+                usage: 0.3,
+                limit: 0.5,
+                tick: 0,
+            })
+            .expect("request");
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    code: ErrCode::NotMine,
+                    ..
+                }
+            ),
+            "expected not-mine, got {resp:?}"
+        );
+        // The routed path lands it on the owner without surfacing an
+        // error, and redirect-free.
+        let mut cc =
+            ClusterClient::connect(spec, &addrs, ClusterClientConfig::default()).expect("connect");
+        cc.observe(&cell, m, task, 0.3, 0.5, 1).expect("routed");
+        assert_eq!(cc.metrics().redirects, 0);
+    }
+
+    #[test]
+    fn membership_mismatch_is_a_config_error() {
+        let spec = RingSpec::new(3);
+        let addrs: Vec<SocketAddr> = vec!["127.0.0.1:1".parse().expect("addr")];
+        let err = ClusterClient::connect(spec, &addrs, ClusterClientConfig::default());
+        assert!(matches!(err, Err(ClientError::Config(_))));
+    }
+}

@@ -467,6 +467,11 @@ pub fn run(addr: SocketAddr, cfg: &FaninConfig) -> Result<LoadReport, ClientErro
         setup_p50_us: percentile_slice(&setup_us, 50.0).unwrap_or(0.0),
         setup_p99_us: percentile_slice(&setup_us, 99.0).unwrap_or(0.0),
         setup_max_us: setup_us.iter().cloned().fold(0.0, f64::max),
+        latency: crate::loadgen::report_histogram(
+            &tally.latencies_us,
+            crate::loadgen::LATENCY_HIST_HI_US,
+        ),
+        setup: crate::loadgen::report_histogram(&setup_us, crate::loadgen::SETUP_HIST_HI_US),
         server,
     })
 }

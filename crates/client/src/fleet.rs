@@ -1,0 +1,477 @@
+//! The fleet driver: replays a synthetic fleet against a whole ring of
+//! cluster members and folds the per-member results into one
+//! [`LoadReport`] via [`LoadReport::merge`].
+//!
+//! Routing is client-side, exactly as `ClusterClient` routes: every
+//! machine's samples go to the key's live owner, and (with mirroring
+//! on) to its replica — but the driver precomputes whole per-member
+//! request plans and streams them over one pipelined connection per
+//! member, because the interesting throughput number is the fleet's,
+//! not a router's. [`verify`] then proves end-state identity: each
+//! machine's served prediction must be bit-identical to an offline
+//! recompute over the same sample stream ([predictions are a pure
+//! function of ingested state](oc_core::ingest::IncrementalView)), the
+//! strongest form of the `lost == 0` ledger.
+
+use crate::client::{Client, ClientConfig};
+use crate::error::ClientError;
+use crate::loadgen::{report_histogram, LoadReport, LATENCY_HIST_HI_US, SETUP_HIST_HI_US};
+use oc_cluster::RingSpec;
+use oc_core::ingest::IncrementalView;
+use oc_core::predictor::clamp_prediction;
+use oc_serve::config::ServeConfig;
+use oc_serve::proto::{Request, Response, StatsSnapshot};
+use oc_serve::shard::key_hash;
+use oc_trace::ids::{CellId, JobId, MachineId, TaskId};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Per-task limit every fleet sample carries.
+const FLEET_LIMIT: f64 = 0.5;
+
+/// The single synthetic task each fleet machine runs.
+fn fleet_task() -> TaskId {
+    TaskId::new(JobId(1), 0)
+}
+
+/// Deterministic per-(machine, tick) usage in `(0, 0.5]`. Every machine
+/// traces a distinct series, so cross-machine state mixups cannot
+/// produce a coincidentally-correct prediction.
+pub fn fleet_usage(machine: u64, tick: u64) -> f64 {
+    0.05 + 0.45 * ((machine.wrapping_mul(31).wrapping_add(tick.wrapping_mul(7)) % 97) as f64 / 97.0)
+}
+
+/// Shape of one fleet drive.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Cell name (the routing key's first half).
+    pub cell: String,
+    /// Fleet size.
+    pub machines: u64,
+    /// First tick of this drive (segmented drives continue a series).
+    pub first_tick: u64,
+    /// Ticks driven, `first_tick..first_tick + ticks`.
+    pub ticks: u64,
+    /// Mirror every sample to the key's replica member.
+    pub mirror: bool,
+    /// `BATCH` frame size per connection (1 disables framing).
+    pub batch: usize,
+    /// Pipeline window per connection, in requests (frames when
+    /// batching). The in-flight volume is `window × batch` *lines*; keep
+    /// it at or below the members' shard queue depth or an open-throttle
+    /// drive turns into a `BUSY` retry storm.
+    pub window: usize,
+    /// Fetch each member's `STATS` after the drive. Segmented drives
+    /// skip intermediate fetches — only the final state matters, and a
+    /// mid-run snapshot would double-count when reports merge.
+    pub fetch_stats: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            cell: "fleet".to_string(),
+            machines: 1000,
+            first_tick: 0,
+            ticks: 30,
+            mirror: true,
+            batch: 64,
+            window: 32,
+            fetch_stats: true,
+        }
+    }
+}
+
+/// A zeroed report for folding.
+fn empty_report() -> LoadReport {
+    LoadReport {
+        sent: 0,
+        ok: 0,
+        busy: 0,
+        errors: 0,
+        retries: 0,
+        reconnects: 0,
+        faults: 0,
+        acked_observes: 0,
+        lost: 0,
+        failed_connections: 0,
+        conn_failures: Vec::new(),
+        connections: 0,
+        wall_secs: 0.0,
+        achieved_qps: 0.0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        max_us: 0.0,
+        setup_p50_us: 0.0,
+        setup_p99_us: 0.0,
+        setup_max_us: 0.0,
+        latency: report_histogram(&[], LATENCY_HIST_HI_US),
+        setup: report_histogram(&[], SETUP_HIST_HI_US),
+        server: StatsSnapshot::default(),
+    }
+}
+
+/// Machines in a block of streamed plan requests. Each block expands to
+/// `PLAN_BLOCK_MACHINES × ticks` [`Request`]s, so per-member request
+/// memory stays a few megabytes no matter the fleet size — materializing
+/// a whole million-machine plan up front cost hundreds of megabytes of
+/// fresh pages, which on slow first-touch hosts dwarfed the drive itself.
+const PLAN_BLOCK_MACHINES: usize = 4096;
+
+/// Builds one machine list per member: every machine on its owner,
+/// mirrored to its replica when that replica held a role under the full
+/// ring (members enforce all-alive ownership, so any other target would
+/// bounce the mirror with `not-mine`). The per-tick requests are
+/// expanded block-wise by [`drive_member`], in the same
+/// machine-major/tick-minor order a materialized plan had.
+fn build_plans(
+    spec: RingSpec,
+    alive: &[bool],
+    cfg: &FleetConfig,
+) -> Result<Vec<Vec<u32>>, ClientError> {
+    let ring = spec.build();
+    let cell = CellId::new(cfg.cell.clone());
+    let all = vec![true; spec.nodes];
+    let mut plans: Vec<Vec<u32>> = (0..spec.nodes).map(|_| Vec::new()).collect();
+    for m in 0..cfg.machines {
+        let machine = MachineId(m as u32);
+        let h = key_hash(&(cell.clone(), machine));
+        let (owner, replica) = ring.routes(h, alive);
+        let Some(owner) = owner else {
+            return Err(ClientError::Config("no live ring member".to_string()));
+        };
+        if cfg.mirror {
+            let (o_all, r_all) = ring.routes(h, &all);
+            let mirror_to = replica
+                .filter(|r| Some(*r) == o_all || Some(*r) == r_all)
+                .filter(|r| *r != owner);
+            if let Some(r) = mirror_to {
+                plans[r].push(machine.0);
+            }
+        }
+        plans[owner].push(machine.0);
+    }
+    Ok(plans)
+}
+
+/// Expands one block of a member's machine list into per-tick `OBSERVE`
+/// requests, reusing `reqs`'s storage across blocks.
+fn expand_block(reqs: &mut Vec<Request>, cell: &CellId, machines: &[u32], cfg: &FleetConfig) {
+    let task = fleet_task();
+    reqs.clear();
+    for &m in machines {
+        for t in cfg.first_tick..cfg.first_tick + cfg.ticks {
+            reqs.push(Request::Observe {
+                cell: cell.clone(),
+                machine: MachineId(m),
+                task,
+                usage: fleet_usage(u64::from(m), t),
+                limit: FLEET_LIMIT,
+                tick: t,
+            });
+        }
+    }
+}
+
+/// Streams one member's plan over one pipelined connection and measures
+/// it as a single-connection [`LoadReport`]. The plan arrives as a
+/// machine list and is expanded into requests block by block.
+fn drive_member(addr: SocketAddr, index: usize, plan: Vec<u32>, cfg: &FleetConfig) -> LoadReport {
+    let mut report = empty_report();
+    report.connections = 1;
+    // A fleet drive is open-throttle by design, so a member buried in
+    // first-observe allocation (a million new machine views) can hold
+    // its queue full for whole seconds. Patience is cheaper than a
+    // failed drive: double the default retry budget.
+    let retry = crate::client::RetryPolicy {
+        max_attempts: 12,
+        ..Default::default()
+    };
+    let client_cfg = ClientConfig::default()
+        .with_seed(0xF1EE7 + index as u64)
+        .with_batch(cfg.batch.max(1))
+        .with_pipeline_window(cfg.window.max(1))
+        .with_retry(retry);
+    let setup_start = Instant::now();
+    let mut client = match Client::connect(addr, client_cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            report.failed_connections = 1;
+            report.conn_failures.push(format!("member {index}: {e}"));
+            return report;
+        }
+    };
+    let setup_us = [setup_start.elapsed().as_secs_f64() * 1e6];
+    let start = Instant::now();
+    let total_lines = plan.len() as u64 * cfg.ticks;
+    let mut latencies: Vec<f64> = Vec::with_capacity(total_lines as usize);
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let cell = CellId::new(cfg.cell.clone());
+    let mut reqs: Vec<Request> = Vec::new();
+    for machines in plan.chunks(PLAN_BLOCK_MACHINES.max(1)) {
+        expand_block(&mut reqs, &cell, machines, cfg);
+        let outcome = client.pipeline_with(&reqs, |_, resp, lat_us| {
+            latencies.push(lat_us);
+            match resp {
+                Response::Err { .. } => errors += 1,
+                _ => ok += 1,
+            }
+        });
+        if let Err(e) = outcome {
+            report.failed_connections = 1;
+            report.conn_failures.push(format!("member {index}: {e}"));
+            break;
+        }
+    }
+    report.wall_secs = start.elapsed().as_secs_f64();
+    report.sent = total_lines;
+    report.ok = ok;
+    report.errors = errors;
+    report.acked_observes = ok;
+    let m = client.metrics();
+    report.busy = m.busy_retries;
+    report.retries = m.retries;
+    report.reconnects = m.reconnects;
+    report.latency = report_histogram(&latencies, LATENCY_HIST_HI_US);
+    report.setup = report_histogram(&setup_us, SETUP_HIST_HI_US);
+    report.p50_us = report.latency.quantile(50.0);
+    report.p99_us = report.latency.quantile(99.0);
+    report.max_us = report.latency.max_or_zero();
+    report.setup_p50_us = setup_us[0];
+    report.setup_p99_us = setup_us[0];
+    report.setup_max_us = setup_us[0];
+    let resolved = ok + errors;
+    report.achieved_qps = if report.wall_secs > 0.0 {
+        resolved as f64 / report.wall_secs
+    } else {
+        0.0
+    };
+    if cfg.fetch_stats {
+        match client.stats() {
+            Ok(s) => report.server = s,
+            Err(e) => {
+                report.failed_connections = 1;
+                report
+                    .conn_failures
+                    .push(format!("member {index} stats: {e}"));
+            }
+        }
+    }
+    let accounted = report.server.observes + report.server.stale + report.server.errors;
+    report.lost = if cfg.fetch_stats {
+        report.acked_observes.saturating_sub(accounted)
+    } else {
+        0
+    };
+    report
+}
+
+/// Drives the fleet: one plan and one pipelined connection per live
+/// member, in parallel, folded into one report.
+///
+/// # Errors
+///
+/// Plan construction failures (dead ring, bad membership); per-member
+/// transport failures land in the report's `failed_connections`
+/// instead.
+pub fn run(
+    spec: RingSpec,
+    addrs: &[SocketAddr],
+    alive: &[bool],
+    cfg: &FleetConfig,
+) -> Result<LoadReport, ClientError> {
+    if addrs.len() != spec.nodes || alive.len() != spec.nodes {
+        return Err(ClientError::Config(format!(
+            "{} addresses / {} liveness flags for a {}-node ring",
+            addrs.len(),
+            alive.len(),
+            spec.nodes
+        )));
+    }
+    let plans = build_plans(spec, alive, cfg)?;
+    let mut joins = Vec::new();
+    for (index, plan) in plans.into_iter().enumerate() {
+        if plan.is_empty() {
+            continue;
+        }
+        let addr = addrs[index];
+        let cfg = cfg.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name("fleet-conn".to_string())
+                .spawn(move || drive_member(addr, index, plan, &cfg))?,
+        );
+    }
+    let mut merged = empty_report();
+    for j in joins {
+        match j.join() {
+            Ok(r) => merged.merge(&r),
+            Err(_) => {
+                merged.failed_connections += 1;
+                merged
+                    .conn_failures
+                    .push("fleet thread panicked".to_string());
+            }
+        }
+    }
+    Ok(merged)
+}
+
+/// Proves served-vs-offline final-state identity: for every machine,
+/// the prediction served by its current live owner must be bit-identical
+/// to an offline recompute over the machine's full sample stream
+/// (`0..ticks`). Returns the mismatch count — the cluster's true `lost`
+/// figure, stronger than counter arithmetic because it checks *state*,
+/// not bookkeeping.
+///
+/// # Errors
+///
+/// Ring/membership validation and predictor construction; a machine
+/// whose predict fails (unreachable owner, `unknown-machine`) counts as
+/// a mismatch rather than erroring the sweep.
+pub fn verify(
+    spec: RingSpec,
+    addrs: &[SocketAddr],
+    alive: &[bool],
+    cell: &str,
+    machines: u64,
+    ticks: u64,
+) -> Result<u64, ClientError> {
+    if addrs.len() != spec.nodes || alive.len() != spec.nodes {
+        return Err(ClientError::Config(format!(
+            "{} addresses / {} liveness flags for a {}-node ring",
+            addrs.len(),
+            alive.len(),
+            spec.nodes
+        )));
+    }
+    let ring = spec.build();
+    let cell = CellId::new(cell);
+    let task = fleet_task();
+    // The members run `ServeConfig::default()` semantics; rebuild the
+    // same predictor and view shape for the offline recompute.
+    let serve_cfg = ServeConfig::default();
+    let predictor = serve_cfg
+        .predictor
+        .build()
+        .map_err(|e| ClientError::Config(format!("predictor: {e}")))?;
+    let mut clients: Vec<Option<Client>> = (0..spec.nodes).map(|_| None).collect();
+    let mut mismatches = 0u64;
+    for m in 0..machines {
+        let machine = MachineId(m as u32);
+        let h = key_hash(&(cell.clone(), machine));
+        let Some(owner) = ring.owner(h, alive) else {
+            mismatches += 1;
+            continue;
+        };
+        if clients[owner].is_none() {
+            clients[owner] = Client::connect(addrs[owner], ClientConfig::default()).ok();
+        }
+        let served = clients[owner]
+            .as_mut()
+            .ok_or(())
+            .and_then(|c| c.predict(&cell, machine).map_err(|_| ()));
+        let mut view = IncrementalView::new(serve_cfg.machine_capacity, &serve_cfg.sim)
+            .with_max_gap(serve_cfg.max_tick_gap);
+        for t in 0..ticks {
+            let _ = view.ingest(oc_trace::Tick(t), task, FLEET_LIMIT, fleet_usage(m, t));
+        }
+        view.flush();
+        let expected = clamp_prediction(predictor.predict(view.view()), view.view());
+        match served {
+            Ok(peak) if peak.to_bits() == expected.to_bits() => {}
+            _ => mismatches += 1,
+        }
+    }
+    Ok(mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_serve::server::Server;
+
+    fn ring_servers(nodes: usize) -> (RingSpec, Vec<Server>, Vec<SocketAddr>) {
+        let spec = RingSpec::new(nodes);
+        let ring = spec.build();
+        let servers: Vec<Server> = (0..nodes)
+            .map(|i| {
+                let cfg = ServeConfig::default()
+                    .with_addr("127.0.0.1:0")
+                    .with_shards(1)
+                    .with_ownership(ring.ownership_for(i));
+                Server::start(cfg).expect("server starts")
+            })
+            .collect();
+        let addrs = servers.iter().map(|s| s.addr()).collect();
+        (spec, servers, addrs)
+    }
+
+    #[test]
+    fn fleet_drive_verifies_bit_identical() {
+        let (spec, servers, addrs) = ring_servers(3);
+        let alive = vec![true; 3];
+        let cfg = FleetConfig {
+            machines: 60,
+            ticks: 10,
+            ..FleetConfig::default()
+        };
+        let report = run(spec, &addrs, &alive, &cfg).expect("fleet run");
+        assert_eq!(report.failed_connections, 0, "{:?}", report.conn_failures);
+        assert_eq!(report.ok, report.sent);
+        assert_eq!(report.lost, 0);
+        // Owner + replica each ingested every machine's stream.
+        assert_eq!(report.server.observes, 60 * 10 * 2);
+        let mismatches = verify(spec, &addrs, &alive, "fleet", 60, 10).expect("verify");
+        assert_eq!(mismatches, 0);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    /// Segmented drive with a member stopped between the halves: the
+    /// merged report and the identity sweep must both come out clean.
+    #[test]
+    fn segmented_drive_survives_member_stop() {
+        let (spec, mut servers, addrs) = ring_servers(3);
+        let alive = vec![true; 3];
+        let first = FleetConfig {
+            machines: 45,
+            first_tick: 0,
+            ticks: 6,
+            fetch_stats: false,
+            ..FleetConfig::default()
+        };
+        let r1 = run(spec, &addrs, &alive, &first).expect("first half");
+        assert_eq!(r1.failed_connections, 0, "{:?}", r1.conn_failures);
+
+        // Graceful stop of member 0 (SIGKILL needs child processes; the
+        // supervisor smoke covers that path).
+        servers.remove(0).shutdown();
+        let shrunk = vec![false, true, true];
+        let second = FleetConfig {
+            machines: 45,
+            first_tick: 6,
+            ticks: 6,
+            fetch_stats: true,
+            ..FleetConfig::default()
+        };
+        let r2 = run(spec, &addrs, &shrunk, &second).expect("second half");
+        assert_eq!(r2.failed_connections, 0, "{:?}", r2.conn_failures);
+        let sent_first = r1.sent;
+        let mut merged = r1;
+        merged.merge(&r2);
+        assert_eq!(merged.sent, sent_first + r2.sent);
+        // Keys that had a role on the dead member lose their mirror
+        // (replication is degraded until the ring is regenerated), so
+        // the second half sends strictly less.
+        assert!(r2.sent < sent_first, "{} !< {sent_first}", r2.sent);
+
+        let mismatches = verify(spec, &addrs, &shrunk, "fleet", 45, 12).expect("verify");
+        assert_eq!(mismatches, 0, "post-failover predictions diverged");
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

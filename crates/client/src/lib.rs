@@ -21,6 +21,15 @@
 //!   node-agent fleet. Frames are pre-encoded once and tick fields
 //!   patched in place; responses are byte-compared. Reports
 //!   per-connection setup time separately from steady-state latency.
+//! * [`cluster`] — [`ClusterClient`]: one client over an N-process
+//!   `oc-cluster` ring. Routes every call to the key's owner via the
+//!   shared consistent-hash ring, mirrors ingest to the replica (so a
+//!   SIGKILLed member loses nothing), absorbs `ERR not-mine` redirects,
+//!   and fails over when a member dies.
+//! * [`fleet`] — the fleet driver: replays a synthetic fleet against
+//!   every ring member in parallel, folds the per-member reports with
+//!   [`LoadReport::merge`], and proves served-vs-offline prediction
+//!   identity after failures.
 //!
 //! # Examples
 //!
@@ -49,11 +58,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod fanin;
+pub mod fleet;
 pub mod loadgen;
 
 pub use client::{Client, ClientConfig, ClientMetrics, RetryPolicy};
+pub use cluster::{ClusterClient, ClusterClientConfig, ClusterMetrics};
 pub use error::ClientError;
 pub use fanin::FaninConfig;
+pub use fleet::FleetConfig;
 pub use loadgen::{LoadReport, LoadgenConfig};

@@ -34,7 +34,8 @@ use crate::client::{Client, ClientConfig};
 use crate::error::ClientError;
 use oc_serve::fault::FaultPlan;
 use oc_serve::proto::{Request, Response, StatsSnapshot};
-use oc_stats::percentile_slice;
+use oc_stats::{percentile_slice, Histogram};
+use oc_telemetry::metrics::HistogramSnapshot;
 use oc_telemetry::trace;
 use oc_trace::cell::{CellConfig, CellPreset};
 use oc_trace::ids::CellId;
@@ -82,6 +83,40 @@ impl Default for LoadgenConfig {
             batch: 1,
             chaos: None,
         }
+    }
+}
+
+/// Bin range of [`report_histogram`] for request latencies: 1 second in
+/// microseconds, ~61 µs bins. Latencies beyond the range still count
+/// (overflow bin) but stop contributing to binned quantiles.
+pub const LATENCY_HIST_HI_US: f64 = 1_000_000.0;
+/// Bin range of [`report_histogram`] for connection setup times: 5
+/// seconds in microseconds (connection storms stall on accept queues).
+pub const SETUP_HIST_HI_US: f64 = 5_000_000.0;
+/// Bin count shared by both report histograms.
+pub const REPORT_HIST_BINS: usize = 16_384;
+
+/// Bins `samples` (microseconds) into a mergeable snapshot. Every
+/// report carries two of these so N per-process reports can be folded
+/// into one fleet report with percentiles recomputed over the *merged*
+/// distribution — averaging percentiles across processes is wrong
+/// (a p99 of averages is not the p99 of the union).
+pub fn report_histogram(samples: &[f64], hi: f64) -> HistogramSnapshot {
+    let mut hist = Histogram::new(0.0, hi, REPORT_HIST_BINS).expect("static shape is valid");
+    let mut sum = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    for &x in samples {
+        hist.push(x);
+        sum += x;
+        if x > max {
+            max = x;
+        }
+    }
+    HistogramSnapshot {
+        count: hist.total(),
+        sum,
+        max,
+        hist,
     }
 }
 
@@ -134,6 +169,12 @@ pub struct LoadReport {
     pub setup_p99_us: f64,
     /// Per-connection connect/setup time, maximum, microseconds.
     pub setup_max_us: f64,
+    /// Binned request-latency distribution backing [`LoadReport::merge`]
+    /// (the scalar percentiles above are exact for a single run; after a
+    /// merge they are recomputed from these bins).
+    pub latency: HistogramSnapshot,
+    /// Binned connection-setup distribution, same role as `latency`.
+    pub setup: HistogramSnapshot,
     /// Server-side snapshot taken right after the replay.
     pub server: StatsSnapshot,
 }
@@ -163,6 +204,54 @@ impl LoadReport {
         } else {
             self.busy as f64 / self.sent as f64
         }
+    }
+
+    /// Folds `other` (another process's or another run segment's report)
+    /// into `self`, the way a fleet drive folds its per-member reports:
+    ///
+    /// * counters sum; `conn_failures` concatenate;
+    /// * `wall_secs` takes the max (segments overlap in wall time when
+    ///   they ran in parallel, so summing would deflate throughput);
+    /// * latency/setup percentiles are **recomputed from the merged
+    ///   binned distributions**, never averaged — the p99 of a union is
+    ///   not the mean of per-process p99s;
+    /// * `achieved_qps` is recomputed as merged resolved / merged wall;
+    /// * the server snapshot merges via [`StatsSnapshot::merge`] and
+    ///   `lost` is re-derived from the merged ledger.
+    ///
+    /// `reject_rate()`/`retry_ratio()` need no handling: they are
+    /// computed from the merged counters on read.
+    pub fn merge(&mut self, other: &LoadReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.errors += other.errors;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.faults += other.faults;
+        self.acked_observes += other.acked_observes;
+        self.failed_connections += other.failed_connections;
+        self.conn_failures
+            .extend(other.conn_failures.iter().cloned());
+        self.connections += other.connections;
+        self.wall_secs = self.wall_secs.max(other.wall_secs);
+        self.latency.merge(&other.latency);
+        self.setup.merge(&other.setup);
+        self.p50_us = self.latency.quantile(50.0);
+        self.p99_us = self.latency.quantile(99.0);
+        self.max_us = self.latency.max_or_zero();
+        self.setup_p50_us = self.setup.quantile(50.0);
+        self.setup_p99_us = self.setup.quantile(99.0);
+        self.setup_max_us = self.setup.max_or_zero();
+        let resolved = self.ok + self.errors;
+        self.achieved_qps = if self.wall_secs > 0.0 {
+            resolved as f64 / self.wall_secs
+        } else {
+            0.0
+        };
+        self.server.merge(&other.server);
+        let accounted = self.server.observes + self.server.stale + self.server.errors;
+        self.lost = self.acked_observes.saturating_sub(accounted);
     }
 
     /// Serializes the report as a JSON object (hand-rolled; the workspace
@@ -451,6 +540,8 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadReport, ClientEr
         setup_p50_us: percentile_slice(&setup_us, 50.0).unwrap_or(0.0),
         setup_p99_us: percentile_slice(&setup_us, 99.0).unwrap_or(0.0),
         setup_max_us: setup_us.iter().cloned().fold(0.0, f64::max),
+        latency: report_histogram(&totals.latencies_us, LATENCY_HIST_HI_US),
+        setup: report_histogram(&setup_us, SETUP_HIST_HI_US),
         server,
     })
 }
@@ -552,6 +643,8 @@ mod tests {
             setup_p50_us: 0.0,
             setup_p99_us: 0.0,
             setup_max_us: 0.0,
+            latency: report_histogram(&[], LATENCY_HIST_HI_US),
+            setup: report_histogram(&[], SETUP_HIST_HI_US),
             server: StatsSnapshot::default(),
         };
         assert!((report.reject_rate() - 0.75).abs() < 1e-12);
@@ -564,6 +657,66 @@ mod tests {
         let json = report.to_json("x");
         assert!(json.contains("\"reject_rate\":0.000000"));
         assert!(json.contains("\"retry_ratio\":0.000000"));
+    }
+
+    /// Merging two per-process reports sums the counters, recomputes
+    /// rates from the merged counts (not an average of rates), and takes
+    /// percentiles from the merged latency distribution.
+    #[test]
+    fn merge_folds_reports_not_averages() {
+        let mk = |ok: u64, busy: u64, lat: &[f64], wall: f64, observes: u64| LoadReport {
+            sent: ok,
+            ok,
+            busy,
+            errors: 0,
+            retries: busy,
+            reconnects: 1,
+            faults: 0,
+            acked_observes: ok,
+            lost: 0,
+            failed_connections: 0,
+            conn_failures: Vec::new(),
+            connections: 1,
+            wall_secs: wall,
+            achieved_qps: ok as f64 / wall,
+            p50_us: percentile_slice(lat, 50.0).unwrap_or(0.0),
+            p99_us: percentile_slice(lat, 99.0).unwrap_or(0.0),
+            max_us: lat.iter().cloned().fold(0.0, f64::max),
+            setup_p50_us: 0.0,
+            setup_p99_us: 0.0,
+            setup_max_us: 0.0,
+            latency: report_histogram(lat, LATENCY_HIST_HI_US),
+            setup: report_histogram(&[], SETUP_HIST_HI_US),
+            server: StatsSnapshot {
+                observes,
+                machines: 10,
+                ..StatsSnapshot::default()
+            },
+        };
+        // A fast member and a slow one, with very different reject rates.
+        let fast: Vec<f64> = (0..100).map(|i| 100.0 + i as f64).collect();
+        let slow: Vec<f64> = (0..100).map(|i| 10_000.0 + i as f64).collect();
+        let mut merged = mk(100, 0, &fast, 1.0, 100);
+        let b = mk(100, 300, &slow, 2.0, 100);
+        merged.merge(&b);
+
+        assert_eq!(merged.sent, 200);
+        assert_eq!(merged.ok, 200);
+        assert_eq!(merged.busy, 300);
+        assert_eq!(merged.connections, 2);
+        assert_eq!(merged.server.observes, 200);
+        // Rates come from merged counts: 300/(200+300), not (0 + 0.75)/2.
+        assert!((merged.reject_rate() - 0.6).abs() < 1e-12);
+        // wall = max (parallel members), qps = merged resolved / wall.
+        assert!((merged.wall_secs - 2.0).abs() < 1e-12);
+        assert!((merged.achieved_qps - 100.0).abs() < 1e-9);
+        // The merged p50 sits between the two clusters of latencies —
+        // neither member's own p50 (≈150 and ≈10050) nor their average.
+        assert!(merged.p50_us > 200.0 && merged.p50_us < 10_000.0);
+        // p99 lands in the slow member's cluster; max is exact.
+        assert!(merged.p99_us > 10_000.0);
+        assert!((merged.max_us - 10_099.0).abs() < 1e-9);
+        assert_eq!(merged.latency.count(), 200);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The aggregation endpoint: one TCP address that answers `STATS` and
+//! `METRICS` for the whole cluster by fanning out to every live member
+//! and merging ([`StatsSnapshot::merge`] /
+//! [`oc_telemetry::metrics::merge_expositions`]).
+//!
+//! `SHUTDOWN` forwards to every member (each drains through its normal
+//! snapshot path) and then stops the aggregator itself — so one verb
+//! retires the whole service, mirroring the single-process contract.
+//! Data-plane verbs are rejected: machines belong to members, and a
+//! proxy hop would defeat the ring.
+
+use crate::control;
+use oc_serve::proto::{ErrCode, Request, Response, StatsSnapshot};
+use oc_telemetry::metrics::merge_expositions;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop re-checks its stop flag. Control-plane
+/// only; data never flows through the aggregator.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A running aggregation endpoint.
+#[derive(Debug)]
+pub struct Aggregator {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Shared member list: `(addr, alive)` by ring index. The supervisor (or
+/// a test) flips `alive` when members die or retire.
+pub type Members = Arc<Mutex<Vec<(SocketAddr, bool)>>>;
+
+/// Builds the shared member list the aggregator fans out to.
+pub fn members(addrs: &[SocketAddr]) -> Members {
+    Arc::new(Mutex::new(addrs.iter().map(|a| (*a, true)).collect()))
+}
+
+impl Aggregator {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts answering.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures.
+    pub fn start(addr: &str, members: Members) -> std::io::Result<Aggregator> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("oc-cluster-agg".to_string())
+            .spawn(move || accept_loop(listener, loop_stop, members))?;
+        Ok(Aggregator {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a client's `SHUTDOWN` has been served.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Aggregator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, members: Members) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One connection at a time: aggregation traffic is rare
+                // and each exchange is bounded by control deadlines.
+                let _ = serve_conn(stream, &stop, &members);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_conn(stream: TcpStream, stop: &AtomicBool, members: &Members) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(control::CONTROL_TIMEOUT))?;
+    stream.set_write_timeout(Some(control::CONTROL_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let resp = answer(line.trim_end(), stop, members);
+        writer.write_all(resp.encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn answer(line: &str, stop: &AtomicBool, members: &Members) -> Response {
+    let live: Vec<SocketAddr> = members
+        .lock()
+        .expect("members lock")
+        .iter()
+        .filter(|(_, alive)| *alive)
+        .map(|(a, _)| *a)
+        .collect();
+    let unreachable = |e: std::io::Error| Response::Err {
+        code: ErrCode::Internal,
+        detail: format!("member unreachable: {e}"),
+    };
+    match Request::parse(line) {
+        Ok(Request::Stats) => {
+            let mut merged = StatsSnapshot::default();
+            for addr in &live {
+                match control::stats(*addr) {
+                    Ok(s) => merged.merge(&s),
+                    Err(e) => return unreachable(e),
+                }
+            }
+            Response::Stats(merged)
+        }
+        Ok(Request::Metrics) => {
+            let mut lines = Vec::new();
+            for addr in &live {
+                match control::metrics_exposition(*addr) {
+                    Ok(l) => lines.push(l),
+                    Err(e) => return unreachable(e),
+                }
+            }
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            match merge_expositions(&refs) {
+                Some(exposition) => Response::Metrics { exposition },
+                None => Response::Err {
+                    code: ErrCode::Internal,
+                    detail: "member exposition failed to parse".to_string(),
+                },
+            }
+        }
+        Ok(Request::Shutdown) => {
+            for addr in &live {
+                let _ = control::shutdown(*addr);
+            }
+            stop.store(true, Ordering::SeqCst);
+            Response::Ok
+        }
+        Ok(_) => Response::Err {
+            code: ErrCode::NotMine,
+            detail: "aggregator serves STATS/METRICS/SHUTDOWN; send data to the owning member"
+                .to_string(),
+        },
+        Err(e) => Response::Err {
+            code: ErrCode::Parse,
+            detail: e.to_string(),
+        },
+    }
+}

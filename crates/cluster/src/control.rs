@@ -1,0 +1,83 @@
+//! Blocking control-plane client: one request/response exchange with a
+//! member process over a fresh connection.
+//!
+//! The data plane belongs to `oc-client` (pipelining, batching, retry);
+//! this module only carries the rare supervisor traffic — `STATS`,
+//! `METRICS`, `SHUTDOWN`, and the occasional probe — where a connection
+//! per request is simpler than a pool and the cost is irrelevant.
+
+use oc_serve::proto::{Request, Response, StatsSnapshot};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Deadline for one control exchange (connect, write, read).
+pub const CONTROL_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn proto_err(what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Performs one request/response exchange with the process at `addr`.
+///
+/// # Errors
+///
+/// I/O errors for connect/read/write failures (including deadline
+/// expiry) and `InvalidData` for an unparseable response line.
+pub fn request(addr: SocketAddr, req: &Request) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, CONTROL_TIMEOUT)?;
+    stream.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONTROL_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(req.encode().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed before answering",
+        ));
+    }
+    Response::parse(line.trim_end()).map_err(proto_err)
+}
+
+/// Fetches a member's `STATS` snapshot.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures; `InvalidData` if the peer answered
+/// with anything but `STATS`.
+pub fn stats(addr: SocketAddr) -> io::Result<StatsSnapshot> {
+    match request(addr, &Request::Stats)? {
+        Response::Stats(s) => Ok(s),
+        other => Err(proto_err(format_args!("expected STATS, got {other:?}"))),
+    }
+}
+
+/// Fetches a member's `METRICS` exposition line.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures; `InvalidData` for a non-`METRICS`
+/// answer.
+pub fn metrics_exposition(addr: SocketAddr) -> io::Result<String> {
+    match request(addr, &Request::Metrics)? {
+        Response::Metrics { exposition } => Ok(exposition),
+        other => Err(proto_err(format_args!("expected METRICS, got {other:?}"))),
+    }
+}
+
+/// Asks a member to drain and exit (the drain-then-snapshot shutdown
+/// path — the handoff primitive).
+///
+/// # Errors
+///
+/// Propagates [`request`] failures; `InvalidData` for a non-`OK` answer.
+pub fn shutdown(addr: SocketAddr) -> io::Result<()> {
+    match request(addr, &Request::Shutdown)? {
+        Response::Ok => Ok(()),
+        other => Err(proto_err(format_args!("expected OK, got {other:?}"))),
+    }
+}

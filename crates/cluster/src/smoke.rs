@@ -1,0 +1,230 @@
+//! The 3-process smoke scenario run by `oc-clusterd --smoke` (and CI):
+//! ingest a mirrored fleet, verify redirects, SIGKILL one member, and
+//! prove the ring successor serves bit-identical predictions.
+
+use crate::aggregator::{self, Aggregator};
+use crate::control;
+use crate::ring::HashRing;
+use crate::supervisor::{Cluster, ClusterConfig};
+use oc_serve::proto::{epoch_ring_generation, ErrCode, Request, Response};
+use oc_serve::shard::key_hash;
+use oc_trace::ids::{CellId, MachineId};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Machines in the smoke fleet.
+const MACHINES: u64 = 120;
+/// Samples per machine.
+const TICKS: u64 = 30;
+/// Request lines pipelined per write burst.
+const BURST: usize = 256;
+
+/// A deterministic per-(machine, tick) usage in `(0, 0.5]` so every
+/// machine's prediction differs — state mixups cannot cancel out.
+fn usage(machine: u64, tick: u64) -> f64 {
+    0.05 + 0.45 * (((machine * 31 + tick * 7) % 97) as f64 / 97.0)
+}
+
+fn observe_line(cell: &str, machine: u64, tick: u64) -> String {
+    format!(
+        "OBSERVE {cell} {machine} 1:0 {} 0.5 {tick}",
+        usage(machine, tick)
+    )
+}
+
+/// Pipelines `lines` to `addr`, retrying `BUSY` per line. Returns the
+/// number of `OK`s.
+fn drive(addr: SocketAddr, lines: &[String]) -> Result<u64, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut oks = 0u64;
+    let mut pending: Vec<String> = lines.to_vec();
+    while !pending.is_empty() {
+        let mut retry = Vec::new();
+        for burst in pending.chunks(BURST) {
+            let mut frame = String::new();
+            for line in burst {
+                frame.push_str(line);
+                frame.push('\n');
+            }
+            writer
+                .write_all(frame.as_bytes())
+                .map_err(|e| format!("write {addr}: {e}"))?;
+            let mut resp_line = String::new();
+            for line in burst {
+                resp_line.clear();
+                reader
+                    .read_line(&mut resp_line)
+                    .map_err(|e| format!("read {addr}: {e}"))?;
+                match Response::parse(resp_line.trim_end()) {
+                    Ok(Response::Ok) => oks += 1,
+                    Ok(Response::Busy) => retry.push(line.clone()),
+                    Ok(other) => return Err(format!("{addr}: {line} answered {other:?}")),
+                    Err(e) => return Err(format!("{addr}: unparseable response: {e}")),
+                }
+            }
+        }
+        pending = retry;
+    }
+    Ok(oks)
+}
+
+fn predict(addr: SocketAddr, cell: &CellId, machine: u64) -> Result<f64, String> {
+    let req = Request::Predict {
+        cell: cell.clone(),
+        machine: MachineId(machine as u32),
+    };
+    match control::request(addr, &req).map_err(|e| format!("predict via {addr}: {e}"))? {
+        Response::Pred { peak } => Ok(peak),
+        other => Err(format!("predict via {addr}: got {other:?}")),
+    }
+}
+
+/// Runs the scenario. `Ok` means every invariant held.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn run() -> Result<(), String> {
+    let cfg = ClusterConfig {
+        nodes: 3,
+        shards: 2,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::start(&cfg).map_err(|e| format!("cluster start: {e}"))?;
+    let ring: HashRing = cluster.spec().build();
+    let addrs = cluster.addrs();
+    let all_alive = vec![true; 3];
+    let cell = CellId::new("smoke");
+
+    // Route the fleet: every machine's samples go to its owner and are
+    // mirrored to its replica.
+    let mut plans: Vec<Vec<String>> = vec![Vec::new(); 3];
+    let mut owner_of = Vec::with_capacity(MACHINES as usize);
+    for m in 0..MACHINES {
+        let h = key_hash(&(cell.clone(), MachineId(m as u32)));
+        let (owner, replica) = ring.routes(h, &all_alive);
+        let (owner, replica) = (owner.unwrap(), replica.unwrap());
+        owner_of.push(owner);
+        for t in 0..TICKS {
+            let line = observe_line("smoke", m, t);
+            plans[owner].push(line.clone());
+            plans[replica].push(line);
+        }
+    }
+    for (node, plan) in plans.iter().enumerate() {
+        let oks = drive(addrs[node], plan)?;
+        if oks != plan.len() as u64 {
+            return Err(format!(
+                "node {node}: {oks}/{} samples acknowledged",
+                plan.len()
+            ));
+        }
+    }
+    println!("smoke: ingested {MACHINES} machines x {TICKS} ticks, mirrored");
+
+    // A member that owns neither the key nor its replica slot must
+    // redirect rather than silently ingest.
+    let h0 = key_hash(&(cell.clone(), MachineId(0)));
+    let (o0, r0) = ring.routes(h0, &all_alive);
+    let remote = (0..3)
+        .find(|n| Some(*n) != o0 && Some(*n) != r0)
+        .expect("3 nodes, 2 roles");
+    match control::request(
+        addrs[remote],
+        &Request::Predict {
+            cell: cell.clone(),
+            machine: MachineId(0),
+        },
+    ) {
+        Ok(Response::Err {
+            code: ErrCode::NotMine,
+            ..
+        }) => {}
+        other => return Err(format!("expected ERR not-mine from remote, got {other:?}")),
+    }
+    println!("smoke: remote member redirects with ERR not-mine");
+
+    // Epochs: nonzero, ring generation 0.
+    for &addr in &addrs {
+        let s = control::stats(addr).map_err(|e| format!("stats {addr}: {e}"))?;
+        if s.epoch == 0 {
+            return Err(format!("{addr}: epoch missing from STATS"));
+        }
+        if epoch_ring_generation(s.epoch) != 0 {
+            return Err(format!("{addr}: unexpected ring generation"));
+        }
+    }
+
+    // Owner-served predictions before the failure.
+    let mut expected = Vec::with_capacity(MACHINES as usize);
+    for m in 0..MACHINES {
+        expected.push(predict(addrs[owner_of[m as usize]], &cell, m)?);
+    }
+
+    // SIGKILL member 0 mid-service; its replicas hold every sample.
+    cluster.kill(0).map_err(|e| format!("kill: {e}"))?;
+    let alive = cluster.alive();
+    println!("smoke: SIGKILLed member 0");
+
+    let mut failed_over = 0u64;
+    for m in 0..MACHINES {
+        let h = key_hash(&(cell.clone(), MachineId(m as u32)));
+        let new_owner = ring
+            .owner(h, &alive)
+            .ok_or_else(|| "no live owner".to_string())?;
+        if owner_of[m as usize] == 0 {
+            failed_over += 1;
+        }
+        let got = predict(addrs[new_owner], &cell, m)?;
+        if got.to_bits() != expected[m as usize].to_bits() {
+            return Err(format!(
+                "machine {m}: prediction diverged after failover ({got} != {})",
+                expected[m as usize]
+            ));
+        }
+    }
+    if failed_over == 0 {
+        return Err("member 0 owned no machines; smoke proves nothing".to_string());
+    }
+    println!("smoke: {failed_over} machines failed over with bit-identical predictions");
+
+    // Cluster-wide aggregation over the survivors, directly and through
+    // the aggregator endpoint.
+    let merged = cluster.merged_stats().map_err(|e| format!("stats: {e}"))?;
+    if merged.machines < MACHINES {
+        return Err(format!(
+            "merged machines {} < fleet size {MACHINES}",
+            merged.machines
+        ));
+    }
+    let members = aggregator::members(&addrs);
+    members.lock().expect("members lock")[0].1 = false;
+    let agg = Aggregator::start("127.0.0.1:0", members).map_err(|e| format!("agg: {e}"))?;
+    let via_agg = control::stats(agg.addr()).map_err(|e| format!("agg stats: {e}"))?;
+    if via_agg.observes != merged.observes || via_agg.machines != merged.machines {
+        return Err(format!(
+            "aggregator disagrees with supervisor: {via_agg:?} vs {merged:?}"
+        ));
+    }
+    let metrics = control::metrics_exposition(agg.addr()).map_err(|e| format!("agg m: {e}"))?;
+    let map = oc_telemetry::metrics::parse_exposition(&metrics)
+        .ok_or_else(|| "merged exposition unparseable".to_string())?;
+    if map.get("serve.observes").copied().unwrap_or(0.0) as u64 != merged.observes {
+        return Err("merged METRICS disagrees with merged STATS".to_string());
+    }
+    agg.stop();
+    println!(
+        "smoke: aggregated {} observes / {} machines across survivors",
+        merged.observes, merged.machines
+    );
+
+    cluster.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    println!("smoke: PASS");
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! The process supervisor: spawns N member processes, tracks liveness,
+//! kills or retires members, and aggregates their `STATS`/`METRICS`.
+//!
+//! Members are children of the current executable re-invoked with
+//! `--cluster-node` (see [`crate::run_child_if_node`]). Retirement goes
+//! through the member's `SHUTDOWN` verb, i.e. the existing
+//! drain-then-snapshot path: every queued sample is applied before the
+//! process exits, so an acknowledged sample is never dropped by a
+//! handoff — the ring successor (which mirrored the ingest stream)
+//! serves the migrated range under a bumped ring generation.
+
+use crate::control;
+use crate::ring::{RingSpec, DEFAULT_SEED, DEFAULT_VNODES};
+use oc_serve::proto::StatsSnapshot;
+use oc_telemetry::metrics::merge_expositions;
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+/// How a [`Cluster`] is shaped.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Member process count.
+    pub nodes: usize,
+    /// Virtual nodes per member.
+    pub vnodes: usize,
+    /// Ring placement seed.
+    pub seed: u64,
+    /// Shard workers per member.
+    pub shards: usize,
+    /// Per-shard queue bound per member.
+    pub queue_depth: usize,
+    /// Connection cap per member.
+    pub max_connections: usize,
+    /// Per-task history window override (`sim.max_num_samples`) for
+    /// fleet-scale memory bounding; `None` keeps the paper default.
+    pub history_samples: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    /// Three members, two shards each, paper-default windows.
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 3,
+            vnodes: DEFAULT_VNODES,
+            seed: DEFAULT_SEED,
+            shards: 2,
+            queue_depth: 4096,
+            max_connections: 1024,
+            history_samples: None,
+        }
+    }
+}
+
+/// One member process.
+#[derive(Debug)]
+struct Member {
+    child: Child,
+    addr: SocketAddr,
+    alive: bool,
+    /// Kept open so a late child write cannot die on `SIGPIPE`.
+    _stdout: Option<BufReader<ChildStdout>>,
+}
+
+/// A running multi-process cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    spec: RingSpec,
+    members: Vec<Member>,
+}
+
+impl Cluster {
+    /// Spawns `cfg.nodes` member processes (children of the current
+    /// executable) and waits for each to announce its address.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from spawning or from a child that exits or misprints
+    /// before announcing `ADDR`.
+    pub fn start(cfg: &ClusterConfig) -> io::Result<Cluster> {
+        let spec = RingSpec {
+            nodes: cfg.nodes,
+            vnodes: cfg.vnodes,
+            seed: cfg.seed,
+            generation: 0,
+        };
+        let exe = std::env::current_exe()?;
+        let mut members = Vec::with_capacity(cfg.nodes);
+        for index in 0..cfg.nodes {
+            let node = crate::node::NodeArgs {
+                spec,
+                index,
+                shards: cfg.shards,
+                queue_depth: cfg.queue_depth,
+                max_connections: cfg.max_connections,
+                history_samples: cfg.history_samples,
+            };
+            let mut child = Command::new(&exe)
+                .arg("--cluster-node")
+                .args(node.to_args())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            let stdout = child.stdout.take().expect("stdout was piped");
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let addr = line
+                .trim_end()
+                .strip_prefix("ADDR ")
+                .and_then(|a| a.parse().ok())
+                .ok_or_else(|| {
+                    let _ = child.kill();
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("member {index} announced {line:?}, expected 'ADDR <ip:port>'"),
+                    )
+                })?;
+            members.push(Member {
+                child,
+                addr,
+                alive: true,
+                _stdout: Some(reader),
+            });
+        }
+        Ok(Cluster { spec, members })
+    }
+
+    /// The shared ring description.
+    pub fn spec(&self) -> RingSpec {
+        self.spec
+    }
+
+    /// Every member's address, by ring index (including dead members —
+    /// pair with [`Cluster::alive`]).
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.members.iter().map(|m| m.addr).collect()
+    }
+
+    /// Liveness mask by ring index.
+    pub fn alive(&self) -> Vec<bool> {
+        self.members.iter().map(|m| m.alive).collect()
+    }
+
+    /// Live member count.
+    pub fn live_count(&self) -> usize {
+        self.members.iter().filter(|m| m.alive).count()
+    }
+
+    /// SIGKILLs member `index` — the chaos primitive. No drain, no
+    /// goodbye: every sample not yet applied by its shards dies with it,
+    /// which is exactly what replicated ingest must absorb.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kill/wait failure.
+    pub fn kill(&mut self, index: usize) -> io::Result<()> {
+        let m = &mut self.members[index];
+        if !m.alive {
+            return Ok(());
+        }
+        m.child.kill()?; // SIGKILL on Unix.
+        let _ = m.child.wait()?;
+        m.alive = false;
+        Ok(())
+    }
+
+    /// Gracefully retires member `index` through its `SHUTDOWN` verb —
+    /// the drain-then-snapshot handoff: all acknowledged samples are
+    /// applied before exit, and the survivors serve the migrated range
+    /// (they mirrored its ingest as replicas). Callers should hand
+    /// clients a generation-bumped spec afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the control exchange or the child wait failure.
+    pub fn retire(&mut self, index: usize) -> io::Result<()> {
+        let m = &mut self.members[index];
+        if !m.alive {
+            return Ok(());
+        }
+        control::shutdown(m.addr)?;
+        let _ = m.child.wait()?;
+        m.alive = false;
+        Ok(())
+    }
+
+    /// Cluster-wide `STATS`: every live member's snapshot folded through
+    /// [`StatsSnapshot::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any live member cannot be reached — partial aggregates
+    /// would silently under-report.
+    pub fn merged_stats(&self) -> io::Result<StatsSnapshot> {
+        let mut merged = StatsSnapshot::default();
+        for m in self.members.iter().filter(|m| m.alive) {
+            merged.merge(&control::stats(m.addr)?);
+        }
+        Ok(merged)
+    }
+
+    /// Cluster-wide `METRICS`: every live member's exposition merged via
+    /// [`merge_expositions`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a member is unreachable or answers an invalid
+    /// exposition.
+    pub fn merged_metrics(&self) -> io::Result<String> {
+        let mut lines = Vec::new();
+        for m in self.members.iter().filter(|m| m.alive) {
+            lines.push(control::metrics_exposition(m.addr)?);
+        }
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        merge_expositions(&refs).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "member exposition failed to parse",
+            )
+        })
+    }
+
+    /// Retires every live member and returns the merged final snapshot
+    /// (fetched just before each member drains).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first member that cannot be stopped.
+    pub fn shutdown(mut self) -> io::Result<StatsSnapshot> {
+        let mut merged = StatsSnapshot::default();
+        for index in 0..self.members.len() {
+            if !self.members[index].alive {
+                continue;
+            }
+            merged.merge(&control::stats(self.members[index].addr)?);
+            self.retire(index)?;
+        }
+        Ok(merged)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for m in &mut self.members {
+            if m.alive {
+                let _ = m.child.kill();
+                let _ = m.child.wait();
+            }
+        }
+    }
+}

@@ -43,7 +43,6 @@ use crate::error::CoreError;
 use crate::view::MachineView;
 use oc_trace::ids::TaskId;
 use oc_trace::time::Tick;
-use std::collections::HashMap;
 
 /// Default bound on synthesized empty ticks between two samples
 /// (one week of 5-minute ticks per day × ~23: roughly 7.5 months).
@@ -77,10 +76,11 @@ pub struct IncrementalView {
     max_gap: u64,
     last_flushed: Option<Tick>,
     pending_tick: Option<Tick>,
-    /// Samples of the pending tick in first-arrival order.
+    /// Samples of the pending tick in first-arrival order. Duplicate
+    /// tasks within a tick are updated in place via linear scan — a
+    /// machine hosts few tasks, and the side map this replaces cost a
+    /// heap allocation per machine, which dominated fleet-scale memory.
     pending: Vec<(TaskId, f64, f64)>,
-    /// Task → index into `pending`, for in-place duplicate updates.
-    pending_index: HashMap<TaskId, usize>,
 }
 
 impl IncrementalView {
@@ -95,7 +95,6 @@ impl IncrementalView {
             last_flushed: None,
             pending_tick: None,
             pending: Vec::new(),
-            pending_index: HashMap::new(),
         }
     }
 
@@ -187,7 +186,6 @@ impl IncrementalView {
             self.view.observe(Tick(k), std::iter::empty());
         }
         self.view.observe(pt, self.pending.drain(..));
-        self.pending_index.clear();
         self.last_flushed = Some(pt);
         true
     }
@@ -236,12 +234,9 @@ impl IncrementalView {
     }
 
     fn push_pending(&mut self, task: TaskId, limit: f64, usage: f64) {
-        match self.pending_index.get(&task) {
-            Some(&i) => self.pending[i] = (task, limit, usage),
-            None => {
-                self.pending_index.insert(task, self.pending.len());
-                self.pending.push((task, limit, usage));
-            }
+        match self.pending.iter_mut().find(|(t, _, _)| *t == task) {
+            Some(slot) => *slot = (task, limit, usage),
+            None => self.pending.push((task, limit, usage)),
         }
     }
 }

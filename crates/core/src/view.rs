@@ -19,7 +19,6 @@ use oc_stats::{MovingWindow, OrderStatWindow};
 use oc_telemetry::Counter;
 use oc_trace::ids::TaskId;
 use oc_trace::time::Tick;
-use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Cached handle for the `core.view.observe_ticks` counter: one count per
@@ -83,7 +82,14 @@ pub struct MachineView {
     now: Tick,
     min_num_samples: usize,
     max_num_samples: usize,
-    tasks: BTreeMap<TaskId, TaskView>,
+    /// Alive tasks, sorted by [`TaskId`]. A sorted `Vec` rather than a
+    /// `BTreeMap`: fleets hold millions of machines with a handful of
+    /// tasks each, and a one-entry B-tree still allocates a full
+    /// node-sized block (~1 KiB), which dominated per-machine memory —
+    /// and on hosts with slow first-touch page faults, ingest wall time.
+    /// Iteration order (ascending `TaskId`) is identical, so every
+    /// order-sensitive float reduction over tasks is bit-preserved.
+    tasks: Vec<(TaskId, TaskView)>,
     /// Per-tick summed usage of then-warm tasks.
     warm_window: MovingWindow,
     /// Current Σ limits over cold tasks.
@@ -104,7 +110,7 @@ impl MachineView {
             now: Tick::ZERO,
             min_num_samples: cfg.min_num_samples,
             max_num_samples: cap,
-            tasks: BTreeMap::new(),
+            tasks: Vec::new(),
             warm_window: MovingWindow::new(cap).expect("capacity >= 1"),
             cold_limit_sum: 0.0,
             total_limit: 0.0,
@@ -135,15 +141,23 @@ impl MachineView {
         self.now = t;
         self.generation += 1;
         let generation = self.generation;
+        let max_num_samples = self.max_num_samples;
         let mut warm_total = 0.0;
         let mut sums_stale = false;
         for (id, limit, usage) in alive {
-            let entry = self.tasks.entry(id).or_insert_with(|| TaskView {
-                limit,
-                window: OrderStatWindow::new(self.max_num_samples).expect("capacity >= 1"),
-                age: 0,
-                last_seen: 0,
-            });
+            let entry = match self.tasks.binary_search_by(|(tid, _)| tid.cmp(&id)) {
+                Ok(i) => &mut self.tasks[i].1,
+                Err(i) => {
+                    let view = TaskView {
+                        limit,
+                        window: OrderStatWindow::new(max_num_samples).expect("capacity >= 1"),
+                        age: 0,
+                        last_seen: 0,
+                    };
+                    self.tasks.insert(i, (id, view));
+                    &mut self.tasks[i].1
+                }
+            };
             let admitted = entry.age == 0;
             let was_warm = !admitted && entry.age >= self.min_num_samples;
             sums_stale |= admitted || entry.limit != limit;
@@ -157,7 +171,7 @@ impl MachineView {
             }
         }
         let mut departed = false;
-        self.tasks.retain(|_, task| {
+        self.tasks.retain(|(_, task)| {
             let keep = task.last_seen == generation;
             departed |= !keep;
             keep
@@ -166,12 +180,12 @@ impl MachineView {
         self.warm_window.push(warm_total);
 
         if sums_stale {
-            self.total_limit = self.tasks.values().map(|t| t.limit).sum();
+            self.total_limit = self.tasks.iter().map(|(_, t)| t.limit).sum();
             self.cold_limit_sum = self
                 .tasks
-                .values()
-                .filter(|t| t.age < self.min_num_samples)
-                .map(|t| t.limit)
+                .iter()
+                .filter(|(_, t)| t.age < self.min_num_samples)
+                .map(|(_, t)| t.limit)
                 .sum();
         }
     }
@@ -216,11 +230,12 @@ impl MachineView {
         self.tasks
             .iter()
             .filter(|(_, t)| t.age >= self.min_num_samples)
+            .map(|(id, t)| (id, t))
     }
 
-    /// Iterates over all alive tasks.
+    /// Iterates over all alive tasks, in ascending [`TaskId`] order.
     pub fn tasks(&self) -> impl Iterator<Item = (&TaskId, &TaskView)> {
-        self.tasks.iter()
+        self.tasks.iter().map(|(id, t)| (id, t))
     }
 
     /// The machine-level aggregate usage window (per tick, Σ usage over the

@@ -5,6 +5,7 @@ use crate::fault::FaultPlan;
 use oc_core::config::SimConfig;
 use oc_core::ingest::DEFAULT_MAX_GAP;
 use oc_core::predictor::PredictorSpec;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default bound on how long a connection may sit without delivering a
@@ -74,6 +75,49 @@ impl std::str::FromStr for Frontend {
     }
 }
 
+/// How a machine key relates to this process under its cluster ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyRole {
+    /// This process is the key's primary owner: all verbs accepted.
+    Owner,
+    /// This process is the key's ring successor: it accepts the mirrored
+    /// ingest stream (`OBSERVE`) and serves reads (`PREDICT`/`ADMIT`)
+    /// so clients can fail over when the owner dies. Clients should
+    /// prefer the owner while it is alive.
+    Replica,
+    /// Some other process owns the key: every data-plane verb is
+    /// answered `ERR not-mine` so a stale client re-resolves the ring.
+    Remote,
+}
+
+/// Cluster ownership classifier: maps a machine-key hash
+/// ([`crate::shard::key_hash`]) to this process's [`KeyRole`] for it.
+///
+/// A cheap shared closure rather than a concrete ring type so `oc-serve`
+/// stays ring-agnostic — `oc-cluster` builds one from its consistent-hash
+/// ring; tests can use any partition. `None` in [`ServeConfig`] (the
+/// default) means standalone serving: every key is [`KeyRole::Owner`].
+#[derive(Clone)]
+pub struct OwnershipMap(Arc<dyn Fn(u64) -> KeyRole + Send + Sync>);
+
+impl OwnershipMap {
+    /// Wraps a key-hash → role classifier.
+    pub fn new(f: impl Fn(u64) -> KeyRole + Send + Sync + 'static) -> OwnershipMap {
+        OwnershipMap(Arc::new(f))
+    }
+
+    /// The role this process plays for a key hash.
+    pub fn role_of(&self, key_hash: u64) -> KeyRole {
+        (self.0)(key_hash)
+    }
+}
+
+impl std::fmt::Debug for OwnershipMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OwnershipMap(..)")
+    }
+}
+
 /// Configuration of one [`crate::server::Server`].
 ///
 /// # Examples
@@ -121,6 +165,13 @@ pub struct ServeConfig {
     /// `[1, 4]` — readiness dispatch is cheap, the shard pool does the
     /// heavy lifting). Ignored by [`Frontend::Threaded`].
     pub reactor_threads: usize,
+    /// Cluster ownership classifier; `None` (standalone) treats every
+    /// key as [`KeyRole::Owner`].
+    pub ownership: Option<OwnershipMap>,
+    /// Cluster ring generation folded into the server's `epoch` stamp
+    /// (see [`crate::proto::pack_epoch`]); bump it when the ring that
+    /// produced [`ServeConfig::ownership`] changes.
+    pub ring_generation: u64,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +192,8 @@ impl Default for ServeConfig {
             faults: None,
             frontend: Frontend::default(),
             reactor_threads: 0,
+            ownership: None,
+            ring_generation: 0,
         }
     }
 }
@@ -215,6 +268,18 @@ impl ServeConfig {
     /// Sets the reactor thread count (`0` = auto-size from the host).
     pub fn with_reactor_threads(mut self, threads: usize) -> Self {
         self.reactor_threads = threads;
+        self
+    }
+
+    /// Installs a cluster ownership classifier.
+    pub fn with_ownership(mut self, map: OwnershipMap) -> Self {
+        self.ownership = Some(map);
+        self
+    }
+
+    /// Sets the ring generation stamped into the server's `epoch`.
+    pub fn with_ring_generation(mut self, generation: u64) -> Self {
+        self.ring_generation = generation;
         self
     }
 

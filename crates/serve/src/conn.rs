@@ -330,6 +330,15 @@ pub(crate) fn process_line<W: Write>(
         }) => {
             shared.requests.observe.inc();
             let key = (cell, machine);
+            // Owners ingest their own keys; replicas ingest the mirrored
+            // stream. A key owned elsewhere is redirected — after the
+            // pending chunk flushes, so responses stay in request order.
+            if crate::server::role_of(shared, &key) == crate::config::KeyRole::Remote {
+                flush_chunk(state, writer, pool, shared)?;
+                let resp = crate::server::not_mine(shared);
+                write_resp(writer, &mut state.out, &resp)?;
+                return Ok(true);
+            }
             let shard = match &state.route_memo {
                 Some((memo_key, memo_shard)) if *memo_key == key => *memo_shard,
                 _ => {

@@ -133,6 +133,9 @@ impl ShardMetrics {
             faults: self.faults,
             timeouts: self.timeouts,
             conn_rejects: self.conn_rejects,
+            // Stamped by the server (`Shared::epoch`); shard metrics have
+            // no identity of their own.
+            epoch: 0,
             p50_us: q(50.0),
             p99_us: q(99.0),
             mean_us: if self.lat_count == 0 {

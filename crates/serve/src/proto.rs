@@ -218,6 +218,10 @@ pub enum ErrCode {
     /// The server's connection cap was reached (retryable: reconnect
     /// after a backoff).
     ConnLimit,
+    /// The machine key is not owned by this process under its cluster
+    /// ring (retryable: re-resolve the owner and resend — see
+    /// PROTOCOL.md §7).
+    NotMine,
     /// Internal error (shard died, bad state).
     Internal,
 }
@@ -233,6 +237,7 @@ impl ErrCode {
             ErrCode::Shutdown => "shutdown",
             ErrCode::Timeout => "timeout",
             ErrCode::ConnLimit => "conn-limit",
+            ErrCode::NotMine => "not-mine",
             ErrCode::Internal => "internal",
         }
     }
@@ -247,6 +252,7 @@ impl ErrCode {
             "shutdown" => ErrCode::Shutdown,
             "timeout" => ErrCode::Timeout,
             "conn-limit" => ErrCode::ConnLimit,
+            "not-mine" => ErrCode::NotMine,
             "internal" => ErrCode::Internal,
             _ => return None,
         })
@@ -277,6 +283,11 @@ pub struct StatsSnapshot {
     pub timeouts: u64,
     /// Connections rejected at the max-connections cap.
     pub conn_rejects: u64,
+    /// Server identity stamp: process start time packed with the cluster
+    /// ring generation (see [`pack_epoch`]). Compared for *inequality*
+    /// only — a change means the process restarted (fresh state) or its
+    /// ring assignment changed. `0` for a pre-epoch peer.
+    pub epoch: u64,
     /// Median shard service latency (enqueue → handled), microseconds.
     pub p50_us: f64,
     /// 99th-percentile shard service latency, microseconds.
@@ -736,7 +747,7 @@ impl Request {
 }
 
 /// Key/value pairs of the `STATS` line, in encode order.
-const STATS_KEYS: [&str; 14] = [
+const STATS_KEYS: [&str; 15] = [
     "observes",
     "predicts",
     "admits",
@@ -747,11 +758,32 @@ const STATS_KEYS: [&str; 14] = [
     "faults",
     "timeouts",
     "conn_rejects",
+    "epoch",
     "p50_us",
     "p99_us",
     "mean_us",
     "max_us",
 ];
+
+/// Packs a process start stamp (unix seconds) and a cluster ring
+/// generation into one `epoch` word: start in the high 48 bits, ring
+/// generation (mod 2^16) in the low 16. Clients compare epochs for
+/// inequality; [`epoch_ring_generation`] recovers the generation for
+/// "did the ring change without a restart" checks.
+pub fn pack_epoch(start_unix_secs: u64, ring_generation: u64) -> u64 {
+    (start_unix_secs << 16) | (ring_generation & 0xFFFF)
+}
+
+/// The ring generation (mod 2^16) packed into an `epoch` word.
+pub fn epoch_ring_generation(epoch: u64) -> u64 {
+    epoch & 0xFFFF
+}
+
+/// The process start stamp (unix seconds, truncated to 48 bits) packed
+/// into an `epoch` word.
+pub fn epoch_start_secs(epoch: u64) -> u64 {
+    epoch >> 16
+}
 
 impl StatsSnapshot {
     /// The `k=v` payload of a `STATS` response line, without the verb.
@@ -774,6 +806,7 @@ impl StatsSnapshot {
             self.faults,
             self.timeouts,
             self.conn_rejects,
+            self.epoch,
         ];
         let f = [self.p50_us, self.p99_us, self.mean_us, self.max_us];
         for (i, key) in STATS_KEYS.iter().enumerate() {
@@ -828,6 +861,7 @@ impl StatsSnapshot {
                 "faults" => s.faults = parse_u64(key_s, v)?,
                 "timeouts" => s.timeouts = parse_u64(key_s, v)?,
                 "conn_rejects" => s.conn_rejects = parse_u64(key_s, v)?,
+                "epoch" => s.epoch = parse_u64(key_s, v)?,
                 "p50_us" => s.p50_us = parse_f64(key_s, v)?,
                 "p99_us" => s.p99_us = parse_f64(key_s, v)?,
                 "mean_us" => s.mean_us = parse_f64(key_s, v)?,
@@ -836,6 +870,42 @@ impl StatsSnapshot {
             }
         }
         Ok(s)
+    }
+
+    /// Total data-plane operations behind this snapshot's latency
+    /// figures — the weight used by [`StatsSnapshot::merge`].
+    fn latency_weight(&self) -> u64 {
+        self.observes + self.predicts + self.admits
+    }
+
+    /// Folds another process's snapshot into this one, producing a
+    /// fleet-level view: counters are summed exactly; `p50_us`/`p99_us`/
+    /// `mean_us` become operation-count-weighted averages (an
+    /// approximation — quantiles do not compose; the exact path is the
+    /// `METRICS` exposition, whose histograms bin-merge losslessly);
+    /// `max_us` is the max of maxes (exact); `epoch` keeps the maximum,
+    /// so any member restart or re-ring still changes the merged epoch.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        let (wa, wb) = (self.latency_weight(), other.latency_weight());
+        let wt = wa + wb;
+        if wt > 0 {
+            let blend = |a: f64, b: f64| (a * wa as f64 + b * wb as f64) / wt as f64;
+            self.p50_us = blend(self.p50_us, other.p50_us);
+            self.p99_us = blend(self.p99_us, other.p99_us);
+            self.mean_us = blend(self.mean_us, other.mean_us);
+        }
+        self.max_us = self.max_us.max(other.max_us);
+        self.observes += other.observes;
+        self.predicts += other.predicts;
+        self.admits += other.admits;
+        self.busy += other.busy;
+        self.stale += other.stale;
+        self.errors += other.errors;
+        self.machines += other.machines;
+        self.faults += other.faults;
+        self.timeouts += other.timeouts;
+        self.conn_rejects += other.conn_rejects;
+        self.epoch = self.epoch.max(other.epoch);
     }
 }
 
@@ -1021,6 +1091,7 @@ mod tests {
     #[test]
     fn stats_round_trip() {
         let s = StatsSnapshot {
+            epoch: (1_700_000_000 << 16) | 3,
             observes: 10,
             predicts: 2,
             admits: 1,

@@ -43,10 +43,10 @@
 //! died mid-write cannot ingest a half request.
 
 use crate::accept::{accept_loop, accept_poller, FrontendRuntime};
-use crate::config::ServeConfig;
+use crate::config::{KeyRole, OwnershipMap, ServeConfig};
 use crate::error::ServeError;
 use crate::fault::FaultCounters;
-use crate::proto::{ErrCode, Request, Response, StatsSnapshot};
+use crate::proto::{pack_epoch, ErrCode, Request, Response, StatsSnapshot};
 use crate::reactor::ReactorPool;
 use crate::shard::{key_hash, MachineKey, SendFail, ShardMsg, ShardPool};
 use oc_telemetry::metrics::{encode_exposition, HistogramSnapshot};
@@ -109,6 +109,13 @@ pub(crate) struct Shared {
     pub(crate) batch_coalesced: Arc<Counter>,
     /// Frontend `PREDICT` result cache.
     pub(crate) cache: PredictCache,
+    /// Requests answered `ERR not-mine` because the key's [`KeyRole`] is
+    /// [`KeyRole::Remote`] under the cluster ring
+    /// (`serve.cluster.not_mine`).
+    pub(crate) not_mine: Arc<Counter>,
+    /// Server identity stamp: process start (unix seconds) packed with
+    /// the ring generation — reported in every `STATS` line.
+    pub(crate) epoch: u64,
     /// Faults injected by the server-side chaos plan (if configured).
     pub(crate) faults: Arc<FaultCounters>,
     /// Live connection handlers (threaded frontend) and the connection-id
@@ -233,6 +240,8 @@ pub(crate) struct ConnSettings {
     /// Resolved reactor pool size
     /// ([`ServeConfig::effective_reactor_threads`]).
     pub(crate) reactor_threads_effective: usize,
+    /// Cluster ownership classifier (`None` = standalone: own all keys).
+    pub(crate) ownership: Option<OwnershipMap>,
 }
 
 /// Tracks live connection handler threads so shutdown can join every one
@@ -400,6 +409,14 @@ impl Server {
             batch_requests: metrics.counter("serve.batch.requests"),
             batch_coalesced: metrics.counter("serve.batch.coalesced"),
             cache: PredictCache::new(&metrics),
+            not_mine: metrics.counter("serve.cluster.not_mine"),
+            epoch: pack_epoch(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+                cfg.ring_generation,
+            ),
             metrics,
             faults: Arc::new(FaultCounters::default()),
             registry: Registry::default(),
@@ -410,6 +427,7 @@ impl Server {
                 faults: cfg.faults.clone(),
                 frontend: cfg.frontend,
                 reactor_threads_effective: cfg.effective_reactor_threads(),
+                ownership: cfg.ownership.clone(),
             },
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -518,10 +536,9 @@ impl Server {
                 // "Predictions served" includes cache hits (the shard
                 // counter only sees misses).
                 metrics.predicts += self.shared.cache.hits.get();
-                ShutdownOutcome {
-                    stats: metrics.snapshot(busy),
-                    clean,
-                }
+                let mut stats = metrics.snapshot(busy);
+                stats.epoch = self.shared.epoch;
+                ShutdownOutcome { stats, clean }
             }
             None => ShutdownOutcome {
                 stats: StatsSnapshot::default(),
@@ -567,6 +584,11 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
         Request::Predict { cell, machine } => {
             shared.requests.predict.inc();
             let key = (cell, machine);
+            // Reads are served by the owner and (for failover) the ring
+            // successor; a key some other process owns is redirected.
+            if role_of(shared, &key) == KeyRole::Remote {
+                return not_mine(shared);
+            }
             // The generation is read before the shard dispatch, so the
             // stored stamp can only ever be conservative (a sample racing
             // in after this read forces a later miss, never a stale hit).
@@ -600,6 +622,9 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
         } => {
             shared.requests.admit.inc();
             let key = (cell, machine);
+            if role_of(shared, &key) == KeyRole::Remote {
+                return not_mine(shared);
+            }
             let shard = pool.route(&key);
             let (reply, rx) = sync_channel(1);
             let msg = ShardMsg::Admit {
@@ -622,7 +647,9 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
             // `predicts` reports predictions *served*: the shard counter
             // only sees cache misses.
             merged.predicts += shared.cache.hits.get();
-            Response::Stats(merged.snapshot(shared.busy.get()))
+            let mut snapshot = merged.snapshot(shared.busy.get());
+            snapshot.epoch = shared.epoch;
+            Response::Stats(snapshot)
         }
         Request::Metrics => {
             shared.requests.metrics.inc();
@@ -715,6 +742,24 @@ pub(crate) fn shutting_down() -> Response {
     Response::Err {
         code: ErrCode::Shutdown,
         detail: "server is shutting down".to_string(),
+    }
+}
+
+/// This process's role for `key` under its cluster ring
+/// ([`KeyRole::Owner`] when standalone).
+pub(crate) fn role_of(shared: &Shared, key: &MachineKey) -> KeyRole {
+    match &shared.cfg.ownership {
+        Some(map) => map.role_of(key_hash(key)),
+        None => KeyRole::Owner,
+    }
+}
+
+/// The `ERR not-mine` redirect, counted in `serve.cluster.not_mine`.
+pub(crate) fn not_mine(shared: &Shared) -> Response {
+    shared.not_mine.inc();
+    Response::Err {
+        code: ErrCode::NotMine,
+        detail: "key not owned by this process; re-resolve the ring".to_string(),
     }
 }
 
@@ -1092,8 +1137,18 @@ mod tests {
         drop((r1, w1));
         let mut admitted = false;
         for _ in 0..100 {
+            // A rejected attempt races with the server's close: the
+            // write (or the read) of a still-over-cap probe can fail
+            // with a broken pipe instead of delivering the conn-limit
+            // error line, so any I/O failure here just means "retry".
             let (mut r3, mut w3) = client(server.addr());
-            match roundtrip(&mut r3, &mut w3, "STATS") {
+            let sent = w3.write_all(b"STATS\n").and_then(|()| w3.flush());
+            let mut buf = String::new();
+            if sent.is_err() || r3.read_line(&mut buf).unwrap_or(0) == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+            match Response::parse(buf.trim_end()).unwrap() {
                 Response::Stats(s) => {
                     assert!(s.conn_rejects >= 1);
                     admitted = true;

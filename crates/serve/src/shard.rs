@@ -320,10 +320,16 @@ fn shard_worker(
     predictor: Box<dyn PeakPredictor>,
     queue_depth: Arc<Gauge>,
 ) {
-    let mut views: HashMap<MachineKey, IncrementalView> = HashMap::new();
+    // Views are boxed so the map stores a pointer, not the ~200-byte
+    // struct: with fleet-scale machine counts every rehash of an inline
+    // table rewrites hundreds of megabytes of fresh pages, which on slow
+    // first-touch hosts costs more than the ingest work itself.
+    let mut views: HashMap<MachineKey, Box<IncrementalView>> = HashMap::new();
     let mut metrics = ShardMetrics::default();
     let new_view = |cfg: &ServeConfig| {
-        IncrementalView::new(cfg.machine_capacity, &cfg.sim).with_max_gap(cfg.max_tick_gap)
+        Box::new(
+            IncrementalView::new(cfg.machine_capacity, &cfg.sim).with_max_gap(cfg.max_tick_gap),
+        )
     };
     while let Ok(msg) = rx.recv() {
         queue_depth.dec();

@@ -69,15 +69,15 @@ proptest! {
         prop_assert_eq!(back, Ok(req));
     }
 
-    /// Round trip for responses, including the 14-field STATS snapshot.
+    /// Round trip for responses, including the 15-field STATS snapshot.
     #[test]
     fn response_round_trips(
         selector in 0u32..6,
         flag in 0u32..2,
         peak in 0.0f64..1e9,
-        counters in proptest::collection::vec(0u64..=u64::MAX, 10),
+        counters in proptest::collection::vec(0u64..=u64::MAX, 11),
         lats in proptest::collection::vec(0.0f64..1e7, 4),
-        code_idx in 0u32..8,
+        code_idx in 0u32..9,
     ) {
         let code = [
             ErrCode::Parse,
@@ -88,6 +88,7 @@ proptest! {
             ErrCode::Internal,
             ErrCode::Timeout,
             ErrCode::ConnLimit,
+            ErrCode::NotMine,
         ][code_idx as usize];
         let resp = match selector % 6 {
             0 => Response::Ok,
@@ -105,6 +106,7 @@ proptest! {
                 faults: counters[7],
                 timeouts: counters[8],
                 conn_rejects: counters[9],
+                epoch: counters[10],
                 p50_us: lats[0],
                 p99_us: lats[1],
                 mean_us: lats[2],
@@ -245,7 +247,7 @@ proptest! {
     /// Corrupting any one STATS field yields the typed [`ProtoError`]
     /// naming the expected key — never a silent default or a panic.
     #[test]
-    fn corrupted_stats_fields_are_typed(victim in 0usize..14, mode in 0u32..2) {
+    fn corrupted_stats_fields_are_typed(victim in 0usize..15, mode in 0u32..2) {
         let snapshot = StatsSnapshot {
             observes: 1,
             predicts: 2,
@@ -257,6 +259,7 @@ proptest! {
             faults: 8,
             timeouts: 9,
             conn_rejects: 10,
+            epoch: 11,
             p50_us: 1.5,
             p99_us: 9.5,
             mean_us: 2.25,

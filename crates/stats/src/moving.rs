@@ -67,8 +67,13 @@ impl MovingWindow {
                 what: "window capacity must be positive",
             });
         }
+        // The buffer grows on demand (amortized doubling, capped by the
+        // eviction bound) rather than reserving `capacity` up front: a
+        // fleet holds millions of windows that never fill, and eager
+        // reservation made window creation the dominant source of
+        // fresh-page faults at scale.
         Ok(MovingWindow {
-            buf: VecDeque::with_capacity(capacity),
+            buf: VecDeque::new(),
             capacity,
             sum: 0.0,
             origin: 0.0,

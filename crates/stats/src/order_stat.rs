@@ -61,8 +61,12 @@ pub struct OrderStatWindow {
 impl OrderStatWindow {
     /// Creates a window retaining the `capacity` most recent samples.
     ///
-    /// All storage is reserved up front; subsequent pushes and reads do not
-    /// allocate.
+    /// Storage grows on demand (amortized doubling, capped by the
+    /// eviction bound at roughly `capacity` slots) instead of reserving
+    /// `capacity` up front: per-task windows exist by the million in
+    /// fleet-scale serving and most hold far fewer samples than their
+    /// capacity, so eager reservation wasted the bulk of per-machine
+    /// memory — and page-fault time — at scale.
     ///
     /// # Errors
     ///
@@ -74,8 +78,8 @@ impl OrderStatWindow {
             });
         }
         Ok(OrderStatWindow {
-            buf: VecDeque::with_capacity(capacity),
-            sorted: Vec::with_capacity(capacity),
+            buf: VecDeque::new(),
+            sorted: Vec::new(),
             capacity,
         })
     }
@@ -222,13 +226,21 @@ mod tests {
     }
 
     #[test]
-    fn no_realloc_after_construction() {
+    fn storage_growth_stops_at_the_eviction_bound() {
+        // Lazy construction: an unused window owns no heap at all.
         let mut w = OrderStatWindow::new(8).unwrap();
-        let cap_before = w.sorted.capacity();
-        for i in 0..1000 {
+        assert_eq!(w.sorted.capacity(), 0);
+        assert_eq!(w.buf.capacity(), 0);
+        // Once full, eviction holds `len` at capacity, so amortized
+        // doubling settles and pushes stop reallocating.
+        for i in 0..100 {
             w.push((i % 13) as f64);
         }
-        assert_eq!(w.sorted.capacity(), cap_before);
+        let settled = (w.sorted.capacity(), w.buf.capacity());
+        for i in 0..1000 {
+            w.push((i % 17) as f64);
+        }
+        assert_eq!((w.sorted.capacity(), w.buf.capacity()), settled);
         assert_eq!(w.len(), 8);
     }
 }

@@ -33,7 +33,7 @@
 //! text format served by `oc-serve`'s `METRICS` verb and specified in
 //! `docs/PROTOCOL.md`; [`parse_exposition`] reads it back.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -439,6 +439,86 @@ pub fn parse_exposition(line: &str) -> Option<BTreeMap<String, f64>> {
             return None;
         }
         out.insert(name.to_string(), value.parse().ok()?);
+    }
+    Some(out)
+}
+
+/// Merges `v=1` exposition lines across processes — the wire extension
+/// of [`MetricsSnapshot::merge`] used by cluster-wide `METRICS`
+/// aggregation, where each member process contributes one exposition.
+///
+/// Per-name rules, mirroring the in-memory merge as closely as the flat
+/// format allows:
+///
+/// * names ending in `.max` take the max of maxes (exact);
+/// * names ending in `.mean`, `.p50`, or `.p99` become averages
+///   weighted by their sibling `.count` (an approximation — quantiles do
+///   not compose; an absent or zero sibling falls back to unweighted);
+/// * everything else (counters, gauges, `.count`) sums, exactly as
+///   [`MetricsSnapshot::merge`] sums them.
+///
+/// Returns `None` if any input fails [`parse_exposition`]. Merging a
+/// single exposition with itself-empty input is the identity:
+/// `merge_expositions(&[e])` reproduces `e`'s values.
+pub fn merge_expositions(lines: &[&str]) -> Option<String> {
+    let parsed: Vec<BTreeMap<String, f64>> = lines
+        .iter()
+        .map(|l| parse_exposition(l))
+        .collect::<Option<_>>()?;
+    let mut merged: BTreeMap<String, f64> = BTreeMap::new();
+    // Pass 1: sums and maxes.
+    for snap in &parsed {
+        for (name, v) in snap {
+            if name.ends_with(".mean") || name.ends_with(".p50") || name.ends_with(".p99") {
+                continue;
+            }
+            let slot = merged.entry(name.clone()).or_insert(0.0);
+            if name.ends_with(".max") {
+                *slot = slot.max(*v);
+            } else {
+                *slot += v;
+            }
+        }
+    }
+    // Pass 2: count-weighted statistics.
+    let stat_names: BTreeSet<String> = parsed
+        .iter()
+        .flat_map(|s| s.keys())
+        .filter(|n| n.ends_with(".mean") || n.ends_with(".p50") || n.ends_with(".p99"))
+        .cloned()
+        .collect();
+    for name in stat_names {
+        let base = &name[..name.rfind('.').expect("suffix-matched name has a dot")];
+        let count_key = format!("{base}.count");
+        let mut weighted = 0.0;
+        let mut total_w = 0.0;
+        for snap in &parsed {
+            if let Some(v) = snap.get(&name) {
+                let w = snap.get(&count_key).copied().unwrap_or(0.0).max(0.0);
+                weighted += v * w;
+                total_w += w;
+            }
+        }
+        let value = if total_w > 0.0 {
+            weighted / total_w
+        } else {
+            // No weights anywhere: plain average over the members that
+            // reported the name.
+            let vals: Vec<f64> = parsed
+                .iter()
+                .filter_map(|s| s.get(&name))
+                .copied()
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        merged.insert(name, value);
+    }
+    let mut out = format!("v={EXPOSITION_VERSION}");
+    for (name, value) in &merged {
+        out.push(' ');
+        out.push_str(name);
+        out.push('=');
+        out.push_str(&value.to_string());
     }
     Some(out)
 }

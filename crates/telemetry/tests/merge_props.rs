@@ -24,6 +24,33 @@ fn shard_load() -> impl Strategy<Value = ShardLoad> {
     )
 }
 
+/// `a ⊕ b` without mutating either operand.
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Structural equality with float-associativity slack on histogram
+/// sums (bin counts, extremes, counters, and gauges must be exact).
+fn assert_equivalent(a: &MetricsSnapshot, b: &MetricsSnapshot) -> Result<(), String> {
+    prop_assert_eq!(a.counter("prop.counter"), b.counter("prop.counter"));
+    prop_assert_eq!(a.gauge("prop.gauge"), b.gauge("prop.gauge"));
+    match (a.histogram("prop.hist"), b.histogram("prop.hist")) {
+        (None, None) => {}
+        (Some(ha), Some(hb)) => {
+            prop_assert_eq!(ha.count(), hb.count());
+            prop_assert_eq!(ha.hist.counts(), hb.hist.counts());
+            prop_assert_eq!(ha.hist.underflow(), hb.hist.underflow());
+            prop_assert_eq!(ha.hist.overflow(), hb.hist.overflow());
+            prop_assert_eq!(ha.max.to_bits(), hb.max.to_bits());
+            prop_assert!((ha.sum - hb.sum).abs() <= 1e-9 * (1.0 + hb.sum.abs()));
+        }
+        (a, b) => prop_assert!(false, "histogram presence differs: {:?} vs {:?}", a, b),
+    }
+    Ok(())
+}
+
 fn apply(load: &ShardLoad) -> MetricsSnapshot {
     let (counts, deltas, samples) = load;
     let reg = MetricsRegistry::new();
@@ -105,5 +132,39 @@ proptest! {
         prop_assert_eq!(parsed["prop.hist.p50"].to_bits(), h.quantile(50.0).to_bits());
         prop_assert_eq!(parsed["prop.hist.p99"].to_bits(), h.quantile(99.0).to_bits());
         prop_assert_eq!(parsed["prop.hist.max"].to_bits(), h.max_or_zero().to_bits());
+    }
+
+    /// Associativity: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`. The cluster layer
+    /// leans on this — a supervisor may fold members one at a time while
+    /// an aggregator folds a pre-merged subset, and both must report the
+    /// same service-wide view.
+    #[test]
+    fn merge_is_associative(
+        a in shard_load(), b in shard_load(), c in shard_load(),
+    ) {
+        let (sa, sb, sc) = (apply(&a), apply(&b), apply(&c));
+        let left = merged(&merged(&sa, &sb), &sc);
+        let right = merged(&sa, &merged(&sb, &sc));
+        assert_equivalent(&left, &right)?;
+    }
+
+    /// Commutativity: `a ⊕ b == b ⊕ a`, exactly — member fan-out order
+    /// is nondeterministic, so order must not leak into the aggregate.
+    /// (Float sums commute exactly; only association reorders rounding.)
+    #[test]
+    fn merge_is_commutative(a in shard_load(), b in shard_load()) {
+        let (sa, sb) = (apply(&a), apply(&b));
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+    }
+
+    /// The empty snapshot is a two-sided identity: merging a fresh
+    /// (default) snapshot in either direction changes nothing, so dead
+    /// or not-yet-scraped members drop out of aggregation cleanly.
+    #[test]
+    fn empty_snapshot_is_identity(a in shard_load()) {
+        let sa = apply(&a);
+        let empty = MetricsSnapshot::default();
+        prop_assert_eq!(merged(&sa, &empty), sa.clone());
+        prop_assert_eq!(merged(&empty, &sa), sa);
     }
 }

@@ -53,9 +53,16 @@ fi
 
 cargo fmt --check
 cargo build --release --workspace
+cargo build --release --workspace --examples
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Multi-process cluster smoke test: boot a 3-member ring as real child
+# processes, route through the consistent-hash ring, kill a member, and
+# verify failover — the one behavior cargo test cannot cover, because
+# test binaries cannot re-exec themselves as cluster nodes.
+./target/release/oc-clusterd --smoke
 
 # Benchmarks must at least keep compiling (running them is tier-2), and
 # the checked-in BENCH_*.json result files must stay structurally sound.

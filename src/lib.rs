@@ -10,7 +10,10 @@
 //! * [`qos`] — CPU scheduling latency model.
 //! * [`scheduler`] — predictor-gated admission, placement, A/B harness.
 //! * [`serve`] — online peak-prediction TCP service with fault injection.
-//! * [`client`] — retrying typed client for [`serve`] + load generator.
+//! * [`cluster`] — multi-process ring: supervisor, consistent hashing,
+//!   cluster-wide aggregation.
+//! * [`client`] — retrying typed client for [`serve`] + load generator,
+//!   plus the ring-routing [`client::ClusterClient`].
 //! * [`experiments`] — the table/figure reproduction harness.
 //! * [`telemetry`] — structured tracing + the unified metrics registry.
 //!
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub use oc_client as client;
+pub use oc_cluster as cluster;
 pub use oc_core as core;
 pub use oc_experiments as experiments;
 pub use oc_qos as qos;
