@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Without `--addr`/`--cluster` an in-process server is started (4
-//! shards, default queues) and seven phases run: a **sustained** phase on the default
+//! shards, default queues) and eight phases run: a **sustained** phase on the default
 //! config, a **serve_batched** phase replaying the same workload with
 //! `BATCH` framing (`--batch`, default 32) paced at 3x the sustained
 //! target (so server-side queueing stays comparable while throughput
@@ -24,13 +24,17 @@
 //! cannot hold 20 000 socket fds under the default `RLIMIT_NOFILE` hard
 //! cap.
 //!
-//! Two cluster phases close the pipeline, each against a 3-process
+//! Three cluster phases close the pipeline, each against a 3-process
 //! `oc-cluster` ring of child processes: **cluster-chaos** replays a
 //! mirrored fleet in two segments with one member SIGKILLed between
 //! them — `lost` is the count of machines whose served prediction is
 //! *not* bit-identical to an offline recompute of the full sample
 //! stream (served-vs-offline final-state identity, the strongest form
-//! of the ledger) and must be 0; **cluster-1m** streams 1 000 000
+//! of the ledger) and must be 0; **cluster-replace** SIGKILLs a member
+//! mid-fleet and replaces it *into the same ring slot* (state replayed
+//! from the survivors' handoff logs, generation bumped and pushed), the
+//! second segment driven by a `ClusterClient` holding the stale spec
+//! that must auto-adopt the new ring; **cluster-1m** streams 1 000 000
 //! simulated machines across the ring (no mirroring, bounded per-task
 //! history) and reports the merged fleet throughput, with
 //! `server_machines` proving full coverage.
@@ -66,7 +70,7 @@
 use oc_client::fanin::{self, FaninConfig};
 use oc_client::fleet::{self, FleetConfig};
 use oc_client::loadgen::{request_shutdown, run, LoadgenConfig};
-use oc_client::LoadReport;
+use oc_client::{ClusterClient, ClusterClientConfig, LoadReport};
 use oc_cluster::{Cluster, ClusterConfig, RingSpec};
 use oc_serve::fault::FaultPlan;
 use oc_serve::{Frontend, ServeConfig, Server};
@@ -318,6 +322,10 @@ const CHAOS_MACHINES: u64 = 3000;
 const CHAOS_TICKS: u64 = 30;
 /// Fleet size of the cluster-1m phase.
 const ONE_M_MACHINES: u64 = 1_000_000;
+/// Fleet size of the cluster-replace phase.
+const REPLACE_MACHINES: u64 = 600;
+/// Samples per machine in the cluster-replace phase.
+const REPLACE_TICKS: u64 = 30;
 
 /// cluster-chaos: a 3-process ring, a mirrored fleet driven in two
 /// segments with member 0 SIGKILLed between them, and `lost` replaced
@@ -374,6 +382,87 @@ fn cluster_chaos() -> Result<LoadReport, oc_client::ClientError> {
     )?;
     let _ = cluster.shutdown();
     Ok(report)
+}
+
+/// cluster-replace: a 3-process ring, a mirrored fleet driven halfway,
+/// member 0 SIGKILLed and **replaced into its slot** — the replacement
+/// rebuilds its state by replaying the survivors' handoff logs, the
+/// ring generation bumps, and the supervisor pushes the new description
+/// to every member. The second half is then driven through a
+/// [`ClusterClient`] that still holds the generation-0 spec and the
+/// dead member's address: it must discover the death, adopt the pushed
+/// ring *on its own* (no operator `adopt` call), and finish with zero
+/// served-vs-offline mismatches. Returns the merged report plus the
+/// client's adoption count and the post-replace mirror coverage
+/// percentage (machines resident on exactly owner + replica).
+fn cluster_replace() -> Result<(LoadReport, u64, u64), oc_client::ClientError> {
+    let cluster_cfg = ClusterConfig {
+        nodes: 3,
+        shards: 1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::start(&cluster_cfg).map_err(oc_client::ClientError::Io)?;
+    let spec0 = cluster.spec();
+    let stale_addrs = cluster.addrs();
+    let seg = REPLACE_TICKS / 2;
+    let first = FleetConfig {
+        cell: "replace".to_string(),
+        machines: REPLACE_MACHINES,
+        first_tick: 0,
+        ticks: seg,
+        mirror: true,
+        batch: 64,
+        window: 32,
+        fetch_stats: false,
+    };
+    let r1 = fleet::run(spec0, &stale_addrs, &cluster.alive(), &first)?;
+
+    // SIGKILL, then replace into the same slot. No traffic lands between
+    // the kill and the replacement, so the survivors' handoff logs hold
+    // every acknowledged sample the dead member ever saw (the divergence
+    // window caveat in OPERATIONS.md §5.7).
+    cluster.kill(0).map_err(oc_client::ClientError::Io)?;
+    let replay = cluster.replace(0).map_err(oc_client::ClientError::Io)?;
+    eprintln!(
+        "loadgen[cluster-replace]: replayed {} lines from {} survivors ({} rejected)",
+        replay.replayed, replay.sources, replay.rejected
+    );
+
+    // The client still believes in generation 0 and the dead address.
+    // Its first contact trips on the dead member, probes a survivor's
+    // RING, and adopts the bumped generation before any mirror queues.
+    let mut cc = ClusterClient::connect(spec0, &stale_addrs, ClusterClientConfig::default())?;
+    let _ = cc.stats()?;
+    let second = FleetConfig {
+        first_tick: seg,
+        ticks: REPLACE_TICKS - seg,
+        fetch_stats: true,
+        ..first
+    };
+    let r2 = fleet::run_routed(&mut cc, &second)?;
+    let adoptions = cc.metrics().adoptions;
+    let mut report = r1;
+    report.merge(&r2);
+
+    // Coverage: with redundancy restored, every machine is resident on
+    // exactly two members (owner + replica), nowhere else.
+    let coverage = report.server.machines * 100 / (2 * REPLACE_MACHINES);
+
+    // The honest ledger, as in cluster-chaos: every machine's served
+    // prediction vs an offline recompute of its full 30-tick stream —
+    // now served partly by a process that was not alive for the first
+    // half of that stream.
+    let addrs = cluster.addrs();
+    report.lost = fleet::verify(
+        cluster.spec(),
+        &addrs,
+        &cluster.alive(),
+        "replace",
+        REPLACE_MACHINES,
+        REPLACE_TICKS,
+    )?;
+    let _ = cluster.shutdown();
+    Ok((report, adoptions, coverage))
 }
 
 /// cluster-1m: 1 000 000 simulated machines streamed across a
@@ -566,6 +655,22 @@ fn main() -> ExitCode {
                     &[("processes", 3), ("killed", 1)],
                 ));
 
+                // Cluster replacement phase: SIGKILL + same-slot replace
+                // with handoff replay; a stale-spec client must adopt
+                // the pushed generation on its own.
+                let (report, adoptions, coverage) = cluster_replace()?;
+                lost_total += report.lost;
+                phases.push(with_extras(
+                    phase_json("cluster-replace", &report),
+                    &[
+                        ("processes", 3),
+                        ("killed", 1),
+                        ("replaced", 1),
+                        ("adoptions", adoptions),
+                        ("mirror_coverage_pct", coverage),
+                    ],
+                ));
+
                 // Cluster fleet-scale phase: 1M machines across the ring.
                 let report = cluster_1m()?;
                 lost_total += report.lost;
@@ -606,7 +711,14 @@ fn main() -> ExitCode {
             "mirrored fleet over a 3-process consistent-hash ring with one member ",
             "SIGKILLed mid-run — lost counts machines whose served prediction is not ",
             "bit-identical to an offline recompute (state identity, not counter ",
-            "arithmetic); cluster-1m = 1000000 machines x 2 ticks across the same ring, ",
+            "arithmetic); cluster-replace = a 600-machine mirrored fleet with member 0 ",
+            "SIGKILLed mid-run and replaced into its ring slot (state replayed from the ",
+            "survivors' handoff logs, generation bumped and pushed via RINGSET) — the ",
+            "second half is driven by a ClusterClient still holding the generation-0 ",
+            "spec, which must auto-adopt the new ring (adoptions >= 1), and ",
+            "mirror_coverage_pct must be 100 (every machine resident on exactly owner + ",
+            "replica after redundancy is restored); cluster-1m = 1000000 machines x 2 ",
+            "ticks across the same ring, ",
             "unmirrored, server_machines proving full coverage. Cluster-phase latency ",
             "percentiles are recomputed from merged per-member histograms. busy counts ",
             "client-absorbed retries; reject_rate = busy/(ok+busy), retry_ratio = ",

@@ -27,6 +27,15 @@
 //! failed-over range is restored by replacing the member and adopting a
 //! generation-bumped [`RingSpec`], not by re-replication in place. See
 //! `docs/OPERATIONS.md` §5.6.
+//!
+//! Adoption is automatic: after a member death, after an all-members
+//! `not-mine` exhaustion, or when a member's `STATS` epoch word changes,
+//! the client probes a live member with `RING` and adopts the described
+//! membership when its *full 64-bit* generation is strictly newer and
+//! the address list is complete (`cluster.adoptions`). The packed epoch
+//! is only the change hint — generations 2^16 apart alias in it, so the
+//! epoch is compared as a whole word and never decides which ring is
+//! newer (PROTOCOL.md §7.3–7.4).
 
 use crate::client::{Client, ClientConfig};
 use crate::error::ClientError;
@@ -76,6 +85,9 @@ pub struct ClusterMetrics {
     pub mirror_drops: u64,
     /// Members marked dead after a terminal transport error.
     pub failovers: u64,
+    /// Newer ring descriptions adopted from a member's `RING` answer
+    /// (a replacement or resize the client discovered on its own).
+    pub adoptions: u64,
 }
 
 /// Handles into the process-wide registry mirroring [`ClusterMetrics`];
@@ -84,6 +96,7 @@ pub struct ClusterMetrics {
 struct GlobalCounters {
     redirects: Arc<Counter>,
     replica_replays: Arc<Counter>,
+    adoptions: Arc<Counter>,
 }
 
 impl GlobalCounters {
@@ -92,6 +105,7 @@ impl GlobalCounters {
         GlobalCounters {
             redirects: m.counter("cluster.redirects"),
             replica_replays: m.counter("cluster.replica_replays"),
+            adoptions: m.counter("cluster.adoptions"),
         }
     }
 }
@@ -105,6 +119,13 @@ pub struct ClusterClient {
     clients: Vec<Option<Client>>,
     /// Mirrors not yet written, per target member.
     pending: Vec<Vec<Request>>,
+    /// Each member's epoch word from its last `STATS` answer (`0` =
+    /// never seen). Compared as the *full word* — the low 16 bits alone
+    /// alias generations 2^16 apart.
+    last_epoch: Vec<u64>,
+    /// Re-entrancy guard: a probe triggered while another probe's
+    /// adoption is flushing must not recurse.
+    probing: bool,
     cfg: ClusterClientConfig,
     metrics: ClusterMetrics,
     global: GlobalCounters,
@@ -137,6 +158,8 @@ impl ClusterClient {
             alive: vec![true; spec.nodes],
             clients: (0..spec.nodes).map(|_| None).collect(),
             pending: vec![Vec::new(); spec.nodes],
+            last_epoch: vec![0; spec.nodes],
+            probing: false,
             cfg,
             metrics: ClusterMetrics::default(),
             global: GlobalCounters::new(),
@@ -174,6 +197,7 @@ impl ClusterClient {
         self.alive = vec![true; spec.nodes];
         self.clients = (0..spec.nodes).map(|_| None).collect();
         self.pending = vec![Vec::new(); spec.nodes];
+        self.last_epoch = vec![0; spec.nodes];
         Ok(())
     }
 
@@ -204,14 +228,19 @@ impl ClusterClient {
         self.metrics.failovers += 1;
         let dropped = std::mem::take(&mut self.pending[index]);
         self.metrics.mirror_drops += dropped.len() as u64;
-        let replayed: u64 = self.pending.iter().map(|q| q.len() as u64).sum();
-        if replayed > 0 {
-            self.metrics.replica_replays += replayed;
-            self.global.replica_replays.add(replayed);
-            // Flush failures cascade into further mark_dead calls;
-            // recursion depth is bounded by membership.
-            let _ = self.flush_mirrors();
+        let queued: u64 = self.pending.iter().map(|q| q.len() as u64).sum();
+        if queued > 0 {
+            // Only mirrors that actually reached their takeover target
+            // count as replays; a flush that fails (a second death,
+            // cascading into another mark_dead) records drops instead.
+            let mut delivered = 0u64;
+            let _ = self.flush_mirrors_inner(&mut delivered);
+            self.metrics.replica_replays += delivered;
+            self.global.replica_replays.add(delivered);
         }
+        // The supervisor may already have replaced the member under a
+        // bumped generation: ask a survivor before giving up on the slot.
+        self.probe_ring();
     }
 
     /// Writes every queued mirror to its (live) target. Called before
@@ -224,7 +253,20 @@ impl ClusterClient {
     /// mid-flush is marked dead (degrading redundancy, never losing
     /// owner-held data).
     pub fn flush_mirrors(&mut self) -> Result<(), ClientError> {
+        let mut delivered = 0u64;
+        self.flush_mirrors_inner(&mut delivered)
+    }
+
+    /// [`ClusterClient::flush_mirrors`], counting successfully written
+    /// mirrors into `delivered` so failover accounting can distinguish
+    /// replays that happened from replays that turned into drops.
+    fn flush_mirrors_inner(&mut self, delivered: &mut u64) -> Result<(), ClientError> {
         for index in 0..self.pending.len() {
+            // A cascading mark_dead can probe and adopt a new membership
+            // mid-flush, swapping the queues out from under this loop.
+            if index >= self.pending.len() {
+                break;
+            }
             if self.pending[index].is_empty() {
                 continue;
             }
@@ -237,17 +279,81 @@ impl ClusterClient {
             let outcome = self
                 .client(index)
                 .and_then(|c| c.pipeline_with(&batch, |_, _, _| {}));
-            if let Err(e) = outcome {
-                match e {
+            match outcome {
+                Ok(()) => *delivered += batch.len() as u64,
+                Err(e) => match e {
                     ClientError::Io(_) | ClientError::Exhausted { .. } => {
                         self.metrics.mirror_drops += batch.len() as u64;
                         self.mark_dead(index);
                     }
                     other => return Err(other),
-                }
+                },
             }
         }
         Ok(())
+    }
+
+    /// Asks a live member for the current `RING` description and adopts
+    /// it when its full 64-bit generation is strictly newer than the
+    /// local ring's **and** the address list is complete. Returns
+    /// whether a new membership was adopted. Probe transport errors are
+    /// swallowed — the next data-plane call rediscovers them.
+    fn probe_ring(&mut self) -> bool {
+        if self.probing {
+            return false;
+        }
+        self.probing = true;
+        let adopted = self.probe_ring_inner();
+        self.probing = false;
+        if adopted {
+            self.metrics.adoptions += 1;
+            self.global.adoptions.inc();
+        }
+        adopted
+    }
+
+    fn probe_ring_inner(&mut self) -> bool {
+        for index in 0..self.alive.len() {
+            if !self.alive[index] {
+                continue;
+            }
+            let resp = match self.client(index).and_then(|c| c.request(&Request::Ring)) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            let Response::Ring {
+                nodes,
+                vnodes,
+                seed,
+                generation,
+                addrs,
+                ..
+            } = resp
+            else {
+                // Standalone servers answer ERR; nothing to adopt.
+                continue;
+            };
+            if generation <= self.ring.spec().generation {
+                // The cluster is on our ring (or this member lags);
+                // adopting would only repeat the current state.
+                return false;
+            }
+            if nodes == 0 || vnodes == 0 || addrs.len() != nodes as usize {
+                // A newer ring whose membership is not fully known yet;
+                // maybe another member has the complete description.
+                continue;
+            }
+            let parsed: Option<Vec<SocketAddr>> = addrs.iter().map(|a| a.parse().ok()).collect();
+            let Some(parsed) = parsed else { continue };
+            let spec = RingSpec {
+                nodes: nodes as usize,
+                vnodes: vnodes as usize,
+                seed,
+                generation,
+            };
+            return self.adopt(spec, &parsed).is_ok();
+        }
+        false
     }
 
     /// Queues a mirror of `req` for member `target`, flushing when the
@@ -310,7 +416,13 @@ impl ClusterClient {
             }
             if redirected {
                 // Every live member redirected: the ring disagrees with
-                // the servers' ownership maps (stale spec).
+                // the servers' ownership maps (stale spec). If the
+                // members serve a newer generation, adopt it and retry;
+                // a second full redirect round cannot adopt again (the
+                // generation is no longer newer) and exhausts below.
+                if self.probe_ring() {
+                    continue;
+                }
                 return Err(ClientError::Exhausted {
                     attempts: 0,
                     last: "every live member answered not-mine; re-resolve the ring".to_string(),
@@ -423,17 +535,32 @@ impl ClusterClient {
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         self.flush_mirrors()?;
         let mut merged = StatsSnapshot::default();
+        let mut ring_changed = false;
         for index in 0..self.alive.len() {
             if !self.alive[index] {
                 continue;
             }
             match self.client(index).and_then(|c| c.stats()) {
-                Ok(s) => merged.merge(&s),
+                Ok(s) => {
+                    // Full-word comparison only: the low 16 bits alias
+                    // generations 2^16 apart (see `pack_epoch`), and the
+                    // word orders nothing — it is a change *hint* whose
+                    // follow-up is an authoritative `RING` probe.
+                    let seen = self.last_epoch[index];
+                    if s.epoch != 0 && seen != 0 && s.epoch != seen {
+                        ring_changed = true;
+                    }
+                    self.last_epoch[index] = s.epoch;
+                    merged.merge(&s);
+                }
                 Err(ClientError::Io(_)) | Err(ClientError::Exhausted { .. }) => {
                     self.mark_dead(index);
                 }
                 Err(other) => return Err(other),
             }
+        }
+        if ring_changed {
+            self.probe_ring();
         }
         Ok(merged)
     }
@@ -578,6 +705,124 @@ mod tests {
             ClusterClient::connect(spec, &addrs, ClusterClientConfig::default()).expect("connect");
         cc.observe(&cell, m, task, 0.3, 0.5, 1).expect("routed");
         assert_eq!(cc.metrics().redirects, 0);
+    }
+
+    /// Satellite regression: when the failover flush itself fails (a
+    /// second member dies before the takeover target is reachable),
+    /// nothing was replayed — the queued mirrors are drops, and
+    /// `replica_replays` must stay untouched. The pre-fix code counted
+    /// every queued mirror as a replay *before* attempting the flush.
+    #[test]
+    fn cascading_deaths_count_drops_not_replays() {
+        let (spec, mut servers, addrs) = ring_servers(3);
+        let ring = spec.build();
+        let mut cc =
+            ClusterClient::connect(spec, &addrs, ClusterClientConfig::default()).expect("connect");
+        let (cell, _) = fleet_of(1);
+        let task = TaskId::new(JobId(7), 0);
+        let all = vec![true; 3];
+        // Machines owned by member 0 queue mirrors for members 1 and 2;
+        // a machine owned by 1 with replica 0 trips the first death and
+        // still has a live home afterwards.
+        let mut owned0 = Vec::new();
+        let mut trip = None;
+        for m in (0..600).map(MachineId) {
+            let h = key_hash(&(cell.clone(), m));
+            match ring.routes(h, &all) {
+                (Some(0), _) if owned0.len() < 40 => owned0.push(m),
+                (Some(1), Some(0)) if trip.is_none() => trip = Some(m),
+                _ => {}
+            }
+        }
+        let trip = trip.expect("some machine routes (1, 0)");
+        for &m in &owned0 {
+            cc.observe(&cell, m, task, 0.3, 0.5, 0).expect("observe");
+        }
+        let q1 = cc.pending[1].len() as u64;
+        let q2 = cc.pending[2].len() as u64;
+        assert!(q1 > 0 && q2 > 0, "both targets should hold queued mirrors");
+        assert!(cc.pending[0].is_empty(), "member 0 is never its own mirror");
+        // Kill members 1 and 2 out from under the client.
+        servers.remove(2).shutdown();
+        servers.remove(1).shutdown();
+        // The send to member 1 fails; the failover flush then finds
+        // member 2 dead too. Nothing was delivered anywhere.
+        cc.observe(&cell, trip, task, 0.3, 0.5, 1)
+            .expect("failover observe via the replica");
+        let m = cc.metrics();
+        assert_eq!(m.replica_replays, 0, "undelivered mirrors are not replays");
+        assert_eq!(m.mirror_drops, q1 + q2);
+        assert_eq!(m.failovers, 2);
+        assert!(!cc.alive()[1] && !cc.alive()[2]);
+        servers.remove(0).shutdown();
+    }
+
+    /// An epoch-word change in `STATS` (the change hint) makes the
+    /// client probe `RING` and adopt the newer generation on its own —
+    /// no operator `adopt` call.
+    #[test]
+    fn epoch_change_triggers_ring_adoption() {
+        use oc_serve::config::{OwnershipFactory, RingInfo};
+        let spec = RingSpec::new(3);
+        let servers: Vec<Server> = (0..3)
+            .map(|i| {
+                let factory = OwnershipFactory::new(move |n, v, s| {
+                    if i >= n {
+                        return None;
+                    }
+                    let spec = RingSpec {
+                        nodes: n,
+                        vnodes: v,
+                        seed: s,
+                        generation: 0,
+                    };
+                    Some(spec.build().ownership_for(i))
+                });
+                let cfg = ServeConfig::default()
+                    .with_addr("127.0.0.1:0")
+                    .with_shards(1)
+                    .with_ownership(spec.build().ownership_for(i))
+                    .with_ring_info(RingInfo {
+                        nodes: spec.nodes,
+                        vnodes: spec.vnodes,
+                        seed: spec.seed,
+                    })
+                    .with_ownership_factory(factory);
+                Server::start(cfg).expect("server starts")
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+        let mut cc =
+            ClusterClient::connect(spec, &addrs, ClusterClientConfig::default()).expect("connect");
+        cc.stats().expect("stats records per-member epochs");
+        assert_eq!(cc.metrics().adoptions, 0);
+        // Supervisor-style push: generation 1 with the full address list;
+        // every member re-stamps its epoch word.
+        let addr_strings: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+        for &addr in &addrs {
+            let mut direct = Client::connect(addr, ClientConfig::default()).expect("connect");
+            let resp = direct
+                .request(&Request::RingSet {
+                    nodes: 3,
+                    vnodes: spec.vnodes as u64,
+                    seed: spec.seed,
+                    generation: 1,
+                    addrs: addr_strings.clone(),
+                })
+                .expect("ringset");
+            assert!(matches!(resp, Response::Ok), "RINGSET answered {resp:?}");
+        }
+        cc.stats().expect("stats sees the epoch change");
+        assert_eq!(cc.metrics().adoptions, 1, "one auto-adoption");
+        assert!(cc.alive().iter().all(|a| *a));
+        // The data plane still routes under the adopted ring.
+        let (cell, _) = fleet_of(1);
+        let task = TaskId::new(JobId(9), 0);
+        cc.observe(&cell, MachineId(0), task, 0.3, 0.5, 1)
+            .expect("observe after adoption");
+        for s in servers {
+            s.shutdown();
+        }
     }
 
     #[test]

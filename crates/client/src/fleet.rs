@@ -14,6 +14,7 @@
 //! strongest form of the `lost == 0` ledger.
 
 use crate::client::{Client, ClientConfig};
+use crate::cluster::ClusterClient;
 use crate::error::ClientError;
 use crate::loadgen::{report_histogram, LoadReport, LATENCY_HIST_HI_US, SETUP_HIST_HI_US};
 use oc_cluster::RingSpec;
@@ -318,6 +319,60 @@ pub fn run(
     Ok(merged)
 }
 
+/// Drives the fleet through one [`ClusterClient`] — every sample routed
+/// per-key with failover, mirroring, and ring auto-adoption live, the
+/// path an application's writes take. (The planned [`run`] measures raw
+/// member throughput over precomputed per-member streams instead.) The
+/// `cluster-replace` bench phase uses this for its post-replacement
+/// segment, where the client starts on a stale generation and must
+/// adopt the pushed ring on its own.
+///
+/// `cfg.mirror`, `cfg.batch`, and `cfg.window` are ignored here: the
+/// client's own [`ClusterClientConfig`](crate::cluster::ClusterClientConfig)
+/// governs mirroring, and routed sends are strictly request-response.
+///
+/// # Errors
+///
+/// Routing exhaustion and non-transport failures. Individual member
+/// deaths are absorbed as failovers, visible in `cc.metrics()`.
+pub fn run_routed(cc: &mut ClusterClient, cfg: &FleetConfig) -> Result<LoadReport, ClientError> {
+    let cell = CellId::new(cfg.cell.clone());
+    let task = fleet_task();
+    let mut report = empty_report();
+    report.connections = 1;
+    let total = cfg.machines * cfg.ticks;
+    let mut latencies: Vec<f64> = Vec::with_capacity(total as usize);
+    let start = Instant::now();
+    for m in 0..cfg.machines {
+        let machine = MachineId(m as u32);
+        for t in cfg.first_tick..cfg.first_tick + cfg.ticks {
+            let sent_at = Instant::now();
+            cc.observe(&cell, machine, task, fleet_usage(m, t), FLEET_LIMIT, t)?;
+            latencies.push(sent_at.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    cc.flush_mirrors()?;
+    report.wall_secs = start.elapsed().as_secs_f64();
+    report.sent = total;
+    report.ok = total;
+    report.acked_observes = total;
+    report.latency = report_histogram(&latencies, LATENCY_HIST_HI_US);
+    report.p50_us = report.latency.quantile(50.0);
+    report.p99_us = report.latency.quantile(99.0);
+    report.max_us = report.latency.max_or_zero();
+    report.achieved_qps = if report.wall_secs > 0.0 {
+        total as f64 / report.wall_secs
+    } else {
+        0.0
+    };
+    if cfg.fetch_stats {
+        report.server = cc.stats()?;
+        let accounted = report.server.observes + report.server.stale + report.server.errors;
+        report.lost = report.acked_observes.saturating_sub(accounted);
+    }
+    Ok(report)
+}
+
 /// Proves served-vs-offline final-state identity: for every machine,
 /// the prediction served by its current live owner must be bit-identical
 /// to an offline recompute over the machine's full sample stream
@@ -424,6 +479,30 @@ mod tests {
         // Owner + replica each ingested every machine's stream.
         assert_eq!(report.server.observes, 60 * 10 * 2);
         let mismatches = verify(spec, &addrs, &alive, "fleet", 60, 10).expect("verify");
+        assert_eq!(mismatches, 0);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn routed_drive_matches_offline_recompute() {
+        let (spec, servers, addrs) = ring_servers(3);
+        let mut cc =
+            ClusterClient::connect(spec, &addrs, crate::cluster::ClusterClientConfig::default())
+                .expect("connect");
+        let cfg = FleetConfig {
+            machines: 40,
+            ticks: 8,
+            ..FleetConfig::default()
+        };
+        let report = run_routed(&mut cc, &cfg).expect("routed run");
+        assert_eq!(report.ok, report.sent);
+        assert_eq!(report.lost, 0);
+        // Owner + mirrored replica each ingested every machine's stream.
+        assert_eq!(report.server.observes, 40 * 8 * 2);
+        assert_eq!(cc.metrics().redirects, 0);
+        let mismatches = verify(spec, &addrs, &[true; 3], "fleet", 40, 8).expect("verify");
         assert_eq!(mismatches, 0);
         for s in servers {
             s.shutdown();

@@ -6,7 +6,10 @@
 //! `METRICS`, `SHUTDOWN`, and the occasional probe — where a connection
 //! per request is simpler than a pool and the cost is irrelevant.
 
+use crate::ring::RingSpec;
 use oc_serve::proto::{Request, Response, StatsSnapshot};
+use oc_serve::shard::key_hash;
+use oc_trace::ids::{CellId, MachineId};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -80,4 +83,233 @@ pub fn shutdown(addr: SocketAddr) -> io::Result<()> {
         Response::Ok => Ok(()),
         other => Err(proto_err(format_args!("expected OK, got {other:?}"))),
     }
+}
+
+/// A member's answer to `RING`: the ring description it currently
+/// serves, with the full 64-bit generation (the packed `epoch` only
+/// carries the low 16 bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingDesc {
+    /// Ring member count.
+    pub nodes: u64,
+    /// Virtual nodes per member.
+    pub vnodes: u64,
+    /// Placement seed.
+    pub seed: u64,
+    /// Full ring generation.
+    pub generation: u64,
+    /// The member's packed epoch at answer time.
+    pub epoch: u64,
+    /// Member data-plane addresses by ring index (empty until the
+    /// supervisor pushed them).
+    pub addrs: Vec<String>,
+}
+
+impl RingDesc {
+    /// The [`RingSpec`] this description names.
+    pub fn spec(&self) -> RingSpec {
+        RingSpec {
+            nodes: self.nodes as usize,
+            vnodes: self.vnodes as usize,
+            seed: self.seed,
+            generation: self.generation,
+        }
+    }
+}
+
+/// Fetches a member's current ring description (`RING`).
+///
+/// # Errors
+///
+/// Propagates [`request`] failures; `InvalidData` for a non-`RING`
+/// answer (including the `ERR internal` a standalone server gives).
+pub fn ring(addr: SocketAddr) -> io::Result<RingDesc> {
+    match request(addr, &Request::Ring)? {
+        Response::Ring {
+            nodes,
+            vnodes,
+            seed,
+            generation,
+            epoch,
+            addrs,
+        } => Ok(RingDesc {
+            nodes,
+            vnodes,
+            seed,
+            generation,
+            epoch,
+            addrs,
+        }),
+        other => Err(proto_err(format_args!("expected RING, got {other:?}"))),
+    }
+}
+
+/// Pushes a ring description to a member (`RINGSET`): the member
+/// rebuilds its ownership for the new geometry, re-stamps its epoch
+/// with `spec.generation`, and starts answering `RING` with it.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures; `InvalidData` for a non-`OK` answer
+/// (e.g. `ERR stale` for a generation behind the installed one).
+pub fn ring_set(addr: SocketAddr, spec: &RingSpec, addrs: &[String]) -> io::Result<()> {
+    let req = Request::RingSet {
+        nodes: spec.nodes as u64,
+        vnodes: spec.vnodes as u64,
+        seed: spec.seed,
+        generation: spec.generation,
+        addrs: addrs.to_vec(),
+    };
+    match request(addr, &req)? {
+        Response::Ok => Ok(()),
+        other => Err(proto_err(format_args!("expected OK, got {other:?}"))),
+    }
+}
+
+/// One replayable sample from a `HANDOFF` dump: the verbatim wire line
+/// (replayed as-is, so float formatting round-trips bit-identically)
+/// plus its parsed machine identity for per-machine grouping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoffLine {
+    /// The raw `OBSERVE` line, without its terminator.
+    pub line: String,
+    /// Owning cell name.
+    pub cell: String,
+    /// Machine id within the cell.
+    pub machine: u32,
+}
+
+impl HandoffLine {
+    /// The routing hash of this sample's machine — the same
+    /// [`key_hash`] the ring and the servers use.
+    pub fn key_hash(&self) -> u64 {
+        key_hash(&(CellId::new(&self.cell), MachineId(self.machine)))
+    }
+}
+
+fn parse_handoff_line(raw: &str) -> io::Result<HandoffLine> {
+    let mut toks = raw.split_ascii_whitespace();
+    match (
+        toks.next(),
+        toks.next(),
+        toks.next().and_then(|m| m.parse::<u32>().ok()),
+    ) {
+        (Some("OBSERVE"), Some(cell), Some(machine)) => Ok(HandoffLine {
+            line: raw.to_string(),
+            cell: cell.to_string(),
+            machine,
+        }),
+        _ => Err(proto_err(format_args!(
+            "handoff dump line is not an OBSERVE: {raw:?}"
+        ))),
+    }
+}
+
+/// Fetches a member's handoff sample log (`HANDOFF`): the `HANDOFF <n>`
+/// header followed by `n` `OBSERVE` lines in original arrival order.
+///
+/// # Errors
+///
+/// I/O errors (including a dump truncated mid-stream) and `InvalidData`
+/// for a malformed header or a non-`OBSERVE` dump line — including the
+/// `ERR internal` a member with the log disabled answers.
+pub fn handoff(addr: SocketAddr) -> io::Result<Vec<HandoffLine>> {
+    let stream = TcpStream::connect_timeout(&addr, CONTROL_TIMEOUT)?;
+    stream.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONTROL_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"HANDOFF\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed before answering",
+        ));
+    }
+    let header = line.trim_end();
+    let Some(n) = header
+        .strip_prefix("HANDOFF ")
+        .and_then(|s| s.parse::<usize>().ok())
+    else {
+        return Err(proto_err(format_args!(
+            "expected 'HANDOFF <n>', got {header:?}"
+        )));
+    };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("handoff dump truncated at line {i}/{n}"),
+            ));
+        }
+        out.push(parse_handoff_line(line.trim_end())?);
+    }
+    Ok(out)
+}
+
+/// Pipelines raw request `lines` to `addr` in bounded windows, reading
+/// one response per line — the state-rebuild replay primitive. `BUSY`
+/// lines are retried until accepted; `ERR` answers (e.g. `not-mine` for
+/// keys outside the target's slots) count as rejected, not failures.
+/// Returns `(acknowledged, rejected)`.
+///
+/// # Errors
+///
+/// I/O errors and `InvalidData` for an unparseable or non-request
+/// response line.
+pub fn drive_lines(addr: SocketAddr, lines: &[String]) -> io::Result<(u64, u64)> {
+    /// Lines in flight per window: bounds both peers' buffered bytes so
+    /// neither side can deadlock on a full TCP window.
+    const WINDOW: usize = 512;
+    if lines.is_empty() {
+        return Ok((0, 0));
+    }
+    let stream = TcpStream::connect_timeout(&addr, CONTROL_TIMEOUT)?;
+    stream.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONTROL_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut acknowledged = 0u64;
+    let mut rejected = 0u64;
+    let mut pending: Vec<&String> = lines.iter().collect();
+    let mut frame = String::new();
+    let mut resp = String::new();
+    while !pending.is_empty() {
+        let mut retry = Vec::new();
+        for window in pending.chunks(WINDOW) {
+            frame.clear();
+            for line in window {
+                frame.push_str(line);
+                frame.push('\n');
+            }
+            writer.write_all(frame.as_bytes())?;
+            writer.flush()?;
+            for line in window {
+                resp.clear();
+                if reader.read_line(&mut resp)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-replay",
+                    ));
+                }
+                match Response::parse(resp.trim_end()).map_err(proto_err)? {
+                    Response::Ok => acknowledged += 1,
+                    Response::Busy => retry.push(*line),
+                    Response::Err { .. } => rejected += 1,
+                    other => {
+                        return Err(proto_err(format_args!("replay answered {other:?}")));
+                    }
+                }
+            }
+        }
+        if !retry.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pending = retry;
+    }
+    Ok((acknowledged, rejected))
 }

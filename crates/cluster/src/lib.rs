@@ -38,7 +38,7 @@ pub mod supervisor;
 
 pub use aggregator::Aggregator;
 pub use ring::{HashRing, RingSpec, DEFAULT_SEED, DEFAULT_VNODES};
-pub use supervisor::{Cluster, ClusterConfig};
+pub use supervisor::{Cluster, ClusterConfig, ReplayReport};
 
 /// If this process was launched as a cluster member (`--cluster-node`,
 /// the supervisor's child convention), runs the member to completion

@@ -15,7 +15,7 @@
 //! [`OwnershipMap`]: oc_serve::config::OwnershipMap
 
 use crate::ring::RingSpec;
-use oc_serve::config::ServeConfig;
+use oc_serve::config::{OwnershipFactory, RingInfo, ServeConfig};
 use oc_serve::server::Server;
 use std::io::Write;
 
@@ -36,6 +36,11 @@ pub struct NodeArgs {
     /// Override for `sim.max_num_samples` (the per-task history window)
     /// — fleet-scale runs shrink it to bound per-machine memory.
     pub history_samples: Option<usize>,
+    /// Whether the member keeps the handoff sample log that
+    /// `Cluster::replace`/`Cluster::resize` rebuild state from. Costs
+    /// memory proportional to ingested samples; fleet-scale memory
+    /// diets turn it off (losing online replacement).
+    pub handoff_log: bool,
 }
 
 impl NodeArgs {
@@ -64,6 +69,9 @@ impl NodeArgs {
             out.push("--history-samples".into());
             out.push(h.to_string());
         }
+        if self.handoff_log {
+            out.push("--handoff-log".into());
+        }
         out
     }
 
@@ -80,6 +88,7 @@ impl NodeArgs {
         let mut queue_depth = 4096usize;
         let mut max_connections = 1024usize;
         let mut history_samples = None;
+        let mut handoff_log = false;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut val = |flag: &str| {
@@ -106,6 +115,7 @@ impl NodeArgs {
                 "--history-samples" => {
                     history_samples = Some(num!("--history-samples", usize));
                 }
+                "--handoff-log" => handoff_log = true,
                 other => return Err(format!("unknown node flag {other}")),
             }
         }
@@ -122,6 +132,7 @@ impl NodeArgs {
             queue_depth,
             max_connections,
             history_samples,
+            handoff_log,
         })
     }
 
@@ -129,13 +140,37 @@ impl NodeArgs {
     /// generation into the epoch, ephemeral local port.
     pub fn serve_config(&self) -> ServeConfig {
         let ring = self.spec.build();
+        // The factory lets a `RINGSET` push rebuild ownership for a new
+        // geometry online: this member's identity is its ring index, so
+        // any pushed (nodes, vnodes, seed) resolves to the index's slots
+        // — or to no slot at all once the ring shrinks past it.
+        let index = self.index;
+        let factory = OwnershipFactory::new(move |nodes, vnodes, seed| {
+            if index >= nodes {
+                return None;
+            }
+            let spec = RingSpec {
+                nodes,
+                vnodes,
+                seed,
+                generation: 0,
+            };
+            Some(spec.build().ownership_for(index))
+        });
         let mut cfg = ServeConfig::default()
             .with_addr("127.0.0.1:0")
             .with_shards(self.shards)
             .with_queue_depth(self.queue_depth)
             .with_max_connections(self.max_connections)
             .with_ownership(ring.ownership_for(self.index))
-            .with_ring_generation(self.spec.generation);
+            .with_ring_generation(self.spec.generation)
+            .with_ring_info(RingInfo {
+                nodes: self.spec.nodes,
+                vnodes: self.spec.vnodes,
+                seed: self.spec.seed,
+            })
+            .with_ownership_factory(factory)
+            .with_handoff_log(self.handoff_log);
         if let Some(h) = self.history_samples {
             cfg.sim.max_num_samples = h.max(1);
             cfg.sim.min_num_samples = cfg.sim.min_num_samples.min(cfg.sim.max_num_samples);
@@ -192,6 +227,7 @@ mod tests {
             queue_depth: 256,
             max_connections: 64,
             history_samples: Some(12),
+            handoff_log: true,
         };
         let back = NodeArgs::parse(&args.to_args()).unwrap();
         assert_eq!(back.spec, args.spec);
@@ -200,6 +236,7 @@ mod tests {
         assert_eq!(back.queue_depth, args.queue_depth);
         assert_eq!(back.max_connections, args.max_connections);
         assert_eq!(back.history_samples, args.history_samples);
+        assert_eq!(back.handoff_log, args.handoff_log);
     }
 
     #[test]

@@ -224,6 +224,50 @@ pub fn run() -> Result<(), String> {
         merged.observes, merged.machines
     );
 
+    // Replace the killed member into its slot: state rebuilt from the
+    // survivors' handoff logs, generation bumped, ring pushed.
+    let report = cluster.replace(0).map_err(|e| format!("replace: {e}"))?;
+    if report.replayed == 0 {
+        return Err("replace replayed no samples".to_string());
+    }
+    let addrs = cluster.addrs(); // slot 0 has a fresh address
+    let s0 = control::stats(addrs[0]).map_err(|e| format!("stats replaced: {e}"))?;
+    if epoch_ring_generation(s0.epoch) != 1 {
+        return Err(format!(
+            "replaced member should stamp ring generation 1, epoch {:#x}",
+            s0.epoch
+        ));
+    }
+    // The replaced member serves its original ranges bit-identically.
+    let mut back_home = 0u64;
+    for m in 0..MACHINES {
+        if owner_of[m as usize] != 0 {
+            continue;
+        }
+        back_home += 1;
+        let got = predict(addrs[0], &cell, m)?;
+        if got.to_bits() != expected[m as usize].to_bits() {
+            return Err(format!(
+                "machine {m}: prediction diverged after replace ({got} != {})",
+                expected[m as usize]
+            ));
+        }
+    }
+    if back_home == 0 {
+        return Err("member 0 owned no machines; replace proves nothing".to_string());
+    }
+    // Any member answers RING with the bumped description — what
+    // clients auto-adopt from.
+    let desc = control::ring(addrs[1]).map_err(|e| format!("ring: {e}"))?;
+    if desc.generation != 1 || desc.addrs.len() != 3 {
+        return Err(format!("unexpected RING answer: {desc:?}"));
+    }
+    println!(
+        "smoke: replaced member 0 (replayed {} from {} survivors); \
+         {back_home} machines served bit-identically at generation 1",
+        report.replayed, report.sources
+    );
+
     cluster.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     println!("smoke: PASS");
     Ok(())

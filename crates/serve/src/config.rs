@@ -118,6 +118,51 @@ impl std::fmt::Debug for OwnershipMap {
     }
 }
 
+/// Rebuilds this process's [`OwnershipMap`] for a new ring geometry —
+/// the hook the online `RINGSET` verb needs so a member can adopt a
+/// pushed ring without restarting, while `oc-serve` itself stays
+/// ring-agnostic (`oc-cluster` installs a factory that hashes the new
+/// spec; the factory closure captures which ring index this process is).
+///
+/// Called with `(nodes, vnodes, seed)` of the pushed ring. Returns
+/// `None` when this process holds no slot under the new geometry (its
+/// index is outside `0..nodes`), which makes the member reject the push.
+#[derive(Clone)]
+pub struct OwnershipFactory(Arc<dyn Fn(usize, usize, u64) -> Option<OwnershipMap> + Send + Sync>);
+
+impl OwnershipFactory {
+    /// Wraps a `(nodes, vnodes, seed) -> OwnershipMap` builder.
+    pub fn new(
+        f: impl Fn(usize, usize, u64) -> Option<OwnershipMap> + Send + Sync + 'static,
+    ) -> OwnershipFactory {
+        OwnershipFactory(Arc::new(f))
+    }
+
+    /// Builds the ownership map for a pushed ring geometry.
+    pub fn build(&self, nodes: usize, vnodes: usize, seed: u64) -> Option<OwnershipMap> {
+        (self.0)(nodes, vnodes, seed)
+    }
+}
+
+impl std::fmt::Debug for OwnershipFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OwnershipFactory(..)")
+    }
+}
+
+/// Static ring geometry a clustered member reports through the `RING`
+/// verb (the generation lives in [`ServeConfig::ring_generation`] and is
+/// updated online by `RINGSET`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingInfo {
+    /// Ring member count.
+    pub nodes: usize,
+    /// Virtual nodes per member.
+    pub vnodes: usize,
+    /// Ring hash seed.
+    pub seed: u64,
+}
+
 /// Configuration of one [`crate::server::Server`].
 ///
 /// # Examples
@@ -170,8 +215,22 @@ pub struct ServeConfig {
     pub ownership: Option<OwnershipMap>,
     /// Cluster ring generation folded into the server's `epoch` stamp
     /// (see [`crate::proto::pack_epoch`]); bump it when the ring that
-    /// produced [`ServeConfig::ownership`] changes.
+    /// produced [`ServeConfig::ownership`] changes. Updated online when
+    /// a supervisor pushes `RINGSET`.
     pub ring_generation: u64,
+    /// Ring geometry reported by the `RING` verb; `None` (standalone)
+    /// makes `RING` answer `ERR internal`.
+    pub ring_info: Option<RingInfo>,
+    /// Rebuilds [`ServeConfig::ownership`] when a `RINGSET` push changes
+    /// the ring geometry. Without a factory, a member with an ownership
+    /// map rejects geometry changes (it could not classify keys under
+    /// the new ring).
+    pub ownership_factory: Option<OwnershipFactory>,
+    /// Record every successfully ingested sample in a per-shard handoff
+    /// log, dumpable via the `HANDOFF` verb — the state-transfer source
+    /// for member replacement. Memory grows with total ingested samples,
+    /// so fleet-scale runs (e.g. the million-machine bench) leave it off.
+    pub handoff_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -194,6 +253,9 @@ impl Default for ServeConfig {
             reactor_threads: 0,
             ownership: None,
             ring_generation: 0,
+            ring_info: None,
+            ownership_factory: None,
+            handoff_log: false,
         }
     }
 }
@@ -280,6 +342,24 @@ impl ServeConfig {
     /// Sets the ring generation stamped into the server's `epoch`.
     pub fn with_ring_generation(mut self, generation: u64) -> Self {
         self.ring_generation = generation;
+        self
+    }
+
+    /// Sets the ring geometry reported by the `RING` verb.
+    pub fn with_ring_info(mut self, info: RingInfo) -> Self {
+        self.ring_info = Some(info);
+        self
+    }
+
+    /// Installs the ownership rebuild hook for `RINGSET` pushes.
+    pub fn with_ownership_factory(mut self, factory: OwnershipFactory) -> Self {
+        self.ownership_factory = Some(factory);
+        self
+    }
+
+    /// Enables the per-shard handoff sample log (`HANDOFF` verb).
+    pub fn with_handoff_log(mut self, enabled: bool) -> Self {
+        self.handoff_log = enabled;
         self
     }
 

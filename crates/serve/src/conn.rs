@@ -143,8 +143,17 @@ pub(crate) struct ConnState {
     /// Last observed routing key and its shard. A connection almost
     /// always streams samples for one machine (the node-agent shape), so
     /// this memo replaces the per-line routing hash with an equality
-    /// check.
+    /// check. (Ring changes never invalidate it: shard routing is
+    /// `key_hash % shards`, independent of the cluster ring.)
     route_memo: Option<(crate::shard::MachineKey, usize)>,
+    /// Ring version the cached [`ConnState::ownership`] map was cloned
+    /// at; `u64::MAX` forces the first line to snapshot. Re-snapshotted
+    /// whenever the server's version moves (a `RINGSET` landed), so the
+    /// observe hot path pays one atomic load — not a lock — per line.
+    own_version: u64,
+    /// Cached clone of the server's live ownership map (`None` =
+    /// standalone: own every key).
+    ownership: Option<crate::config::OwnershipMap>,
 }
 
 impl ConnState {
@@ -156,7 +165,28 @@ impl ConnState {
             chunk_shard: 0,
             batch_left: 0,
             route_memo: None,
+            own_version: u64::MAX,
+            ownership: None,
         }
+    }
+}
+
+/// This connection's role check for `key`, served from the cached
+/// ownership map (refreshed when a `RINGSET` bumps the ring version).
+fn cached_role(
+    state: &mut ConnState,
+    shared: &Shared,
+    key: &crate::shard::MachineKey,
+) -> crate::config::KeyRole {
+    let version = crate::server::ring_version(shared);
+    if state.own_version != version {
+        let (v, map) = crate::server::ownership_snapshot(shared);
+        state.own_version = v;
+        state.ownership = map;
+    }
+    match &state.ownership {
+        Some(map) => map.role_of(crate::shard::key_hash(key)),
+        None => crate::config::KeyRole::Owner,
     }
 }
 
@@ -333,7 +363,7 @@ pub(crate) fn process_line<W: Write>(
             // Owners ingest their own keys; replicas ingest the mirrored
             // stream. A key owned elsewhere is redirected — after the
             // pending chunk flushes, so responses stay in request order.
-            if crate::server::role_of(shared, &key) == crate::config::KeyRole::Remote {
+            if cached_role(state, shared, &key) == crate::config::KeyRole::Remote {
                 flush_chunk(state, writer, pool, shared)?;
                 let resp = crate::server::not_mine(shared);
                 write_resp(writer, &mut state.out, &resp)?;
@@ -365,18 +395,73 @@ pub(crate) fn process_line<W: Write>(
             state.chunk.len = slot + 1;
             Ok(true)
         }
-        Ok(req @ (Request::Stats | Request::Metrics | Request::Shutdown)) if in_batch => {
+        Ok(
+            req @ (Request::Stats
+            | Request::Metrics
+            | Request::Shutdown
+            | Request::Ring
+            | Request::RingSet { .. }
+            | Request::Handoff),
+        ) if in_batch => {
             // Control verbs are not batchable: one per-sub-request parse
             // error, and the rest of the frame proceeds normally.
+            // (HANDOFF's multi-line dump would break BATCHR framing.)
             flush_chunk(state, writer, pool, shared)?;
             shared.parse_errors.inc();
             let verb = match req {
                 Request::Stats => "STATS",
                 Request::Metrics => "METRICS",
+                Request::Ring => "RING",
+                Request::RingSet { .. } => "RINGSET",
+                Request::Handoff => "HANDOFF",
                 _ => "SHUTDOWN",
             };
             let resp = parse_err(&format_args!("{verb} is not allowed inside BATCH"));
             write_resp(writer, &mut state.out, &resp)?;
+            Ok(true)
+        }
+        Ok(Request::Handoff) => {
+            shared.requests.handoff.inc();
+            // The pending chunk flushes first so the dump reflects every
+            // sample this connection already had acknowledged.
+            flush_chunk(state, writer, pool, shared)?;
+            if !shared.cfg.handoff_log {
+                let resp = Response::Err {
+                    code: ErrCode::Internal,
+                    detail: "handoff log disabled on this server".to_string(),
+                };
+                write_resp(writer, &mut state.out, &resp)?;
+                return Ok(true);
+            }
+            match crate::server::collect_handoff(pool) {
+                Ok(entries) => {
+                    // `HANDOFF <n>` header, then n OBSERVE lines in
+                    // original arrival order — the dump replays verbatim
+                    // through any ingest path.
+                    state.out.clear();
+                    state.out.extend_from_slice(b"HANDOFF ");
+                    state
+                        .out
+                        .extend_from_slice(entries.len().to_string().as_bytes());
+                    state.out.push(b'\n');
+                    writer.write_all(&state.out)?;
+                    for e in entries {
+                        let req = Request::Observe {
+                            cell: e.key.0,
+                            machine: e.key.1,
+                            task: e.task,
+                            usage: e.usage,
+                            limit: e.limit,
+                            tick: e.tick.0,
+                        };
+                        state.out.clear();
+                        req.encode_into(&mut state.out);
+                        state.out.push(b'\n');
+                        writer.write_all(&state.out)?;
+                    }
+                }
+                Err(resp) => write_resp(writer, &mut state.out, &resp)?,
+            }
             Ok(true)
         }
         Ok(req) => {

@@ -9,6 +9,9 @@
 //! ADMIT   <cell> <machine> <limit>
 //! STATS
 //! METRICS
+//! RING
+//! RINGSET <nodes> <vnodes> <seed> <generation> <addr,addr,...|->
+//! HANDOFF
 //! SHUTDOWN
 //! ```
 //!
@@ -21,6 +24,9 @@
 //! ADMITTED <yes|no> <projected>       admission verdict + projected peak
 //! STATS <key>=<value> ...             service-wide counter snapshot
 //! METRICS v=1 <name>=<value> ...      full metrics exposition
+//! RING <nodes> <vnodes> <seed> <generation> <epoch> <addrs|->
+//!                                     current ring description
+//! HANDOFF <n>                         header; n OBSERVE lines follow
 //! ERR <code> <detail...>              typed error (parse, stale, ...)
 //! ```
 //!
@@ -156,6 +162,37 @@ pub enum Request {
     /// Full metrics exposition (`METRICS`): every registered counter,
     /// gauge, and histogram in the `v=1` text format.
     Metrics,
+    /// Current cluster ring description (`RING`): generation, geometry,
+    /// and — once the supervisor has pushed them — the member addresses.
+    /// Clients use it to auto-adopt a new ring spec after a membership
+    /// change (PROTOCOL.md §7.4).
+    Ring,
+    /// Install a new ring description (`RINGSET`), pushed by the
+    /// supervisor after a membership change: the member rebuilds its
+    /// ownership map through its configured factory, re-stamps its epoch
+    /// with the new generation, and starts answering `RING` with the new
+    /// description. Generations below the installed one are rejected with
+    /// `ERR stale`.
+    RingSet {
+        /// Ring member count.
+        nodes: u64,
+        /// Virtual nodes per member.
+        vnodes: u64,
+        /// Ring hash seed.
+        seed: u64,
+        /// Ring generation (full 64-bit word; only the low 16 bits fit in
+        /// the packed `epoch` — see [`pack_epoch`]).
+        generation: u64,
+        /// Member data-plane addresses in ring-index order (may be empty
+        /// when unknown, encoded as `-`).
+        addrs: Vec<String>,
+    },
+    /// Dump the member's handoff sample log (`HANDOFF`): the server
+    /// answers a `HANDOFF <n>` header followed by `n` ordinary `OBSERVE`
+    /// lines in original arrival order — replaying them into a fresh
+    /// member reproduces this member's machine state bit-identically.
+    /// `ERR internal` if the log is disabled.
+    Handoff,
     /// Ask the server to drain and exit (`SHUTDOWN`).
     Shutdown,
 }
@@ -189,6 +226,23 @@ pub enum Response {
     Metrics {
         /// The exposition payload, starting with its `v=1` version token.
         exposition: String,
+    },
+    /// Current ring description, answering [`Request::Ring`].
+    Ring {
+        /// Ring member count.
+        nodes: u64,
+        /// Virtual nodes per member.
+        vnodes: u64,
+        /// Ring hash seed.
+        seed: u64,
+        /// Full 64-bit ring generation (authoritative — the packed
+        /// `epoch` only carries it mod 2^16, see [`pack_epoch`]).
+        generation: u64,
+        /// The member's current epoch word.
+        epoch: u64,
+        /// Member data-plane addresses in ring-index order; empty
+        /// (encoded `-`) until the supervisor pushes them via `RINGSET`.
+        addrs: Vec<String>,
     },
     /// Typed error.
     Err {
@@ -572,6 +626,32 @@ fn parse_task(token: &str) -> Result<TaskId, ProtoError> {
     Ok(TaskId::new(JobId(job), index))
 }
 
+/// Decodes a `RING`/`RINGSET` address-list token: comma-separated
+/// addresses, or the placeholder `-` for "none known yet". Addresses are
+/// carried as opaque strings — resolution happens at the adopting
+/// client, which already validates socket addresses.
+fn parse_addr_list(token: &str) -> Vec<String> {
+    if token == "-" {
+        return Vec::new();
+    }
+    token.split(',').map(str::to_string).collect()
+}
+
+/// Encodes an address list as one token (`-` when empty). Addresses must
+/// not contain whitespace or commas; socket addresses never do.
+fn push_addr_list(out: &mut Vec<u8>, addrs: &[String]) {
+    if addrs.is_empty() {
+        out.push(b'-');
+        return;
+    }
+    for (i, a) in addrs.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.extend_from_slice(a.as_bytes());
+    }
+}
+
 fn expect_arity(verb: &'static str, operands: &[&str], expected: usize) -> Result<(), ProtoError> {
     if operands.len() != expected {
         return Err(ProtoError::Arity {
@@ -676,6 +756,24 @@ impl Request {
                 arity("METRICS", 0)?;
                 Ok(Request::Metrics)
             }
+            "RING" => {
+                arity("RING", 0)?;
+                Ok(Request::Ring)
+            }
+            "RINGSET" => {
+                arity("RINGSET", 5)?;
+                Ok(Request::RingSet {
+                    nodes: parse_u64("nodes", tok(1))?,
+                    vnodes: parse_u64("vnodes", tok(2))?,
+                    seed: parse_u64("seed", tok(3))?,
+                    generation: parse_u64("generation", tok(4))?,
+                    addrs: parse_addr_list(tok(5)),
+                })
+            }
+            "HANDOFF" => {
+                arity("HANDOFF", 0)?;
+                Ok(Request::Handoff)
+            }
             "SHUTDOWN" => {
                 arity("SHUTDOWN", 0)?;
                 Ok(Request::Shutdown)
@@ -733,6 +831,26 @@ impl Request {
             }
             Request::Stats => out.extend_from_slice(b"STATS"),
             Request::Metrics => out.extend_from_slice(b"METRICS"),
+            Request::Ring => out.extend_from_slice(b"RING"),
+            Request::RingSet {
+                nodes,
+                vnodes,
+                seed,
+                generation,
+                addrs,
+            } => {
+                out.extend_from_slice(b"RINGSET ");
+                push_u64(out, *nodes);
+                out.push(b' ');
+                push_u64(out, *vnodes);
+                out.push(b' ');
+                push_u64(out, *seed);
+                out.push(b' ');
+                push_u64(out, *generation);
+                out.push(b' ');
+                push_addr_list(out, addrs);
+            }
+            Request::Handoff => out.extend_from_slice(b"HANDOFF"),
             Request::Shutdown => out.extend_from_slice(b"SHUTDOWN"),
         }
     }
@@ -770,6 +888,17 @@ const STATS_KEYS: [&str; 15] = [
 /// generation (mod 2^16) in the low 16. Clients compare epochs for
 /// inequality; [`epoch_ring_generation`] recovers the generation for
 /// "did the ring change without a restart" checks.
+///
+/// # Generation wrap
+///
+/// Only the low 16 bits of the generation survive packing, so
+/// generations `g` and `g + 65536` pack to the *same* word when
+/// `start_unix_secs` matches (a member re-stamped within the same
+/// second). The epoch word is therefore a cheap **change hint**, never
+/// an ordering or identity oracle: clients must compare the full 64-bit
+/// word (never just [`epoch_ring_generation`]), and any decision that
+/// depends on which ring is newer must use the full generation carried
+/// by the `RING` response (see PROTOCOL.md §7.4).
 pub fn pack_epoch(start_unix_secs: u64, ring_generation: u64) -> u64 {
     (start_unix_secs << 16) | (ring_generation & 0xFFFF)
 }
@@ -944,6 +1073,17 @@ impl Response {
                 })
             }
             "STATS" => StatsSnapshot::parse_fields(&operands).map(Response::Stats),
+            "RING" => {
+                expect_arity("RING", &operands, 6)?;
+                Ok(Response::Ring {
+                    nodes: parse_u64("nodes", operands[0])?,
+                    vnodes: parse_u64("vnodes", operands[1])?,
+                    seed: parse_u64("seed", operands[2])?,
+                    generation: parse_u64("generation", operands[3])?,
+                    epoch: parse_u64("epoch", operands[4])?,
+                    addrs: parse_addr_list(operands[5]),
+                })
+            }
             "METRICS" => {
                 let exposition = operands.join(" ");
                 if oc_telemetry::metrics::parse_exposition(&exposition).is_none() {
@@ -992,6 +1132,27 @@ impl Response {
             Response::Metrics { exposition } => {
                 out.extend_from_slice(b"METRICS ");
                 out.extend_from_slice(exposition.as_bytes());
+            }
+            Response::Ring {
+                nodes,
+                vnodes,
+                seed,
+                generation,
+                epoch,
+                addrs,
+            } => {
+                out.extend_from_slice(b"RING ");
+                push_u64(out, *nodes);
+                out.push(b' ');
+                push_u64(out, *vnodes);
+                out.push(b' ');
+                push_u64(out, *seed);
+                out.push(b' ');
+                push_u64(out, *generation);
+                out.push(b' ');
+                push_u64(out, *epoch);
+                out.push(b' ');
+                push_addr_list(out, addrs);
             }
             Response::Err { code, detail } => {
                 out.extend_from_slice(b"ERR ");
@@ -1122,6 +1283,75 @@ mod tests {
         // A payload that is not a valid exposition is rejected at parse.
         assert!(Response::parse("METRICS v=2 a=1").is_err());
         assert!(Response::parse("METRICS nonsense").is_err());
+    }
+
+    #[test]
+    fn ring_request_round_trips() {
+        assert_eq!(Request::parse("RING").unwrap(), Request::Ring);
+        assert_eq!(Request::Ring.encode(), "RING");
+        assert_eq!(Request::parse("HANDOFF").unwrap(), Request::Handoff);
+        let set = Request::RingSet {
+            nodes: 3,
+            vnodes: 64,
+            seed: 17,
+            generation: 9,
+            addrs: vec!["127.0.0.1:4001".into(), "127.0.0.1:4002".into()],
+        };
+        let line = set.encode();
+        assert_eq!(line, "RINGSET 3 64 17 9 127.0.0.1:4001,127.0.0.1:4002");
+        assert_eq!(Request::parse(&line).unwrap(), set);
+        let empty = Request::RingSet {
+            nodes: 1,
+            vnodes: 4,
+            seed: 0,
+            generation: 0,
+            addrs: vec![],
+        };
+        assert_eq!(empty.encode(), "RINGSET 1 4 0 0 -");
+        assert_eq!(Request::parse(&empty.encode()).unwrap(), empty);
+        assert!(Request::parse("RINGSET 3 64 17").is_err());
+    }
+
+    #[test]
+    fn ring_response_round_trips() {
+        let r = Response::Ring {
+            nodes: 3,
+            vnodes: 64,
+            seed: 17,
+            generation: 70000,
+            epoch: pack_epoch(1_700_000_000, 70000),
+            addrs: vec!["127.0.0.1:4001".into()],
+        };
+        assert_eq!(Response::parse(&r.encode()).unwrap(), r);
+        let bare = Response::Ring {
+            nodes: 2,
+            vnodes: 8,
+            seed: 1,
+            generation: 0,
+            epoch: 0,
+            addrs: vec![],
+        };
+        assert_eq!(Response::parse(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn epoch_generation_wraps_at_16_bits() {
+        // The documented wrap: generations 2^16 apart pack identically
+        // when the start stamp matches, so the epoch word alone cannot
+        // distinguish them — full generations travel in RING responses.
+        let start = 1_700_000_000;
+        let g = 7;
+        assert_eq!(pack_epoch(start, g), pack_epoch(start, g + 65_536));
+        assert_eq!(epoch_ring_generation(pack_epoch(start, g + 65_536)), g);
+        // A different start stamp still changes the full word even at a
+        // wrapped generation — which is why clients must compare the
+        // whole 64-bit epoch, never just the unpacked generation.
+        assert_ne!(pack_epoch(start, g), pack_epoch(start + 1, g + 65_536));
+        assert_eq!(
+            epoch_ring_generation(pack_epoch(start, g)),
+            epoch_ring_generation(pack_epoch(start + 1, g + 65_536)),
+        );
+        assert_eq!(epoch_start_secs(pack_epoch(start, g)), start);
     }
 
     #[test]

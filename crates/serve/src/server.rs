@@ -43,12 +43,12 @@
 //! died mid-write cannot ingest a half request.
 
 use crate::accept::{accept_loop, accept_poller, FrontendRuntime};
-use crate::config::{KeyRole, OwnershipMap, ServeConfig};
+use crate::config::{KeyRole, OwnershipMap, RingInfo, ServeConfig};
 use crate::error::ServeError;
 use crate::fault::FaultCounters;
 use crate::proto::{pack_epoch, ErrCode, Request, Response, StatsSnapshot};
 use crate::reactor::ReactorPool;
-use crate::shard::{key_hash, MachineKey, SendFail, ShardMsg, ShardPool};
+use crate::shard::{key_hash, HandoffEntry, MachineKey, SendFail, ShardMsg, ShardPool};
 use oc_telemetry::metrics::{encode_exposition, HistogramSnapshot};
 use oc_telemetry::{trace, Counter, Gauge, MetricsRegistry};
 use std::collections::HashMap;
@@ -114,8 +114,22 @@ pub(crate) struct Shared {
     /// (`serve.cluster.not_mine`).
     pub(crate) not_mine: Arc<Counter>,
     /// Server identity stamp: process start (unix seconds) packed with
-    /// the ring generation — reported in every `STATS` line.
-    pub(crate) epoch: u64,
+    /// the ring generation — reported in every `STATS` line. Re-packed
+    /// (same start, new generation) when `RINGSET` bumps the ring.
+    pub(crate) epoch: AtomicU64,
+    /// The process-start half of the epoch, retained so an online
+    /// generation bump re-packs with the original start stamp.
+    pub(crate) epoch_start: u64,
+    /// Ring description served by `RING` and replaced by `RINGSET`.
+    pub(crate) ring: Mutex<RingState>,
+    /// The live ownership classifier (`None` = standalone). Swapped as a
+    /// whole by `RINGSET`; the hot path reads a per-connection cached
+    /// clone refreshed on [`Shared::ring_version`] changes, so steady
+    /// state costs one atomic load per line, not a lock.
+    pub(crate) ownership: Mutex<Option<OwnershipMap>>,
+    /// Bumped on every ownership swap; connections compare it against
+    /// their cached snapshot's stamp.
+    pub(crate) ring_version: AtomicU64,
     /// Faults injected by the server-side chaos plan (if configured).
     pub(crate) faults: Arc<FaultCounters>,
     /// Live connection handlers (threaded frontend) and the connection-id
@@ -129,6 +143,18 @@ pub(crate) struct Shared {
     pub(crate) shutdown_cv: Condvar,
 }
 
+/// Mutable cluster-ring description, replaced online by `RINGSET`.
+#[derive(Debug)]
+pub(crate) struct RingState {
+    /// Ring geometry; `None` on a standalone server (RING answers `ERR`).
+    pub(crate) info: Option<RingInfo>,
+    /// Full 64-bit ring generation (the epoch only carries it mod 2^16).
+    pub(crate) generation: u64,
+    /// Member data-plane addresses in ring-index order; empty until the
+    /// supervisor pushes them.
+    pub(crate) addrs: Vec<String>,
+}
+
 /// One counter per protocol verb, bumped at dispatch.
 #[derive(Debug)]
 pub(crate) struct RequestCounters {
@@ -137,6 +163,9 @@ pub(crate) struct RequestCounters {
     pub(crate) admit: Arc<Counter>,
     pub(crate) stats: Arc<Counter>,
     pub(crate) metrics: Arc<Counter>,
+    pub(crate) ring: Arc<Counter>,
+    pub(crate) ring_set: Arc<Counter>,
+    pub(crate) handoff: Arc<Counter>,
     pub(crate) shutdown: Arc<Counter>,
 }
 
@@ -148,6 +177,9 @@ impl RequestCounters {
             admit: registry.counter("serve.requests.admit"),
             stats: registry.counter("serve.requests.stats"),
             metrics: registry.counter("serve.requests.metrics"),
+            ring: registry.counter("serve.requests.ring"),
+            ring_set: registry.counter("serve.requests.ringset"),
+            handoff: registry.counter("serve.requests.handoff"),
             shutdown: registry.counter("serve.requests.shutdown"),
         }
     }
@@ -227,6 +259,13 @@ impl PredictCache {
             .expect("predict cache lock")
             .insert(key, (gen, peak));
     }
+
+    /// Drops every cached entry. Called on a ring install: ownership may
+    /// have moved keys, and a full clear is cheap at ring-change
+    /// frequency.
+    pub(crate) fn clear(&self) {
+        self.entries.lock().expect("predict cache lock").clear();
+    }
 }
 
 /// The slice of [`ServeConfig`] the accept loop and both frontends need.
@@ -240,8 +279,12 @@ pub(crate) struct ConnSettings {
     /// Resolved reactor pool size
     /// ([`ServeConfig::effective_reactor_threads`]).
     pub(crate) reactor_threads_effective: usize,
-    /// Cluster ownership classifier (`None` = standalone: own all keys).
-    pub(crate) ownership: Option<OwnershipMap>,
+    /// Whether shards keep the handoff sample log (`HANDOFF` answers
+    /// `ERR internal` when disabled).
+    pub(crate) handoff_log: bool,
+    /// Rebuilds this process's ownership map for a pushed ring geometry
+    /// (`RINGSET`); `None` limits pushes to same-geometry metadata.
+    pub(crate) ownership_factory: Option<crate::config::OwnershipFactory>,
 }
 
 /// Tracks live connection handler threads so shutdown can join every one
@@ -394,6 +437,10 @@ impl Server {
         let addr = listener.local_addr()?;
         let metrics = MetricsRegistry::new();
         let pool = Arc::new(ShardPool::new(&cfg, &metrics)?);
+        let epoch_start = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             busy: metrics.counter("serve.busy"),
@@ -410,13 +457,15 @@ impl Server {
             batch_coalesced: metrics.counter("serve.batch.coalesced"),
             cache: PredictCache::new(&metrics),
             not_mine: metrics.counter("serve.cluster.not_mine"),
-            epoch: pack_epoch(
-                std::time::SystemTime::now()
-                    .duration_since(std::time::UNIX_EPOCH)
-                    .map(|d| d.as_secs())
-                    .unwrap_or(0),
-                cfg.ring_generation,
-            ),
+            epoch: AtomicU64::new(pack_epoch(epoch_start, cfg.ring_generation)),
+            epoch_start,
+            ring: Mutex::new(RingState {
+                info: cfg.ring_info,
+                generation: cfg.ring_generation,
+                addrs: Vec::new(),
+            }),
+            ownership: Mutex::new(cfg.ownership.clone()),
+            ring_version: AtomicU64::new(0),
             metrics,
             faults: Arc::new(FaultCounters::default()),
             registry: Registry::default(),
@@ -427,7 +476,8 @@ impl Server {
                 faults: cfg.faults.clone(),
                 frontend: cfg.frontend,
                 reactor_threads_effective: cfg.effective_reactor_threads(),
-                ownership: cfg.ownership.clone(),
+                handoff_log: cfg.handoff_log,
+                ownership_factory: cfg.ownership_factory.clone(),
             },
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -537,7 +587,7 @@ impl Server {
                 // counter only sees misses).
                 metrics.predicts += self.shared.cache.hits.get();
                 let mut stats = metrics.snapshot(busy);
-                stats.epoch = self.shared.epoch;
+                stats.epoch = self.shared.epoch.load(Ordering::SeqCst);
                 ShutdownOutcome { stats, clean }
             }
             None => ShutdownOutcome {
@@ -648,7 +698,7 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
             // only sees cache misses.
             merged.predicts += shared.cache.hits.get();
             let mut snapshot = merged.snapshot(shared.busy.get());
-            snapshot.epoch = shared.epoch;
+            snapshot.epoch = shared.epoch.load(Ordering::SeqCst);
             Response::Stats(snapshot)
         }
         Request::Metrics => {
@@ -681,6 +731,40 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
                 exposition: encode_exposition(&snap),
             }
         }
+        Request::Ring => {
+            shared.requests.ring.inc();
+            let ring = shared.ring.lock().expect("ring state lock");
+            match ring.info {
+                Some(info) => Response::Ring {
+                    nodes: info.nodes as u64,
+                    vnodes: info.vnodes as u64,
+                    seed: info.seed,
+                    generation: ring.generation,
+                    epoch: shared.epoch.load(Ordering::SeqCst),
+                    addrs: ring.addrs.clone(),
+                },
+                None => Response::Err {
+                    code: ErrCode::Internal,
+                    detail: "standalone server: no ring installed".to_string(),
+                },
+            }
+        }
+        Request::RingSet {
+            nodes,
+            vnodes,
+            seed,
+            generation,
+            addrs,
+        } => {
+            shared.requests.ring_set.inc();
+            install_ring(shared, nodes, vnodes, seed, generation, addrs)
+        }
+        Request::Handoff => {
+            // The dump is a multi-line response (`HANDOFF <n>` plus n
+            // OBSERVE lines); `process_line` streams it directly, like
+            // it micro-batches OBSERVE.
+            unreachable!("HANDOFF is handled by the connection layer")
+        }
         Request::Shutdown => {
             shared.requests.shutdown.inc();
             let mut requested = shared
@@ -692,6 +776,111 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
             Response::Ok
         }
     }
+}
+
+/// Installs a pushed ring (`RINGSET`): rejects stale generations,
+/// rebuilds the ownership map, re-packs the epoch with the original
+/// start stamp, clears the predict cache, and bumps the ownership
+/// version so every connection refreshes its cached map.
+fn install_ring(
+    shared: &Shared,
+    nodes: u64,
+    vnodes: u64,
+    seed: u64,
+    generation: u64,
+    addrs: Vec<String>,
+) -> Response {
+    if nodes == 0 || vnodes == 0 {
+        return Response::Err {
+            code: ErrCode::Parse,
+            detail: "RINGSET needs nodes >= 1 and vnodes >= 1".to_string(),
+        };
+    }
+    let mut ring = shared.ring.lock().expect("ring state lock");
+    if generation < ring.generation {
+        return Response::Err {
+            code: ErrCode::Stale,
+            detail: format!(
+                "pushed generation {generation} is behind installed {}",
+                ring.generation
+            ),
+        };
+    }
+    let info = RingInfo {
+        nodes: nodes as usize,
+        vnodes: vnodes as usize,
+        seed,
+    };
+    // A server with an ownership factory recomputes its slot's map for
+    // the pushed geometry; one without (ownership handed in fixed at
+    // start, or standalone) can only adopt generation/address updates
+    // on the geometry it was built with.
+    let rebuilt = match &shared.cfg.ownership_factory {
+        Some(factory) => match factory.build(info.nodes, info.vnodes, info.seed) {
+            Some(map) => map,
+            None => {
+                return Response::Err {
+                    code: ErrCode::Internal,
+                    detail: "this process holds no slot in the pushed ring".to_string(),
+                }
+            }
+        },
+        None => {
+            let standalone = shared.ownership.lock().expect("ownership lock").is_none();
+            if ring.info != Some(info) && !standalone {
+                return Response::Err {
+                    code: ErrCode::Internal,
+                    detail: "no ownership factory: cannot adopt a new ring geometry".to_string(),
+                };
+            }
+            ring.info = Some(info);
+            ring.generation = generation;
+            ring.addrs = addrs;
+            drop(ring);
+            shared
+                .epoch
+                .store(pack_epoch(shared.epoch_start, generation), Ordering::SeqCst);
+            shared.ring_version.fetch_add(1, Ordering::SeqCst);
+            return Response::Ok;
+        }
+    };
+    ring.info = Some(info);
+    ring.generation = generation;
+    ring.addrs = addrs;
+    drop(ring);
+    *shared.ownership.lock().expect("ownership lock") = Some(rebuilt);
+    shared
+        .epoch
+        .store(pack_epoch(shared.epoch_start, generation), Ordering::SeqCst);
+    // Ownership may have moved keys to or away from this process;
+    // cached predictions must not outlive the map they were computed
+    // under.
+    shared.cache.clear();
+    shared.ring_version.fetch_add(1, Ordering::SeqCst);
+    Response::Ok
+}
+
+/// Collects every shard's handoff log for a `HANDOFF` dump, in shard
+/// order. Per-machine sample order is preserved: a machine lives on
+/// exactly one shard and each shard's log is append-only.
+pub(crate) fn collect_handoff(pool: &ShardPool) -> Result<Vec<HandoffEntry>, Response> {
+    let mut all = Vec::new();
+    for shard in 0..pool.shards() {
+        let (reply, rx) = sync_channel(1);
+        if pool.send(shard, ShardMsg::Handoff { reply }).is_err() {
+            return Err(shutting_down());
+        }
+        match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(mut entries) => all.append(&mut entries),
+            Err(_) => {
+                return Err(Response::Err {
+                    code: ErrCode::Internal,
+                    detail: format!("shard {shard} did not answer"),
+                })
+            }
+        }
+    }
+    Ok(all)
 }
 
 /// Collects and merges every shard's metrics snapshot (the `STATS` /
@@ -746,12 +935,30 @@ pub(crate) fn shutting_down() -> Response {
 }
 
 /// This process's role for `key` under its cluster ring
-/// ([`KeyRole::Owner`] when standalone).
+/// ([`KeyRole::Owner`] when standalone). Locks the ownership map — fine
+/// for the per-request verbs; the OBSERVE hot path goes through the
+/// connection's cached snapshot instead ([`ownership_snapshot`]).
 pub(crate) fn role_of(shared: &Shared, key: &MachineKey) -> KeyRole {
-    match &shared.cfg.ownership {
+    match &*shared.ownership.lock().expect("ownership lock") {
         Some(map) => map.role_of(key_hash(key)),
         None => KeyRole::Owner,
     }
+}
+
+/// Version-stamped clone of the live ownership map, for per-connection
+/// caching: callers re-snapshot when [`ring_version`] moves past the
+/// stamp. The version is read *before* the map, so a concurrent
+/// `RINGSET` can only make the pair look older than it is — forcing a
+/// refresh, never pinning a stale map.
+pub(crate) fn ownership_snapshot(shared: &Shared) -> (u64, Option<OwnershipMap>) {
+    let version = shared.ring_version.load(Ordering::SeqCst);
+    let map = shared.ownership.lock().expect("ownership lock").clone();
+    (version, map)
+}
+
+/// Current ownership version stamp (see [`ownership_snapshot`]).
+pub(crate) fn ring_version(shared: &Shared) -> u64 {
+    shared.ring_version.load(Ordering::SeqCst)
 }
 
 /// The `ERR not-mine` redirect, counted in `serve.cluster.not_mine`.

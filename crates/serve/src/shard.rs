@@ -151,12 +151,39 @@ pub enum ShardMsg {
         /// Reply channel.
         reply: SyncSender<ShardMetrics>,
     },
+    /// Dump this shard's handoff log (empty when the log is disabled).
+    /// Entries arrive in original ingest order, so per-machine sample
+    /// order is preserved.
+    Handoff {
+        /// Reply channel for the log copy.
+        reply: SyncSender<Vec<HandoffEntry>>,
+    },
     /// Drain (everything already queued is processed first — the queue is
     /// FIFO), report final metrics, and exit.
     Shutdown {
         /// Reply channel for the final metrics.
         reply: SyncSender<ShardMetrics>,
     },
+}
+
+/// One successfully ingested sample, as recorded in a shard's handoff
+/// log ([`ServeConfig::handoff_log`]). Replaying a machine's entries in
+/// log order through ordinary `OBSERVE` lines reproduces its
+/// [`IncrementalView`] bit-identically (arrival-order equivalence plus
+/// shortest-round-trip float formatting), which is how a replacement
+/// member rebuilds state from a survivor.
+#[derive(Debug, Clone)]
+pub struct HandoffEntry {
+    /// Routing key.
+    pub key: MachineKey,
+    /// The sampled task.
+    pub task: TaskId,
+    /// Observed usage.
+    pub usage: f64,
+    /// Task limit.
+    pub limit: f64,
+    /// Sample tick.
+    pub tick: Tick,
 }
 
 /// Why a `try_send` to a shard failed.
@@ -326,6 +353,12 @@ fn shard_worker(
     // first-touch hosts costs more than the ingest work itself.
     let mut views: HashMap<MachineKey, Box<IncrementalView>> = HashMap::new();
     let mut metrics = ShardMetrics::default();
+    // Handoff log: every successfully ingested sample, in arrival order
+    // (per-machine order is what replay needs; a machine lives on exactly
+    // one shard, so one flat vector suffices). Grows with total ingest —
+    // only enabled for cluster runs that need member replacement.
+    let mut handoff: Vec<HandoffEntry> = Vec::new();
+    let log_handoff = cfg.handoff_log;
     let new_view = |cfg: &ServeConfig| {
         Box::new(
             IncrementalView::new(cfg.machine_capacity, &cfg.sim).with_max_gap(cfg.max_tick_gap),
@@ -342,9 +375,20 @@ fn shard_worker(
                 tick,
                 enqueued,
             } => {
-                let view = views.entry(key).or_insert_with(|| new_view(&cfg));
+                let view = views.entry(key.clone()).or_insert_with(|| new_view(&cfg));
                 match view.ingest(tick, task, limit, usage) {
-                    Ok(()) => metrics.observes += 1,
+                    Ok(()) => {
+                        metrics.observes += 1;
+                        if log_handoff {
+                            handoff.push(HandoffEntry {
+                                key,
+                                task,
+                                usage,
+                                limit,
+                                tick,
+                            });
+                        }
+                    }
                     Err(CoreError::StaleSample { .. }) => metrics.stale += 1,
                     Err(_) => metrics.errors += 1,
                 }
@@ -368,7 +412,18 @@ fn shard_worker(
                     while i < items.len() && items[i].key == *key {
                         let item = &items[i];
                         match view.ingest(item.tick, item.task, item.limit, item.usage) {
-                            Ok(()) => metrics.observes += 1,
+                            Ok(()) => {
+                                metrics.observes += 1;
+                                if log_handoff {
+                                    handoff.push(HandoffEntry {
+                                        key: item.key.clone(),
+                                        task: item.task,
+                                        usage: item.usage,
+                                        limit: item.limit,
+                                        tick: item.tick,
+                                    });
+                                }
+                            }
                             Err(CoreError::StaleSample { .. }) => metrics.stale += 1,
                             Err(_) => metrics.errors += 1,
                         }
@@ -425,6 +480,11 @@ fn shard_worker(
                 let mut m = metrics.clone();
                 m.machines = views.len() as u64;
                 let _ = reply.send(m);
+            }
+            ShardMsg::Handoff { reply } => {
+                // A copy, not a drain: the log keeps serving future
+                // replacements (and the member keeps appending).
+                let _ = reply.send(handoff.clone());
             }
             ShardMsg::Shutdown { reply } => {
                 let mut m = metrics.clone();
@@ -638,6 +698,42 @@ mod tests {
         }
         let m = p.shutdown();
         assert_eq!(m.observes, 500, "shutdown must drain, not drop");
+    }
+
+    #[test]
+    fn handoff_log_keeps_ingested_samples_in_order_and_skips_rejects() {
+        let p = ShardPool::new(
+            &ServeConfig::default()
+                .with_shards(1)
+                .with_queue_depth(64)
+                .with_handoff_log(true),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
+        p.try_send(0, observe(1, 5, 0.2)).unwrap();
+        p.try_send(0, observe(1, 6, 0.3)).unwrap();
+        p.try_send(0, observe(1, 5, 0.2)).unwrap(); // stale: not logged
+        p.try_send(0, observe(2, 1, 0.1)).unwrap();
+        let (reply, rx) = sync_channel(1);
+        p.send(0, ShardMsg::Handoff { reply }).unwrap();
+        let log = rx.recv().unwrap();
+        assert_eq!(log.len(), 3, "only successful ingests are logged");
+        assert_eq!(
+            log.iter()
+                .map(|e| (e.key.1 .0, e.tick.0))
+                .collect::<Vec<_>>(),
+            vec![(1, 5), (1, 6), (2, 1)],
+            "arrival order preserved"
+        );
+        // Disabled log answers empty, not an error at this layer (the
+        // frontend turns it into ERR internal before asking).
+        let p2 = pool(1, 8);
+        p2.try_send(0, observe(1, 0, 0.2)).unwrap();
+        let (reply, rx) = sync_channel(1);
+        p2.send(0, ShardMsg::Handoff { reply }).unwrap();
+        assert!(rx.recv().unwrap().is_empty());
+        p.shutdown();
+        p2.shutdown();
     }
 
     #[test]

@@ -11,8 +11,11 @@
 # holds >= 10000 concurrent connections at >= 1M qps without losing an
 # acknowledged sample, and mandatory cluster phases proving multi-process
 # serving: cluster-chaos (>= 3 processes, one SIGKILLed mid-run, served
-# vs offline prediction identity as the lost figure) and cluster-1m
-# (>= 1,000,000 simulated machines spread across the ring).
+# vs offline prediction identity as the lost figure), cluster-replace
+# (a member SIGKILLed and replaced into its ring slot, a stale-spec
+# client auto-adopting the pushed generation, mirror coverage restored
+# to 100%), and cluster-1m (>= 1,000,000 simulated machines spread
+# across the ring).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -141,6 +144,29 @@ def check_serve(path, doc):
         killed = chaos.get("killed") or 0
         if killed < 1:
             fail(path, "cluster-chaos killed no member mid-run")
+    replace = by_label.get("cluster-replace")
+    if replace is None:
+        fail(path, "mandatory 'cluster-replace' phase missing")
+    else:
+        # lost==0 / failed_connections==0 ride the generic checks; the
+        # replacement-specific shape is: a real ring, a real kill, a
+        # real same-slot replacement, the client adopting the pushed
+        # generation without operator help, and redundancy restored
+        # (every machine resident on exactly owner + replica).
+        procs = replace.get("processes") or 0
+        if procs < 3:
+            fail(path, f"cluster-replace ran {procs} processes (need >= 3)")
+        if (replace.get("killed") or 0) < 1:
+            fail(path, "cluster-replace killed no member mid-run")
+        if (replace.get("replaced") or 0) < 1:
+            fail(path, "cluster-replace replaced no member")
+        if (replace.get("adoptions") or 0) < 1:
+            fail(path, "cluster-replace: client never auto-adopted the "
+                       "pushed ring generation")
+        coverage = replace.get("mirror_coverage_pct")
+        if coverage != 100:
+            fail(path, f"cluster-replace mirror_coverage_pct={coverage} "
+                       f"(replacement must restore full redundancy)")
     one_m = by_label.get("cluster-1m")
     if one_m is None:
         fail(path, "mandatory 'cluster-1m' phase missing")

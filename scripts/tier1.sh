@@ -55,6 +55,17 @@ cargo fmt --check
 cargo build --release --workspace
 cargo build --release --workspace --examples
 cargo test -q --workspace
+
+# The supervisor must never leak member processes when startup fails
+# partway (a leaked child holds its port and survives the test run);
+# pin the regression test by name so a filter or module rename cannot
+# silently drop it.
+leak_out="$(cargo test -q -p oc-cluster \
+  supervisor::tests::start_failure_leaves_no_live_children -- --include-ignored)" \
+  || { echo "tier1: supervisor leak regression test failed" >&2; exit 1; }
+printf '%s' "$leak_out" | grep -q "1 passed" \
+  || { echo "tier1: supervisor leak regression test did not run" >&2; exit 1; }
+
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
