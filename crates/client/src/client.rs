@@ -506,6 +506,42 @@ impl Client {
             task,
             usage,
             limit,
+            mem: None,
+            tick,
+        };
+        match self.request(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::unexpected("OK", &other)),
+        }
+    }
+
+    /// Reports one multi-resource sample: CPU plus memory lanes in a
+    /// single `OBSERVE` line (`usage` and `limit` become `cpu,mem` pairs
+    /// on the wire). The first vector sample flips the machine's
+    /// server-side view into vector mode for good.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::observe`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_vec(
+        &mut self,
+        cell: &oc_trace::ids::CellId,
+        machine: oc_trace::MachineId,
+        task: oc_trace::ids::TaskId,
+        usage: f64,
+        limit: f64,
+        mem_usage: f64,
+        mem_limit: f64,
+        tick: u64,
+    ) -> Result<(), ClientError> {
+        let req = Request::Observe {
+            cell: cell.clone(),
+            machine,
+            task,
+            usage,
+            limit,
+            mem: Some((mem_usage, mem_limit)),
             tick,
         };
         match self.request(&req)? {
@@ -528,9 +564,41 @@ impl Client {
         let req = Request::Predict {
             cell: cell.clone(),
             machine,
+            vector: false,
         };
         match self.request(&req)? {
-            Response::Pred { peak } => Ok(peak),
+            Response::Pred { peak, .. } => Ok(peak),
+            other => Err(ClientError::unexpected("PRED", &other)),
+        }
+    }
+
+    /// Fetches the predicted `(cpu, mem)` peaks for one machine via the
+    /// multi-resource `PREDICT ... *` form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::request`] failures; a scalar `PRED` (server
+    /// that never saw vector samples still answers both lanes — memory is
+    /// `0`) or non-`PRED` response becomes [`ClientError::Server`].
+    pub fn predict_vec(
+        &mut self,
+        cell: &oc_trace::ids::CellId,
+        machine: oc_trace::MachineId,
+    ) -> Result<(f64, f64), ClientError> {
+        let req = Request::Predict {
+            cell: cell.clone(),
+            machine,
+            vector: true,
+        };
+        match self.request(&req)? {
+            Response::Pred {
+                peak,
+                mem: Some(mem),
+            } => Ok((peak, mem)),
+            Response::Pred { peak, mem: None } => Err(ClientError::unexpected(
+                "PRED cpu,mem",
+                &Response::Pred { peak, mem: None },
+            )),
             other => Err(ClientError::unexpected("PRED", &other)),
         }
     }
@@ -938,6 +1006,26 @@ mod tests {
     }
 
     #[test]
+    fn vector_round_trip_reports_both_lanes() {
+        let server = Server::start(ServeConfig::default().with_shards(2)).unwrap();
+        let mut c = Client::connect(server.addr(), ClientConfig::default()).unwrap();
+        // Memory hog, CPU mouse: scalar PREDICT would look harmless.
+        for t in 0..30u64 {
+            c.observe_vec(&cell(), MachineId(0), task(0), 0.1, 0.5, 0.8, 0.9, t)
+                .unwrap();
+        }
+        let (cpu, mem) = c.predict_vec(&cell(), MachineId(0)).unwrap();
+        assert!(cpu > 0.0 && cpu <= 0.5, "cpu {cpu}");
+        assert!(mem > 0.0 && mem <= 0.9, "mem {mem}");
+        assert!(mem > cpu, "memory lane must dominate: cpu {cpu} mem {mem}");
+        // The scalar form still answers on the same machine (CPU lane).
+        let peak = c.predict(&cell(), MachineId(0)).unwrap();
+        assert!(peak > 0.0 && peak <= 0.5, "scalar peak {peak}");
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
     fn reconnects_after_a_server_side_close() {
         // Tiny idle timeout: the server will close our connection; the
         // next request must transparently reconnect.
@@ -1055,19 +1143,21 @@ mod tests {
                 task: task(0),
                 usage: 0.1,
                 limit: 0.5,
+                mem: None,
                 tick: t,
             });
         }
         reqs.push(Request::Predict {
             cell: cell(),
             machine: MachineId(3),
+            vector: false,
         });
         let mut seen: Vec<usize> = Vec::new();
         let mut preds = 0;
         c.pipeline_with(&reqs, |idx, resp, lat_us| {
             seen.push(idx);
             assert!(lat_us >= 0.0);
-            if let Response::Pred { peak } = resp {
+            if let Response::Pred { peak, .. } = resp {
                 assert!(*peak > 0.0);
                 preds += 1;
             }
@@ -1112,6 +1202,7 @@ mod tests {
                 task: task((t % 3) as u32),
                 usage: 0.1,
                 limit: 0.5,
+                mem: None,
                 tick: t / 3,
             })
             .collect();
@@ -1168,12 +1259,14 @@ mod tests {
                     task: task(0),
                     usage: 0.1 + (t as f64) * 0.003,
                     limit: 0.5,
+                    mem: None,
                     tick: t / 4,
                 });
                 if t % 10 == 9 {
                     reqs.push(Request::Predict {
                         cell: cell(),
                         machine: MachineId(t as u32 % 4),
+                        vector: false,
                     });
                 }
             }
@@ -1191,7 +1284,7 @@ mod tests {
             let reqs = mk_reqs();
             let mut peaks: Vec<u64> = Vec::new();
             c.pipeline_with(&reqs, |_, resp, _| {
-                if let Response::Pred { peak } = resp {
+                if let Response::Pred { peak, .. } = resp {
                     peaks.push(peak.to_bits());
                 }
             })
@@ -1235,6 +1328,7 @@ mod tests {
                 task: task(0),
                 usage: 0.2,
                 limit: 0.5,
+                mem: None,
                 tick: t / 3,
             })
             .collect();

@@ -453,6 +453,7 @@ impl ClusterClient {
             task,
             usage,
             limit,
+            mem: None,
             tick,
         };
         match self.send_routed(hash, &req)? {
@@ -493,9 +494,10 @@ impl ClusterClient {
         let req = Request::Predict {
             cell: cell.clone(),
             machine,
+            vector: false,
         };
         match self.send_routed(hash, &req)? {
-            Response::Pred { peak } => Ok(peak),
+            Response::Pred { peak, .. } => Ok(peak),
             other => Err(ClientError::unexpected("PRED", &other)),
         }
     }
@@ -686,6 +688,7 @@ mod tests {
                 task,
                 usage: 0.3,
                 limit: 0.5,
+                mem: None,
                 tick: 0,
             })
             .expect("request");

@@ -168,6 +168,7 @@ fn expand_block(reqs: &mut Vec<Request>, cell: &CellId, machines: &[u32], cfg: &
                 task,
                 usage: fleet_usage(u64::from(m), t),
                 limit: FLEET_LIMIT,
+                mem: None,
                 tick: t,
             });
         }

@@ -334,6 +334,7 @@ fn build_plans(cfg: &LoadgenConfig) -> Result<Vec<Vec<Request>>, ClientError> {
                     task: task.spec.id,
                     usage,
                     limit: task.spec.limit,
+                    mem: None,
                     tick: t,
                 });
             }
@@ -341,6 +342,7 @@ fn build_plans(cfg: &LoadgenConfig) -> Result<Vec<Vec<Request>>, ClientError> {
                 plan.push(Request::Predict {
                     cell: cell.clone(),
                     machine: trace.machine,
+                    vector: false,
                 });
             }
         }

@@ -78,9 +78,10 @@ fn predict(addr: SocketAddr, cell: &CellId, machine: u64) -> Result<f64, String>
     let req = Request::Predict {
         cell: cell.clone(),
         machine: MachineId(machine as u32),
+        vector: false,
     };
     match control::request(addr, &req).map_err(|e| format!("predict via {addr}: {e}"))? {
-        Response::Pred { peak } => Ok(peak),
+        Response::Pred { peak, .. } => Ok(peak),
         other => Err(format!("predict via {addr}: got {other:?}")),
     }
 }
@@ -140,6 +141,7 @@ pub fn run() -> Result<(), String> {
         &Request::Predict {
             cell: cell.clone(),
             machine: MachineId(0),
+            vector: false,
         },
     ) {
         Ok(Response::Err {

@@ -41,6 +41,7 @@
 use crate::config::SimConfig;
 use crate::error::CoreError;
 use crate::view::MachineView;
+use oc_stats::resource::{Res2, CPU, NUM_RESOURCES, RESOURCE_NAMES};
 use oc_trace::ids::TaskId;
 use oc_trace::time::Tick;
 
@@ -80,7 +81,17 @@ pub struct IncrementalView {
     /// tasks within a tick are updated in place via linear scan — a
     /// machine hosts few tasks, and the side map this replaces cost a
     /// heap allocation per machine, which dominated fleet-scale memory.
-    pending: Vec<(TaskId, f64, f64)>,
+    ///
+    /// Scalar samples are stored with [`Res2::cpu_only`]; the flush path
+    /// extracts lane 0 unchanged for scalar views, so the promotion is
+    /// lossless (no arithmetic touches the stored values).
+    pending: Vec<(TaskId, Res2, Res2)>,
+    /// Sticky: set on the first [`ingest_vec`](IncrementalView::ingest_vec)
+    /// and never cleared. A vector view flushes through
+    /// [`MachineView::observe_vec`]; a scalar view through
+    /// [`MachineView::observe`], preserving bit-identity with the batch
+    /// scalar path.
+    vector_mode: bool,
 }
 
 impl IncrementalView {
@@ -95,6 +106,7 @@ impl IncrementalView {
             last_flushed: None,
             pending_tick: None,
             pending: Vec::new(),
+            vector_mode: false,
         }
     }
 
@@ -141,6 +153,54 @@ impl IncrementalView {
                 what: format!("usage {usage} must be finite and >= 0"),
             });
         }
+        self.ingest_inner(t, task, Res2::cpu_only(limit), Res2::cpu_only(usage))
+    }
+
+    /// Buffers one per-resource `(task, limit, usage)` sample for tick `t`,
+    /// flushing the previously pending tick if `t` is later.
+    ///
+    /// The first vector sample switches the view into vector mode for its
+    /// whole lifetime: all subsequent flushes (including gap fills) go
+    /// through [`MachineView::observe_vec`], so the memory lane's windows
+    /// advance with every tick. Scalar samples ingested after the switch
+    /// record a memory usage and limit of zero — the wire protocol's
+    /// backward-compatible reading of a scalar `OBSERVE`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ingest`](IncrementalView::ingest);
+    /// [`CoreError::InvalidSample`] checks every lane.
+    pub fn ingest_vec(
+        &mut self,
+        t: Tick,
+        task: TaskId,
+        limit: Res2,
+        usage: Res2,
+    ) -> Result<(), CoreError> {
+        for lane in 0..NUM_RESOURCES {
+            let (l, u) = (limit.lane(lane), usage.lane(lane));
+            if !l.is_finite() || l < 0.0 {
+                return Err(CoreError::InvalidSample {
+                    what: format!("{} limit {l} must be finite and >= 0", RESOURCE_NAMES[lane]),
+                });
+            }
+            if !u.is_finite() || u < 0.0 {
+                return Err(CoreError::InvalidSample {
+                    what: format!("{} usage {u} must be finite and >= 0", RESOURCE_NAMES[lane]),
+                });
+            }
+        }
+        self.vector_mode = true;
+        self.ingest_inner(t, task, limit, usage)
+    }
+
+    fn ingest_inner(
+        &mut self,
+        t: Tick,
+        task: TaskId,
+        limit: Res2,
+        usage: Res2,
+    ) -> Result<(), CoreError> {
         match self.pending_tick {
             Some(pt) if t < pt => {
                 return Err(CoreError::StaleSample {
@@ -182,12 +242,30 @@ impl IncrementalView {
             return false;
         };
         let start = self.fill_start();
-        for k in start..pt.0 {
-            self.view.observe(Tick(k), std::iter::empty());
+        if self.vector_mode {
+            for k in start..pt.0 {
+                self.view.observe_vec(Tick(k), std::iter::empty());
+            }
+            self.view.observe_vec(pt, self.pending.drain(..));
+        } else {
+            for k in start..pt.0 {
+                self.view.observe(Tick(k), std::iter::empty());
+            }
+            self.view.observe(
+                pt,
+                self.pending
+                    .drain(..)
+                    .map(|(id, l, u)| (id, l.lane(CPU), u.lane(CPU))),
+            );
         }
-        self.view.observe(pt, self.pending.drain(..));
         self.last_flushed = Some(pt);
         true
+    }
+
+    /// Whether a vector sample has ever been ingested (flushes go through
+    /// the vector path once set).
+    pub fn is_vector(&self) -> bool {
+        self.vector_mode
     }
 
     /// The wrapped machine view, reflecting flushed ticks only. Call
@@ -233,7 +311,7 @@ impl IncrementalView {
         Ok(())
     }
 
-    fn push_pending(&mut self, task: TaskId, limit: f64, usage: f64) {
+    fn push_pending(&mut self, task: TaskId, limit: Res2, usage: Res2) {
         match self.pending.iter_mut().find(|(t, _, _)| *t == task) {
             Some(slot) => *slot = (task, limit, usage),
             None => self.pending.push((task, limit, usage)),
@@ -435,6 +513,90 @@ mod tests {
             Err(CoreError::InvalidSample { .. })
         ));
         assert_eq!(v.pending_len(), 0);
+    }
+
+    #[test]
+    fn vector_ingest_matches_batch_observe_vec() {
+        // Vector samples replayed through the incremental path reproduce
+        // an observe_vec batch replay, lane for lane.
+        let cfg = small_cfg();
+        let mut batch = MachineView::new(1.0, &cfg);
+        let mut inc = IncrementalView::new(1.0, &cfg);
+        let samples = [
+            (tid(1, 0), Res2::from_lanes([0.4, 0.2]), 0.10, 0.05),
+            (tid(1, 1), Res2::from_lanes([0.3, 0.1]), 0.20, 0.08),
+        ];
+        for t in 0..8u64 {
+            let alive: Vec<_> = samples
+                .iter()
+                .map(|&(id, l, cu, mu)| (id, l, Res2::from_lanes([cu, mu])))
+                .collect();
+            batch.observe_vec(Tick(t), alive.iter().copied());
+            for &(id, l, u) in &alive {
+                inc.ingest_vec(Tick(t), id, l, u).unwrap();
+            }
+        }
+        inc.flush();
+        assert!(inc.is_vector());
+        for lane in 0..NUM_RESOURCES {
+            assert_eq!(
+                batch.total_limit_lane(lane).to_bits(),
+                inc.view().total_limit_lane(lane).to_bits(),
+                "lane {lane} limit"
+            );
+            assert_eq!(
+                batch.warm_aggregate_lane(lane).mean().to_bits(),
+                inc.view().warm_aggregate_lane(lane).mean().to_bits(),
+                "lane {lane} aggregate"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_mode_is_sticky_and_gap_fills_memory_lane() {
+        let cfg = small_cfg();
+        let mut inc = IncrementalView::new(1.0, &cfg);
+        let limit = Res2::from_lanes([0.4, 0.2]);
+        inc.ingest_vec(Tick(0), tid(1, 0), limit, Res2::from_lanes([0.1, 0.05]))
+            .unwrap();
+        // A scalar sample after the switch stays on the vector path.
+        inc.ingest(Tick(3), tid(1, 0), 0.4, 0.1).unwrap();
+        inc.flush();
+        assert!(inc.is_vector());
+        // Gap ticks 1-2 advanced the memory aggregate window too.
+        assert_eq!(
+            inc.view().warm_aggregate_lane(CPU).len(),
+            inc.view()
+                .warm_aggregate_lane(oc_stats::resource::MEM)
+                .len()
+        );
+        // The scalar sample recorded zero memory usage/limit.
+        assert_eq!(inc.view().total_limit_lane(oc_stats::resource::MEM), 0.0);
+    }
+
+    #[test]
+    fn vector_samples_validate_every_lane() {
+        let mut v = IncrementalView::new(1.0, &small_cfg());
+        assert!(matches!(
+            v.ingest_vec(
+                Tick(0),
+                tid(1, 0),
+                Res2::from_lanes([0.4, f64::NAN]),
+                Res2::from_lanes([0.1, 0.0])
+            ),
+            Err(CoreError::InvalidSample { .. })
+        ));
+        assert!(matches!(
+            v.ingest_vec(
+                Tick(0),
+                tid(1, 0),
+                Res2::from_lanes([0.4, 0.2]),
+                Res2::from_lanes([0.1, -0.1])
+            ),
+            Err(CoreError::InvalidSample { .. })
+        ));
+        // Rejected samples do not flip the mode.
+        assert!(!v.is_vector());
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub mod view;
 pub use config::SimConfig;
 pub use error::CoreError;
 pub use ingest::IncrementalView;
-pub use metrics::{MachineReport, MachineSeries, SimResult};
+pub use metrics::{
+    LaneReports, MachineReport, MachineSeries, MachineSeriesVec, SimResult, SimResultVec,
+};
 pub use predictor::{PeakPredictor, PredictorSpec};
 pub use runner::{run_cell, run_cell_streaming, CellRun};
 pub use view::MachineView;

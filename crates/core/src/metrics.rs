@@ -14,6 +14,7 @@
 //! Metrics are accumulated per machine over the simulated period; cells
 //! aggregate machines.
 
+use oc_stats::resource::{Res2, NUM_RESOURCES, RESOURCE_NAMES};
 use oc_stats::Welford;
 use oc_trace::ids::MachineId;
 
@@ -115,6 +116,55 @@ impl MachineReport {
     }
 }
 
+/// Per-machine, per-predictor metric summaries for every resource lane.
+///
+/// Lane 0 (CPU) of a vector replay is accounted with exactly the same
+/// [`MachineReport::record`] calls as a scalar replay, so its counters and
+/// Welford moments are bit-identical to the scalar path.
+#[derive(Debug, Clone)]
+pub struct LaneReports {
+    /// One report per resource lane, indexed by
+    /// [`oc_stats::resource::CPU`] / [`oc_stats::resource::MEM`].
+    pub lanes: [MachineReport; NUM_RESOURCES],
+}
+
+impl LaneReports {
+    /// Creates empty per-lane reports for one machine and predictor.
+    pub fn new(machine: MachineId, predictor: String) -> LaneReports {
+        LaneReports {
+            lanes: std::array::from_fn(|_| MachineReport::new(machine, predictor.clone())),
+        }
+    }
+
+    /// Accumulates one tick of per-lane values.
+    pub fn record(&mut self, p: Res2, po: Res2, l: Res2) {
+        for (lane, report) in self.lanes.iter_mut().enumerate() {
+            report.record(p.lane(lane), po.lane(lane), l.lane(lane));
+        }
+    }
+
+    /// The report of one lane.
+    pub fn lane(&self, lane: usize) -> &MachineReport {
+        &self.lanes[lane]
+    }
+
+    /// Worst-lane violation rate: the rate of ticks violating in *any*
+    /// lane is bounded below by each lane's own rate; this returns the
+    /// largest per-lane rate (the gating lane).
+    pub fn worst_violation_rate(&self) -> f64 {
+        self.lanes
+            .iter()
+            .map(MachineReport::violation_rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-lane violation counts paired with the lane names
+    /// (`["cpu", "mem"]`), for metric emission.
+    pub fn violations_by_lane(&self) -> [(&'static str, u64); NUM_RESOURCES] {
+        std::array::from_fn(|i| (RESOURCE_NAMES[i], self.lanes[i].violations))
+    }
+}
+
 /// Full per-tick series retained when `record_series` is on.
 #[derive(Debug, Clone)]
 pub struct MachineSeries {
@@ -142,6 +192,36 @@ pub struct SimResult {
     pub reports: Vec<MachineReport>,
     /// Per-tick series when requested.
     pub series: Option<MachineSeries>,
+}
+
+/// Full per-lane per-tick series retained by the vector replay when
+/// `record_series` is on.
+#[derive(Debug, Clone)]
+pub struct MachineSeriesVec {
+    /// Per-lane Σ limits per tick.
+    pub limit: Vec<Res2>,
+    /// Per-lane peak-oracle value per tick.
+    pub oracle: Vec<Res2>,
+    /// Per-lane predictions per predictor (outer index = predictor).
+    pub predictions: Vec<Vec<Res2>>,
+    /// Average machine CPU usage per tick (trace ground truth; the input
+    /// of node power models).
+    pub avg_usage: Vec<f64>,
+    /// Total derived memory usage per tick.
+    pub mem_usage: Vec<f64>,
+}
+
+/// One machine's vector-simulation output: per-lane reports per predictor.
+#[derive(Debug, Clone)]
+pub struct SimResultVec {
+    /// The simulated machine.
+    pub machine: MachineId,
+    /// Per-lane machine capacity.
+    pub capacity: Res2,
+    /// Per-lane reports per configured predictor, in configuration order.
+    pub reports: Vec<LaneReports>,
+    /// Per-lane per-tick series when requested.
+    pub series: Option<MachineSeriesVec>,
 }
 
 #[cfg(test)]

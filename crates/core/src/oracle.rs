@@ -17,7 +17,9 @@
 //! are issued *before* admitting tasks of later ticks.
 
 use crate::segtree::MaxTree;
+use oc_trace::memory::MemoryModel;
 use oc_trace::sample::UsageMetric;
+use oc_trace::time::Tick;
 use oc_trace::MachineTrace;
 
 /// Sliding-window future maximum of a fixed series.
@@ -88,6 +90,44 @@ pub fn machine_oracle(trace: &MachineTrace, metric: UsageMetric, horizon_ticks: 
                 let idx = t0 + k;
                 if idx < n {
                     tree.add(idx, metric.of(s));
+                }
+            }
+            next_task += 1;
+        }
+        out[i] = tree.range_max(i, i + h);
+    }
+    out
+}
+
+/// Per-tick memory-lane peak-oracle series for a machine, the analogue of
+/// [`machine_oracle`] over the derived memory series.
+///
+/// Each task's memory usage at a tick is [`MemoryModel::usage`] of its CPU
+/// usage (by `metric`) at that tick — the same value the vector replay
+/// feeds the view — so oracle and prediction compare like for like.
+pub fn memory_oracle(
+    trace: &MachineTrace,
+    model: &MemoryModel,
+    metric: UsageMetric,
+    horizon_ticks: u64,
+) -> Vec<f64> {
+    let start = trace.horizon.start.index();
+    let n = trace.horizon.len() as usize;
+    let h = horizon_ticks.max(1) as usize;
+    let mut tree = MaxTree::new(n);
+    let mut out = vec![0.0; n];
+    let mut next_task = 0usize;
+    for i in 0..n {
+        while next_task < trace.tasks.len()
+            && trace.tasks[next_task].spec.start.index() - start <= i as u64
+        {
+            let task = &trace.tasks[next_task];
+            let t0 = (task.spec.start.index() - start) as usize;
+            for (k, s) in task.samples.iter().enumerate() {
+                let idx = t0 + k;
+                if idx < n {
+                    let t = Tick(start + idx as u64);
+                    tree.add(idx, model.usage(&task.spec, t, metric.of(s)));
                 }
             }
             next_task += 1;

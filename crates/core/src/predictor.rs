@@ -2,6 +2,7 @@
 
 use crate::error::CoreError;
 use crate::view::MachineView;
+use oc_stats::resource::{Res2, CPU, NUM_RESOURCES};
 
 /// A machine-level peak predictor (Section 4 of the paper).
 ///
@@ -19,13 +20,72 @@ pub trait PeakPredictor: Send + Sync {
     /// A short stable name for tables and CSV headers.
     fn name(&self) -> String;
 
-    /// Predicts the machine's future peak usage from its current view.
+    /// Predicts the machine's future peak CPU usage from its current view.
     fn predict(&self, view: &MachineView) -> f64;
+
+    /// Predicts the machine's future peak usage in resource lane `lane`.
+    ///
+    /// Lane 0 (CPU) always routes through [`PeakPredictor::predict`], so
+    /// the CPU lane of a vectorized caller is bit-identical to the scalar
+    /// API. The default for other lanes is the conservative no-overcommit
+    /// answer (that lane's Σ limits); the built-in usage-based predictors
+    /// override it with the same formula they apply to CPU, evaluated on
+    /// the lane's windows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oc_core::config::SimConfig;
+    /// use oc_core::predictor::{PeakPredictor, PredictorSpec};
+    /// use oc_core::view::MachineView;
+    /// use oc_stats::resource::{Res2, CPU, MEM};
+    /// use oc_trace::ids::{JobId, TaskId};
+    /// use oc_trace::time::Tick;
+    ///
+    /// let cfg = SimConfig::default();
+    /// let mut view = MachineView::new(1.0, &cfg);
+    /// let task = TaskId::new(JobId(1), 0);
+    /// view.observe_vec(
+    ///     Tick(0),
+    ///     [(task, Res2::from_lanes([0.4, 0.2]), Res2::from_lanes([0.1, 0.08]))],
+    /// );
+    /// let p = PredictorSpec::paper_max().build().unwrap();
+    /// // One cold task: every lane predicts that lane's limit sum.
+    /// assert_eq!(p.predict_lane(&view, CPU), 0.4);
+    /// assert_eq!(p.predict_lane(&view, MEM), 0.2);
+    /// let v = p.predict_vec(&view);
+    /// assert_eq!(v.lanes(), &[0.4, 0.2]);
+    /// ```
+    fn predict_lane(&self, view: &MachineView, lane: usize) -> f64 {
+        if lane == CPU {
+            self.predict(view)
+        } else {
+            view.total_limit_lane(lane)
+        }
+    }
+
+    /// Predicts every resource lane at once. Lane 0 equals
+    /// [`PeakPredictor::predict`] bit-for-bit.
+    fn predict_vec(&self, view: &MachineView) -> Res2 {
+        Res2::from_lanes(std::array::from_fn(|lane| self.predict_lane(view, lane)))
+    }
 }
 
-/// Clamps a raw prediction into the actionable range `[0, Σ limits]`.
+/// Clamps a raw CPU prediction into the actionable range `[0, Σ limits]`.
 pub fn clamp_prediction(raw: f64, view: &MachineView) -> f64 {
     raw.clamp(0.0, view.total_limit())
+}
+
+/// Clamps a raw per-lane prediction into `[0, Σ limits]` of that lane.
+pub fn clamp_prediction_lane(raw: f64, view: &MachineView, lane: usize) -> f64 {
+    raw.clamp(0.0, view.total_limit_lane(lane))
+}
+
+/// Clamps a per-lane prediction vector into each lane's actionable range.
+pub fn clamp_prediction_vec(raw: Res2, view: &MachineView) -> Res2 {
+    Res2::from_lanes(std::array::from_fn::<_, NUM_RESOURCES, _>(|lane| {
+        clamp_prediction_lane(raw.lane(lane), view, lane)
+    }))
 }
 
 /// Declarative predictor description: buildable, comparable, printable.

@@ -39,6 +39,10 @@ impl PeakPredictor for BorgDefault {
     fn predict(&self, view: &MachineView) -> f64 {
         self.phi * view.total_limit()
     }
+
+    fn predict_lane(&self, view: &MachineView, lane: usize) -> f64 {
+        self.phi * view.total_limit_lane(lane)
+    }
 }
 
 #[cfg(test)]

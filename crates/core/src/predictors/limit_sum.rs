@@ -20,6 +20,10 @@ impl PeakPredictor for LimitSum {
     fn predict(&self, view: &MachineView) -> f64 {
         view.total_limit()
     }
+
+    fn predict_lane(&self, view: &MachineView, lane: usize) -> f64 {
+        view.total_limit_lane(lane)
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,13 @@ impl PeakPredictor for MaxPeak {
             .map(|c| c.predict(view))
             .fold(0.0, f64::max)
     }
+
+    fn predict_lane(&self, view: &MachineView, lane: usize) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.predict_lane(view, lane))
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The N-sigma machine-aggregate predictor.
 
-use crate::predictor::{clamp_prediction, PeakPredictor};
+use crate::predictor::{clamp_prediction, clamp_prediction_lane, PeakPredictor};
 use crate::view::MachineView;
 
 /// Predicts `mean(U(J)) + N · std(U(J))` over the machine-level aggregate
@@ -49,6 +49,16 @@ impl PeakPredictor for NSigma {
             w.mean() + self.n * w.population_std() + view.cold_limit_sum()
         };
         clamp_prediction(raw, view)
+    }
+
+    fn predict_lane(&self, view: &MachineView, lane: usize) -> f64 {
+        let w = view.warm_aggregate_lane(lane);
+        let raw = if w.is_empty() {
+            view.total_limit_lane(lane)
+        } else {
+            w.mean() + self.n * w.population_std() + view.cold_limit_sum_lane(lane)
+        };
+        clamp_prediction_lane(raw, view, lane)
     }
 }
 

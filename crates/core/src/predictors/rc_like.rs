@@ -1,6 +1,6 @@
 //! Resource-Central-style per-task percentile predictor.
 
-use crate::predictor::{clamp_prediction, PeakPredictor};
+use crate::predictor::{clamp_prediction, clamp_prediction_lane, PeakPredictor};
 use crate::view::MachineView;
 
 /// Predicts the sum of a per-task usage percentile:
@@ -50,6 +50,25 @@ impl PeakPredictor for RcLike {
             total += pct.min(task.limit());
         }
         clamp_prediction(total, view)
+    }
+
+    fn predict_lane(&self, view: &MachineView, lane: usize) -> f64 {
+        if lane == oc_stats::resource::CPU {
+            return self.predict(view);
+        }
+        let mut total = view.cold_limit_sum_lane(lane);
+        for (_, task) in view.warm_tasks() {
+            let limit = task.limit_lane(lane);
+            // The memory lane tracks the windowed *peak*, not a full
+            // percentile index: memory is incompressible, so the warm
+            // contribution must cover the recent peak — and peak-only
+            // tracking is what keeps the second lane's observe cost O(1)
+            // (see `TaskView::mem_peak`). A lane that was never observed
+            // (scalar-only task) falls back to its limit (0.0 here).
+            let peak = task.mem_peak().unwrap_or(limit);
+            total += peak.min(limit);
+        }
+        clamp_prediction_lane(total, view, lane)
     }
 }
 

@@ -7,11 +7,15 @@
 
 use crate::config::SimConfig;
 use crate::error::CoreError;
-use crate::metrics::{MachineReport, MachineSeries, SimResult};
-use crate::oracle::machine_oracle;
+use crate::metrics::{
+    LaneReports, MachineReport, MachineSeries, MachineSeriesVec, SimResult, SimResultVec,
+};
+use crate::oracle::{machine_oracle, memory_oracle};
 use crate::predictor::PeakPredictor;
 use crate::view::MachineView;
+use oc_stats::resource::{Res2, CPU, MEM, RESOURCE_NAMES};
 use oc_telemetry::{trace, Counter};
+use oc_trace::memory::MemoryModel;
 use oc_trace::time::Tick;
 use oc_trace::MachineTrace;
 use std::sync::{Arc, OnceLock};
@@ -119,6 +123,122 @@ pub fn simulate_machine(
     Ok(SimResult {
         machine: trace.machine,
         capacity: trace.capacity,
+        reports,
+        series,
+    })
+}
+
+/// Vector counterpart of [`simulate_machine`]: replays one machine with
+/// per-lane (CPU + memory) observations, predictions, and oracles.
+///
+/// The CPU lane reproduces the scalar replay bit for bit — same
+/// observation order, same predictor formulas (via
+/// [`PeakPredictor::predict_lane`] lane 0), same accounting — so
+/// `result.reports[j].lane(CPU)` matches `simulate_machine`'s
+/// `reports[j]` exactly. The memory lane derives each task's usage from
+/// `mem_model` (a pure function of the CPU series, no RNG) and is judged
+/// against [`memory_oracle`]. Per-lane violation totals are exported as
+/// `sim.violations.cpu` / `sim.violations.mem` counters when telemetry is
+/// enabled.
+///
+/// Memory capacity is normalized to 1.0 per machine, mirroring the CPU
+/// convention.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `cfg` or
+/// [`CoreError::Trace`] if the machine trace fails validation.
+pub fn simulate_machine_vec(
+    trace: &MachineTrace,
+    cfg: &SimConfig,
+    predictors: &[Box<dyn PeakPredictor>],
+    mem_model: &MemoryModel,
+) -> Result<SimResultVec, CoreError> {
+    cfg.validate()?;
+    trace.validate()?;
+    let oracle_cpu = machine_oracle(trace, cfg.metric, cfg.oracle_horizon_ticks);
+    let oracle_mem = memory_oracle(trace, mem_model, cfg.metric, cfg.oracle_horizon_ticks);
+    let mut reports: Vec<LaneReports> = predictors
+        .iter()
+        .map(|p| LaneReports::new(trace.machine, p.name()))
+        .collect();
+    let n_ticks = trace.horizon.len() as usize;
+    let mut series = cfg.record_series.then(|| MachineSeriesVec {
+        limit: Vec::with_capacity(n_ticks),
+        oracle: oracle_cpu
+            .iter()
+            .zip(&oracle_mem)
+            .map(|(&c, &m)| Res2::from_lanes([c, m]))
+            .collect(),
+        predictions: vec![Vec::with_capacity(n_ticks); predictors.len()],
+        avg_usage: trace.avg_usage.clone(),
+        mem_usage: Vec::with_capacity(n_ticks),
+    });
+
+    let mut view = MachineView::new(trace.capacity, cfg);
+    let mut live: Vec<usize> = Vec::new();
+    let mut next_task = 0usize;
+    let traced = oc_telemetry::enabled();
+
+    for (i, t) in trace.horizon.iter().enumerate() {
+        while next_task < trace.tasks.len() && trace.tasks[next_task].spec.start <= t {
+            if trace.tasks[next_task].spec.alive_at(t) {
+                live.push(next_task);
+            }
+            next_task += 1;
+        }
+        live.retain(|&idx| trace.tasks[idx].spec.alive_at(t));
+
+        let _tick_span = (traced && i % TICK_SPAN_SAMPLE == 0)
+            .then(|| trace::span_ab("sim.tick", t.0, live.len() as u64));
+
+        let mut mem_total = 0.0;
+        view.observe_vec(
+            t,
+            live.iter().map(|&idx| {
+                let task = &trace.tasks[idx];
+                let usage = task.sample_at(t).map(|s| cfg.metric.of(s)).unwrap_or(0.0);
+                let mem = mem_model.usage(&task.spec, t, usage);
+                mem_total += mem;
+                (
+                    task.spec.id,
+                    Res2::from_lanes([task.spec.limit, task.spec.memory_limit]),
+                    Res2::from_lanes([usage, mem]),
+                )
+            }),
+        );
+
+        let po = Res2::from_lanes([oracle_cpu[i], oracle_mem[i]]);
+        let limit = view.total_limit_vec();
+        for (j, predictor) in predictors.iter().enumerate() {
+            let p = predictor.predict_vec(&view);
+            reports[j].record(p, po, limit);
+            if let Some(series) = series.as_mut() {
+                series.predictions[j].push(p);
+            }
+        }
+        if let Some(series) = series.as_mut() {
+            series.limit.push(limit);
+            series.mem_usage.push(mem_total);
+        }
+    }
+
+    if oc_telemetry::enabled() {
+        let c = sim_counters();
+        c.ticks.add(trace.horizon.len());
+        c.predictor_evals
+            .add(trace.horizon.len() * predictors.len() as u64);
+        let m = oc_telemetry::global_metrics();
+        for lane in [CPU, MEM] {
+            let total: u64 = reports.iter().map(|r| r.lane(lane).violations).sum();
+            m.counter(&format!("sim.violations.{}", RESOURCE_NAMES[lane]))
+                .add(total);
+        }
+    }
+
+    Ok(SimResultVec {
+        machine: trace.machine,
+        capacity: Res2::from_lanes([trace.capacity, 1.0]),
         reports,
         series,
     })
@@ -326,6 +446,56 @@ mod tests {
         // 288 ticks sampled every 64: ticks 0, 64, 128, 192, 256.
         assert!(tick_spans.len() >= 5, "{} sampled spans", tick_spans.len());
         assert!(tick_spans.iter().all(|e| e.b > 0), "live tasks recorded");
+    }
+
+    #[test]
+    fn vector_cpu_lane_matches_scalar_sim_bitwise() {
+        // The CPU lane of the vector replay must reproduce the scalar
+        // replay's accounting exactly: same violation counts, bitwise
+        // identical savings/severity means.
+        let t = trace();
+        let specs = PredictorSpec::comparison_set();
+        let scalar = simulate_machine(&t, &SimConfig::default(), &build(&specs)).unwrap();
+        let vector = simulate_machine_vec(
+            &t,
+            &SimConfig::default(),
+            &build(&specs),
+            &oc_trace::MemoryModel::default(),
+        )
+        .unwrap();
+        for (s, v) in scalar.reports.iter().zip(vector.reports.iter()) {
+            let v = v.lane(CPU);
+            assert_eq!(s.predictor, v.predictor);
+            assert_eq!(s.ticks, v.ticks);
+            assert_eq!(s.violations, v.violations);
+            assert_eq!(s.mean_savings().to_bits(), v.mean_savings().to_bits());
+            assert_eq!(s.mean_severity().to_bits(), v.mean_severity().to_bits());
+            assert_eq!(s.prediction.mean().to_bits(), v.prediction.mean().to_bits());
+        }
+    }
+
+    #[test]
+    fn memory_lane_is_consistent() {
+        let t = trace();
+        let cfg = SimConfig::default().with_series();
+        let result = simulate_machine_vec(
+            &t,
+            &cfg,
+            &build(&[PredictorSpec::LimitSum, PredictorSpec::paper_max()]),
+            &oc_trace::MemoryModel::default(),
+        )
+        .unwrap();
+        // Limit-sum never violates in any lane.
+        assert_eq!(result.reports[0].lane(MEM).violations, 0);
+        assert_eq!(result.reports[0].lane(CPU).violations, 0);
+        let s = result.series.as_ref().unwrap();
+        // The memory oracle stays below the memory limit sum.
+        for (po, l) in s.oracle.iter().zip(&s.limit) {
+            assert!(po.lane(MEM) <= l.lane(MEM) + 1e-9);
+        }
+        // The machine actually uses memory.
+        assert!(s.mem_usage.iter().any(|&m| m > 0.0));
+        assert_eq!(result.capacity.lane(MEM), 1.0);
     }
 
     #[test]

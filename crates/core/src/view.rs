@@ -13,9 +13,23 @@
 //! warm tasks only and the limits of cold tasks are added on top. The
 //! machine-level aggregate window used by the N-sigma predictor records,
 //! per tick, the summed usage of the tasks that were warm at that tick.
+//!
+//! # Resource lanes
+//!
+//! The view tracks a small fixed set of resource *lanes* (see
+//! [`oc_stats::resource`]): lane 0 is CPU, lane 1 memory. State is laid
+//! out structure-of-arrays — the CPU lane is exactly the original scalar
+//! state, and memory-lane windows/sums live in parallel fields — so the
+//! scalar [`MachineView::observe`] path performs the identical float-op
+//! sequence it always did (goldens stay bit-exact) and each lane's
+//! incremental update works on its own contiguous buffer. The vector
+//! ingest path is [`MachineView::observe_vec`]; ticks fed through the
+//! scalar path do not advance memory-lane windows (a scalar sample
+//! carries no memory information).
 
 use crate::config::SimConfig;
-use oc_stats::{MovingWindow, OrderStatWindow};
+use oc_stats::resource::{Res2, CPU, MEM};
+use oc_stats::{MovingWindow, OrderStatWindow, PeakWindow};
 use oc_telemetry::Counter;
 use oc_trace::ids::TaskId;
 use oc_trace::time::Tick;
@@ -28,6 +42,22 @@ fn observe_ticks_counter() -> &'static Arc<Counter> {
     COUNTER.get_or_init(|| oc_telemetry::global_metrics().counter("core.view.observe_ticks"))
 }
 
+/// Memory-lane state of one task: limit plus a windowed-peak tracker,
+/// boxed so that scalar-only (CPU) serving pays one pointer per task,
+/// not a whole second window.
+///
+/// The memory lane deliberately keeps a [`PeakWindow`], not a full
+/// [`OrderStatWindow`]: memory is incompressible (overrunning it kills
+/// tasks instead of throttling them), so per-task admission needs the
+/// recent *peak*, and tracking only the peak keeps the second lane's
+/// push O(1) amortized — the vectorized observe path stays inside the
+/// hot-path bench envelope (`BENCH_hot_path.json`).
+#[derive(Debug, Clone)]
+struct MemLane {
+    limit: f64,
+    window: PeakWindow,
+}
+
 /// Per-task state maintained by the node agent.
 #[derive(Debug, Clone)]
 pub struct TaskView {
@@ -36,19 +66,51 @@ pub struct TaskView {
     age: usize,
     /// Generation stamp of the last tick this task was observed alive.
     last_seen: u64,
+    /// Memory-lane state; `None` until the task is observed through
+    /// [`MachineView::observe_vec`].
+    mem: Option<Box<MemLane>>,
 }
 
 impl TaskView {
-    /// The task's resource limit.
+    /// The task's CPU resource limit.
     pub fn limit(&self) -> f64 {
         self.limit
     }
 
-    /// Window of the most recent usage samples. Order statistics
+    /// The task's limit in resource lane `lane` (0.0 for a memory lane
+    /// that has never been observed).
+    pub fn limit_lane(&self, lane: usize) -> f64 {
+        match lane {
+            CPU => self.limit,
+            MEM => self.mem.as_ref().map_or(0.0, |m| m.limit),
+            _ => panic!("resource lane {lane} out of range"),
+        }
+    }
+
+    /// Window of the most recent CPU usage samples. Order statistics
     /// (percentile, max) are O(1) reads — this is what keeps the RC-like
     /// predictor's per-tick cost flat.
     pub fn window(&self) -> &OrderStatWindow {
         &self.window
+    }
+
+    /// Windowed peak of the task's recent memory usage; `None` for a
+    /// task that has never been observed through
+    /// [`MachineView::observe_vec`].
+    ///
+    /// The memory lane exposes only its peak (no arbitrary percentiles):
+    /// memory is incompressible, so predictors gate the lane on peak
+    /// demand, and the O(1)-push [`PeakWindow`] behind this accessor is
+    /// what keeps the vectorized observe path inside the hot-path bench
+    /// envelope.
+    pub fn mem_peak(&self) -> Option<f64> {
+        self.mem.as_deref().and_then(|m| m.window.max())
+    }
+
+    /// Number of memory-usage samples currently retained (0 for a task
+    /// never observed through [`MachineView::observe_vec`]).
+    pub fn mem_samples(&self) -> usize {
+        self.mem.as_deref().map_or(0, |m| m.window.len())
     }
 
     /// Number of samples observed over the task's lifetime (may exceed the
@@ -90,12 +152,19 @@ pub struct MachineView {
     /// Iteration order (ascending `TaskId`) is identical, so every
     /// order-sensitive float reduction over tasks is bit-preserved.
     tasks: Vec<(TaskId, TaskView)>,
-    /// Per-tick summed usage of then-warm tasks.
+    /// Per-tick summed CPU usage of then-warm tasks.
     warm_window: MovingWindow,
-    /// Current Σ limits over cold tasks.
+    /// Per-tick summed memory usage of then-warm tasks; advanced only by
+    /// [`MachineView::observe_vec`].
+    warm_mem_window: MovingWindow,
+    /// Current Σ CPU limits over cold tasks.
     cold_limit_sum: f64,
-    /// Current Σ limits over all tasks.
+    /// Current Σ CPU limits over all tasks.
     total_limit: f64,
+    /// Current Σ memory limits over cold tasks.
+    cold_mem_limit_sum: f64,
+    /// Current Σ memory limits over all tasks.
+    total_mem_limit: f64,
     /// Observation counter; each [`MachineView::observe`] call stamps the
     /// tasks it sees, and the sweep drops tasks with a stale stamp.
     generation: u64,
@@ -112,8 +181,11 @@ impl MachineView {
             max_num_samples: cap,
             tasks: Vec::new(),
             warm_window: MovingWindow::new(cap).expect("capacity >= 1"),
+            warm_mem_window: MovingWindow::new(cap).expect("capacity >= 1"),
             cold_limit_sum: 0.0,
             total_limit: 0.0,
+            cold_mem_limit_sum: 0.0,
+            total_mem_limit: 0.0,
             generation: 0,
         }
     }
@@ -153,6 +225,7 @@ impl MachineView {
                         window: OrderStatWindow::new(max_num_samples).expect("capacity >= 1"),
                         age: 0,
                         last_seen: 0,
+                        mem: None,
                     };
                     self.tasks.insert(i, (id, view));
                     &mut self.tasks[i].1
@@ -180,14 +253,100 @@ impl MachineView {
         self.warm_window.push(warm_total);
 
         if sums_stale {
-            self.total_limit = self.tasks.iter().map(|(_, t)| t.limit).sum();
-            self.cold_limit_sum = self
-                .tasks
-                .iter()
-                .filter(|(_, t)| t.age < self.min_num_samples)
-                .map(|(_, t)| t.limit)
-                .sum();
+            self.refresh_limit_sums();
         }
+    }
+
+    /// Vector counterpart of [`MachineView::observe`]: feeds one tick of
+    /// per-lane observations, `(task, limits, usage)` as [`Res2`] values.
+    ///
+    /// The CPU lane performs the same operations in the same order as the
+    /// scalar path (binary-search upsert, lane-0 window push, warm-total
+    /// accumulation, generation sweep, event-triggered sum refresh), so a
+    /// stream of scalar samples promoted with [`Res2::cpu_only`] produces
+    /// bit-identical CPU-lane state. The memory lane additionally pushes
+    /// into each task's lazily-created memory window and advances the
+    /// memory warm-aggregate window.
+    pub fn observe_vec(&mut self, t: Tick, alive: impl IntoIterator<Item = (TaskId, Res2, Res2)>) {
+        if oc_telemetry::enabled() {
+            observe_ticks_counter().inc();
+        }
+        self.now = t;
+        self.generation += 1;
+        let generation = self.generation;
+        let max_num_samples = self.max_num_samples;
+        let mut warm_total = 0.0;
+        let mut warm_mem_total = 0.0;
+        let mut sums_stale = false;
+        for (id, limit, usage) in alive {
+            let entry = match self.tasks.binary_search_by(|(tid, _)| tid.cmp(&id)) {
+                Ok(i) => &mut self.tasks[i].1,
+                Err(i) => {
+                    let view = TaskView {
+                        limit: limit.lane(CPU),
+                        window: OrderStatWindow::new(max_num_samples).expect("capacity >= 1"),
+                        age: 0,
+                        last_seen: 0,
+                        mem: None,
+                    };
+                    self.tasks.insert(i, (id, view));
+                    &mut self.tasks[i].1
+                }
+            };
+            let admitted = entry.age == 0;
+            let was_warm = !admitted && entry.age >= self.min_num_samples;
+            sums_stale |= admitted || entry.limit != limit.lane(CPU);
+            entry.limit = limit.lane(CPU);
+            entry.window.push(usage.lane(CPU));
+            let mem = entry.mem.get_or_insert_with(|| {
+                Box::new(MemLane {
+                    limit: 0.0,
+                    window: PeakWindow::new(max_num_samples).expect("capacity >= 1"),
+                })
+            });
+            sums_stale |= mem.limit != limit.lane(MEM);
+            mem.limit = limit.lane(MEM);
+            mem.window.push(usage.lane(MEM));
+            entry.age += 1;
+            entry.last_seen = generation;
+            if entry.age >= self.min_num_samples {
+                warm_total += usage.lane(CPU);
+                warm_mem_total += usage.lane(MEM);
+                sums_stale |= !was_warm;
+            }
+        }
+        let mut departed = false;
+        self.tasks.retain(|(_, task)| {
+            let keep = task.last_seen == generation;
+            departed |= !keep;
+            keep
+        });
+        sums_stale |= departed;
+        self.warm_window.push(warm_total);
+        self.warm_mem_window.push(warm_mem_total);
+
+        if sums_stale {
+            self.refresh_limit_sums();
+        }
+    }
+
+    /// Recomputes the event-triggered limit sums for every lane. The CPU
+    /// sums use the exact summation order the scalar path always used.
+    fn refresh_limit_sums(&mut self) {
+        self.total_limit = self.tasks.iter().map(|(_, t)| t.limit).sum();
+        self.cold_limit_sum = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.age < self.min_num_samples)
+            .map(|(_, t)| t.limit)
+            .sum();
+        self.total_mem_limit = self.tasks.iter().map(|(_, t)| t.limit_lane(MEM)).sum();
+        self.cold_mem_limit_sum = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.age < self.min_num_samples)
+            .map(|(_, t)| t.limit_lane(MEM))
+            .sum();
     }
 
     /// The machine's physical capacity.
@@ -215,14 +374,38 @@ impl MachineView {
         self.tasks.len()
     }
 
-    /// Σ limits over all alive tasks — the conservative no-overcommit peak.
+    /// Σ CPU limits over all alive tasks — the conservative no-overcommit
+    /// peak.
     pub fn total_limit(&self) -> f64 {
         self.total_limit
     }
 
-    /// Σ limits over tasks still in warm-up.
+    /// Σ CPU limits over tasks still in warm-up.
     pub fn cold_limit_sum(&self) -> f64 {
         self.cold_limit_sum
+    }
+
+    /// Σ limits over all alive tasks in resource lane `lane`.
+    pub fn total_limit_lane(&self, lane: usize) -> f64 {
+        match lane {
+            CPU => self.total_limit,
+            MEM => self.total_mem_limit,
+            _ => panic!("resource lane {lane} out of range"),
+        }
+    }
+
+    /// Σ limits over tasks still in warm-up, in resource lane `lane`.
+    pub fn cold_limit_sum_lane(&self, lane: usize) -> f64 {
+        match lane {
+            CPU => self.cold_limit_sum,
+            MEM => self.cold_mem_limit_sum,
+            _ => panic!("resource lane {lane} out of range"),
+        }
+    }
+
+    /// Per-lane Σ limits over all alive tasks as a vector.
+    pub fn total_limit_vec(&self) -> Res2 {
+        Res2::from_lanes([self.total_limit, self.total_mem_limit])
     }
 
     /// Iterates over warm tasks (those past the warm-up threshold).
@@ -238,10 +421,21 @@ impl MachineView {
         self.tasks.iter().map(|(id, t)| (id, t))
     }
 
-    /// The machine-level aggregate usage window (per tick, Σ usage over the
-    /// tasks that were warm at that tick).
+    /// The machine-level aggregate CPU usage window (per tick, Σ usage
+    /// over the tasks that were warm at that tick).
     pub fn warm_aggregate(&self) -> &MovingWindow {
         &self.warm_window
+    }
+
+    /// The machine-level aggregate usage window for resource lane `lane`.
+    /// The memory-lane window only advances on [`MachineView::observe_vec`]
+    /// ticks.
+    pub fn warm_aggregate_lane(&self, lane: usize) -> &MovingWindow {
+        match lane {
+            CPU => &self.warm_window,
+            MEM => &self.warm_mem_window,
+            _ => panic!("resource lane {lane} out of range"),
+        }
     }
 }
 
@@ -335,5 +529,90 @@ mod tests {
         v.observe(Tick(0), [(tid(1, 0), 0.4, 0.1)]);
         v.observe(Tick(1), [(tid(1, 0), 0.6, 0.1)]);
         assert_eq!(v.total_limit(), 0.6);
+    }
+
+    #[test]
+    fn vector_cpu_lane_is_bit_identical_to_scalar() {
+        // The same observation stream through observe() and through
+        // observe_vec() (scalar samples promoted with cpu_only) must leave
+        // identical CPU-lane state — sums, per-task windows, aggregate.
+        let mut scalar = MachineView::new(1.0, &small_cfg());
+        let mut vector = MachineView::new(1.0, &small_cfg());
+        let stream: Vec<Vec<(TaskId, f64, f64)>> = (0..12u64)
+            .map(|t| {
+                let mut obs = vec![(tid(1, 0), 0.4, 0.05 + 0.01 * t as f64)];
+                if t % 3 != 0 {
+                    obs.push((tid(2, 0), 0.3, 0.2 - 0.01 * t as f64));
+                }
+                obs
+            })
+            .collect();
+        for (t, obs) in stream.iter().enumerate() {
+            scalar.observe(Tick(t as u64), obs.iter().copied());
+            vector.observe_vec(
+                Tick(t as u64),
+                obs.iter()
+                    .map(|&(id, l, u)| (id, Res2::cpu_only(l), Res2::cpu_only(u))),
+            );
+            assert_eq!(
+                scalar.total_limit().to_bits(),
+                vector.total_limit().to_bits()
+            );
+            assert_eq!(
+                scalar.cold_limit_sum().to_bits(),
+                vector.cold_limit_sum().to_bits()
+            );
+            assert_eq!(
+                scalar.warm_aggregate().mean().to_bits(),
+                vector.warm_aggregate().mean().to_bits()
+            );
+        }
+        for ((_, a), (_, b)) in scalar.tasks().zip(vector.tasks()) {
+            assert_eq!(a.window().sorted(), b.window().sorted());
+        }
+        // Promoted scalar samples record zero in the memory lane.
+        assert_eq!(vector.total_limit_lane(MEM), 0.0);
+    }
+
+    #[test]
+    fn memory_lane_tracks_sums_and_windows() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        for t in 0..4u64 {
+            v.observe_vec(
+                Tick(t),
+                [(
+                    tid(1, 0),
+                    Res2::from_lanes([0.4, 0.2]),
+                    Res2::from_lanes([0.1, 0.08]),
+                )],
+            );
+        }
+        assert_eq!(v.total_limit_lane(MEM), 0.2);
+        assert_eq!(v.cold_limit_sum_lane(MEM), 0.0); // Warm after 3 ticks.
+        assert_eq!(v.total_limit_vec().lanes(), &[0.4, 0.2]);
+        let (_, t) = v.tasks().next().unwrap();
+        assert_eq!(t.limit_lane(MEM), 0.2);
+        assert_eq!(t.mem_peak(), Some(0.08));
+        assert_eq!(v.warm_aggregate_lane(MEM).last(), Some(0.08));
+    }
+
+    #[test]
+    fn scalar_ticks_leave_memory_lane_untouched() {
+        let mut v = MachineView::new(1.0, &small_cfg());
+        v.observe_vec(
+            Tick(0),
+            [(
+                tid(1, 0),
+                Res2::from_lanes([0.4, 0.2]),
+                Res2::from_lanes([0.1, 0.08]),
+            )],
+        );
+        let mem_len = v.tasks().next().unwrap().1.mem_samples();
+        v.observe(Tick(1), [(tid(1, 0), 0.4, 0.1)]);
+        let (_, t) = v.tasks().next().unwrap();
+        assert_eq!(t.mem_samples(), mem_len);
+        assert_eq!(t.window().len(), 2);
+        // The memory limit survives a scalar tick (sums stay exact).
+        assert_eq!(v.total_limit_lane(MEM), 0.2);
     }
 }

@@ -55,7 +55,7 @@ pub fn run(opts: &Opts) -> Result<(), Box<dyn Error>> {
     // generator's workload the matching configuration is the
     // simulation-tuned max composite guarded by the seasonal daily-peak
     // profile (Section 4's "max peak across predictors" with one more
-    // component; see DESIGN.md §6) — without the guard, month-long runs
+    // component; see DESIGN.md §10) — without the guard, month-long runs
     // accumulate diurnal-trough overfill that control's limit gate is
     // structurally immune to.
     cfg.experiment = oc_core::predictor::PredictorSpec::seasonal_max();

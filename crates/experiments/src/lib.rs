@@ -25,6 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod output;
 pub mod plot;
+pub mod powercap;
 pub mod sweep;
 pub mod table1;
 pub mod workload;
@@ -53,6 +54,7 @@ pub fn dispatch(id: &str, opts: &Opts) -> Result<(), Box<dyn Error>> {
         "diag" => diag::run(opts),
         "autopilot" => ext::run_autopilot(opts),
         "seasonal" => ext::run_seasonal(opts),
+        "powercap" => powercap::run(opts),
         "workload" => workload::run(opts),
         "table1" => table1::run(opts),
         "fig3" => fig3::run(opts),
@@ -73,10 +75,11 @@ pub fn dispatch(id: &str, opts: &Opts) -> Result<(), Box<dyn Error>> {
             }
             dispatch(AB_EXPERIMENT, opts)?;
             dispatch("autopilot", opts)?;
-            dispatch("seasonal", opts)
+            dispatch("seasonal", opts)?;
+            dispatch("powercap", opts)
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: {}, fig13 (= fig14), autopilot, seasonal, workload, diag, all",
+            "unknown experiment '{other}'; known: {}, fig13 (= fig14), autopilot, seasonal, powercap, workload, diag, all",
             ALL_EXPERIMENTS.join(", ")
         )
         .into()),

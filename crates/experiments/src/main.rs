@@ -94,7 +94,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: repro [--full] [--plot] [--threads N] [--results DIR] [--seed U64] \
          [--trace-out FILE] <experiment>...\n\
-         experiments: {}, fig13 (= fig14), all\n\
+         experiments: {}, fig13 (= fig14), autopilot, seasonal, powercap, all\n\
          --full runs the presets' full scale; the default is a quick pass\n\
          --seed overrides every cell preset's workload seed (sensitivity runs)",
         oc_experiments::ALL_EXPERIMENTS.join(", ")

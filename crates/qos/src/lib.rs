@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 pub mod model;
+pub mod power;
 pub mod report;
 
 pub use model::LatencyModel;
+pub use power::{apply_cap, worst_rho, CapOutcome, PowerModel, QosTier};
 pub use report::{slo_miss_rate, QosReport};

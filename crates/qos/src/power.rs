@@ -1,0 +1,266 @@
+//! Node power model and power-capping response.
+//!
+//! Overcommit interacts with the power budget: a machine's power draw is
+//! dominated by CPU utilization, so a prediction violation — admitted
+//! demand exceeding the predicted peak — shows up not only as scheduling
+//! latency but as power above the provisioned cap. Datacenter power
+//! delivery is itself oversubscribed (the same statistical argument as
+//! CPU overcommit), and the enforcement mechanism is different: a breached
+//! power cap does not queue work, it *throttles* the node (RAPL/DVFS
+//! clipping), stretching every running task.
+//!
+//! The model here is deliberately simple and linear — the standard
+//! idle-plus-proportional form:
+//!
+//! ```text
+//! power(u) = idle + dynamic · clamp(u, 0, 1)        (full load = 1.0)
+//! ```
+//!
+//! Capping inverts it: a cap ratio `c` (fraction of full-load power)
+//! admits CPU utilization up to `util_at_cap(c)`. Demand above that is
+//! clipped, and the clipped fraction is charged as a latency stretch
+//! weighted by the workload's [`QosTier`] — throttling is applied
+//! best-effort-first, so higher tiers see a smaller share of the stretch.
+
+use oc_stats::resource::ResourceVec;
+
+/// Linear node power model, normalized to full-load power 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use oc_qos::power::PowerModel;
+///
+/// let m = PowerModel::default();
+/// assert!((m.power(0.0) - m.idle).abs() < 1e-12);
+/// assert!((m.power(1.0) - 1.0).abs() < 1e-12);
+/// // A 90% cap admits utilization strictly below 1.0.
+/// let u = m.util_at_cap(0.9);
+/// assert!(u < 1.0 && m.power(u) <= 0.9 + 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Idle power as a fraction of full-load power.
+    pub idle: f64,
+    /// Dynamic range: `idle + dynamic = 1.0` at full load.
+    pub dynamic: f64,
+}
+
+impl Default for PowerModel {
+    /// Idle fraction 0.35 — typical of the server-class machines the
+    /// paper's fleet runs (idle power 30–40% of peak).
+    fn default() -> Self {
+        PowerModel {
+            idle: 0.35,
+            dynamic: 0.65,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Node power at CPU utilization `u` (clamped to `[0, 1]`), as a
+    /// fraction of full-load power.
+    pub fn power(&self, u: f64) -> f64 {
+        self.idle + self.dynamic * u.clamp(0.0, 1.0)
+    }
+
+    /// The largest CPU utilization whose power stays within a cap of
+    /// `cap` × full-load power. Zero when the cap is below idle power
+    /// (the node cannot comply without suspending).
+    pub fn util_at_cap(&self, cap: f64) -> f64 {
+        if self.dynamic <= 0.0 {
+            return 1.0;
+        }
+        ((cap - self.idle) / self.dynamic).clamp(0.0, 1.0)
+    }
+}
+
+/// Workload QoS tiers, ordered by protection under power capping.
+///
+/// Throttling is applied bottom-up: best-effort work absorbs most of the
+/// frequency clip before standard, and standard before premium — the
+/// tier's [`stretch_weight`](QosTier::stretch_weight) encodes the share
+/// of the clip each tier experiences as latency stretch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosTier {
+    /// Latency-critical serving; protected until the cap is deeply breached.
+    Premium,
+    /// Ordinary production batch/serving mix.
+    Standard,
+    /// Scavenger-class work; first to be throttled.
+    BestEffort,
+}
+
+impl QosTier {
+    /// All tiers, most-protected first.
+    pub const ALL: [QosTier; 3] = [QosTier::Premium, QosTier::Standard, QosTier::BestEffort];
+
+    /// Fraction of a node-level clip this tier experiences as latency
+    /// stretch.
+    pub fn stretch_weight(self) -> f64 {
+        match self {
+            QosTier::Premium => 0.25,
+            QosTier::Standard => 1.0,
+            QosTier::BestEffort => 2.5,
+        }
+    }
+
+    /// Display name (stable; used in CSV columns and metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            QosTier::Premium => "premium",
+            QosTier::Standard => "standard",
+            QosTier::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// Outcome of applying a power cap to one tick of node demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapOutcome {
+    /// Uncapped node power for the offered utilization.
+    pub power: f64,
+    /// CPU utilization actually granted after clipping.
+    pub granted_util: f64,
+    /// Fraction of demand clipped (`0` when under the cap).
+    pub clipped_frac: f64,
+}
+
+impl CapOutcome {
+    /// Latency stretch factor for a tier: running at reduced frequency
+    /// stretches execution roughly by the inverse of the granted share,
+    /// scaled by the tier's exposure.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oc_qos::power::{PowerModel, QosTier, apply_cap};
+    ///
+    /// let out = apply_cap(&PowerModel::default(), 1.0, 0.8);
+    /// assert!(out.clipped_frac > 0.0);
+    /// let premium = out.tier_stretch(QosTier::Premium);
+    /// let scavenger = out.tier_stretch(QosTier::BestEffort);
+    /// assert!(premium < scavenger);
+    /// assert!(premium >= 1.0);
+    /// ```
+    pub fn tier_stretch(&self, tier: QosTier) -> f64 {
+        1.0 + tier.stretch_weight() * self.clipped_frac / (1.0 - self.clipped_frac).max(1e-9)
+    }
+}
+
+/// Applies power cap `cap` (fraction of full-load power) to an offered
+/// CPU utilization `util`, returning the clip outcome.
+pub fn apply_cap(model: &PowerModel, util: f64, cap: f64) -> CapOutcome {
+    let util = util.clamp(0.0, 1.0);
+    let allowed = model.util_at_cap(cap);
+    let granted = util.min(allowed);
+    let clipped = if util > 0.0 {
+        ((util - granted) / util).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    CapOutcome {
+        power: model.power(util),
+        granted_util: granted,
+        clipped_frac: clipped,
+    }
+}
+
+/// Worst-lane demand-to-capacity ratio: the `ρ` a multi-resource machine
+/// feeds the latency model is the maximum over lanes — the first
+/// exhausted resource is the one that queues work.
+///
+/// Lanes with non-positive capacity are skipped (an unprovisioned lane
+/// cannot be the bottleneck).
+///
+/// # Examples
+///
+/// ```
+/// use oc_qos::power::worst_rho;
+/// use oc_stats::resource::Res2;
+///
+/// let usage = Res2::from_lanes([0.5, 0.9]);
+/// let capacity = Res2::from_lanes([1.0, 1.0]);
+/// assert!((worst_rho(&usage, &capacity) - 0.9).abs() < 1e-12);
+/// ```
+pub fn worst_rho<const N: usize>(usage: &ResourceVec<N>, capacity: &ResourceVec<N>) -> f64 {
+    let mut rho = 0.0f64;
+    for lane in 0..N {
+        let cap = capacity.lane(lane);
+        if cap > 0.0 {
+            rho = rho.max(usage.lane(lane) / cap);
+        }
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_stats::resource::Res2;
+
+    #[test]
+    fn power_is_linear_in_util() {
+        let m = PowerModel::default();
+        assert!((m.power(0.5) - (0.35 + 0.325)).abs() < 1e-12);
+        assert_eq!(m.power(-1.0), m.power(0.0));
+        assert_eq!(m.power(2.0), m.power(1.0));
+    }
+
+    #[test]
+    fn cap_inversion_round_trips() {
+        let m = PowerModel::default();
+        for cap in [0.5, 0.7, 0.9, 1.0] {
+            let u = m.util_at_cap(cap);
+            assert!(m.power(u) <= cap + 1e-12, "cap {cap}");
+        }
+        // A cap below idle admits no dynamic power at all.
+        assert_eq!(m.util_at_cap(0.2), 0.0);
+        // A cap above full load admits everything.
+        assert_eq!(m.util_at_cap(1.5), 1.0);
+    }
+
+    #[test]
+    fn under_cap_is_a_no_op() {
+        let out = apply_cap(&PowerModel::default(), 0.3, 0.9);
+        assert_eq!(out.granted_util, 0.3);
+        assert_eq!(out.clipped_frac, 0.0);
+        for tier in QosTier::ALL {
+            assert_eq!(out.tier_stretch(tier), 1.0);
+        }
+    }
+
+    #[test]
+    fn over_cap_clips_and_stretches_by_tier() {
+        let out = apply_cap(&PowerModel::default(), 1.0, 0.8);
+        assert!(out.granted_util < 1.0);
+        assert!(out.clipped_frac > 0.0 && out.clipped_frac < 1.0);
+        let stretches: Vec<f64> = QosTier::ALL.iter().map(|&t| out.tier_stretch(t)).collect();
+        // Most-protected first => monotonically increasing stretch.
+        assert!(stretches[0] < stretches[1] && stretches[1] < stretches[2]);
+        assert!(stretches.iter().all(|&s| s >= 1.0));
+    }
+
+    #[test]
+    fn zero_demand_never_clips() {
+        let out = apply_cap(&PowerModel::default(), 0.0, 0.2);
+        assert_eq!(out.clipped_frac, 0.0);
+        assert_eq!(out.granted_util, 0.0);
+    }
+
+    #[test]
+    fn worst_rho_picks_the_bottleneck_lane() {
+        let cap = Res2::from_lanes([2.0, 1.0]);
+        assert!(
+            (worst_rho(&Res2::from_lanes([1.0, 0.2]), &cap) - 0.5).abs() < 1e-12,
+            "cpu-bound"
+        );
+        assert!(
+            (worst_rho(&Res2::from_lanes([0.4, 0.8]), &cap) - 0.8).abs() < 1e-12,
+            "mem-bound"
+        );
+        // Unprovisioned lanes are skipped.
+        let cap0 = Res2::from_lanes([1.0, 0.0]);
+        assert_eq!(worst_rho(&Res2::from_lanes([0.5, 9.0]), &cap0), 0.5);
+    }
+}

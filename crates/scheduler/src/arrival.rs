@@ -26,6 +26,8 @@ pub struct TaskRequest {
     pub id: TaskId,
     /// CPU limit in normalized machine-capacity units.
     pub limit: f64,
+    /// Memory limit in normalized machine-memory units.
+    pub memory_limit: f64,
     /// Requested runtime in ticks (the scheduler learns this only by the
     /// task finishing; it is carried here for bookkeeping).
     pub runtime_ticks: u64,
@@ -92,6 +94,8 @@ impl ArrivalStream {
             .random_range(cfg.tasks_per_job.0..=cfg.tasks_per_job.1);
         let limit = dist::lognormal(&mut self.rng, cfg.limits.log_mean, cfg.limits.log_sigma)
             .clamp(cfg.limits.min, cfg.limits.max);
+        // Same distribution the trace generator uses for job templates.
+        let memory_limit = dist::lognormal(&mut self.rng, (0.04f64).ln(), 0.8).clamp(0.005, 0.5);
         let serving = self.rng.random::<f64>() < cfg.serving_fraction;
         let (class, priority) = if serving {
             if self.rng.random::<f64>() < 0.5 {
@@ -113,6 +117,7 @@ impl ArrivalStream {
             out.push(TaskRequest {
                 id: TaskId::new(id, index),
                 limit,
+                memory_limit,
                 runtime_ticks: runtime,
                 class,
                 priority,

@@ -174,7 +174,7 @@ pub fn run_cluster_assigned(
             let candidates: Vec<(usize, f64)> = machines
                 .iter()
                 .enumerate()
-                .filter(|(_, m)| m.fits(req.limit))
+                .filter(|(_, m)| m.fits(req.limit, req.memory_limit))
                 .map(|(i, m)| (i, m.advertised_free()))
                 .collect();
             match cfg.placement.choose(&candidates, &mut place_rng) {

@@ -3,11 +3,13 @@
 
 use crate::arrival::TaskRequest;
 use oc_core::config::SimConfig;
-use oc_core::predictor::{clamp_prediction, PeakPredictor};
+use oc_core::predictor::{clamp_prediction, clamp_prediction_lane, PeakPredictor};
 use oc_core::view::MachineView;
+use oc_stats::resource::{Res2, MEM};
 use oc_trace::cell::UsageModel;
 use oc_trace::gen::UsageProcess;
 use oc_trace::ids::{MachineId, TaskId};
+use oc_trace::memory::MemoryModel;
 use oc_trace::sample::UsageSample;
 use oc_trace::task::{SchedulingClass, TaskSpec, TaskTrace};
 use oc_trace::time::{Tick, TickRange, SUBSAMPLES_PER_TICK};
@@ -20,6 +22,7 @@ use rand::SeedableRng;
 struct LiveTask {
     id: TaskId,
     limit: f64,
+    memory_limit: f64,
     start: Tick,
     end: Tick,
     class: SchedulingClass,
@@ -28,6 +31,10 @@ struct LiveTask {
     /// Realized per-tick metric values (for post-hoc replay).
     recorded: Vec<f64>,
 }
+
+/// Normalized machine memory capacity: one machine-memory unit, the same
+/// normalization the trace generator uses for `memory_limit`.
+pub const MEM_CAPACITY: f64 = 1.0;
 
 /// A finished (or horizon-truncated) task with its realized usage.
 #[derive(Debug, Clone)]
@@ -56,10 +63,16 @@ pub struct SimMachine {
     live: Vec<LiveTask>,
     finished: Vec<RecordedTask>,
     rng: SmallRng,
+    /// Derived memory-usage model (deterministic; consumes no RNG).
+    mem_model: MemoryModel,
     /// Σ limits of tasks admitted this tick but not yet observed.
     pending_limit: f64,
+    /// Σ memory limits of tasks admitted this tick but not yet observed.
+    pending_mem_limit: f64,
     /// Cached prediction from the end of the previous tick.
     cached_prediction: f64,
+    /// Cached memory-lane prediction from the end of the previous tick.
+    cached_mem_prediction: f64,
     // --- Recorded series, one entry per advanced tick. ------------------
     /// Uncapped within-tick peak demand.
     pub demand_peak: Vec<f64>,
@@ -71,6 +84,8 @@ pub struct SimMachine {
     pub limit_sum: Vec<f64>,
     /// The predictor's estimate after observing the tick.
     pub predictions: Vec<f64>,
+    /// The predictor's memory-lane estimate after observing the tick.
+    pub mem_predictions: Vec<f64>,
 }
 
 impl std::fmt::Debug for SimMachine {
@@ -105,13 +120,17 @@ impl SimMachine {
             rng: SmallRng::seed_from_u64(oc_trace::gen::splitmix(
                 seed ^ oc_trace::gen::splitmix(0x5EED ^ u64::from(id.0)),
             )),
+            mem_model: MemoryModel::default(),
             pending_limit: 0.0,
+            pending_mem_limit: 0.0,
             cached_prediction: 0.0,
+            cached_mem_prediction: 0.0,
             demand_peak: Vec::new(),
             realized_peak: Vec::new(),
             realized_avg: Vec::new(),
             limit_sum: Vec::new(),
             predictions: Vec::new(),
+            mem_predictions: Vec::new(),
         }
     }
 
@@ -141,10 +160,15 @@ impl SimMachine {
         self.capacity - self.cached_prediction - self.pending_limit
     }
 
-    /// Feasibility check for a new task (Section 3.1's admission rule
-    /// `P(J_s, t) + L_J ≤ M`).
-    pub fn fits(&self, limit: f64) -> bool {
+    /// Feasibility check for a new task: the paper's admission rule
+    /// `P(J_s, t) + L_J ≤ M`, applied to *every* resource lane. A machine
+    /// fits a task only if both its CPU and its memory projections stay
+    /// within the respective capacities — worst-lane gating, so a
+    /// memory-bound machine with plenty of CPU headroom still rejects.
+    pub fn fits(&self, limit: f64, memory_limit: f64) -> bool {
         self.cached_prediction + self.pending_limit + limit <= self.capacity + 1e-9
+            && self.cached_mem_prediction + self.pending_mem_limit + memory_limit
+                <= MEM_CAPACITY + 1e-9
     }
 
     /// Admits a task; it starts producing usage this tick.
@@ -159,9 +183,11 @@ impl SimMachine {
             req.job_util_base,
         );
         self.pending_limit += req.limit;
+        self.pending_mem_limit += req.memory_limit;
         self.live.push(LiveTask {
             id: req.id,
             limit: req.limit,
+            memory_limit: req.memory_limit,
             start: now,
             end: now.plus(req.runtime_ticks),
             class: req.class,
@@ -222,8 +248,12 @@ impl SimMachine {
         }
 
         // Record per-task realized usage and feed the node-agent view.
+        // Observations go through the vector path: the CPU lane is
+        // bit-identical to a scalar observe, and the memory lane carries
+        // the deterministic derived series.
         let metric = self.metric;
-        let mut observations: Vec<(TaskId, f64, f64)> = Vec::with_capacity(self.live.len());
+        let mem_model = self.mem_model;
+        let mut observations: Vec<(TaskId, Res2, Res2)> = Vec::with_capacity(self.live.len());
         for (task, buf) in self.live.iter_mut().zip(bufs.iter()) {
             let scale = if task.class.is_latency_sensitive() {
                 &serving_scale
@@ -235,9 +265,21 @@ impl SimMachine {
                 .expect("realized window is non-empty and finite");
             let value = metric.of(&sample);
             task.recorded.push(value);
-            observations.push((task.id, task.limit, value));
+            let mem = mem_model.usage_raw(
+                task.id.job.0,
+                task.id.index,
+                task.limit,
+                task.memory_limit,
+                t,
+                value,
+            );
+            observations.push((
+                task.id,
+                Res2::from_lanes([task.limit, task.memory_limit]),
+                Res2::from_lanes([value, mem]),
+            ));
         }
-        self.view.observe(t, observations);
+        self.view.observe_vec(t, observations);
 
         // Per-tick records.
         self.demand_peak
@@ -248,8 +290,15 @@ impl SimMachine {
             .push(realized_sum.iter().sum::<f64>() / SUBSAMPLES_PER_TICK as f64);
         self.limit_sum.push(self.total_limit());
         self.cached_prediction = clamp_prediction(self.predictor.predict(&self.view), &self.view);
+        self.cached_mem_prediction = clamp_prediction_lane(
+            self.predictor.predict_lane(&self.view, MEM),
+            &self.view,
+            MEM,
+        );
         self.predictions.push(self.cached_prediction);
+        self.mem_predictions.push(self.cached_mem_prediction);
         self.pending_limit = 0.0;
+        self.pending_mem_limit = 0.0;
 
         // Retire tasks whose lifetime ends before the next tick.
         let next = t.plus(1);
@@ -336,7 +385,7 @@ fn finish(task: LiveTask, horizon_end: Option<Tick>) -> RecordedTask {
         spec: TaskSpec {
             id: task.id,
             limit: task.limit,
-            memory_limit: 0.0,
+            memory_limit: task.memory_limit,
             start: task.start,
             end,
             class: task.class,
@@ -357,6 +406,7 @@ mod tests {
         TaskRequest {
             id: TaskId::new(JobId(job), 0),
             limit,
+            memory_limit: 0.05,
             runtime_ticks: runtime,
             class: SchedulingClass::Class2,
             priority: 200,
@@ -401,12 +451,28 @@ mod tests {
     #[test]
     fn pending_limits_gate_admission() {
         let mut m = machine(&PredictorSpec::LimitSum);
-        assert!(m.fits(0.6));
+        assert!(m.fits(0.6, 0.05));
         m.admit(&request(1, 0.6, 5), Tick(0));
         // Before any observation the prediction is stale (0) but the
         // pending limit already counts.
-        assert!(!m.fits(0.6));
-        assert!(m.fits(0.4));
+        assert!(!m.fits(0.6, 0.05));
+        assert!(m.fits(0.4, 0.05));
+    }
+
+    #[test]
+    fn memory_lane_gates_admission() {
+        let mut m = machine(&PredictorSpec::LimitSum);
+        // Plenty of CPU headroom, but a memory hog fills the memory lane.
+        let mut hog = request(1, 0.1, 5);
+        hog.memory_limit = 0.9;
+        m.admit(&hog, Tick(0));
+        // CPU alone would fit easily; the memory lane must reject.
+        assert!(!m.fits(0.1, 0.2));
+        assert!(m.fits(0.1, 0.05));
+        // After observation, limit-sum predicts Σ memory limits too.
+        m.advance(Tick(0));
+        assert!((m.mem_predictions[0] - 0.9).abs() < 1e-12);
+        assert!(!m.fits(0.1, 0.2));
     }
 
     #[test]

@@ -250,6 +250,7 @@ pub(crate) fn flush_chunk<W: Write>(
                 task: item.task,
                 usage: item.usage,
                 limit: item.limit,
+                mem: item.mem,
                 tick: item.tick,
                 enqueued: state.chunk.enqueued,
             },
@@ -356,6 +357,7 @@ pub(crate) fn process_line<W: Write>(
             task,
             usage,
             limit,
+            mem,
             tick,
         }) => {
             shared.requests.observe.inc();
@@ -390,6 +392,7 @@ pub(crate) fn process_line<W: Write>(
                 task,
                 usage,
                 limit,
+                mem,
                 tick: Tick(tick),
             };
             state.chunk.len = slot + 1;
@@ -452,6 +455,7 @@ pub(crate) fn process_line<W: Write>(
                             task: e.task,
                             usage: e.usage,
                             limit: e.limit,
+                            mem: e.mem,
                             tick: e.tick.0,
                         };
                         state.out.clear();

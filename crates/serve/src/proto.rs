@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! OBSERVE <cell> <machine> <job>:<index> <usage> <limit> <tick>
-//! PREDICT <cell> <machine>
+//! OBSERVE <cell> <machine> <job>:<index> <cpu>,<mem> <cpu>,<mem> <tick>
+//! PREDICT <cell> <machine> [*]
 //! ADMIT   <cell> <machine> <limit>
 //! STATS
 //! METRICS
@@ -20,7 +21,8 @@
 //! ```text
 //! OK                                  observe accepted for ingestion
 //! BUSY                                shard queue full — retryable
-//! PRED <peak>                         predicted machine peak
+//! PRED <peak>                         predicted machine peak (CPU)
+//! PRED <peak>,<mem>                   per-resource peaks (vector PREDICT)
 //! ADMITTED <yes|no> <projected>       admission verdict + projected peak
 //! STATS <key>=<value> ...             service-wide counter snapshot
 //! METRICS v=1 <name>=<value> ...      full metrics exposition
@@ -34,6 +36,19 @@
 //! `parse(encode(x))` reproduces the exact bit pattern — the property the
 //! served-vs-offline bit-identity test relies on, and the property the
 //! proptest suite in `tests/proto.rs` pins down.
+//!
+//! # Multi-resource form
+//!
+//! `OBSERVE` carries one resource by default (CPU). When both the usage
+//! and the limit token are comma pairs `cpu,mem`, the sample carries a
+//! memory lane too; a pair in only *one* of the two tokens is a parse
+//! error (`ERR parse`, both-or-neither rule), so a truncated pair cannot
+//! be silently read as a scalar. The arity is unchanged — a pair is still
+//! one token — which keeps old parsers' error behavior (they answer
+//! `ERR parse` rather than misreading). `PREDICT` with a trailing `*`
+//! requests a per-resource prediction, answered as `PRED <cpu>,<mem>`;
+//! without it the scalar `PRED <cpu>` form is served, so existing
+//! clients never see a pair they did not ask for.
 //!
 //! # Batched framing
 //!
@@ -138,6 +153,10 @@ pub enum Request {
         usage: f64,
         /// The task's current limit, in capacity units.
         limit: f64,
+        /// Memory lane as `(usage, limit)`, in machine-memory units, when
+        /// the sample was sent in the `cpu,mem` pair form. `None` for
+        /// scalar samples (backward-compatible default).
+        mem: Option<(f64, f64)>,
         /// The 5-minute tick the sample belongs to.
         tick: u64,
     },
@@ -147,6 +166,9 @@ pub enum Request {
         cell: CellId,
         /// Machine within the cell.
         machine: MachineId,
+        /// Whether the client asked for a per-resource prediction
+        /// (trailing `*` operand): answered as `PRED <cpu>,<mem>`.
+        vector: bool,
     },
     /// Would a task of the given limit fit (`ADMIT`)?
     Admit {
@@ -206,8 +228,11 @@ pub enum Response {
     Busy,
     /// Predicted machine peak, in capacity units.
     Pred {
-        /// The (clamped) peak prediction.
+        /// The (clamped) peak prediction (CPU lane).
         peak: f64,
+        /// Memory-lane peak, present only for vector `PREDICT` requests
+        /// (encoded as the `cpu,mem` pair form).
+        mem: Option<f64>,
     },
     /// Admission verdict.
     Admitted {
@@ -396,6 +421,9 @@ pub enum ProtoError {
         /// The offending token.
         token: String,
     },
+    /// An `OBSERVE` mixed the scalar and the `cpu,mem` pair form: its
+    /// usage and limit tokens must both be scalars or both be pairs.
+    LaneMismatch,
     /// A `STATS` field was missing, misnamed, or out of order.
     StatsField {
         /// The key expected at this position.
@@ -437,6 +465,12 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::BadTaskId { token } => {
                 write!(f, "task id '{token}' is not <job>:<index>")
+            }
+            ProtoError::LaneMismatch => {
+                write!(
+                    f,
+                    "usage and limit must both be scalar or both cpu,mem pairs"
+                )
             }
             ProtoError::StatsField { expected, got } => {
                 write!(f, "STATS field: expected '{expected}', got '{got}'")
@@ -599,6 +633,16 @@ fn parse_f64(field: &'static str, token: &str) -> Result<f64, ProtoError> {
     Ok(v)
 }
 
+/// Parses a float token that may be a `cpu,mem` pair. Returns the CPU
+/// value and the optional memory value; each component goes through the
+/// same finiteness/sign domain checks as a scalar float.
+fn parse_f64_or_pair(field: &'static str, token: &str) -> Result<(f64, Option<f64>), ProtoError> {
+    match token.split_once(',') {
+        None => Ok((parse_f64(field, token)?, None)),
+        Some((cpu, mem)) => Ok((parse_f64(field, cpu)?, Some(parse_f64(field, mem)?))),
+    }
+}
+
 fn parse_u64(field: &'static str, token: &str) -> Result<u64, ProtoError> {
     token.parse().map_err(|_| ProtoError::BadNumber {
         field,
@@ -712,9 +756,14 @@ impl Request {
                 arity("OBSERVE", 6)?;
                 let machine = parse_machine(tok(2))?;
                 let task = parse_task(tok(3))?;
-                let usage = parse_f64("usage", tok(4))?;
-                let limit = parse_f64("limit", tok(5))?;
+                let (usage, mem_usage) = parse_f64_or_pair("usage", tok(4))?;
+                let (limit, mem_limit) = parse_f64_or_pair("limit", tok(5))?;
                 let tick = parse_u64("tick", tok(6))?;
+                let mem = match (mem_usage, mem_limit) {
+                    (Some(u), Some(l)) => Some((u, l)),
+                    (None, None) => None,
+                    _ => return Err(ProtoError::LaneMismatch),
+                };
                 Ok(Request::Observe {
                     cell: scratch.intern_cell(
                         &line[scratch.spans[1].0 as usize..scratch.spans[1].1 as usize],
@@ -723,17 +772,22 @@ impl Request {
                     task,
                     usage,
                     limit,
+                    mem,
                     tick,
                 })
             }
             "PREDICT" => {
-                arity("PREDICT", 2)?;
+                let vector = n_operands == 3 && tok(3) == "*";
+                if !vector {
+                    arity("PREDICT", 2)?;
+                }
                 let machine = parse_machine(tok(2))?;
                 Ok(Request::Predict {
                     cell: scratch.intern_cell(
                         &line[scratch.spans[1].0 as usize..scratch.spans[1].1 as usize],
                     ),
                     machine,
+                    vector,
                 })
             }
             "ADMIT" => {
@@ -794,6 +848,7 @@ impl Request {
                 task,
                 usage,
                 limit,
+                mem,
                 tick,
             } => {
                 out.extend_from_slice(b"OBSERVE ");
@@ -806,16 +861,31 @@ impl Request {
                 push_u64(out, u64::from(task.index));
                 out.push(b' ');
                 push_f64(out, *usage);
+                if let Some((mu, _)) = mem {
+                    out.push(b',');
+                    push_f64(out, *mu);
+                }
                 out.push(b' ');
                 push_f64(out, *limit);
+                if let Some((_, ml)) = mem {
+                    out.push(b',');
+                    push_f64(out, *ml);
+                }
                 out.push(b' ');
                 push_u64(out, *tick);
             }
-            Request::Predict { cell, machine } => {
+            Request::Predict {
+                cell,
+                machine,
+                vector,
+            } => {
                 out.extend_from_slice(b"PREDICT ");
                 out.extend_from_slice(cell.name().as_bytes());
                 out.push(b' ');
                 push_u64(out, u64::from(machine.0));
+                if *vector {
+                    out.extend_from_slice(b" *");
+                }
             }
             Request::Admit {
                 cell,
@@ -1056,9 +1126,8 @@ impl Response {
             "BUSY" if operands.is_empty() => Ok(Response::Busy),
             "PRED" => {
                 expect_arity("PRED", &operands, 1)?;
-                Ok(Response::Pred {
-                    peak: parse_f64("peak", operands[0])?,
-                })
+                let (peak, mem) = parse_f64_or_pair("peak", operands[0])?;
+                Ok(Response::Pred { peak, mem })
             }
             "ADMITTED" => {
                 expect_arity("ADMITTED", &operands, 2)?;
@@ -1113,9 +1182,13 @@ impl Response {
         match self {
             Response::Ok => out.extend_from_slice(b"OK"),
             Response::Busy => out.extend_from_slice(b"BUSY"),
-            Response::Pred { peak } => {
+            Response::Pred { peak, mem } => {
                 out.extend_from_slice(b"PRED ");
                 push_f64(out, *peak);
+                if let Some(m) = mem {
+                    out.push(b',');
+                    push_f64(out, *m);
+                }
             }
             Response::Admitted { admit, projected } => {
                 out.extend_from_slice(if *admit {
@@ -1190,6 +1263,7 @@ mod tests {
             task: TaskId::new(JobId(17), 2),
             usage: 0.125,
             limit: 0.5,
+            mem: None,
             tick: 42,
         };
         let line = req.encode();
@@ -1198,10 +1272,86 @@ mod tests {
     }
 
     #[test]
+    fn vector_observe_round_trip() {
+        let req = Request::Observe {
+            cell: CellId::new("a"),
+            machine: MachineId(3),
+            task: TaskId::new(JobId(17), 2),
+            usage: 0.125,
+            limit: 0.5,
+            mem: Some((0.03125, 0.25)),
+            tick: 42,
+        };
+        let line = req.encode();
+        assert_eq!(line, "OBSERVE a 3 17:2 0.125,0.03125 0.5,0.25 42");
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn mixed_lane_forms_are_rejected() {
+        // Pair usage with scalar limit (and vice versa): both-or-neither.
+        assert_eq!(
+            Request::parse("OBSERVE a 1 2:0 0.5,0.1 0.5 7"),
+            Err(ProtoError::LaneMismatch)
+        );
+        assert_eq!(
+            Request::parse("OBSERVE a 1 2:0 0.5 0.5,0.2 7"),
+            Err(ProtoError::LaneMismatch)
+        );
+        // Each pair component gets the scalar domain checks.
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 2:0 0.5,NaN 0.5,0.2 7"),
+            Err(ProtoError::OutOfDomain { field: "usage", .. })
+        ));
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 2:0 0.5,0.1 0.5,-1 7"),
+            Err(ProtoError::OutOfDomain { field: "limit", .. })
+        ));
+        // A malformed pair (trailing comma) is a bad number, not a scalar.
+        assert!(matches!(
+            Request::parse("OBSERVE a 1 2:0 0.5, 0.5,0.2 7"),
+            Err(ProtoError::BadNumber { field: "usage", .. })
+        ));
+    }
+
+    #[test]
+    fn vector_predict_round_trip() {
+        let req = Request::Predict {
+            cell: CellId::new("cell-a"),
+            machine: MachineId(7),
+            vector: true,
+        };
+        let line = req.encode();
+        assert_eq!(line, "PREDICT cell-a 7 *");
+        assert_eq!(Request::parse(&line).unwrap(), req);
+        // Any trailing operand other than `*` keeps the arity error.
+        assert!(matches!(
+            Request::parse("PREDICT cell-a 7 x"),
+            Err(ProtoError::Arity {
+                verb: "PREDICT",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn vector_pred_round_trip() {
+        let r = Response::Pred {
+            peak: 0.1 + 0.2,
+            mem: Some(0.3 + 0.1),
+        };
+        let Response::Pred { peak, mem } = Response::parse(&r.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(peak.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(mem.unwrap().to_bits(), (0.3f64 + 0.1).to_bits());
+    }
+
+    #[test]
     fn float_encoding_is_bit_exact() {
         let peak = 0.1 + 0.2; // not representable "nicely"
-        let r = Response::Pred { peak };
-        let Response::Pred { peak: back } = Response::parse(&r.encode()).unwrap() else {
+        let r = Response::Pred { peak, mem: None };
+        let Response::Pred { peak: back, .. } = Response::parse(&r.encode()).unwrap() else {
             panic!("wrong variant");
         };
         assert_eq!(peak.to_bits(), back.to_bits());

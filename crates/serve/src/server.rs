@@ -631,13 +631,34 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
             // bump and poison the predict cache.
             unreachable!("OBSERVE is handled by the connection micro-batcher")
         }
-        Request::Predict { cell, machine } => {
+        Request::Predict {
+            cell,
+            machine,
+            vector,
+        } => {
             shared.requests.predict.inc();
             let key = (cell, machine);
             // Reads are served by the owner and (for failover) the ring
             // successor; a key some other process owns is redirected.
             if role_of(shared, &key) == KeyRole::Remote {
                 return not_mine(shared);
+            }
+            if vector {
+                // The multi-resource form bypasses the predict cache: the
+                // cache stores one scalar peak per key, and stamping a
+                // second lane onto the same generation stripe would let a
+                // scalar hit answer a vector query (or vice versa) with
+                // the wrong shape. Vector predicts are rare control-plane
+                // reads; they always consult the shard.
+                let shard = pool.route(&key);
+                let (reply, rx) = sync_channel(1);
+                let msg = ShardMsg::Predict {
+                    key,
+                    vector: true,
+                    reply,
+                    enqueued: Instant::now(),
+                };
+                return request_reply(pool, shard, msg, rx, shared);
             }
             // The generation is read before the shard dispatch, so the
             // stored stamp can only ever be conservative (a sample racing
@@ -646,18 +667,19 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
             let gen = shared.cache.generation(stripe);
             if let Some(peak) = shared.cache.lookup(&key, gen) {
                 shared.cache.hits.inc();
-                return Response::Pred { peak };
+                return Response::Pred { peak, mem: None };
             }
             shared.cache.misses.inc();
             let shard = pool.route(&key);
             let (reply, rx) = sync_channel(1);
             let msg = ShardMsg::Predict {
                 key: key.clone(),
+                vector: false,
                 reply,
                 enqueued: Instant::now(),
             };
             let resp = request_reply(pool, shard, msg, rx, shared);
-            if let Response::Pred { peak } = resp {
+            if let Response::Pred { peak, mem: None } = resp {
                 // Only successful predictions are cached; unknown-machine
                 // errors must re-check the shard (an ADMIT may create the
                 // machine at any time).
@@ -1003,7 +1025,7 @@ mod tests {
             let resp = roundtrip(&mut r, &mut w, &format!("OBSERVE a 0 1:0 0.2 0.5 {t}"));
             assert_eq!(resp, Response::Ok);
         }
-        let Response::Pred { peak } = roundtrip(&mut r, &mut w, "PREDICT a 0") else {
+        let Response::Pred { peak, .. } = roundtrip(&mut r, &mut w, "PREDICT a 0") else {
             panic!("expected PRED");
         };
         assert!(peak > 0.0 && peak <= 0.5);

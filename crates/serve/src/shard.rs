@@ -26,8 +26,9 @@ use crate::error::ServeError;
 use crate::metrics::ShardMetrics;
 use crate::proto::{ErrCode, Response};
 use oc_core::ingest::IncrementalView;
-use oc_core::predictor::{clamp_prediction, PeakPredictor};
+use oc_core::predictor::{clamp_prediction, clamp_prediction_lane, PeakPredictor};
 use oc_core::CoreError;
+use oc_stats::resource::{Res2, CPU, MEM};
 use oc_telemetry::{Gauge, MetricsRegistry};
 use oc_trace::ids::{CellId, MachineId, TaskId};
 use oc_trace::time::Tick;
@@ -63,6 +64,9 @@ pub struct ObserveItem {
     pub usage: f64,
     /// Task limit.
     pub limit: f64,
+    /// Optional memory lane as `(usage, limit)`; `Some` for samples that
+    /// arrived in the multi-resource `OBSERVE` form.
+    pub mem: Option<(f64, f64)>,
     /// Sample tick.
     pub tick: Tick,
 }
@@ -112,6 +116,8 @@ pub enum ShardMsg {
         usage: f64,
         /// Task limit.
         limit: f64,
+        /// Optional memory lane as `(usage, limit)`.
+        mem: Option<(f64, f64)>,
         /// Sample tick.
         tick: Tick,
         /// Enqueue instant, for service-latency accounting.
@@ -130,6 +136,9 @@ pub enum ShardMsg {
     Predict {
         /// Routing key.
         key: MachineKey,
+        /// `true` for the multi-resource form: the reply carries both the
+        /// CPU and memory peaks (`PRED cpu,mem`).
+        vector: bool,
         /// Reply channel.
         reply: SyncSender<Response>,
         /// Enqueue instant.
@@ -182,6 +191,9 @@ pub struct HandoffEntry {
     pub usage: f64,
     /// Task limit.
     pub limit: f64,
+    /// Optional memory lane as `(usage, limit)`; replayed in the same
+    /// wire form it arrived in, so a vector stream rebuilds a vector view.
+    pub mem: Option<(f64, f64)>,
     /// Sample tick.
     pub tick: Tick,
 }
@@ -364,6 +376,23 @@ fn shard_worker(
             IncrementalView::new(cfg.machine_capacity, &cfg.sim).with_max_gap(cfg.max_tick_gap),
         )
     };
+    // Scalar samples take the scalar ingest path (bit-identical to the
+    // pre-vector server); a `cpu,mem` pair routes through `ingest_vec`,
+    // which flips the view into vector mode for good.
+    let ingest = |view: &mut IncrementalView,
+                  tick: Tick,
+                  task: TaskId,
+                  limit: f64,
+                  usage: f64,
+                  mem: Option<(f64, f64)>| match mem {
+        None => view.ingest(tick, task, limit, usage),
+        Some((mu, ml)) => view.ingest_vec(
+            tick,
+            task,
+            Res2::from_lanes([limit, ml]),
+            Res2::from_lanes([usage, mu]),
+        ),
+    };
     while let Ok(msg) = rx.recv() {
         queue_depth.dec();
         match msg {
@@ -372,11 +401,12 @@ fn shard_worker(
                 task,
                 usage,
                 limit,
+                mem,
                 tick,
                 enqueued,
             } => {
                 let view = views.entry(key.clone()).or_insert_with(|| new_view(&cfg));
-                match view.ingest(tick, task, limit, usage) {
+                match ingest(view, tick, task, limit, usage, mem) {
                     Ok(()) => {
                         metrics.observes += 1;
                         if log_handoff {
@@ -385,6 +415,7 @@ fn shard_worker(
                                 task,
                                 usage,
                                 limit,
+                                mem,
                                 tick,
                             });
                         }
@@ -411,7 +442,7 @@ fn shard_worker(
                     let run_start = i;
                     while i < items.len() && items[i].key == *key {
                         let item = &items[i];
-                        match view.ingest(item.tick, item.task, item.limit, item.usage) {
+                        match ingest(view, item.tick, item.task, item.limit, item.usage, item.mem) {
                             Ok(()) => {
                                 metrics.observes += 1;
                                 if log_handoff {
@@ -420,6 +451,7 @@ fn shard_worker(
                                         task: item.task,
                                         usage: item.usage,
                                         limit: item.limit,
+                                        mem: item.mem,
                                         tick: item.tick,
                                     });
                                 }
@@ -434,6 +466,7 @@ fn shard_worker(
             }
             ShardMsg::Predict {
                 key,
+                vector,
                 reply,
                 enqueued,
             } => {
@@ -441,8 +474,19 @@ fn shard_worker(
                 let resp = match views.get_mut(&key) {
                     Some(view) => {
                         view.flush();
-                        let peak = clamp_prediction(predictor.predict(view.view()), view.view());
-                        Response::Pred { peak }
+                        if vector {
+                            let v = view.view();
+                            let cpu = clamp_prediction_lane(predictor.predict_lane(v, CPU), v, CPU);
+                            let mem = clamp_prediction_lane(predictor.predict_lane(v, MEM), v, MEM);
+                            Response::Pred {
+                                peak: cpu,
+                                mem: Some(mem),
+                            }
+                        } else {
+                            let peak =
+                                clamp_prediction(predictor.predict(view.view()), view.view());
+                            Response::Pred { peak, mem: None }
+                        }
                     }
                     None => {
                         metrics.errors += 1;
@@ -511,6 +555,7 @@ mod tests {
             task: TaskId::new(JobId(1), 0),
             usage,
             limit: 0.5,
+            mem: None,
             tick: Tick(tick),
             enqueued: Instant::now(),
         }
@@ -548,13 +593,14 @@ mod tests {
             0,
             ShardMsg::Predict {
                 key: key(1),
+                vector: false,
                 reply,
                 enqueued: Instant::now(),
             },
         )
         .unwrap();
         let resp = rx.recv().unwrap();
-        let Response::Pred { peak } = resp else {
+        let Response::Pred { peak, .. } = resp else {
             panic!("expected PRED, got {resp:?}");
         };
         assert!(peak > 0.0 && peak <= 0.5, "{peak}");
@@ -576,6 +622,7 @@ mod tests {
             0,
             ShardMsg::Predict {
                 key: key(1),
+                vector: false,
                 reply,
                 enqueued: Instant::now(),
             },
@@ -613,6 +660,7 @@ mod tests {
             shard,
             ShardMsg::Predict {
                 key: k,
+                vector: false,
                 reply,
                 enqueued: Instant::now(),
             },

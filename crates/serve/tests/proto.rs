@@ -28,22 +28,45 @@ fn make_request(
 ) -> Request {
     let cell = CellId::new(CELLS[cell_idx % CELLS.len()]);
     let machine = MachineId(machine);
-    match selector % 5 {
+    match selector % 7 {
         0 => Request::Observe {
             cell,
             machine,
             task: TaskId::new(JobId(job), index),
             usage,
             limit,
+            mem: None,
             tick,
         },
-        1 => Request::Predict { cell, machine },
+        1 => Request::Predict {
+            cell,
+            machine,
+            vector: false,
+        },
         2 => Request::Admit {
             cell,
             machine,
             limit,
         },
-        3 => Request::Stats,
+        // Multi-resource forms: OBSERVE with a `cpu,mem` pair in both the
+        // usage and limit slots, PREDICT with the trailing `*`.
+        3 => Request::Observe {
+            cell,
+            machine,
+            task: TaskId::new(JobId(job), index),
+            usage,
+            limit,
+            // Reuse the float strategies crosswise so the memory lane
+            // exercises the same value space as the CPU lane.
+            mem: Some((limit, usage)),
+            tick,
+        },
+        4 => Request::Predict {
+            cell,
+            machine,
+            vector: true,
+        },
+        5 => Request::Stats,
         _ => Request::Shutdown,
     }
 }
@@ -53,7 +76,7 @@ proptest! {
     /// floats included.
     #[test]
     fn request_round_trips(
-        selector in 0u32..5,
+        selector in 0u32..7,
         cell_idx in 0usize..4,
         machine in 0u32..=u32::MAX,
         job in 0u64..=u64::MAX,
@@ -72,7 +95,7 @@ proptest! {
     /// Round trip for responses, including the 15-field STATS snapshot.
     #[test]
     fn response_round_trips(
-        selector in 0u32..6,
+        selector in 0u32..7,
         flag in 0u32..2,
         peak in 0.0f64..1e9,
         counters in proptest::collection::vec(0u64..=u64::MAX, 11),
@@ -90,10 +113,11 @@ proptest! {
             ErrCode::ConnLimit,
             ErrCode::NotMine,
         ][code_idx as usize];
-        let resp = match selector % 6 {
+        let resp = match selector % 7 {
             0 => Response::Ok,
             1 => Response::Busy,
-            2 => Response::Pred { peak },
+            2 => Response::Pred { peak, mem: None },
+            6 => Response::Pred { peak, mem: Some(lats[0]) },
             3 => Response::Admitted { admit: flag == 1, projected: peak },
             4 => Response::Stats(StatsSnapshot {
                 observes: counters[0],
@@ -127,11 +151,66 @@ proptest! {
         if !value.is_finite() {
             return Ok(());
         }
-        let resp = Response::Pred { peak: value };
-        let Ok(Response::Pred { peak }) = Response::parse(&resp.encode()) else {
+        let resp = Response::Pred { peak: value, mem: None };
+        let Ok(Response::Pred { peak, mem: None }) = Response::parse(&resp.encode()) else {
             return Err("PRED did not parse back".to_string());
         };
         prop_assert_eq!(peak.to_bits(), value.to_bits());
+        // The pair form is bit-exact in both lanes.
+        let half = f64::from_bits(value.to_bits() ^ 1); // a nearby distinct value
+        let resp = Response::Pred { peak: value, mem: Some(half) };
+        let Ok(Response::Pred { peak, mem: Some(mem) }) = Response::parse(&resp.encode()) else {
+            return Err("PRED cpu,mem did not parse back".to_string());
+        };
+        prop_assert_eq!(peak.to_bits(), value.to_bits());
+        prop_assert_eq!(mem.to_bits(), half.to_bits());
+    }
+
+    /// The multi-resource OBSERVE form round-trips with both lanes
+    /// bit-exact, and a lane pair in only one of usage/limit is the typed
+    /// lane-mismatch error — never a half-vector sample.
+    #[test]
+    fn vector_observe_round_trips_and_rejects_half_pairs(
+        cell_idx in 0usize..4,
+        machine in 0u32..=u32::MAX,
+        usage in 0.0f64..1e12,
+        limit in 0.0f64..1e12,
+        mem_usage in 0.0f64..1e12,
+        mem_limit in 0.0f64..1e12,
+        tick in 0u64..=u64::MAX,
+    ) {
+        let req = Request::Observe {
+            cell: CellId::new(CELLS[cell_idx % CELLS.len()]),
+            machine: MachineId(machine),
+            task: TaskId::new(JobId(3), 1),
+            usage,
+            limit,
+            mem: Some((mem_usage, mem_limit)),
+            tick,
+        };
+        let line = req.encode();
+        prop_assert!(line.len() <= MAX_LINE_BYTES, "encoded line too long: {line}");
+        let back = Request::parse(&line);
+        prop_assert_eq!(back, Ok(req.clone()));
+        if let Ok(Request::Observe { usage: u, limit: l, mem: Some((mu, ml)), .. })
+            = Request::parse(&line)
+        {
+            prop_assert_eq!(u.to_bits(), usage.to_bits());
+            prop_assert_eq!(l.to_bits(), limit.to_bits());
+            prop_assert_eq!(mu.to_bits(), mem_usage.to_bits());
+            prop_assert_eq!(ml.to_bits(), mem_limit.to_bits());
+        }
+        // Strip the pair from exactly one slot: LaneMismatch, both ways.
+        let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
+        for slot in [4usize, 5] {
+            let mut mixed: Vec<String> = tokens.iter().map(|t| (*t).to_string()).collect();
+            mixed[slot] = mixed[slot].split(',').next().unwrap().to_string();
+            prop_assert_eq!(
+                Request::parse(&mixed.join(" ")),
+                Err(ProtoError::LaneMismatch),
+                "slot {} scalar + other slot pair must be rejected", slot
+            );
+        }
     }
 
     /// Arbitrary byte soup never panics the parser: it either parses or
@@ -297,6 +376,7 @@ proptest! {
             task: TaskId::new(JobId(7), 0),
             usage: 0.25,
             limit: 0.5,
+            mem: None,
             tick,
         }
         .encode();

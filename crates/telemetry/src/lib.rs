@@ -18,7 +18,7 @@
 //!   exposition format served by `oc-serve`'s `METRICS` verb.
 //!
 //! The design notes (ring-buffer sizing, merge semantics, the overhead
-//! budget) live in `DESIGN.md` §8; the operator-facing dictionary of every
+//! budget) live in `DESIGN.md` §9; the operator-facing dictionary of every
 //! metric and trace event lives in `docs/OPERATIONS.md`.
 //!
 //! # Examples

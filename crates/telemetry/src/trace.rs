@@ -14,7 +14,7 @@
 //! Tracing is **off by default**. Every instrumentation site first checks
 //! [`enabled`] — one relaxed atomic load and a predictable branch — so
 //! leaving spans compiled into the simulator hot path is within the
-//! overhead budget (DESIGN.md §8). When enabled, a record is a handful of
+//! overhead budget (DESIGN.md §9). When enabled, a record is a handful of
 //! relaxed stores into the calling thread's own lock-free
 //! [`Ring`]; names are `&'static str` interned once per
 //! thread through a pointer-keyed cache, so steady-state recording never

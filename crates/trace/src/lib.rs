@@ -38,6 +38,7 @@ pub mod error;
 pub mod gen;
 pub mod ids;
 pub mod machine;
+pub mod memory;
 pub mod sample;
 pub mod task;
 pub mod time;
@@ -48,6 +49,7 @@ pub use error::TraceError;
 pub use gen::WorkloadGenerator;
 pub use ids::{CellId, JobId, MachineId, TaskId};
 pub use machine::MachineTrace;
+pub use memory::MemoryModel;
 pub use sample::UsageSample;
 pub use task::{SchedulingClass, TaskSpec, TaskTrace};
 pub use time::{Tick, TickRange, SUBSAMPLES_PER_TICK, TICKS_PER_DAY, TICKS_PER_HOUR};

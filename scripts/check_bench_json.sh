@@ -15,7 +15,10 @@
 # (a member SIGKILLed and replaced into its ring slot, a stale-spec
 # client auto-adopting the pushed generation, mirror coverage restored
 # to 100%), and cluster-1m (>= 1,000,000 simulated machines spread
-# across the ring).
+# across the ring). BENCH_hot_path.json must uphold the hot-path
+# envelope: the vectorized two-lane engine within 1.3x of the scalar
+# engine, and the engine at least 3x faster than the naive replica —
+# ratios taken within the same recorded run, so host speed cancels out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -180,6 +183,35 @@ def check_serve(path, doc):
                        f"(need >= 1000000)")
 
 
+def check_hot_path(path, doc):
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        fail(path, "'results' must be an object")
+        return
+    medians = {}
+    for variant in ("engine", "engine_vector", "engine_telemetry", "naive"):
+        entry = results.get(variant)
+        median = entry.get("median_ns_per_iter") if isinstance(entry, dict) else None
+        if not isinstance(median, (int, float)) or median <= 0:
+            fail(path, f"variant '{variant}': missing positive "
+                       f"'median_ns_per_iter'")
+            return
+        medians[variant] = median
+    # The vectorized engine runs both resource lanes; its envelope is
+    # 1.3x the scalar engine measured in the same run (the memory lane
+    # is a peak-only window, so two lanes must not cost two engines).
+    ratio = medians["engine_vector"] / medians["engine"]
+    if ratio > 1.3:
+        fail(path, f"engine_vector is {ratio:.2f}x engine "
+                   f"(envelope: <= 1.3x)")
+    # The PR 1 acceptance figure: the incremental engine beats the
+    # pre-rewrite replica by at least 3x.
+    speedup = medians["naive"] / medians["engine"]
+    if speedup < 3.0:
+        fail(path, f"engine is only {speedup:.2f}x faster than naive "
+                   f"(acceptance: >= 3x)")
+
+
 for path in sys.argv[1:]:
     try:
         with open(path, encoding="utf-8") as fh:
@@ -195,6 +227,8 @@ for path in sys.argv[1:]:
             fail(path, f"missing or empty string field '{key}'")
     if "phases" in doc:
         check_serve(path, doc)
+    if doc.get("bench") == "hot_path":
+        check_hot_path(path, doc)
 
 if failures:
     for line in failures:

@@ -75,6 +75,24 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # test binaries cannot re-exec themselves as cluster nodes.
 ./target/release/oc-clusterd --smoke
 
+# The powercap experiment is an acceptance artifact of the
+# multi-resource refactor: a quick-scale run must emit its [claim]
+# lines (cap frontier + worst-lane gating demo) and write the frontier
+# CSV. Results go to a scratch dir so tier-1 never dirties results/.
+powercap_dir="$(mktemp -d)"
+trap 'rm -rf "$powercap_dir"' EXIT
+powercap_out="$(./target/release/repro --results "$powercap_dir" powercap)" \
+  || { echo "tier1: powercap experiment failed" >&2; exit 1; }
+claims="$(printf '%s\n' "$powercap_out" | grep -c '\[claim\]' || true)"
+if [ "$claims" -lt 4 ]; then
+  echo "tier1: powercap emitted $claims [claim] lines (need >= 4)" >&2
+  exit 1
+fi
+if [ ! -s "$powercap_dir/powercap_frontier.csv" ]; then
+  echo "tier1: powercap wrote no frontier CSV" >&2
+  exit 1
+fi
+
 # Benchmarks must at least keep compiling (running them is tier-2), and
 # the checked-in BENCH_*.json result files must stay structurally sound.
 cargo bench --workspace --no-run

@@ -193,6 +193,7 @@ fn assert_batched_matches_offline(client_cfg: &ClientConfig, frontend: Frontend)
                     task: task.spec.id,
                     usage,
                     limit: task.spec.limit,
+                    mem: None,
                     tick: t.0,
                 });
                 sent += 1;
@@ -205,6 +206,7 @@ fn assert_batched_matches_offline(client_cfg: &ClientConfig, frontend: Frontend)
             reqs.push(Request::Predict {
                 cell: cell_id.clone(),
                 machine: trace.machine,
+                vector: false,
             });
         }
 
@@ -229,7 +231,7 @@ fn assert_batched_matches_offline(client_cfg: &ClientConfig, frontend: Frontend)
             let mut got: Vec<Option<u64>> = vec![None; reqs.len()];
             client
                 .pipeline_with(&reqs, |idx, resp, _| {
-                    if let Response::Pred { peak } = resp {
+                    if let Response::Pred { peak, .. } = resp {
                         got[idx] = Some(peak.to_bits());
                     }
                 })
@@ -356,6 +358,7 @@ fn batched_ingest_survives_chaos_bit_for_bit() {
                     task: task.spec.id,
                     usage,
                     limit: task.spec.limit,
+                    mem: None,
                     tick: t.0,
                 });
                 sent += 1;
