@@ -431,7 +431,13 @@ fn cluster_replace() -> Result<(LoadReport, u64, u64), oc_client::ClientError> {
     // The client still believes in generation 0 and the dead address.
     // Its first contact trips on the dead member, probes a survivor's
     // RING, and adopts the bumped generation before any mirror queues.
-    let mut cc = ClusterClient::connect(spec0, &stale_addrs, ClusterClientConfig::default())?;
+    // Pipelined ingest for the second half: 64-line frames, 8 in
+    // flight per member (small fleet — deeper windows would just sit
+    // on one member's queue while verify waits).
+    let mut ccfg = ClusterClientConfig::default();
+    ccfg.client = ccfg.client.with_batch(64);
+    ccfg.pipeline_frames = 8;
+    let mut cc = ClusterClient::connect(spec0, &stale_addrs, ccfg)?;
     let _ = cc.stats()?;
     let second = FleetConfig {
         first_tick: seg,
@@ -489,10 +495,12 @@ fn cluster_1m() -> Result<LoadReport, oc_client::ClientError> {
         first_tick: 0,
         ticks: 2,
         mirror: false,
-        batch: 128,
-        // 16 frames x 128 lines = 2048 lines in flight per member, half
-        // the shard queue depth: open throttle without a BUSY storm.
-        window: 16,
+        batch: 512,
+        // 8 frames x 512 lines = 4096 lines in flight per member, a
+        // quarter of the shard queue depth: open throttle without a
+        // BUSY storm, and frames near MAX_BATCH amortize the BATCHR
+        // framing and write syscalls over the most lines.
+        window: 8,
         fetch_stats: true,
     };
     let report = fleet::run(cluster.spec(), &cluster.addrs(), &cluster.alive(), &cfg)?;

@@ -793,10 +793,11 @@ impl Client {
         let mut deferred: Vec<usize> = Vec::new();
         let mut stalled: Option<String> = None;
         let mut scratch = ProtoScratch::new();
+        let mut buf = String::new();
         'frames: for frame in &frames {
             if frame.batched {
                 let conn = self.conn.as_mut().expect("frame holds the connection");
-                let mut buf = String::new();
+                buf.clear();
                 let read = match conn.reader.read_line(&mut buf) {
                     Ok(0) => Err(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
@@ -838,7 +839,7 @@ impl Client {
             {
                 let pos = frame.start + k;
                 let conn = self.conn.as_mut().expect("window holds the connection");
-                let mut buf = String::new();
+                buf.clear();
                 let read = match conn.reader.read_line(&mut buf) {
                     Ok(0) => Err(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
@@ -900,6 +901,135 @@ impl Client {
             WindowOutcome::Stalled("every request in the window was deferred".to_string())
         })
     }
+
+    /// Writes `n` requests as one frame — a `BATCH` wrapper when more
+    /// than one — and flushes, reading nothing back. The cluster
+    /// pipeline keeps several frames in flight per member and drains
+    /// them later with [`Client::read_frame_replies`]. A transient
+    /// transport failure drops the connection and comes back as
+    /// [`FrameIo::Lost`]; nothing of the frame counts as delivered.
+    pub(crate) fn write_frame<'a, I>(&mut self, n: usize, reqs: I) -> Result<FrameIo, ClientError>
+    where
+        I: IntoIterator<Item = &'a Request>,
+    {
+        if let Err(e) = self.ensure_conn() {
+            return if is_transient(&e) {
+                self.conn = None;
+                Ok(FrameIo::Lost)
+            } else {
+                Err(ClientError::Io(e))
+            };
+        }
+        let conn = self.conn.as_mut().expect("ensured above");
+        let io = (|| -> std::io::Result<()> {
+            let mut line = Vec::with_capacity(n * 48);
+            if n > 1 {
+                line.extend_from_slice(b"BATCH ");
+                push_u64(&mut line, n as u64);
+                line.push(b'\n');
+            }
+            for req in reqs {
+                req.encode_into(&mut line);
+                line.push(b'\n');
+            }
+            conn.writer.write_all(&line)?;
+            conn.writer.flush()
+        })();
+        match io {
+            Ok(()) => Ok(FrameIo::Done),
+            Err(e) if is_transient(&e) => {
+                self.conn = None;
+                Ok(FrameIo::Lost)
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Drains one frame's replies — a `BATCHR` header when `n > 1`, then
+    /// `n` response lines — appending the raw responses to `out`. No
+    /// retry classification happens here; the pipelined caller owns
+    /// busy/redirect/failover handling. On a transient failure (or a
+    /// server-side `ERR timeout`/`conn-limit` close) the partial replies
+    /// are rolled back so the caller can treat the whole frame as
+    /// unacknowledged and replay it; replays of already-applied samples
+    /// are stale no-ops server-side.
+    pub(crate) fn read_frame_replies(
+        &mut self,
+        n: usize,
+        out: &mut Vec<Response>,
+    ) -> Result<FrameIo, ClientError> {
+        let from = out.len();
+        let mut buf = String::new();
+        let mut scratch = ProtoScratch::new();
+        let total = if n > 1 { n + 1 } else { n };
+        for i in 0..total {
+            buf.clear();
+            let read = match self.conn.as_mut() {
+                Some(conn) => match conn.reader.read_line(&mut buf) {
+                    Ok(0) => Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )),
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(e),
+                },
+                None => {
+                    out.truncate(from);
+                    return Ok(FrameIo::Lost);
+                }
+            };
+            if let Err(e) = read {
+                if !is_transient(&e) {
+                    return Err(ClientError::Io(e));
+                }
+                self.conn = None;
+                out.truncate(from);
+                return Ok(FrameIo::Lost);
+            }
+            if i == 0 && n > 1 {
+                // The header count always matches `n`: members write it
+                // up front from the frame header and answer one line per
+                // sub-request even when rejecting. A mismatch means the
+                // reply stream is out of step — unrecoverable.
+                match parse_batchr_header(buf.trim_end(), &mut scratch) {
+                    Ok(Some(k)) if k == n => continue,
+                    Ok(_) => {
+                        return Err(ClientError::Proto(ProtoError::BadResponse {
+                            line: buf.trim_end().chars().take(80).collect(),
+                        }))
+                    }
+                    Err(e) => return Err(ClientError::Proto(e)),
+                }
+            }
+            let resp = Response::parse(buf.trim_end()).map_err(ClientError::Proto)?;
+            if matches!(
+                &resp,
+                Response::Err {
+                    code: ErrCode::Timeout | ErrCode::ConnLimit,
+                    ..
+                }
+            ) {
+                // The server is closing this connection; later frames
+                // cannot be answered. Same ladder as `classify`.
+                self.conn = None;
+                out.truncate(from);
+                return Ok(FrameIo::Lost);
+            }
+            out.push(resp);
+        }
+        Ok(FrameIo::Done)
+    }
+}
+
+/// Outcome of one low-level frame I/O step on the pipelined cluster
+/// path.
+#[derive(Debug)]
+pub(crate) enum FrameIo {
+    /// The step completed.
+    Done,
+    /// A transient failure dropped the connection; the frame involved
+    /// is wholly unacknowledged.
+    Lost,
 }
 
 /// One contiguous run of window positions written as a unit.

@@ -37,15 +37,20 @@
 //! epoch is compared as a whole word and never decides which ring is
 //! newer (PROTOCOL.md §7.3–7.4).
 
-use crate::client::{Client, ClientConfig};
+use crate::client::{Client, ClientConfig, FrameIo};
 use crate::error::ClientError;
+use crate::pipe::{Entry, EntryKind, MemberPipe};
 use oc_cluster::{HashRing, RingSpec};
 use oc_serve::proto::{ErrCode, Request, Response, StatsSnapshot};
 use oc_serve::shard::key_hash;
-use oc_telemetry::Counter;
+use oc_telemetry::{Counter, Gauge};
 use oc_trace::ids::{CellId, MachineId, TaskId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Mirrors queued per replica before an automatic flush.
 const MIRROR_FLUSH_AT: usize = 64;
@@ -59,6 +64,10 @@ pub struct ClusterClientConfig {
     /// Mirror every `OBSERVE` to the key's replica. Costs one extra
     /// write per sample; buys SIGKILL survival.
     pub mirror: bool,
+    /// Frames the pipelined ingest path keeps in flight per member
+    /// before blocking on acks ([`ClusterClient::observe_pipelined`]).
+    /// Each frame carries up to `client.batch` lines.
+    pub pipeline_frames: usize,
 }
 
 impl Default for ClusterClientConfig {
@@ -67,6 +76,7 @@ impl Default for ClusterClientConfig {
         ClusterClientConfig {
             client: ClientConfig::default(),
             mirror: true,
+            pipeline_frames: 16,
         }
     }
 }
@@ -88,6 +98,14 @@ pub struct ClusterMetrics {
     /// Newer ring descriptions adopted from a member's `RING` answer
     /// (a replacement or resize the client discovered on its own).
     pub adoptions: u64,
+    /// Frames written by the pipelined ingest path.
+    pub frames: u64,
+    /// Pipelined frames that coalesced more than one line — a
+    /// same-member run batched into a single round trip.
+    pub coalesced_runs: u64,
+    /// Member failures (or transport drops) that displaced a non-empty
+    /// unacknowledged pipelined tail for in-order replay.
+    pub replayed_tails: u64,
 }
 
 /// Handles into the process-wide registry mirroring [`ClusterMetrics`];
@@ -97,6 +115,10 @@ struct GlobalCounters {
     redirects: Arc<Counter>,
     replica_replays: Arc<Counter>,
     adoptions: Arc<Counter>,
+    pipeline_frames: Arc<Counter>,
+    pipeline_coalesced: Arc<Counter>,
+    pipeline_replayed: Arc<Counter>,
+    pipeline_inflight: Arc<Gauge>,
 }
 
 impl GlobalCounters {
@@ -106,6 +128,10 @@ impl GlobalCounters {
             redirects: m.counter("cluster.redirects"),
             replica_replays: m.counter("cluster.replica_replays"),
             adoptions: m.counter("cluster.adoptions"),
+            pipeline_frames: m.counter("cluster.pipeline.frames"),
+            pipeline_coalesced: m.counter("cluster.pipeline.coalesced_runs"),
+            pipeline_replayed: m.counter("cluster.pipeline.replayed_tails"),
+            pipeline_inflight: m.gauge("cluster.pipeline.inflight_frames"),
         }
     }
 }
@@ -126,6 +152,26 @@ pub struct ClusterClient {
     /// Re-entrancy guard: a probe triggered while another probe's
     /// adoption is flushing must not recurse.
     probing: bool,
+    /// Per-member pipelined ingest state (`pipes[i]` ↔ `addrs[i]`).
+    pipes: Vec<MemberPipe>,
+    /// Lines not yet on any pipe: fresh ingest is routed through here,
+    /// and replayed tails / redirected lines come back through it.
+    waiting: VecDeque<Entry>,
+    /// Consecutive transport failures per member on the pipelined path
+    /// (the pipe-level analogue of [`Client`]'s per-request retries);
+    /// reset by any successful frame drain.
+    pipe_strikes: Vec<u32>,
+    /// Per-frame ack latencies `(latency_us, resolved_lines)` from the
+    /// pipelined path, drained by the fleet driver.
+    frame_lats: Vec<(f64, u64)>,
+    /// Lines resolved `OK` / with a server error / rejected `BUSY` on
+    /// the pipelined path (owner sends only; mirrors are not counted).
+    pipelined_ok: u64,
+    pipelined_err: u64,
+    pipelined_busy: u64,
+    /// Jitter source for pipelined backoff ([`Client`]'s is private and
+    /// per-connection; the pipeline backs off per *member*).
+    rng: SmallRng,
     cfg: ClusterClientConfig,
     metrics: ClusterMetrics,
     global: GlobalCounters,
@@ -152,6 +198,12 @@ impl ClusterClient {
             )));
         }
         cfg.client.validate()?;
+        if cfg.pipeline_frames == 0 {
+            return Err(ClientError::Config(
+                "pipeline_frames must be at least 1".to_string(),
+            ));
+        }
+        let rng = SmallRng::seed_from_u64(cfg.client.seed ^ 0x9E37_79B9_7F4A_7C15);
         Ok(ClusterClient {
             ring: spec.build(),
             addrs: addrs.to_vec(),
@@ -160,6 +212,14 @@ impl ClusterClient {
             pending: vec![Vec::new(); spec.nodes],
             last_epoch: vec![0; spec.nodes],
             probing: false,
+            pipes: (0..spec.nodes).map(|_| MemberPipe::default()).collect(),
+            waiting: VecDeque::new(),
+            pipe_strikes: vec![0; spec.nodes],
+            frame_lats: Vec::new(),
+            pipelined_ok: 0,
+            pipelined_err: 0,
+            pipelined_busy: 0,
+            rng,
             cfg,
             metrics: ClusterMetrics::default(),
             global: GlobalCounters::new(),
@@ -177,14 +237,18 @@ impl ClusterClient {
     }
 
     /// Switches to a new membership (e.g. after a retired member was
-    /// replaced under a bumped generation). Pending mirrors are flushed
-    /// under the *old* ring first; all members start presumed alive.
+    /// replaced under a bumped generation). Pipelined frames are settled
+    /// and pending mirrors flushed under the *old* ring first (lines the
+    /// pipeline had not yet sent survive the swap and re-route under the
+    /// new ring); all members start presumed alive.
     ///
     /// # Errors
     ///
     /// Propagates [`ClusterClient::connect`]-style validation.
     pub fn adopt(&mut self, spec: RingSpec, addrs: &[SocketAddr]) -> Result<(), ClientError> {
-        self.flush_mirrors()?;
+        self.settle_pipes()?;
+        let mut delivered = 0u64;
+        self.flush_mirrors_inner(&mut delivered)?;
         if addrs.len() != spec.nodes {
             return Err(ClientError::Config(format!(
                 "{} addresses for a {}-node ring",
@@ -198,6 +262,15 @@ impl ClusterClient {
         self.clients = (0..spec.nodes).map(|_| None).collect();
         self.pending = vec![Vec::new(); spec.nodes];
         self.last_epoch = vec![0; spec.nodes];
+        self.pipes = (0..spec.nodes).map(|_| MemberPipe::default()).collect();
+        self.pipe_strikes = vec![0; spec.nodes];
+        // Unsent lines re-route from scratch: their redirect counts
+        // referred to the old ring's candidate order.
+        for e in &mut self.waiting {
+            if let EntryKind::Send { tried } = &mut e.kind {
+                *tried = 0;
+            }
+        }
         Ok(())
     }
 
@@ -223,6 +296,7 @@ impl ClusterClient {
         if !self.alive[index] {
             return;
         }
+        self.displace_pipe(index);
         self.alive[index] = false;
         self.clients[index] = None;
         self.metrics.failovers += 1;
@@ -253,6 +327,8 @@ impl ClusterClient {
     /// mid-flush is marked dead (degrading redundancy, never losing
     /// owner-held data).
     pub fn flush_mirrors(&mut self) -> Result<(), ClientError> {
+        // Pipelined mirrors ride the pipes; settle those first.
+        self.pump(true)?;
         let mut delivered = 0u64;
         self.flush_mirrors_inner(&mut delivered)
     }
@@ -315,6 +391,22 @@ impl ClusterClient {
     fn probe_ring_inner(&mut self) -> bool {
         for index in 0..self.alive.len() {
             if !self.alive[index] {
+                continue;
+            }
+            // Pipelined replies still in flight would interleave with
+            // the probe's answer on this connection; drain them first
+            // (open frames are not on the wire and can wait).
+            let mut broken = false;
+            while self.alive[index] && self.pipes[index].inflight_len() > 0 {
+                match self.drain_oldest(index) {
+                    Ok(Drain::Ok { .. }) => {}
+                    Ok(Drain::Lost) | Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+            if broken || !self.alive[index] {
                 continue;
             }
             let resp = match self.client(index).and_then(|c| c.request(&Request::Ring)) {
@@ -384,6 +476,9 @@ impl ClusterClient {
     /// Sends `req` to the key's owner, falling over on `not-mine`
     /// redirects and member deaths.
     fn send_routed(&mut self, hash: u64, req: &Request) -> Result<Response, ClientError> {
+        // Sync requests share connections with pipelined frames; settle
+        // those first so the reply streams cannot interleave.
+        self.pump(true)?;
         loop {
             let order = self.candidates(hash);
             if order.is_empty() {
@@ -429,6 +524,508 @@ impl ClusterClient {
                 });
             }
         }
+    }
+
+    /// Queues a usage sample on the pipelined ingest path. The sample
+    /// is routed to the key's live owner, framed together with its
+    /// same-member neighbours (`BATCH`), and acknowledged
+    /// asynchronously — up to [`ClusterClientConfig::pipeline_frames`]
+    /// frames ride the wire per member, so member round trips overlap
+    /// instead of serializing. Mirrors are queued at *ack* time onto
+    /// the replica's pipe, keeping the sync path's invariant (queued
+    /// mirrors = acknowledged-but-unreplicated samples) intact; a
+    /// member death replays the unacknowledged tail in order through
+    /// the same failover/adoption ladder as [`ClusterClient::observe`]
+    /// (`cluster.pipeline.replayed_tails`). Per-machine sample order is
+    /// preserved under every failure mode — see PROTOCOL.md §7.6.
+    ///
+    /// Call [`ClusterClient::flush_pipeline`] (any read does it too)
+    /// before relying on the samples being applied.
+    ///
+    /// # Errors
+    ///
+    /// Routing exhaustion and non-transport protocol errors, exactly as
+    /// [`ClusterClient::observe`]. Per-line server errors resolve into
+    /// the pipeline tallies rather than failing the call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_pipelined(
+        &mut self,
+        cell: &CellId,
+        machine: MachineId,
+        task: TaskId,
+        usage: f64,
+        limit: f64,
+        tick: u64,
+    ) -> Result<(), ClientError> {
+        if self.pending.iter().any(|q| !q.is_empty()) {
+            // Sync-path mirrors must precede pipelined frames on the
+            // shared connections.
+            self.flush_mirrors()?;
+        }
+        let hash = key_hash(&(cell.clone(), machine));
+        let req = Request::Observe {
+            cell: cell.clone(),
+            machine,
+            task,
+            usage,
+            limit,
+            mem: None,
+            tick,
+        };
+        self.waiting.push_back(Entry {
+            hash,
+            req,
+            kind: EntryKind::Send { tried: 0 },
+        });
+        self.pump(false)
+    }
+
+    /// Settles the pipelined ingest path: every queued line is routed,
+    /// written, and acknowledged (or displaced, replayed, and then
+    /// acknowledged) before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Routing exhaustion, a progress-free busy storm, and
+    /// non-transport protocol errors.
+    pub fn flush_pipeline(&mut self) -> Result<(), ClientError> {
+        self.pump(true)
+    }
+
+    /// Drains the pipelined path's per-frame ack latencies as
+    /// `(latency_us, resolved_lines)` pairs.
+    pub(crate) fn take_frame_latencies(&mut self) -> Vec<(f64, u64)> {
+        std::mem::take(&mut self.frame_lats)
+    }
+
+    /// Drains the pipelined path's `(ok, err, busy)` line tallies.
+    /// Owner sends only — mirror acks are not counted.
+    pub(crate) fn take_pipeline_tallies(&mut self) -> (u64, u64, u64) {
+        let t = (self.pipelined_ok, self.pipelined_err, self.pipelined_busy);
+        self.pipelined_ok = 0;
+        self.pipelined_err = 0;
+        self.pipelined_busy = 0;
+        t
+    }
+
+    /// The pipelined engine: routes waiting lines onto member pipes,
+    /// writes due frames, and drains replies until the backlog fits the
+    /// per-member window (`flush`: until everything is acknowledged).
+    /// Progress-free rounds — a busy storm — back off with the retry
+    /// policy's schedule and eventually exhaust, like the sync
+    /// pipeline's stall ladder.
+    fn pump(&mut self, flush: bool) -> Result<(), ClientError> {
+        let mut strikes = 0u32;
+        loop {
+            self.route_waiting()?;
+            let s = self.settle_step(flush)?;
+            if s.done && self.waiting.is_empty() {
+                return Ok(());
+            }
+            if s.progress {
+                strikes = 0;
+                continue;
+            }
+            strikes += 1;
+            if strikes >= self.cfg.client.retry.max_attempts {
+                return Err(ClientError::Exhausted {
+                    attempts: strikes,
+                    last: "pipelined ingest made no progress".to_string(),
+                });
+            }
+            self.backoff(strikes);
+        }
+    }
+
+    /// Routes every waiting line onto its member pipe: the key's live
+    /// owner, or the `tried`-th candidate for a line bounced by
+    /// redirects. A full redirect round probes the ring (an adoption
+    /// resets the count); a second full round exhausts, exactly like
+    /// the sync path.
+    fn route_waiting(&mut self) -> Result<(), ClientError> {
+        while let Some(e) = self.waiting.pop_front() {
+            match e.kind {
+                EntryKind::Mirror => {
+                    // Mirrors never route by key; one here means its
+                    // pinned member died mid-displacement. The owner
+                    // holds the data — degrade, don't re-route.
+                    self.metrics.mirror_drops += 1;
+                }
+                EntryKind::Send { tried } => {
+                    let order = self.candidates(e.hash);
+                    if order.is_empty() {
+                        self.waiting.push_front(e);
+                        return Err(ClientError::Exhausted {
+                            attempts: 0,
+                            last: "no live ring member".to_string(),
+                        });
+                    }
+                    if tried as usize >= order.len() {
+                        self.waiting.push_front(Entry {
+                            kind: EntryKind::Send { tried: 0 },
+                            ..e
+                        });
+                        if self.probe_ring() {
+                            // Adopted: the entry re-routes (tried reset
+                            // by `adopt`) under the new ring.
+                            continue;
+                        }
+                        return Err(ClientError::Exhausted {
+                            attempts: 0,
+                            last: "every live member answered not-mine; re-resolve the ring"
+                                .to_string(),
+                        });
+                    }
+                    self.pipes[order[tried as usize]].push(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One pass over every live pipe: seals and writes frames that are
+    /// due (`flush` writes any non-empty open frame, otherwise only
+    /// full ones), keeps at most `pipeline_frames` frames on each wire,
+    /// and in flush mode drains every outstanding reply. Displaced
+    /// lines land in the waiting queue for the caller's next round.
+    fn settle_step(&mut self, flush: bool) -> Result<Settle, ClientError> {
+        let batch = self.cfg.client.batch.max(1);
+        let window = self.cfg.pipeline_frames;
+        let mut progress = false;
+        for index in 0..self.pipes.len() {
+            if !self.alive[index] {
+                continue;
+            }
+            loop {
+                let open = self.pipes[index].open_len();
+                if open == 0 || (!flush && open < batch) {
+                    break;
+                }
+                let cut = self.pipes[index].seal_cut(batch);
+                if self.pipes[index].wire_conflicts(cut) {
+                    // Some machine in the cut is still on the wire:
+                    // drain until it is released (the no-span rule).
+                    match self.drain_oldest(index)? {
+                        Drain::Ok { resolved, busy } => {
+                            progress |= resolved > 0;
+                            if busy {
+                                break;
+                            }
+                        }
+                        Drain::Lost => {
+                            // A displacement changed routing state (retry
+                            // or failover): that is forward motion, bounded
+                            // by the per-member strike budget.
+                            progress = true;
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                let entries = self.pipes[index].take_open(cut);
+                match self.write_entries(index, &entries)? {
+                    true => {
+                        let coalesced = entries.len() > 1;
+                        self.pipes[index].sent(entries, Instant::now());
+                        self.metrics.frames += 1;
+                        self.global.pipeline_frames.inc();
+                        self.global.pipeline_inflight.inc();
+                        if coalesced {
+                            self.metrics.coalesced_runs += 1;
+                            self.global.pipeline_coalesced.inc();
+                        }
+                    }
+                    false => {
+                        self.pipe_transport_failure(index, entries);
+                        progress = true;
+                        break;
+                    }
+                }
+                let mut stop = false;
+                while self.alive[index] && self.pipes[index].inflight_len() > window {
+                    match self.drain_oldest(index)? {
+                        Drain::Ok { resolved, busy } => {
+                            progress |= resolved > 0;
+                            if busy {
+                                stop = true;
+                                break;
+                            }
+                        }
+                        Drain::Lost => {
+                            progress = true;
+                            stop = true;
+                            break;
+                        }
+                    }
+                }
+                if stop || !self.alive[index] {
+                    break;
+                }
+            }
+            while flush && self.alive[index] && self.pipes[index].inflight_len() > 0 {
+                match self.drain_oldest(index)? {
+                    Drain::Ok { resolved, .. } => progress |= resolved > 0,
+                    Drain::Lost => progress = true,
+                }
+            }
+        }
+        let done = self.pipes.iter().enumerate().all(|(i, p)| {
+            if !self.alive[i] || flush {
+                p.is_empty()
+            } else {
+                p.open_len() < batch && p.inflight_len() <= window
+            }
+        });
+        Ok(Settle { done, progress })
+    }
+
+    /// Settles every pipe — writes all open frames and drains every
+    /// inflight reply — *without* routing the waiting queue, so it is
+    /// safe inside [`ClusterClient::adopt`]: lines the pipeline never
+    /// sent stay waiting and re-route under the ring that emerges.
+    fn settle_pipes(&mut self) -> Result<(), ClientError> {
+        let mut strikes = 0u32;
+        loop {
+            // Mirrors displaced by a busy tail re-enter their pipe's
+            // open frame, so settling can take several passes.
+            let s = self.settle_step(true)?;
+            if s.done {
+                return Ok(());
+            }
+            if s.progress {
+                strikes = 0;
+                continue;
+            }
+            strikes += 1;
+            if strikes >= self.cfg.client.retry.max_attempts {
+                return Err(ClientError::Exhausted {
+                    attempts: strikes,
+                    last: "pipelined frames would not settle".to_string(),
+                });
+            }
+            self.backoff(strikes);
+        }
+    }
+
+    /// Writes one sealed frame to member `index`. `Ok(true)` — on the
+    /// wire; `Ok(false)` — the member's transport failed and the caller
+    /// must displace the frame.
+    fn write_entries(&mut self, index: usize, entries: &[Entry]) -> Result<bool, ClientError> {
+        let outcome = self
+            .client(index)
+            .and_then(|c| c.write_frame(entries.len(), entries.iter().map(|e| &e.req)));
+        match outcome {
+            Ok(FrameIo::Done) => Ok(true),
+            Ok(FrameIo::Lost) | Err(ClientError::Io(_)) | Err(ClientError::Exhausted { .. }) => {
+                Ok(false)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Drains member `index`'s oldest inflight frame and resolves each
+    /// reply: `OK`/server errors acknowledge the line (queueing its
+    /// mirror onto the replica's pipe), `not-mine` re-routes the line —
+    /// and its still-open successors — through the waiting queue, and
+    /// the first `BUSY` displaces the frame tail plus the whole open
+    /// frame for an in-order replay (the server poisoned the rest of
+    /// the frame, so applied observes are a prefix — PROTOCOL.md §2.1).
+    fn drain_oldest(&mut self, index: usize) -> Result<Drain, ClientError> {
+        let Some(n) = self.pipes[index].oldest_len() else {
+            return Ok(Drain::Ok {
+                resolved: 0,
+                busy: false,
+            });
+        };
+        let mut replies = Vec::with_capacity(n);
+        match self
+            .client(index)
+            .and_then(|c| c.read_frame_replies(n, &mut replies))
+        {
+            Ok(FrameIo::Done) => {}
+            Ok(FrameIo::Lost) | Err(ClientError::Io(_)) | Err(ClientError::Exhausted { .. }) => {
+                self.pipe_transport_failure(index, Vec::new());
+                return Ok(Drain::Lost);
+            }
+            Err(other) => return Err(other),
+        }
+        let frame = self.pipes[index]
+            .complete_oldest()
+            .expect("frame was inflight");
+        self.global.pipeline_inflight.dec();
+        self.pipe_strikes[index] = 0;
+        let lat_us = frame.sent_at.elapsed().as_secs_f64() * 1e6;
+        let mut resolved = 0u64;
+        let mut busy_from: Option<usize> = None;
+        let mut redirected: HashMap<u64, u32> = HashMap::new();
+        let mut displaced: Vec<Entry> = Vec::new();
+        for (i, (entry, resp)) in frame.entries.into_iter().zip(replies).enumerate() {
+            if busy_from.is_some() || matches!(resp, Response::Busy) {
+                if busy_from.is_none() {
+                    busy_from = Some(i);
+                }
+                if matches!(resp, Response::Busy) {
+                    self.pipelined_busy += 1;
+                }
+                displaced.push(entry);
+                continue;
+            }
+            match resp {
+                Response::Err {
+                    code: ErrCode::NotMine,
+                    ..
+                } => match entry.kind {
+                    EntryKind::Send { tried } => {
+                        self.metrics.redirects += 1;
+                        self.global.redirects.inc();
+                        redirected.insert(entry.hash, tried + 1);
+                        self.waiting.push_back(Entry {
+                            kind: EntryKind::Send { tried: tried + 1 },
+                            ..entry
+                        });
+                    }
+                    EntryKind::Mirror => {
+                        // The replica's all-alive view disagrees; the
+                        // owner holds the data — degrade, don't re-route.
+                        self.metrics.mirror_drops += 1;
+                    }
+                },
+                Response::Err { .. } => {
+                    resolved += 1;
+                    if matches!(entry.kind, EntryKind::Send { .. }) {
+                        self.pipelined_err += 1;
+                    }
+                }
+                _ => {
+                    resolved += 1;
+                    if matches!(entry.kind, EntryKind::Send { .. }) {
+                        self.pipelined_ok += 1;
+                        if self.cfg.mirror {
+                            if let Some(target) = self.mirror_target(entry.hash) {
+                                self.pipes[target].push(Entry {
+                                    kind: EntryKind::Mirror,
+                                    ..entry
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let busy = busy_from.is_some();
+        if busy {
+            // The rejected tail must replay before anything later from
+            // the same machines: take the whole open frame too.
+            displaced.extend(self.pipes[index].take_all_open());
+            let mut mirrors = Vec::new();
+            for e in displaced {
+                match e.kind {
+                    EntryKind::Send { .. } => self.waiting.push_back(e),
+                    EntryKind::Mirror => mirrors.push(e),
+                }
+            }
+            // Mirrors stay pinned: back onto this pipe, order intact.
+            for e in mirrors {
+                self.pipes[index].push(e);
+            }
+        } else if !redirected.is_empty() {
+            let hashes: HashSet<u64> = redirected.keys().copied().collect();
+            let moved = self.pipes[index].extract_open_matching(&hashes);
+            for e in moved {
+                match e.kind {
+                    EntryKind::Send { tried } => {
+                        let tried = redirected.get(&e.hash).copied().unwrap_or(tried);
+                        self.waiting.push_back(Entry {
+                            kind: EntryKind::Send { tried },
+                            ..e
+                        });
+                    }
+                    // A machine's mirrors live on a different pipe than
+                    // its sends (owner ≠ mirror target) — unreachable,
+                    // but re-pinning is the safe fallback.
+                    EntryKind::Mirror => self.pipes[index].push(e),
+                }
+            }
+        }
+        if resolved > 0 {
+            self.frame_lats.push((lat_us, resolved));
+        }
+        Ok(Drain::Ok { resolved, busy })
+    }
+
+    /// Member `index`'s transport failed mid-pipeline (write or drain).
+    /// Its whole unacknowledged tail — inflight frames in send order,
+    /// the frame that was about to be written, then the open frame — is
+    /// displaced in order: sends replay through the waiting queue,
+    /// mirrors stay pinned. Consecutive failures are bounded by the
+    /// retry budget (the pipe-level analogue of the sync client's
+    /// per-request retries); exhausting it marks the member dead, which
+    /// drops its pinned mirrors.
+    fn pipe_transport_failure(&mut self, index: usize, about_to_send: Vec<Entry>) {
+        let frames = self.pipes[index].inflight_len();
+        if frames > 0 {
+            self.global.pipeline_inflight.add(-(frames as i64));
+        }
+        let open = self.pipes[index].take_all_open();
+        let mut tail = self.pipes[index].fail();
+        tail.extend(about_to_send);
+        tail.extend(open);
+        if !tail.is_empty() {
+            self.metrics.replayed_tails += 1;
+            self.global.pipeline_replayed.inc();
+        }
+        let mut mirrors = Vec::new();
+        for e in tail {
+            match e.kind {
+                EntryKind::Send { .. } => self.waiting.push_back(e),
+                EntryKind::Mirror => mirrors.push(e),
+            }
+        }
+        self.pipe_strikes[index] = self.pipe_strikes[index].saturating_add(1);
+        if self.pipe_strikes[index] >= self.cfg.client.retry.max_attempts {
+            self.metrics.mirror_drops += mirrors.len() as u64;
+            self.mark_dead(index);
+        } else {
+            // The member gets another chance on a fresh connection;
+            // replays of already-applied lines are stale no-ops.
+            for e in mirrors {
+                self.pipes[index].push(e);
+            }
+            self.backoff(self.pipe_strikes[index]);
+        }
+    }
+
+    /// Displaces member `index`'s remaining pipelined lines as part of
+    /// its death: sends replay through the waiting queue, mirrors
+    /// targeted at it drop (the owner still holds the data).
+    fn displace_pipe(&mut self, index: usize) {
+        let frames = self.pipes[index].inflight_len();
+        if frames > 0 {
+            self.global.pipeline_inflight.add(-(frames as i64));
+        }
+        let tail = self.pipes[index].fail();
+        if tail.is_empty() {
+            return;
+        }
+        self.metrics.replayed_tails += 1;
+        self.global.pipeline_replayed.inc();
+        for e in tail {
+            match e.kind {
+                EntryKind::Send { .. } => self.waiting.push_back(e),
+                EntryKind::Mirror => self.metrics.mirror_drops += 1,
+            }
+        }
+    }
+
+    /// Sleeps `min(cap, base * 2^attempt)` scaled by a seeded jitter
+    /// factor in `[0.5, 1.0)` — [`Client`]'s schedule, but per member:
+    /// the pipeline backs off a whole pipe, not one request.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.cfg.client.retry.base.as_secs_f64();
+        let cap = self.cfg.client.retry.cap.as_secs_f64();
+        let exp = base * f64::from(2u32.saturating_pow(attempt.min(16)));
+        let jitter = 0.5 + 0.5 * self.rng.random::<f64>();
+        std::thread::sleep(Duration::from_secs_f64(exp.min(cap) * jitter));
     }
 
     /// Streams a usage sample to the key's owner and (with mirroring
@@ -566,6 +1163,27 @@ impl ClusterClient {
         }
         Ok(merged)
     }
+}
+
+/// Outcome of draining one member's oldest inflight frame.
+enum Drain {
+    /// Replies processed: `resolved` lines acknowledged or errored;
+    /// `busy` — a rejected tail (plus the open frame) was displaced for
+    /// replay.
+    Ok { resolved: u64, busy: bool },
+    /// The member's transport failed; its unacknowledged tail was
+    /// displaced.
+    Lost,
+}
+
+/// Result of one [`ClusterClient::settle_step`] pass.
+struct Settle {
+    /// Every pipe fits its target (empty under flush; within
+    /// batch/window otherwise).
+    done: bool,
+    /// At least one line resolved this pass — the anti-starvation
+    /// signal that resets the busy-storm strike count.
+    progress: bool,
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 use crate::client::{Client, ClientConfig};
 use crate::cluster::ClusterClient;
 use crate::error::ClientError;
-use crate::loadgen::{report_histogram, LoadReport, LATENCY_HIST_HI_US, SETUP_HIST_HI_US};
+use crate::loadgen::{report_histogram, HistAcc, LoadReport, LATENCY_HIST_HI_US, SETUP_HIST_HI_US};
 use oc_cluster::RingSpec;
 use oc_core::ingest::IncrementalView;
 use oc_core::predictor::clamp_prediction;
@@ -57,10 +57,10 @@ pub struct FleetConfig {
     pub mirror: bool,
     /// `BATCH` frame size per connection (1 disables framing).
     pub batch: usize,
-    /// Pipeline window per connection, in requests (frames when
-    /// batching). The in-flight volume is `window × batch` *lines*; keep
-    /// it at or below the members' shard queue depth or an open-throttle
-    /// drive turns into a `BUSY` retry storm.
+    /// Pipeline window per connection, in *frames* of `batch` lines.
+    /// The in-flight volume is `window × batch` lines; keep it at or
+    /// below the members' shard queue depth or an open-throttle drive
+    /// turns into a `BUSY` retry storm.
     pub window: usize,
     /// Fetch each member's `STATS` after the drive. Segmented drives
     /// skip intermediate fetches — only the final state matters, and a
@@ -189,10 +189,14 @@ fn drive_member(addr: SocketAddr, index: usize, plan: Vec<u32>, cfg: &FleetConfi
         max_attempts: 12,
         ..Default::default()
     };
+    // `pipeline_window` counts *lines*: a window of `cfg.window` frames
+    // must translate to `window × batch` lines or batching degrades to
+    // stop-and-wait per frame — the regression that held the routed
+    // cluster path 5× under the single-node data plane.
     let client_cfg = ClientConfig::default()
         .with_seed(0xF1EE7 + index as u64)
         .with_batch(cfg.batch.max(1))
-        .with_pipeline_window(cfg.window.max(1))
+        .with_pipeline_window(cfg.window.max(1).saturating_mul(cfg.batch.max(1)))
         .with_retry(retry);
     let setup_start = Instant::now();
     let mut client = match Client::connect(addr, client_cfg) {
@@ -206,7 +210,7 @@ fn drive_member(addr: SocketAddr, index: usize, plan: Vec<u32>, cfg: &FleetConfi
     let setup_us = [setup_start.elapsed().as_secs_f64() * 1e6];
     let start = Instant::now();
     let total_lines = plan.len() as u64 * cfg.ticks;
-    let mut latencies: Vec<f64> = Vec::with_capacity(total_lines as usize);
+    let mut latencies = HistAcc::new(LATENCY_HIST_HI_US);
     let mut ok = 0u64;
     let mut errors = 0u64;
     let cell = CellId::new(cfg.cell.clone());
@@ -235,7 +239,7 @@ fn drive_member(addr: SocketAddr, index: usize, plan: Vec<u32>, cfg: &FleetConfi
     report.busy = m.busy_retries;
     report.retries = m.retries;
     report.reconnects = m.reconnects;
-    report.latency = report_histogram(&latencies, LATENCY_HIST_HI_US);
+    report.latency = latencies.finish();
     report.setup = report_histogram(&setup_us, SETUP_HIST_HI_US);
     report.p50_us = report.latency.quantile(50.0);
     report.p99_us = report.latency.quantile(99.0);
@@ -328,9 +332,17 @@ pub fn run(
 /// segment, where the client starts on a stale generation and must
 /// adopt the pushed ring on its own.
 ///
+/// Samples go through [`ClusterClient::observe_pipelined`]: consecutive
+/// same-member runs coalesce into `BATCH` frames and every member's
+/// window rides the wire concurrently, so this path now paces with the
+/// planned drive instead of serializing one round trip per line.
+/// Latency is measured per *frame* ack and attributed to every line the
+/// frame resolved.
+///
 /// `cfg.mirror`, `cfg.batch`, and `cfg.window` are ignored here: the
 /// client's own [`ClusterClientConfig`](crate::cluster::ClusterClientConfig)
-/// governs mirroring, and routed sends are strictly request-response.
+/// governs mirroring, frame size (`client.batch`), and window
+/// (`pipeline_frames`).
 ///
 /// # Errors
 ///
@@ -342,22 +354,32 @@ pub fn run_routed(cc: &mut ClusterClient, cfg: &FleetConfig) -> Result<LoadRepor
     let mut report = empty_report();
     report.connections = 1;
     let total = cfg.machines * cfg.ticks;
-    let mut latencies: Vec<f64> = Vec::with_capacity(total as usize);
+    let mut latencies = HistAcc::new(LATENCY_HIST_HI_US);
     let start = Instant::now();
     for m in 0..cfg.machines {
         let machine = MachineId(m as u32);
         for t in cfg.first_tick..cfg.first_tick + cfg.ticks {
-            let sent_at = Instant::now();
-            cc.observe(&cell, machine, task, fleet_usage(m, t), FLEET_LIMIT, t)?;
-            latencies.push(sent_at.elapsed().as_secs_f64() * 1e6);
+            cc.observe_pipelined(&cell, machine, task, fleet_usage(m, t), FLEET_LIMIT, t)?;
+        }
+        if m % 1024 == 0 {
+            for (us, n) in cc.take_frame_latencies() {
+                latencies.push_n(us, n);
+            }
         }
     }
+    cc.flush_pipeline()?;
     cc.flush_mirrors()?;
+    for (us, n) in cc.take_frame_latencies() {
+        latencies.push_n(us, n);
+    }
+    let (ok, errors, busy) = cc.take_pipeline_tallies();
     report.wall_secs = start.elapsed().as_secs_f64();
     report.sent = total;
-    report.ok = total;
-    report.acked_observes = total;
-    report.latency = report_histogram(&latencies, LATENCY_HIST_HI_US);
+    report.ok = ok;
+    report.errors = errors;
+    report.busy = busy;
+    report.acked_observes = ok;
+    report.latency = latencies.finish();
     report.p50_us = report.latency.quantile(50.0);
     report.p99_us = report.latency.quantile(99.0);
     report.max_us = report.latency.max_or_zero();
@@ -505,6 +527,53 @@ mod tests {
         assert_eq!(cc.metrics().redirects, 0);
         let mismatches = verify(spec, &addrs, &[true; 3], "fleet", 40, 8).expect("verify");
         assert_eq!(mismatches, 0);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    /// A member dies with pipelined frames still on its wire. The
+    /// unacknowledged tail must replay through failover without
+    /// reordering any machine's stream: the surviving members' served
+    /// predictions stay bit-identical to an offline recompute over each
+    /// machine's *full* series.
+    #[test]
+    fn pipelined_drive_replays_tail_through_failover() {
+        let (spec, mut servers, addrs) = ring_servers(3);
+        let mut ccfg = crate::cluster::ClusterClientConfig::default();
+        // Real frames (the default client batch is 1): multi-line
+        // coalescing plus several frames in flight per member.
+        ccfg.client = ccfg.client.with_batch(16);
+        ccfg.pipeline_frames = 8;
+        let mut cc = ClusterClient::connect(spec, &addrs, ccfg).expect("connect");
+        let cell = CellId::new("fleet");
+        let task = fleet_task();
+        let machines = 45u64;
+        for m in 0..machines {
+            let machine = MachineId(m as u32);
+            for t in 0..6 {
+                cc.observe_pipelined(&cell, machine, task, fleet_usage(m, t), FLEET_LIMIT, t)
+                    .expect("observe");
+            }
+        }
+        // Member 0 goes away while the client still holds undrained
+        // frames for it (nothing was flushed yet).
+        servers.remove(0).shutdown();
+        for m in 0..machines {
+            let machine = MachineId(m as u32);
+            for t in 6..12 {
+                cc.observe_pipelined(&cell, machine, task, fleet_usage(m, t), FLEET_LIMIT, t)
+                    .expect("observe after death");
+            }
+        }
+        cc.flush_pipeline().expect("flush");
+        assert!(!cc.alive()[0], "member 0 discovered dead");
+        let m = cc.metrics();
+        assert!(m.replayed_tails >= 1, "no tail replayed: {m:?}");
+        assert!(m.frames > 0 && m.coalesced_runs > 0, "{m:?}");
+        let alive = vec![false, true, true];
+        let mismatches = verify(spec, &addrs, &alive, "fleet", machines, 12).expect("verify");
+        assert_eq!(mismatches, 0, "pipelined replay broke bit-identity");
         for s in servers {
             s.shutdown();
         }

@@ -63,6 +63,7 @@ pub mod error;
 pub mod fanin;
 pub mod fleet;
 pub mod loadgen;
+mod pipe;
 
 pub use client::{Client, ClientConfig, ClientMetrics, RetryPolicy};
 pub use cluster::{ClusterClient, ClusterClientConfig, ClusterMetrics};

@@ -102,21 +102,61 @@ pub const REPORT_HIST_BINS: usize = 16_384;
 /// distribution — averaging percentiles across processes is wrong
 /// (a p99 of averages is not the p99 of the union).
 pub fn report_histogram(samples: &[f64], hi: f64) -> HistogramSnapshot {
-    let mut hist = Histogram::new(0.0, hi, REPORT_HIST_BINS).expect("static shape is valid");
-    let mut sum = 0.0;
-    let mut max = f64::NEG_INFINITY;
+    let mut acc = HistAcc::new(hi);
     for &x in samples {
-        hist.push(x);
-        sum += x;
-        if x > max {
-            max = x;
+        acc.push(x);
+    }
+    acc.finish()
+}
+
+/// Incremental [`report_histogram`]: bins samples as they resolve
+/// instead of materializing them first. The fleet drivers used to hold
+/// one `f64` per line — tens of megabytes per member thread at
+/// million-machine scale — purely to bin them at the end of the run.
+#[derive(Debug)]
+pub struct HistAcc {
+    hist: Histogram,
+    sum: f64,
+    max: f64,
+}
+
+impl HistAcc {
+    /// An empty accumulator binning `[0, hi)` like [`report_histogram`].
+    pub fn new(hi: f64) -> HistAcc {
+        HistAcc {
+            hist: Histogram::new(0.0, hi, REPORT_HIST_BINS).expect("static shape is valid"),
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
         }
     }
-    HistogramSnapshot {
-        count: hist.total(),
-        sum,
-        max,
-        hist,
+
+    /// Records one sample (microseconds).
+    pub fn push(&mut self, x: f64) {
+        self.push_n(x, 1);
+    }
+
+    /// Records `n` samples of value `x` at once — the shape a pipelined
+    /// frame resolves in (one ack latency covering every line it
+    /// carried).
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.hist.push_n(x, n);
+        self.sum += x * n as f64;
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// The mergeable snapshot.
+    pub fn finish(self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.hist.total(),
+            sum: self.sum,
+            max: self.max,
+            hist: self.hist,
+        }
     }
 }
 

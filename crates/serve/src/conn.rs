@@ -140,6 +140,12 @@ pub(crate) struct ConnState {
     pub(crate) chunk_shard: usize,
     /// Sub-request lines still expected in the current `BATCH` frame.
     pub(crate) batch_left: usize,
+    /// A chunk of the current `BATCH` frame was rejected `BUSY`: every
+    /// later observe in the same frame answers `BUSY` without enqueueing,
+    /// so a frame's applied observes are always a prefix of the frame.
+    /// Pipelined clients rely on this to replay a rejected tail without
+    /// reordering any machine's sample stream (PROTOCOL.md §2.1).
+    pub(crate) frame_busy: bool,
     /// Last observed routing key and its shard. A connection almost
     /// always streams samples for one machine (the node-agent shape), so
     /// this memo replaces the per-line routing hash with an equality
@@ -164,6 +170,7 @@ impl ConnState {
             chunk: Box::new(ObserveChunk::new()),
             chunk_shard: 0,
             batch_left: 0,
+            frame_busy: false,
             route_memo: None,
             own_version: u64::MAX,
             ownership: None,
@@ -274,6 +281,12 @@ pub(crate) fn flush_chunk<W: Write>(
         Err(SendFail::Busy) => {
             shared.busy.add(len as u64);
             trace::event("serve.busy", shard as u64, len as u64);
+            // Poison the rest of the current frame (if any): later
+            // observes in it answer BUSY unconditionally, keeping the
+            // frame's applied observes a contiguous prefix.
+            if state.batch_left > 0 {
+                state.frame_busy = true;
+            }
             for _ in 0..len {
                 writer.write_all(b"BUSY\n")?;
             }
@@ -315,6 +328,9 @@ pub(crate) fn process_line<W: Write>(
     if in_batch {
         state.batch_left -= 1;
     } else {
+        // Busy-poisoning is frame-scoped; a fresh line outside any frame
+        // (including the next frame's header) clears it.
+        state.frame_busy = false;
         match parse_batch_header(line, &mut state.scratch) {
             // Not a batch header: fall through to the ordinary parse.
             Ok(None) => {}
@@ -371,6 +387,14 @@ pub(crate) fn process_line<W: Write>(
                 write_resp(writer, &mut state.out, &resp)?;
                 return Ok(true);
             }
+            // An earlier chunk of this frame was rejected: the rest of
+            // the frame's observes reject too (the chunk buffer is empty
+            // here — a poisoning flush answered and cleared it).
+            if state.frame_busy {
+                shared.busy.inc();
+                writer.write_all(b"BUSY\n")?;
+                return Ok(true);
+            }
             let shard = match &state.route_memo {
                 Some((memo_key, memo_shard)) if *memo_key == key => *memo_shard,
                 _ => {
@@ -381,6 +405,15 @@ pub(crate) fn process_line<W: Write>(
             };
             if state.chunk.len > 0 && (shard != state.chunk_shard || state.chunk.len == OBS_CHUNK) {
                 flush_chunk(state, writer, pool, shared)?;
+                // That flush may have just poisoned the frame. This line
+                // must reject too — appending it to the fresh chunk would
+                // defer its reply past the immediate BUSYs of the lines
+                // after it, permuting replies within the BATCHR frame.
+                if state.frame_busy {
+                    shared.busy.inc();
+                    writer.write_all(b"BUSY\n")?;
+                    return Ok(true);
+                }
             }
             if state.chunk.len == 0 {
                 state.chunk_shard = shard;
@@ -612,4 +645,134 @@ pub(crate) fn serve_lines<R: Read, W: Write>(
     }
     flush_chunk(&mut state, &mut writer, pool, shared)?;
     writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::server::Server;
+    use oc_trace::ids::{CellId, JobId, MachineId, TaskId};
+    use std::sync::mpsc::sync_channel;
+
+    fn filler(m: u32, tick: u64) -> ShardMsg {
+        ShardMsg::Observe {
+            key: (CellId::new("t"), MachineId(m)),
+            task: TaskId::new(JobId(1), 0),
+            usage: 0.2,
+            limit: 0.5,
+            mem: None,
+            tick: Tick(tick),
+            enqueued: Instant::now(),
+        }
+    }
+
+    fn predict(reply: std::sync::mpsc::SyncSender<Response>) -> ShardMsg {
+        ShardMsg::Predict {
+            key: (CellId::new("t"), MachineId(1)),
+            vector: false,
+            reply,
+            enqueued: Instant::now(),
+        }
+    }
+
+    fn fill_until_busy(pool: &ShardPool) {
+        let mut tick = 0;
+        loop {
+            match pool.try_send(0, filler(1, tick)) {
+                Ok(()) => tick += 1,
+                Err(SendFail::Busy) => return,
+                Err(SendFail::Closed) => panic!("shard worker died"),
+            }
+        }
+    }
+
+    /// A frame whose first chunk rejects `BUSY` answers `BUSY` for every
+    /// later observe of the same frame without enqueueing — applied
+    /// observes are a contiguous frame prefix, replies stay in line
+    /// order, and the next frame starts clean (PROTOCOL.md §2.1).
+    #[test]
+    fn busy_mid_frame_poisons_the_rest_of_the_frame_in_order() {
+        let cfg = ServeConfig::default().with_shards(1).with_queue_depth(3);
+        let metrics = oc_telemetry::MetricsRegistry::new();
+        let depth_gauge = metrics.gauge("serve.shard.queue_depth.0");
+        let pool = ShardPool::new(&cfg, &metrics).unwrap();
+        let shared = Server::test_shared(&cfg, metrics);
+
+        // Park the worker deterministically, no sleeps: two rendezvous
+        // PREDICTs. The worker parks in the first reply.send; receiving
+        // that reply lets it take exactly one more message (the second
+        // predict) off the queue and park again — for good, because the
+        // second reply is never received until the end of the test.
+        let (r1, rx1) = sync_channel::<Response>(0);
+        let (r2, rx2) = sync_channel::<Response>(0);
+        pool.send(0, predict(r1)).unwrap();
+        pool.send(0, predict(r2)).unwrap();
+        fill_until_busy(&pool);
+        rx1.recv().unwrap();
+        // The worker frees exactly one slot (taking the second predict);
+        // claim it, top the queue back up, and it stays full forever.
+        loop {
+            match pool.try_send(0, filler(1, 9_999)) {
+                Ok(()) => break,
+                Err(SendFail::Busy) => std::thread::yield_now(),
+                Err(SendFail::Closed) => panic!("shard worker died"),
+            }
+        }
+        fill_until_busy(&pool);
+
+        // A frame of OBS_CHUNK + 4 observes: the chunk-full flush at line
+        // 65 rejects BUSY and poisons the frame; lines 65..68 must reject
+        // immediately, in line order, without touching the queue.
+        let n = OBS_CHUNK + 4;
+        let mut state = ConnState::new();
+        let mut out: Vec<u8> = Vec::new();
+        let header = format!("BATCH {n}");
+        assert!(process_line(header.as_bytes(), &mut state, &mut out, &pool, &shared).unwrap());
+        for t in 0..n {
+            let line = format!("OBSERVE c 7 1:0 0.2 0.5 {t}");
+            assert!(process_line(line.as_bytes(), &mut state, &mut out, &pool, &shared).unwrap());
+        }
+        assert_eq!(
+            state.chunk.len, 0,
+            "a poisoned frame leaves no deferred chunk"
+        );
+        let expected: String = format!("BATCHR {n}\n") + &"BUSY\n".repeat(n);
+        assert_eq!(String::from_utf8(out.clone()).unwrap(), expected);
+        assert_eq!(shared.busy.get() as usize, n);
+
+        // Release the worker and let the queue drain: the next frame
+        // starts unpoisoned and its observes are applied and acked.
+        let resp = rx2.recv().unwrap();
+        assert!(matches!(resp, Response::Err { .. } | Response::Pred { .. }));
+        while depth_gauge.get() != 0 {
+            std::thread::yield_now();
+        }
+        out.clear();
+        assert!(process_line(b"BATCH 2", &mut state, &mut out, &pool, &shared).unwrap());
+        assert!(process_line(
+            b"OBSERVE c 7 1:0 0.2 0.5 100",
+            &mut state,
+            &mut out,
+            &pool,
+            &shared
+        )
+        .unwrap());
+        assert!(process_line(
+            b"OBSERVE c 7 1:0 0.3 0.5 101",
+            &mut state,
+            &mut out,
+            &pool,
+            &shared
+        )
+        .unwrap());
+        // End of the read burst: the pending chunk flushes (Feed::More).
+        flush_chunk(&mut state, &mut out, &pool, &shared).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "BATCHR 2\nOK\nOK\n",
+            "the poison is frame-scoped: the next frame is clean"
+        );
+        pool.shutdown();
+    }
 }

@@ -120,8 +120,17 @@ impl ShardMetrics {
 
     /// Summarizes into the wire snapshot. `busy` is counted at the server
     /// (rejects never reach a shard), so it is passed in.
+    ///
+    /// A quantile whose rank lands in the histogram's overflow mass comes
+    /// back as the range ceiling; the exact tracked maximum is substituted
+    /// so a heavy tail can never report a percentile below the exact mean
+    /// (the "mean 18x above p99" cluster-1m artifact).
     pub fn snapshot(&self, busy: u64) -> StatsSnapshot {
-        let q = |p: f64| self.latency.quantile(p).unwrap_or(0.0);
+        let q = |p: f64| match self.latency.quantile(p) {
+            Ok(v) if v >= LATENCY_HI_US => self.lat_max_us.max(LATENCY_HI_US),
+            Ok(v) => v,
+            Err(_) => 0.0,
+        };
         StatsSnapshot {
             observes: self.observes,
             predicts: self.predicts,
@@ -191,5 +200,54 @@ mod tests {
         m.record_latency(Duration::from_millis(500)); // beyond LATENCY_HI_US
         let s = m.snapshot(0);
         assert!((s.max_us - 500_000.0).abs() < 1_000.0);
+    }
+
+    /// Regression for the impossible cluster-1m pair (mean 264 ms, p99
+    /// 14 ms): when most of the mass sits past the histogram ceiling, the
+    /// overflow-blind quantile reported the in-range minority as p99
+    /// while the exact mean counted everything. Post-fix, a saturated
+    /// quantile answers the exact maximum, so mean <= p99 <= max — and
+    /// the merged snapshot stays inside the merged min/max, per shard and
+    /// across members.
+    #[test]
+    fn heavy_overflow_tail_keeps_mean_at_or_below_p99() {
+        let mut a = ShardMetrics::default();
+        let mut b = ShardMetrics::default();
+        // Shard a: fast minority in range, slow majority far past it.
+        for _ in 0..100 {
+            a.record_latency(Duration::from_micros(200));
+        }
+        for _ in 0..400 {
+            a.record_latency(Duration::from_millis(250));
+        }
+        // Shard b: an even slower tail.
+        for _ in 0..50 {
+            b.record_latency(Duration::from_micros(900));
+        }
+        for _ in 0..100 {
+            b.record_latency(Duration::from_millis(800));
+        }
+        for (m, max) in [(&a, 250_000.0), (&b, 800_000.0)] {
+            let s = m.snapshot(0);
+            assert!(
+                s.mean_us <= s.p99_us,
+                "mean {} above p99 {}",
+                s.mean_us,
+                s.p99_us
+            );
+            assert!((s.max_us - max).abs() < 2_000.0);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let s = merged.snapshot(0);
+        assert!(s.p50_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert!(
+            s.mean_us <= s.p99_us,
+            "merged mean {} above merged p99 {}",
+            s.mean_us,
+            s.p99_us
+        );
+        // Mean must lie within the merged distribution's support.
+        assert!(s.mean_us >= 200.0 && s.mean_us <= s.max_us);
     }
 }

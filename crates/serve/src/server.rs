@@ -210,13 +210,26 @@ const GEN_STRIPES: usize = 1024;
 pub(crate) struct PredictCache {
     /// Striped observe-generation stamps, indexed by [`key_hash`].
     gens: Vec<AtomicU64>,
-    /// Last computed peak per machine, stamped with the generation read
-    /// before its shard dispatch.
-    entries: Mutex<HashMap<MachineKey, (u64, f64)>>,
+    /// Last computed result per machine and shape, stamped with the
+    /// generation read before its shard dispatch.
+    entries: Mutex<HashMap<MachineKey, CacheSlot>>,
     /// Predicts served from the cache (`serve.predict.cache_hit`).
     pub(crate) hits: Arc<Counter>,
     /// Predicts dispatched to a shard (`serve.predict.cache_miss`).
     pub(crate) misses: Arc<Counter>,
+}
+
+/// One machine's cached predictions, one slot per response shape. The
+/// scalar and vector forms answer different questions (a blended peak vs
+/// per-lane CPU/memory peaks), so a hit must match the query's shape —
+/// but both slots share the machine's generation stripe, so any observe
+/// (either lane arrives in the same `OBSERVE` line) invalidates both.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheSlot {
+    /// `(generation, peak)` for `PREDICT cell machine`.
+    scalar: Option<(u64, f64)>,
+    /// `(generation, cpu_peak, mem_peak)` for `PREDICT cell machine *`.
+    vector: Option<(u64, f64, f64)>,
 }
 
 impl PredictCache {
@@ -244,20 +257,37 @@ impl PredictCache {
         self.gens[stripe].fetch_add(n, Ordering::SeqCst);
     }
 
-    /// The cached peak for `key`, if its stamp still matches `gen_now`.
-    pub(crate) fn lookup(&self, key: &MachineKey, gen_now: u64) -> Option<f64> {
+    /// The cached response for `key` in the query's shape, if its stamp
+    /// still matches `gen_now`.
+    pub(crate) fn lookup(&self, key: &MachineKey, gen_now: u64, vector: bool) -> Option<Response> {
         let entries = self.entries.lock().expect("predict cache lock");
-        match entries.get(key) {
-            Some(&(gen, peak)) if gen == gen_now => Some(peak),
-            _ => None,
+        let slot = entries.get(key)?;
+        if vector {
+            match slot.vector {
+                Some((gen, cpu, mem)) if gen == gen_now => Some(Response::Pred {
+                    peak: cpu,
+                    mem: Some(mem),
+                }),
+                _ => None,
+            }
+        } else {
+            match slot.scalar {
+                Some((gen, peak)) if gen == gen_now => Some(Response::Pred { peak, mem: None }),
+                _ => None,
+            }
         }
     }
 
-    pub(crate) fn store(&self, key: MachineKey, gen: u64, peak: f64) {
-        self.entries
-            .lock()
-            .expect("predict cache lock")
-            .insert(key, (gen, peak));
+    /// Stores a shard-computed prediction under its pre-dispatch
+    /// generation. The other shape's slot is left alone: its own stamp
+    /// already decides whether it is still current.
+    pub(crate) fn store(&self, key: MachineKey, gen: u64, peak: f64, mem: Option<f64>) {
+        let mut entries = self.entries.lock().expect("predict cache lock");
+        let slot = entries.entry(key).or_default();
+        match mem {
+            Some(mem) => slot.vector = Some((gen, peak, mem)),
+            None => slot.scalar = Some((gen, peak)),
+        }
     }
 
     /// Drops every cached entry. Called on a ring install: ownership may
@@ -516,6 +546,57 @@ impl Server {
         })
     }
 
+    /// Builds a [`Shared`] for driving `process_line` directly in unit
+    /// tests (no listener, no frontend threads). Mirrors the
+    /// [`Server::start`] construction; the caller supplies the registry
+    /// its [`ShardPool`] was built on so shard gauges and connection
+    /// counters share one metrics namespace.
+    #[cfg(test)]
+    pub(crate) fn test_shared(cfg: &ServeConfig, metrics: MetricsRegistry) -> Shared {
+        let epoch_start = 0;
+        Shared {
+            stop: AtomicBool::new(false),
+            busy: metrics.counter("serve.busy"),
+            timeouts: metrics.counter("serve.timeouts"),
+            conn_rejects: metrics.counter("serve.conn_rejects"),
+            accept_errors: metrics.counter("serve.accept.errors"),
+            connections: metrics.gauge("serve.connections"),
+            reactor_wakeups: metrics.counter("serve.reactor.wakeups"),
+            reactor_conns: metrics.gauge("serve.reactor.conns_active"),
+            reactor_writes_blocked: metrics.counter("serve.reactor.writes_blocked"),
+            parse_errors: metrics.counter("serve.parse_errors"),
+            requests: RequestCounters::new(&metrics),
+            batch_requests: metrics.counter("serve.batch.requests"),
+            batch_coalesced: metrics.counter("serve.batch.coalesced"),
+            cache: PredictCache::new(&metrics),
+            not_mine: metrics.counter("serve.cluster.not_mine"),
+            epoch: AtomicU64::new(pack_epoch(epoch_start, cfg.ring_generation)),
+            epoch_start,
+            ring: Mutex::new(RingState {
+                info: cfg.ring_info,
+                generation: cfg.ring_generation,
+                addrs: Vec::new(),
+            }),
+            ownership: Mutex::new(cfg.ownership.clone()),
+            ring_version: AtomicU64::new(0),
+            metrics,
+            faults: Arc::new(FaultCounters::default()),
+            registry: Registry::default(),
+            cfg: ConnSettings {
+                idle_timeout: cfg.idle_timeout,
+                write_timeout: cfg.write_timeout,
+                max_connections: cfg.max_connections,
+                faults: cfg.faults.clone(),
+                frontend: cfg.frontend,
+                reactor_threads_effective: cfg.effective_reactor_threads(),
+                handoff_log: cfg.handoff_log,
+                ownership_factory: cfg.ownership_factory.clone(),
+            },
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        }
+    }
+
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -643,47 +724,35 @@ pub(crate) fn dispatch(req: Request, pool: &ShardPool, shared: &Shared) -> Respo
             if role_of(shared, &key) == KeyRole::Remote {
                 return not_mine(shared);
             }
-            if vector {
-                // The multi-resource form bypasses the predict cache: the
-                // cache stores one scalar peak per key, and stamping a
-                // second lane onto the same generation stripe would let a
-                // scalar hit answer a vector query (or vice versa) with
-                // the wrong shape. Vector predicts are rare control-plane
-                // reads; they always consult the shard.
-                let shard = pool.route(&key);
-                let (reply, rx) = sync_channel(1);
-                let msg = ShardMsg::Predict {
-                    key,
-                    vector: true,
-                    reply,
-                    enqueued: Instant::now(),
-                };
-                return request_reply(pool, shard, msg, rx, shared);
-            }
-            // The generation is read before the shard dispatch, so the
-            // stored stamp can only ever be conservative (a sample racing
-            // in after this read forces a later miss, never a stale hit).
+            // Both shapes share the cache; a hit must match the query's
+            // shape (scalar vs per-lane vector), which [`CacheSlot`]
+            // keys on. The generation is read before the shard dispatch,
+            // so the stored stamp can only ever be conservative (a sample
+            // racing in after this read forces a later miss, never a
+            // stale hit) — and an observe on either lane arrives as the
+            // same `OBSERVE` line, so one stripe bump invalidates both
+            // shapes at once.
             let stripe = shared.cache.stripe_of(&key);
             let gen = shared.cache.generation(stripe);
-            if let Some(peak) = shared.cache.lookup(&key, gen) {
+            if let Some(resp) = shared.cache.lookup(&key, gen, vector) {
                 shared.cache.hits.inc();
-                return Response::Pred { peak, mem: None };
+                return resp;
             }
             shared.cache.misses.inc();
             let shard = pool.route(&key);
             let (reply, rx) = sync_channel(1);
             let msg = ShardMsg::Predict {
                 key: key.clone(),
-                vector: false,
+                vector,
                 reply,
                 enqueued: Instant::now(),
             };
             let resp = request_reply(pool, shard, msg, rx, shared);
-            if let Response::Pred { peak, mem: None } = resp {
+            if let Response::Pred { peak, mem } = resp {
                 // Only successful predictions are cached; unknown-machine
                 // errors must re-check the shard (an ADMIT may create the
                 // machine at any time).
-                shared.cache.store(key, gen, peak);
+                shared.cache.store(key, gen, peak, mem);
             }
             resp
         }
@@ -1114,6 +1183,115 @@ mod tests {
         };
         assert_eq!(s.observes, m["serve.observes"] as u64);
         assert_eq!(s.predicts, m["serve.predicts"] as u64);
+        drop((r, w));
+        server.shutdown();
+    }
+
+    /// Satellite: vector `PREDICT … *` results participate in the
+    /// frontend predict cache. A cached vector hit must be bit-identical
+    /// to the shard-computed answer, a scalar query must never be served
+    /// vector bits (or vice versa), and an observe on *either* lane —
+    /// cpu-only or a cpu,mem pair, both arriving as one `OBSERVE` line —
+    /// invalidates the machine's vector entry.
+    #[test]
+    fn vector_predicts_hit_the_cache_until_either_lane_observes() {
+        let server = Server::start(ServeConfig::default().with_shards(1)).unwrap();
+        let (mut r, mut w) = client(server.addr());
+        let cache_counts = |r: &mut BufReader<TcpStream>, w: &mut TcpStream| {
+            let Response::Metrics { exposition } = roundtrip(r, w, "METRICS") else {
+                panic!("expected METRICS");
+            };
+            let m = oc_telemetry::metrics::parse_exposition(&exposition).unwrap();
+            (
+                m["serve.predict.cache_hit"] as u64,
+                m["serve.predict.cache_miss"] as u64,
+            )
+        };
+        for t in 0..8u64 {
+            assert_eq!(
+                roundtrip(
+                    &mut r,
+                    &mut w,
+                    &format!("OBSERVE a 7 1:0 0.2,0.35 0.5,0.6 {t}")
+                ),
+                Response::Ok
+            );
+        }
+        let shard_computed = roundtrip(&mut r, &mut w, "PREDICT a 7 *");
+        let Response::Pred {
+            peak: cpu0,
+            mem: Some(mem0),
+        } = shard_computed
+        else {
+            panic!("expected two-lane PRED, got {shard_computed:?}");
+        };
+        let (h0, m0) = cache_counts(&mut r, &mut w);
+        let cached = roundtrip(&mut r, &mut w, "PREDICT a 7 *");
+        let (h1, m1) = cache_counts(&mut r, &mut w);
+        assert_eq!(h1, h0 + 1, "second vector predict is a cache hit");
+        assert_eq!(m1, m0, "no extra shard dispatch");
+        let Response::Pred {
+            peak: cpu1,
+            mem: Some(mem1),
+        } = cached
+        else {
+            panic!("expected two-lane PRED, got {cached:?}");
+        };
+        assert_eq!(cpu1.to_bits(), cpu0.to_bits(), "cached cpu lane diverged");
+        assert_eq!(mem1.to_bits(), mem0.to_bits(), "cached mem lane diverged");
+
+        // A scalar query on the same (warm) machine is a different shape:
+        // it must miss the vector slot and come back one-laned.
+        let scalar = roundtrip(&mut r, &mut w, "PREDICT a 7");
+        let (_, m2) = cache_counts(&mut r, &mut w);
+        assert_eq!(m2, m1 + 1, "scalar query never reuses the vector slot");
+        assert!(
+            matches!(scalar, Response::Pred { mem: None, .. }),
+            "scalar shape preserved: {scalar:?}"
+        );
+
+        // A cpu-only observe bumps the stripe: the vector entry is stale.
+        assert_eq!(
+            roundtrip(&mut r, &mut w, "OBSERVE a 7 1:0 0.4 0.5 8"),
+            Response::Ok
+        );
+        let (_, m3) = cache_counts(&mut r, &mut w);
+        let recomputed = roundtrip(&mut r, &mut w, "PREDICT a 7 *");
+        let (_, m4) = cache_counts(&mut r, &mut w);
+        assert_eq!(m4, m3 + 1, "cpu-lane observe invalidated the vector entry");
+        assert!(matches!(recomputed, Response::Pred { mem: Some(_), .. }));
+
+        // A mem-carrying observe invalidates again.
+        assert_eq!(
+            roundtrip(&mut r, &mut w, "OBSERVE a 7 1:0 0.1,0.5 0.5,0.6 9"),
+            Response::Ok
+        );
+        let (_, m5) = cache_counts(&mut r, &mut w);
+        let after_mem = roundtrip(&mut r, &mut w, "PREDICT a 7 *");
+        let (h6, m6) = cache_counts(&mut r, &mut w);
+        assert_eq!(m6, m5 + 1, "mem-lane observe invalidated the vector entry");
+        let Response::Pred { mem: Some(_), .. } = after_mem else {
+            panic!("expected two-lane PRED, got {after_mem:?}");
+        };
+        // And the fresh entry serves hits again, bit-identical.
+        let warm = roundtrip(&mut r, &mut w, "PREDICT a 7 *");
+        let (h7, _) = cache_counts(&mut r, &mut w);
+        assert_eq!(h7, h6 + 1);
+        let (
+            Response::Pred {
+                peak: a,
+                mem: Some(b),
+            },
+            Response::Pred {
+                peak: c,
+                mem: Some(d),
+            },
+        ) = (after_mem, warm)
+        else {
+            panic!("expected two-lane PREDs");
+        };
+        assert_eq!(a.to_bits(), c.to_bits());
+        assert_eq!(b.to_bits(), d.to_bits());
         drop((r, w));
         server.shutdown();
     }

@@ -437,3 +437,47 @@ fn unknown_verbs_and_junk_are_typed_errors() {
         Err(ProtoError::BadTaskId { .. })
     ));
 }
+
+/// Satellite regression for the cluster-1m "mean 18x above p99" report:
+/// merging member snapshots must keep the merged mean inside the merged
+/// distribution's min/max (and at or below the merged p99, since every
+/// member's own snapshot now holds mean <= p99 after the overflow-aware
+/// quantile fix). The merge blends p50/p99/mean with the *same*
+/// operation-count weights, so per-member orderings survive the fold.
+#[test]
+fn merged_stats_mean_stays_within_merged_min_max() {
+    let member = |observes: u64, p50: f64, p99: f64, mean: f64, max: f64| StatsSnapshot {
+        observes,
+        p50_us: p50,
+        p99_us: p99,
+        mean_us: mean,
+        max_us: max,
+        ..StatsSnapshot::default()
+    };
+    // Shapes like a post-fix cluster-1m: heavy overflow tails, p99
+    // substituted with the exact max, mean dominated by the tail.
+    let a = member(700_000, 9_000.0, 410_000.0, 130_000.0, 410_000.0);
+    let b = member(650_000, 11_000.0, 380_000.0, 125_000.0, 380_000.0);
+    let c = member(680_000, 8_500.0, 500_000.0, 140_000.0, 500_000.0);
+    let mut merged = a.clone();
+    merged.merge(&b);
+    merged.merge(&c);
+    assert!(
+        merged.mean_us >= merged.p50_us.min(a.p50_us.min(b.p50_us.min(c.p50_us))),
+        "merged mean {} fell below every member's p50",
+        merged.mean_us
+    );
+    assert!(
+        merged.mean_us <= merged.p99_us,
+        "merged mean {} above merged p99 {} — the pre-fix impossibility",
+        merged.mean_us,
+        merged.p99_us
+    );
+    assert!(
+        merged.mean_us <= merged.max_us,
+        "merged mean {} above merged max {}",
+        merged.mean_us,
+        merged.max_us
+    );
+    assert_eq!(merged.max_us, 500_000.0, "max of maxes is exact");
+}

@@ -131,13 +131,29 @@ impl Histogram {
         })
     }
 
-    /// Interpolated quantile of the in-range mass, `p` in `[0, 100]`.
+    /// Lower edge of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the binned range. A quantile answer equal to this
+    /// edge means the target rank fell into the overflow mass; callers
+    /// that track an exact maximum should substitute it.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interpolated quantile over **all** recorded mass, `p` in
+    /// `[0, 100]`.
     ///
     /// The mass of each bin is treated as uniformly spread over the bin's
-    /// width, so the answer is accurate to within one bin width. Underflow
-    /// and overflow observations are excluded from the mass (callers that
-    /// care about the tail beyond `hi` should track the maximum
-    /// separately).
+    /// width, so in-range answers are accurate to within one bin width.
+    /// Out-of-range observations participate in the rank but clamp to the
+    /// range edges: a target landing in the underflow mass answers `lo`,
+    /// one landing in the overflow mass answers `hi`. (Ignoring the
+    /// overflow mass — as this method once did — let a heavy tail report
+    /// a p99 far *below* the mean, an impossible pair; callers that track
+    /// the exact maximum can substitute it whenever the answer is `hi`.)
     ///
     /// This is what the serving layer uses for p50/p99 service-latency
     /// reporting: bounded memory per shard regardless of request volume.
@@ -145,21 +161,22 @@ impl Histogram {
     /// # Errors
     ///
     /// Returns [`StatsError::InvalidParameter`] if `p` is outside
-    /// `[0, 100]` and [`StatsError::Empty`] if no in-range observation has
-    /// been recorded.
+    /// `[0, 100]` and [`StatsError::Empty`] if nothing has been recorded.
     pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
         if !(0.0..=100.0).contains(&p) {
             return Err(StatsError::InvalidParameter {
                 what: "quantile p must be in [0, 100]",
             });
         }
-        let in_range: u64 = self.bins.iter().sum();
-        if in_range == 0 {
+        if self.total == 0 {
             return Err(StatsError::Empty);
         }
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        let target = p / 100.0 * in_range as f64;
-        let mut acc = 0.0;
+        let target = p / 100.0 * self.total as f64;
+        if self.underflow > 0 && self.underflow as f64 >= target {
+            return Ok(self.lo);
+        }
+        let mut acc = self.underflow as f64;
         for (i, &c) in self.bins.iter().enumerate() {
             let c = c as f64;
             if c > 0.0 && acc + c >= target {
@@ -169,13 +186,15 @@ impl Histogram {
             }
             acc += c;
         }
-        // p == 100 with trailing empty bins: right edge of last occupied bin.
-        let last = self
-            .bins
-            .iter()
-            .rposition(|&c| c > 0)
-            .expect("in_range > 0");
-        Ok(self.lo + (last + 1) as f64 * width)
+        if self.overflow > 0 {
+            return Ok(self.hi);
+        }
+        // p == 100 with trailing empty bins: right edge of the last
+        // occupied bin (or `lo` if only underflow was ever recorded).
+        match self.bins.iter().rposition(|&c| c > 0) {
+            Some(last) => Ok(self.lo + (last + 1) as f64 * width),
+            None => Ok(self.lo),
+        }
     }
 
     /// Merges another histogram's counts into this one.
@@ -320,11 +339,38 @@ mod tests {
     }
 
     #[test]
-    fn quantile_ignores_out_of_range_mass() {
+    fn quantile_clamps_out_of_range_mass_to_the_edges() {
         let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
         h.extend([-5.0, 0.55, 7.0, 9.0]);
+        // Rank 2 of 4 lands in the [0.5, 0.6) bin; the underflow sample
+        // fills rank 1 and the two overflow samples ranks 3-4.
         let q = h.quantile(50.0).unwrap();
         assert!((0.5..=0.6).contains(&q), "{q}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0, "underflow clamps to lo");
+        assert_eq!(h.quantile(99.0).unwrap(), 1.0, "overflow clamps to hi");
+    }
+
+    /// Regression: a tail past `hi` must raise high quantiles to the
+    /// range ceiling, not silently vanish from the rank. The pre-fix
+    /// in-range-only mass let cluster-scale service latencies report a
+    /// mean 18x above p99.
+    #[test]
+    fn quantile_counts_overflow_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        // 40% of the mass beyond the range: p99 (and p61+) is saturated.
+        for _ in 0..60 {
+            h.push(10.5);
+        }
+        for _ in 0..40 {
+            h.push(1_000.0);
+        }
+        assert!((10.0..=11.0).contains(&h.quantile(50.0).unwrap()));
+        assert_eq!(h.quantile(99.0).unwrap(), 100.0);
+        assert_eq!(h.quantile(100.0).unwrap(), 100.0);
+        // All-overflow mass is not "empty": every quantile is the ceiling.
+        let mut all_over = Histogram::new(0.0, 1.0, 4).unwrap();
+        all_over.push(50.0);
+        assert_eq!(all_over.quantile(50.0).unwrap(), 1.0);
     }
 
     #[test]

@@ -174,9 +174,15 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Interpolated quantile of the in-range mass (0 when empty).
+    /// Interpolated quantile over all recorded mass (0 when empty). A
+    /// rank landing in the overflow mass answers the exact tracked
+    /// maximum instead of the binned range ceiling.
     pub fn quantile(&self, p: f64) -> f64 {
-        self.hist.quantile(p).unwrap_or(0.0)
+        match self.hist.quantile(p) {
+            Ok(q) if q >= self.hist.hi() => self.max.max(self.hist.hi()),
+            Ok(q) => q,
+            Err(_) => 0.0,
+        }
     }
 
     /// Exact maximum, or 0 when empty.

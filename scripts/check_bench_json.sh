@@ -181,6 +181,23 @@ def check_serve(path, doc):
         if machines < 1_000_000:
             fail(path, f"cluster-1m tracked {machines} machines "
                        f"(need >= 1000000)")
+        # Pipelined routed-ingest gate: the ring data plane must hold
+        # >= 3x the recorded PR 9 sync-path baseline (194,914 qps). A
+        # regression below this line means cluster ingest has fallen
+        # back to per-line round-trips.
+        qps = one_m.get("achieved_qps") or 0
+        if qps < 584_742:
+            fail(path, f"cluster-1m achieved {qps:.0f} qps (need >= "
+                       f"584742 = 3x the 194914 sync-path baseline)")
+        # Merged-histogram sanity: the aggregator once combined
+        # count/sum wrong, reporting a mean 18x above p99.
+        mean = one_m.get("server_mean_us")
+        p99 = one_m.get("server_p99_us")
+        if (isinstance(mean, (int, float)) and isinstance(p99, (int, float))
+                and mean > p99):
+            fail(path, f"cluster-1m server_mean_us {mean:.1f} > "
+                       f"server_p99_us {p99:.1f} (merged mean must lie "
+                       f"below merged p99)")
 
 
 def check_hot_path(path, doc):
